@@ -1,0 +1,24 @@
+"""Shared benchmark helpers.
+
+Every benchmark module both *times* its pipeline stage (pytest-benchmark)
+and *prints* the regenerated table so the run's output contains the same
+rows the paper reports. Printing uses ``capfd.disabled()`` so the tables
+appear even though pytest captures test output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_printed = set()
+
+
+def emit_once(capfd, key: str, text: str) -> None:
+    """Print ``text`` to the real terminal, once per session per key."""
+    if key in _printed:
+        return
+    _printed.add(key)
+    with capfd.disabled():
+        print()
+        print(text)
+        print()

@@ -1,0 +1,47 @@
+"""Ablation: the gcp oracle (§3.1 leaves the choice open between
+"intraprocedural constant propagation or value numbering"). Compares
+the paper's value-numbering oracle against a branch-sensitive SCCP
+oracle on the full suite: constants found and analysis cost."""
+
+import pytest
+
+from benchmarks.conftest import emit_once
+from repro.config import AnalysisConfig
+from repro.suite.programs import SUITE_PROGRAM_NAMES
+from repro.suite.tables import run_configuration
+
+
+@pytest.fixture(scope="module")
+def oracle_rows():
+    rows = []
+    for name in SUITE_PROGRAM_NAMES:
+        vn = run_configuration(name, AnalysisConfig())
+        sccp = run_configuration(name, AnalysisConfig(gcp_oracle="sccp"))
+        rows.append((name, vn, sccp))
+    return rows
+
+
+def _format(rows):
+    lines = [
+        "gcp oracle ablation (substituted references):",
+        f"{'Program':<12} {'VN oracle':>10} {'SCCP oracle':>12} {'delta':>6}",
+    ]
+    for name, vn, sccp in rows:
+        lines.append(f"{name:<12} {vn:>10} {sccp:>12} {sccp - vn:>+6}")
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("oracle", ["value_numbering", "sccp"])
+def test_gcp_oracle(benchmark, oracle, oracle_rows, capfd):
+    config = AnalysisConfig(gcp_oracle=oracle)
+
+    def run():
+        return sum(
+            run_configuration(name, config) for name in SUITE_PROGRAM_NAMES
+        )
+
+    total = benchmark(run)
+    assert total > 0
+    # The SCCP oracle dominates pointwise.
+    assert all(sccp >= vn for _name, vn, sccp in oracle_rows)
+    emit_once(capfd, "gcp-oracle", _format(oracle_rows))

@@ -1,0 +1,57 @@
+"""Ablation: GSA-style jump-function generation vs complete propagation.
+
+§4.2's closing remark claims "the results that we obtained with
+complete propagation can be achieved by basing the jump-function
+generator on gated single-assignment form". This bench verifies the
+equality on the whole suite and compares the cost of the two routes
+(re-generation + re-propagation vs substitute + DCE + re-analyze)."""
+
+import pytest
+
+from benchmarks.conftest import emit_once
+from repro.config import AnalysisConfig
+from repro.suite.programs import SUITE_PROGRAM_NAMES
+from repro.suite.tables import run_configuration
+
+
+@pytest.fixture(scope="module")
+def gsa_rows():
+    rows = []
+    for name in SUITE_PROGRAM_NAMES:
+        plain = run_configuration(name, AnalysisConfig())
+        complete = run_configuration(name, AnalysisConfig.complete_propagation())
+        gsa = run_configuration(name, AnalysisConfig(gsa_refinement=True))
+        rows.append((name, plain, complete, gsa))
+    return rows
+
+
+def _format(rows):
+    lines = [
+        "GSA-style generation vs complete propagation:",
+        f"{'Program':<12} {'Plain':>7} {'Complete':>9} {'GSA':>7}",
+    ]
+    for name, plain, complete, gsa in rows:
+        marker = "" if complete == gsa else "  <- MISMATCH"
+        lines.append(f"{name:<12} {plain:>7} {complete:>9} {gsa:>7}{marker}")
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize(
+    "technique,config",
+    [
+        ("complete", AnalysisConfig.complete_propagation()),
+        ("gsa", AnalysisConfig(gsa_refinement=True)),
+    ],
+    ids=["complete", "gsa"],
+)
+def test_gsa_vs_complete(benchmark, technique, config, gsa_rows, capfd):
+    def run():
+        return sum(
+            run_configuration(name, config) for name in SUITE_PROGRAM_NAMES
+        )
+
+    total = benchmark(run)
+    assert total > 0
+    # The paper's §4.2 equality, on every program.
+    assert all(complete == gsa for _n, _p, complete, gsa in gsa_rows)
+    emit_once(capfd, "gsa", _format(gsa_rows))

@@ -1,0 +1,122 @@
+"""Ablation: worklist discipline in the interprocedural solver.
+
+The paper uses "a simple worklist iterative scheme" and notes the
+fixpoint is cheap because the lattice has depth 2. This bench compares
+FIFO and LIFO worklists on the suite: same fixpoint, different amounts
+of work (procedure visits / jump-function evaluations).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit_once
+from repro.config import AnalysisConfig
+from repro.frontend.parser import parse_source
+from repro.frontend.source import SourceFile
+from repro.ipcp.driver import prepare_program
+from repro.ipcp.jump_functions import build_forward_jump_functions
+from repro.ipcp.return_functions import build_return_functions
+from repro.ipcp.solver import propagate
+from repro.ir.lowering import lower_module
+from repro.suite.programs import SUITE_PROGRAM_NAMES, program_source
+
+
+@pytest.fixture(scope="module")
+def prepared_suite():
+    """Suite programs prepared through jump-function construction, so the
+    benchmark isolates the propagation step."""
+    prepared = []
+    config = AnalysisConfig()
+    for name in SUITE_PROGRAM_NAMES:
+        source = program_source(name)
+        program = lower_module(
+            parse_source(source, f"{name}.f"), SourceFile(f"{name}.f", source)
+        )
+        callgraph, modref = prepare_program(program, config)
+        return_map = build_return_functions(program, callgraph, modref)
+        table = build_forward_jump_functions(
+            program, callgraph, config.jump_function, return_map
+        )
+        prepared.append((name, program, callgraph, table))
+    return prepared
+
+
+def _work_report(prepared, strategy):
+    lines = [
+        f"Solver ablation ({strategy} worklist):",
+        f"{'Program':<12} {'Visits':>7} {'JF evals':>9} {'Meets':>7} {'Lowerings':>10}",
+    ]
+    for name, program, callgraph, table in prepared:
+        result = propagate(program, callgraph, table, strategy=strategy)
+        stats = result.stats
+        lines.append(
+            f"{name:<12} {stats.procedure_visits:>7} "
+            f"{stats.jump_function_evaluations:>9} {stats.meets:>7} "
+            f"{stats.lowerings:>10}"
+        )
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("strategy", ["fifo", "lifo"])
+def test_solver_strategy(benchmark, prepared_suite, strategy, capfd):
+    def run():
+        pairs = 0
+        for _name, program, callgraph, table in prepared_suite:
+            result = propagate(program, callgraph, table, strategy=strategy)
+            pairs += result.constants.total_pairs()
+        return pairs
+
+    pairs = benchmark(run)
+    assert pairs > 0
+    emit_once(
+        capfd,
+        f"solver-{strategy}",
+        _work_report(prepared_suite, strategy),
+    )
+
+
+def test_solver_binding_multigraph(benchmark, prepared_suite, capfd):
+    """The binding multi-graph formulation (§2's alternative): parameter-
+    grained scheduling instead of procedure-grained."""
+    from repro.ipcp.binding_graph import propagate_binding_graph
+
+    def run():
+        pairs = 0
+        for _name, program, callgraph, table in prepared_suite:
+            result = propagate_binding_graph(program, callgraph, table)
+            pairs += result.constants.total_pairs()
+        return pairs
+
+    pairs = benchmark(run)
+    assert pairs > 0
+
+    lines = [
+        "Solver ablation (binding multi-graph):",
+        f"{'Program':<12} {'Node visits':>12} {'JF evals':>9} {'Lowerings':>10}",
+    ]
+    for name, program, callgraph, table in prepared_suite:
+        result = propagate_binding_graph(program, callgraph, table)
+        stats = result.stats
+        lines.append(
+            f"{name:<12} {stats.procedure_visits:>12} "
+            f"{stats.jump_function_evaluations:>9} {stats.lowerings:>10}"
+        )
+    emit_once(capfd, "solver-binding", "\n".join(lines))
+
+
+def test_solver_fixpoint_identical_across_strategies(benchmark, prepared_suite):
+    """Both disciplines reach the same CONSTANTS sets (benchmarked over
+    the comparison run)."""
+
+    def run():
+        mismatches = 0
+        for _name, program, callgraph, table in prepared_suite:
+            fifo = propagate(program, callgraph, table, strategy="fifo")
+            lifo = propagate(program, callgraph, table, strategy="lifo")
+            for procedure in program:
+                if fifo.constants.constants_of(
+                    procedure.name
+                ) != lifo.constants.constants_of(procedure.name):
+                    mismatches += 1
+        return mismatches
+
+    assert benchmark(run) == 0

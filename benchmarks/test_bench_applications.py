@@ -1,0 +1,127 @@
+"""Application benchmarks: the paper's motivating consumers of
+interprocedural constants — subscript linearity (Shen-Li-Yew) and known
+trip counts (Eigenmann-Blume) — run over the whole benchmark suite."""
+
+import pytest
+
+from benchmarks.conftest import emit_once
+from repro.apps.subscripts import classify_subscripts
+from repro.apps.trip_counts import known_trip_counts
+from repro.config import AnalysisConfig
+from repro.ipcp.driver import analyze_source
+from repro.ipcp.return_functions import ReturnFunctionCallModel
+from repro.suite.programs import SUITE_PROGRAM_NAMES, program_source
+
+#: A dependence-heavy companion workload: the suite programs use few
+#: arrays (the study's metric is reference counts), so the subscript
+#: bench runs on a linpack-like kernel collection.
+KERNELS = """
+      PROGRAM MAIN
+      COMMON /DIMS/ LDA, LDB
+      LDA = 128
+      LDB = 64
+      CALL K1(32)
+      CALL K2(32)
+      CALL K3(32)
+      END
+
+      SUBROUTINE K1(N)
+      COMMON /DIMS/ LDA, LDB
+      INTEGER A(99999)
+      DO J = 1, N
+      DO I = 1, N
+      A(LDA * J + I) = I + J
+      ENDDO
+      ENDDO
+      END
+
+      SUBROUTINE K2(N)
+      COMMON /DIMS/ LDA, LDB
+      INTEGER B(99999)
+      DO K = 1, N
+      B(LDB * K + 1) = K
+      B(K) = K + 1
+      B(K * K) = 0
+      ENDDO
+      END
+
+      SUBROUTINE K3(N)
+      COMMON /DIMS/ LDA, LDB
+      INTEGER C(99999)
+      READ *, STRIDE
+      DO K = 1, N
+      C(STRIDE * K) = K
+      C(LDA * K) = K
+      ENDDO
+      END
+"""
+
+
+@pytest.fixture(scope="module")
+def analyzed_kernels():
+    return analyze_source(KERNELS)
+
+
+def test_subscript_linearity_study(benchmark, analyzed_kernels, capfd):
+    result = analyzed_kernels
+
+    def run():
+        without = classify_subscripts(result.program, None, result.return_functions)
+        with_ipcp = classify_subscripts(
+            result.program, result.constants, result.return_functions
+        )
+        return without, with_ipcp
+
+    without, with_ipcp = benchmark(run)
+    assert with_ipcp.linear > without.linear
+    recovered = without.nonlinear - with_ipcp.nonlinear
+    emit_once(
+        capfd,
+        "subscripts",
+        "Subscript linearity study (Shen-Li-Yew methodology):\n"
+        f"  subscripts in loops:        {without.total}\n"
+        f"  linear without IPCP:        {without.linear}\n"
+        f"  linear with IPCP:           {with_ipcp.linear}\n"
+        f"  nonlinear made linear:      {recovered}/{without.nonlinear} "
+        f"({100 * recovered / max(1, without.nonlinear):.0f}%)",
+    )
+
+
+def test_trip_count_study(benchmark, capfd):
+    """Known trip counts across the whole benchmark suite, with and
+    without interprocedural constants."""
+
+    def run():
+        with_counts = 0
+        without_counts = 0
+        total = 0
+        for name in SUITE_PROGRAM_NAMES:
+            result = analyze_source(
+                program_source(name), AnalysisConfig(), filename=f"{name}.f"
+            )
+            call_model = ReturnFunctionCallModel(
+                result.program, result.return_functions
+            )
+            for verdict in known_trip_counts(
+                result.program, result.constants, call_model
+            ):
+                total += 1
+                if verdict.known:
+                    with_counts += 1
+            for verdict in known_trip_counts(result.program, None):
+                if verdict.known:
+                    without_counts += 1
+        return total, with_counts, without_counts
+
+    total, with_counts, without_counts = benchmark.pedantic(
+        run, rounds=3, iterations=1
+    )
+    assert with_counts >= without_counts
+    emit_once(
+        capfd,
+        "tripcounts",
+        "Known trip counts across the suite (Eigenmann-Blume motivation):\n"
+        f"  loops analyzed:                 {total}\n"
+        f"  known without IPCP constants:   {without_counts}\n"
+        f"  known with IPCP constants:      {with_counts}",
+    )

@@ -1,0 +1,62 @@
+"""Figure 1 — the constant-propagation lattice.
+
+Regenerates the meet table of Figure 1 and measures meet throughput
+(the innermost operation of the whole propagation)."""
+
+from benchmarks.conftest import emit_once
+from repro.lattice import BOTTOM, TOP, const, meet_all
+
+
+def _figure1_table() -> str:
+    elements = [("T", TOP), ("c1=3", const(3)), ("c2=4", const(4)),
+                ("_|_", BOTTOM)]
+    width = 7
+    lines = ["Figure 1: the constant propagation lattice (meet table)"]
+    header = " ∧    | " + " ".join(f"{label:>{width}}" for label, _ in elements)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label_a, a in elements:
+        cells = []
+        for _label_b, b in elements:
+            cells.append(f"{str(a.meet(b)):>{width}}")
+        lines.append(f"{label_a:<5} | " + " ".join(cells))
+    lines.append("")
+    lines.append("Rules: T ∧ x = x;  c ∧ c = c;  ci ∧ cj = _|_ (i≠j);  _|_ ∧ x = _|_")
+    return "\n".join(lines)
+
+
+def test_figure1_meet_throughput(benchmark, capfd):
+    """Meet over a representative operand mix."""
+    operands = [TOP, BOTTOM] + [const(v) for v in range(-3, 4)]
+    pairs = [(a, b) for a in operands for b in operands]
+
+    def run():
+        total = 0
+        for a, b in pairs:
+            result = a.meet(b)
+            total += 1 if result.is_constant else 0
+        return total
+
+    result = benchmark(run)
+    assert result > 0
+    emit_once(capfd, "figure1", _figure1_table())
+
+
+def test_figure1_meet_all_chains(benchmark, capfd):
+    """meet_all over call-graph-edge-like value vectors."""
+    vectors = [
+        [const(5)] * 8,
+        [const(5)] * 7 + [const(6)],
+        [TOP] * 4 + [const(2)] * 4,
+        [BOTTOM] + [const(1)] * 7,
+    ]
+
+    def run():
+        return [meet_all(vector) for vector in vectors]
+
+    results = benchmark(run)
+    assert results[0] == const(5)
+    assert results[1] == BOTTOM
+    assert results[2] == const(2)
+    assert results[3] == BOTTOM
+    emit_once(capfd, "figure1", _figure1_table())

@@ -1,0 +1,42 @@
+"""The reproduction scorecard: measured tables vs the paper's published
+numbers — relationship checks and rank correlations, printed with the
+benchmark run."""
+
+import pytest
+
+from benchmarks.conftest import emit_once
+from repro.suite.paper_data import PAPER_TABLE2, PAPER_TABLE3, compare_with_measured
+from repro.suite.tables import compute_table2, compute_table3
+
+
+def _side_by_side(table2, table3):
+    lines = [
+        "Paper vs measured (Poly with returns | No MOD | Intra-only):",
+        f"{'Program':<12} {'paper':>6} {'ours':>6}   {'paper':>6} {'ours':>6}   "
+        f"{'paper':>6} {'ours':>6}",
+    ]
+    by2 = {r.program: r for r in table2}
+    by3 = {r.program: r for r in table3}
+    for name in by2:
+        lines.append(
+            f"{name:<12} {PAPER_TABLE2[name][0]:>6} {by2[name].polynomial:>6}   "
+            f"{PAPER_TABLE3[name][0]:>6} {by3[name].polynomial_without_mod:>6}   "
+            f"{PAPER_TABLE3[name][3]:>6} {by3[name].intraprocedural:>6}"
+        )
+    return "\n".join(lines)
+
+
+def test_paper_agreement(benchmark, capfd):
+    table2 = compute_table2()
+    table3 = compute_table3()
+
+    agreement = benchmark.pedantic(
+        compare_with_measured, args=(table2, table3), rounds=3, iterations=1
+    )
+    assert agreement.agrees, agreement.violations
+    assert min(agreement.rank_correlations.values()) >= 0.8
+    emit_once(
+        capfd,
+        "agreement",
+        _side_by_side(table2, table3) + "\n\n" + agreement.format(),
+    )

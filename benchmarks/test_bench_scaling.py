@@ -1,0 +1,105 @@
+"""Scaling: analyzer cost vs program size, and the construction-vs-
+propagation split.
+
+§3.1.5 argues construction is O(N) per procedure and propagation is
+cheap because the lattice is shallow; §4.1 reports that "the cost of
+intraprocedural analysis dominates the cost of the interprocedural
+phase". This bench verifies both on generated programs of increasing
+size.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit_once
+from repro.config import AnalysisConfig
+from repro.frontend.parser import parse_source
+from repro.frontend.source import SourceFile
+from repro.ipcp.driver import prepare_program
+from repro.ipcp.jump_functions import build_forward_jump_functions
+from repro.ipcp.return_functions import build_return_functions
+from repro.ipcp.solver import propagate
+from repro.ir.lowering import lower_module
+from repro.suite.generator import GeneratorConfig, generate_program
+
+SIZES = [4, 8, 16, 32]
+
+
+def _source_for(procedures: int) -> str:
+    return generate_program(
+        seed=procedures,
+        config=GeneratorConfig(
+            procedures=procedures, max_statements_per_procedure=14
+        ),
+    )
+
+
+def _fresh(source):
+    return lower_module(parse_source(source), SourceFile("scale.f", source))
+
+
+@pytest.mark.parametrize("procedures", SIZES)
+def test_scaling_full_analysis(benchmark, procedures):
+    """End-to-end analysis time as the call graph grows."""
+    from repro.ipcp.driver import analyze_program
+
+    source = _source_for(procedures)
+
+    def setup():
+        return (_fresh(source),), {}
+
+    result = benchmark.pedantic(
+        lambda program: analyze_program(program, AnalysisConfig()),
+        setup=setup,
+        rounds=5,
+        iterations=1,
+    )
+    assert result.substituted_constants >= 0
+
+
+def test_scaling_phase_split(benchmark, capfd):
+    """Construction (SSA + value numbering + jump functions) vs
+    propagation (worklist solve) wall-time split, per program size."""
+    config = AnalysisConfig()
+    report_lines = [
+        "Phase split: intraprocedural construction vs interprocedural solve",
+        f"{'Procs':>6} {'construct (ms)':>15} {'propagate (ms)':>15} {'ratio':>7}",
+    ]
+    measured = []
+
+    for procedures in SIZES:
+        source = _source_for(procedures)
+        begin = time.perf_counter()
+        program = _fresh(source)
+        callgraph, modref = prepare_program(program, config)
+        return_map = build_return_functions(program, callgraph, modref)
+        table = build_forward_jump_functions(
+            program, callgraph, config.jump_function, return_map
+        )
+        construct = time.perf_counter() - begin
+
+        begin = time.perf_counter()
+        propagate(program, callgraph, table)
+        solve = time.perf_counter() - begin
+        measured.append((procedures, construct, solve))
+        ratio = construct / solve if solve else float("inf")
+        report_lines.append(
+            f"{procedures:>6} {construct * 1000:>15.2f} {solve * 1000:>15.2f} "
+            f"{ratio:>7.1f}"
+        )
+
+    # The paper's observation: intraprocedural analysis dominates.
+    dominated = sum(1 for _p, construct, solve in measured if construct > solve)
+    assert dominated >= len(SIZES) - 1
+    emit_once(capfd, "scaling", "\n".join(report_lines))
+
+    # Benchmark the solve phase on the largest program (cheap, repeated).
+    source = _source_for(SIZES[-1])
+    program = _fresh(source)
+    callgraph, modref = prepare_program(program, config)
+    return_map = build_return_functions(program, callgraph, modref)
+    table = build_forward_jump_functions(
+        program, callgraph, config.jump_function, return_map
+    )
+    benchmark(lambda: propagate(program, callgraph, table))

@@ -1,0 +1,18 @@
+"""Table 1 — characteristics of the program test suite.
+
+Regenerates the lines / procedures / mean / median columns and measures
+the frontend cost of characterizing the whole suite (parse + count)."""
+
+from benchmarks.conftest import emit_once
+from repro.suite.characteristics import characterize_suite
+from repro.suite.programs import SUITE_PROGRAM_NAMES
+from repro.suite.tables import format_table1
+
+
+def test_table1_characterize_suite(benchmark, capfd):
+    rows = benchmark(characterize_suite)
+    assert list(rows) == SUITE_PROGRAM_NAMES
+    # The paper's skew observation: fpppp and simple are dominated by a
+    # single large routine.
+    assert rows["fpppp"].skewed and rows["simple"].skewed
+    emit_once(capfd, "table1", format_table1(rows=rows))

@@ -1,0 +1,75 @@
+"""Table 2 — constants found through use of jump functions.
+
+One benchmark per forward jump function measures the full-suite analysis
+time of that implementation (the §3.1.5 cost comparison); the report
+benchmark regenerates the complete table.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit_once
+from repro.config import AnalysisConfig, JumpFunctionKind
+from repro.ipcp.driver import prepare_program
+from repro.ipcp.jump_functions import build_forward_jump_functions
+from repro.ipcp.return_functions import build_return_functions
+from repro.frontend.parser import parse_source
+from repro.frontend.source import SourceFile
+from repro.ir.lowering import lower_module
+from repro.suite.programs import SUITE_PROGRAM_NAMES, program_source
+from repro.suite.tables import compute_table2, format_table2, run_configuration
+
+
+@pytest.fixture(scope="module")
+def table2_rows():
+    return compute_table2()
+
+
+def _full_suite(config):
+    return sum(run_configuration(name, config) for name in SUITE_PROGRAM_NAMES)
+
+
+@pytest.mark.parametrize(
+    "kind",
+    [
+        JumpFunctionKind.LITERAL,
+        JumpFunctionKind.INTRAPROCEDURAL,
+        JumpFunctionKind.PASS_THROUGH,
+        JumpFunctionKind.POLYNOMIAL,
+    ],
+    ids=lambda kind: kind.value,
+)
+def test_table2_analysis_time_per_kind(benchmark, kind, table2_rows, capfd):
+    """End-to-end suite analysis time under each jump function."""
+    config = AnalysisConfig.table2(kind)
+    total = benchmark(_full_suite, config)
+    assert total > 0
+    emit_once(capfd, "table2", format_table2(rows=table2_rows))
+
+
+def test_table2_jump_function_construction_cost(benchmark, capfd, table2_rows):
+    """§3.1.5: jump-function *construction* cost (value numbering plus
+    extraction) for the most expensive kind, isolated from propagation.
+    Programs are prepared (lowered + SSA) once; each round rebuilds the
+    return and forward jump functions for the whole suite."""
+    prepared = []
+    for name in SUITE_PROGRAM_NAMES:
+        source = program_source(name)
+        program = lower_module(
+            parse_source(source, f"{name}.f"), SourceFile(f"{name}.f", source)
+        )
+        callgraph, modref = prepare_program(program, AnalysisConfig())
+        prepared.append((program, callgraph, modref))
+
+    def build_all():
+        count = 0
+        for program, callgraph, modref in prepared:
+            return_map = build_return_functions(program, callgraph, modref)
+            table = build_forward_jump_functions(
+                program, callgraph, JumpFunctionKind.POLYNOMIAL, return_map
+            )
+            count += len(table)
+        return count
+
+    total = benchmark(build_all)
+    assert total > 0
+    emit_once(capfd, "table2", format_table2(rows=table2_rows))

@@ -1,0 +1,37 @@
+"""Table 3 — the most precise jump function vs other propagation
+techniques: polynomial without MOD, with MOD, complete propagation, and
+purely intraprocedural propagation."""
+
+import pytest
+
+from benchmarks.conftest import emit_once
+from repro.config import AnalysisConfig
+from repro.suite.programs import SUITE_PROGRAM_NAMES
+from repro.suite.tables import compute_table3, format_table3, run_configuration
+
+
+@pytest.fixture(scope="module")
+def table3_rows():
+    return compute_table3()
+
+
+_CONFIGS = {
+    "without_mod": AnalysisConfig.polynomial_without_mod(),
+    "with_mod": AnalysisConfig.polynomial_with_mod(),
+    "complete": AnalysisConfig.complete_propagation(),
+    "intraprocedural": AnalysisConfig.intraprocedural_only(),
+}
+
+
+@pytest.mark.parametrize("technique", list(_CONFIGS), ids=list(_CONFIGS))
+def test_table3_analysis_time_per_technique(benchmark, technique, table3_rows, capfd):
+    config = _CONFIGS[technique]
+
+    def run():
+        return sum(
+            run_configuration(name, config) for name in SUITE_PROGRAM_NAMES
+        )
+
+    total = benchmark(run)
+    assert total >= 0
+    emit_once(capfd, "table3", format_table3(rows=table3_rows))

@@ -1,0 +1,61 @@
+"""Procedure cloning demo (the paper's §5 / Metzger-Stroud direction).
+
+Run:  python examples/cloning_demo.py
+
+A stencil kernel is called with two different constant strides. The
+ordinary propagation meets 4 ∧ 8 = ⊥ and learns nothing; goal-directed
+cloning splits the call sites by their incoming constant signatures,
+giving each clone its own constant.
+"""
+
+from repro.frontend.parser import parse_source
+from repro.frontend.source import SourceFile
+from repro.ipcp.cloning import clone_for_constants
+from repro.ir.lowering import lower_module
+
+PROGRAM = """
+      PROGRAM MAIN
+      CALL STENCIL(4)
+      CALL STENCIL(4)
+      CALL STENCIL(8)
+      CALL STENCIL(8)
+      CALL STENCIL(8)
+      END
+
+      SUBROUTINE STENCIL(STRIDE)
+      INTEGER STRIDE, ACC
+      ACC = 0
+      DO I = 1, 256, 1
+        ACC = ACC + I * STRIDE
+      ENDDO
+      PRINT *, 'stride', STRIDE, 'acc', ACC
+      RETURN
+      END
+"""
+
+
+def main() -> None:
+    source = SourceFile("stencil.f", PROGRAM)
+    program = lower_module(parse_source(PROGRAM, "stencil.f"), source)
+
+    report = clone_for_constants(program)
+
+    print("Before cloning:")
+    print(f"  CONSTANTS: {report.base.constants.format_report()}")
+    print(f"  substituted references: {report.base.substituted_constants}")
+
+    print("\nCloning plan executed:")
+    for original, clones in report.clones.items():
+        print(f"  {original} -> {', '.join(clones)}")
+
+    print("\nAfter cloning:")
+    print(report.final.constants.format_report())
+    print(f"  substituted references: {report.final.substituted_constants}")
+    print(f"  constants gained: {report.constants_gained}")
+
+    print("\nEvery call site now reaches a body specialized to its stride —")
+    print("the loop `ACC = ACC + I * STRIDE` has a known multiplier in each clone.")
+
+
+if __name__ == "__main__":
+    main()

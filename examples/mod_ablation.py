@@ -1,0 +1,87 @@
+"""Information ablation: what MOD summaries and return jump functions
+are each worth (the Table 2 / Table 3 levers, on one program).
+
+Run:  python examples/mod_ablation.py
+
+The program routes a configuration constant through an initialization
+routine (return-function territory) and past an intervening helper call
+(MOD territory), so each piece of information can be toggled and its
+loss observed in isolation.
+"""
+
+from repro import AnalysisConfig, JumpFunctionKind, analyze_source
+
+PROGRAM = """
+      PROGRAM MAIN
+      COMMON /CFG/ BLOCK
+      CALL SETUP
+      CALL DRIVER
+      END
+
+      SUBROUTINE SETUP
+      COMMON /CFG/ BLOCK
+      BLOCK = 16
+      RETURN
+      END
+
+      SUBROUTINE DRIVER
+      COMMON /CFG/ BLOCK
+      INTEGER T
+      T = 0
+      CALL LOG(T)
+      CALL KERNEL
+      RETURN
+      END
+
+      SUBROUTINE LOG(CODE)
+      INTEGER CODE, DUMMY
+      DUMMY = CODE + 1
+      RETURN
+      END
+
+      SUBROUTINE KERNEL
+      COMMON /CFG/ BLOCK
+      INTEGER S
+      S = 0
+      DO I = 1, BLOCK
+        S = S + I
+      ENDDO
+      PRINT *, S
+      RETURN
+      END
+"""
+
+CONFIGURATIONS = [
+    ("polynomial + returns + MOD", AnalysisConfig()),
+    ("polynomial + returns, no MOD", AnalysisConfig(use_mod=False)),
+    ("polynomial + MOD, no returns", AnalysisConfig(use_return_functions=False)),
+    ("literal jump functions", AnalysisConfig(jump_function=JumpFunctionKind.LITERAL)),
+    ("intraprocedural only", AnalysisConfig.intraprocedural_only()),
+    ("complete propagation", AnalysisConfig.complete_propagation()),
+]
+
+
+def main() -> None:
+    print(f"{'configuration':<34} {'pairs':>6} {'refs':>6}   kernel sees BLOCK?")
+    print("-" * 72)
+    for label, config in CONFIGURATIONS:
+        result = analyze_source(PROGRAM, config)
+        kernel = {
+            var.name: value
+            for var, value in result.constants.constants_of("kernel").items()
+        }
+        seen = f"yes, BLOCK={kernel['block']}" if "block" in kernel else "no"
+        print(
+            f"{label:<34} {result.constants.total_pairs():>6} "
+            f"{result.substituted_constants:>6}   {seen}"
+        )
+
+    print(
+        "\nReading the rows: return jump functions carry SETUP's assignment"
+        "\nto its callers; MOD information lets BLOCK survive the CALL LOG"
+        "\ninside DRIVER; the literal jump function never sees globals at all."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: analyze a small program with every jump function.
+
+Run:  python examples/quickstart.py
+
+Demonstrates the core public API: parse + analyze MiniFortran source,
+inspect CONSTANTS(p), compare the four forward jump function
+implementations, and print the transformed (constant-substituted)
+source.
+"""
+
+from repro import AnalysisConfig, JumpFunctionKind, analyze_source
+
+PROGRAM = """
+      PROGRAM MAIN
+      INTEGER N
+      COMMON /CFG/ SCALE
+      SCALE = 10
+      N = 100
+      CALL PROCESS(N, 5)
+      END
+
+      SUBROUTINE PROCESS(LIMIT, STEP)
+      INTEGER LIMIT, STEP, TOTAL
+      COMMON /CFG/ SCALE
+      TOTAL = 0
+      DO I = 1, LIMIT, 1
+        TOTAL = TOTAL + STEP
+      ENDDO
+      CALL REPORT(TOTAL, LIMIT * SCALE)
+      RETURN
+      END
+
+      SUBROUTINE REPORT(VALUE, CEILING)
+      INTEGER VALUE, CEILING
+      IF (VALUE .GT. CEILING) THEN
+        PRINT *, 'overflow', VALUE
+      ELSE
+        PRINT *, 'ok', VALUE
+      ENDIF
+      RETURN
+      END
+"""
+
+
+def main() -> None:
+    print("=== default analysis (polynomial jump functions) ===")
+    result = analyze_source(PROGRAM, filename="<string>")
+    print(result.constants.format_report())
+    print(f"\nsubstituted constant references: {result.substituted_constants}")
+
+    print("\n=== jump function comparison ===")
+    print(f"{'kind':>16} {'constant pairs':>15} {'substituted refs':>17}")
+    for kind in JumpFunctionKind:
+        run = analyze_source(PROGRAM, AnalysisConfig(jump_function=kind))
+        print(
+            f"{kind.value:>16} {run.constants.total_pairs():>15} "
+            f"{run.substituted_constants:>17}"
+        )
+
+    print("\n=== transformed source (constants substituted) ===")
+    print(result.transformed_source())
+
+
+if __name__ == "__main__":
+    main()

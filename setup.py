@@ -1,0 +1,7 @@
+"""Legacy setup shim so `pip install -e . --no-use-pep517` works in
+environments without the `wheel` package (configuration lives in
+pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""repro — Interprocedural constant propagation with jump functions.
+
+A from-scratch implementation of the Callahan–Cooper–Kennedy–Torczon
+interprocedural constant propagation framework ("Interprocedural
+constant propagation", SIGPLAN '86) together with the jump-function
+implementation study of Grove & Torczon (PLDI '93): a MiniFortran
+frontend, a CFG/SSA compiler middle end, MOD/REF summaries, four forward
+jump function implementations, polynomial return jump functions, the
+call-graph propagation solver, and the substitution-count evaluation
+harness that regenerates the study's tables.
+
+Quick start::
+
+    from repro import analyze_source, AnalysisConfig, JumpFunctionKind
+
+    result = analyze_source(fortran_text)
+    print(result.constants.format_report())
+    print(result.substituted_constants, "references substituted")
+
+    cheap = analyze_source(
+        fortran_text,
+        AnalysisConfig(jump_function=JumpFunctionKind.LITERAL),
+    )
+"""
+
+from repro.config import AnalysisConfig, JumpFunctionKind
+from repro.frontend.parser import parse_file, parse_source
+from repro.ipcp.driver import (
+    AnalysisResult,
+    analyze_file,
+    analyze_program,
+    analyze_source,
+)
+from repro.lattice import BOTTOM, TOP, LatticeValue, const, meet_all
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisResult",
+    "BOTTOM",
+    "JumpFunctionKind",
+    "LatticeValue",
+    "TOP",
+    "analyze_file",
+    "analyze_program",
+    "analyze_source",
+    "const",
+    "meet_all",
+    "parse_file",
+    "parse_source",
+    "__version__",
+]

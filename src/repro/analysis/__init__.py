@@ -1,0 +1,32 @@
+"""Intraprocedural analyses: dominance, SSA form, value numbering,
+sparse conditional constant propagation, and dead-code elimination.
+
+These are the substrates the jump-function implementations are built on
+(the study constructs all jump functions "on top of an existing framework
+for global value numbering" over SSA, §3).
+"""
+
+from repro.analysis.dominance import DominatorTree, compute_dominator_tree
+from repro.analysis.dce import eliminate_dead_code
+from repro.analysis.sccp import LatticeCell, SCCPResult, run_sccp
+from repro.analysis.loops import analyze_loops, find_natural_loops
+from repro.analysis.ssa import construct_ssa, verify_ssa
+from repro.analysis.ssa_out import destruct_program, destruct_ssa
+from repro.analysis.value_numbering import ValueNumbering, number_values
+
+__all__ = [
+    "DominatorTree",
+    "LatticeCell",
+    "SCCPResult",
+    "ValueNumbering",
+    "compute_dominator_tree",
+    "analyze_loops",
+    "construct_ssa",
+    "destruct_program",
+    "destruct_ssa",
+    "eliminate_dead_code",
+    "find_natural_loops",
+    "number_values",
+    "run_sccp",
+    "verify_ssa",
+]

@@ -1,0 +1,158 @@
+"""Dead-code elimination over SSA procedures.
+
+Used by *complete propagation* (Table 3): after interprocedural constants
+have been substituted, branches with constant conditions are folded,
+never-executed blocks removed, and pure definitions with no remaining
+uses deleted. Removing dead branches "can potentially eliminate
+conflicting definitions of variables and expose additional constants"
+(§4.2), which is why the complete-propagation driver re-runs the whole
+propagation afterwards.
+
+All transformations preserve SSA form (versions are untouched; phis are
+pruned edge-wise and collapse to copies when a single input remains), so
+the propagation pipeline can re-run without reconstructing SSA.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.sccp import SCCPResult
+from repro.ir.cfg import BasicBlock, ControlFlowGraph
+from repro.ir.instructions import (
+    ArrayLoad,
+    Assign,
+    BinOp,
+    CondBranch,
+    Instruction,
+    Jump,
+    Phi,
+    UnOp,
+    Use,
+)
+from repro.ir.module import Procedure
+from repro.ir.symbols import Variable
+
+#: Instruction classes with no side effects: removable when unused.
+_PURE = (Assign, BinOp, UnOp, ArrayLoad, Phi)
+
+
+@dataclass
+class DCEStats:
+    """What one :func:`eliminate_dead_code` call removed."""
+
+    folded_branches: int = 0
+    removed_blocks: int = 0
+    removed_instructions: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return bool(
+            self.folded_branches or self.removed_blocks or self.removed_instructions
+        )
+
+
+def eliminate_dead_code(
+    procedure: Procedure,
+    sccp: Optional[SCCPResult] = None,
+    remove_dead_definitions: bool = True,
+) -> DCEStats:
+    """Fold constant branches (when ``sccp`` results are given), drop
+    unreachable blocks, simplify phis, and — unless disabled — delete
+    unused pure definitions. Returns statistics; mutates the procedure
+    in place.
+
+    Complete propagation passes ``remove_dead_definitions=False``: its
+    purpose is removing *unreachable* code (which deletes conflicting
+    definitions and call sites), and deleting merely-unused assignments
+    would erase the very references the substitution metric counts.
+    """
+    stats = DCEStats()
+    if sccp is not None:
+        stats.folded_branches = _fold_constant_branches(procedure, sccp)
+    stats.removed_blocks = _remove_unreachable(procedure)
+    _simplify_phis(procedure)
+    if remove_dead_definitions:
+        stats.removed_instructions = _remove_dead_definitions(procedure)
+    return stats
+
+
+def _fold_constant_branches(procedure: Procedure, sccp: SCCPResult) -> int:
+    folded = 0
+    for block in procedure.cfg.blocks:
+        terminator = block.terminator
+        if not isinstance(terminator, CondBranch):
+            continue
+        value = sccp.operand_value(terminator.cond)
+        if not value.is_constant:
+            continue
+        taken = terminator.if_true if value.value != 0 else terminator.if_false
+        removed_target = (
+            terminator.if_false if value.value != 0 else terminator.if_true
+        )
+        block.instructions[-1] = Jump(taken, terminator.location)
+        folded += 1
+        if removed_target is not taken:
+            _remove_phi_edge(removed_target, block)
+    return folded
+
+
+def _remove_phi_edge(block: BasicBlock, pred: BasicBlock) -> None:
+    for phi in block.phis():
+        phi.incoming.pop(pred, None)
+
+
+def _remove_unreachable(procedure: Procedure) -> int:
+    return len(procedure.cfg.remove_unreachable())
+
+
+def _simplify_phis(procedure: Procedure) -> None:
+    """Phis left with exactly one incoming value become copies.
+
+    Converted copies are placed after the remaining phis so the phi
+    region stays contiguous at the block head.
+    """
+    for block in procedure.cfg.blocks:
+        phis = block.phis()
+        if not phis:
+            continue
+        kept_phis: List[Instruction] = []
+        copies: List[Instruction] = []
+        for phi in phis:
+            if len(phi.incoming) == 1:
+                (operand,) = phi.incoming.values()
+                copies.append(Assign(phi.target, operand, phi.location))
+            else:
+                kept_phis.append(phi)
+        if copies:
+            rest = block.instructions[len(phis):]
+            block.instructions = kept_phis + copies + rest
+
+
+def _remove_dead_definitions(procedure: Procedure) -> int:
+    """Iteratively delete pure instructions none of whose defined SSA
+    names are used anywhere (including by phis)."""
+    removed_total = 0
+    while True:
+        use_counts: Dict[Tuple[Variable, Optional[int]], int] = defaultdict(int)
+        for instruction in procedure.cfg.instructions():
+            for use in instruction.uses():
+                use_counts[(use.var, use.version)] += 1
+        removed_this_round = 0
+        for block in procedure.cfg.blocks:
+            kept: List[Instruction] = []
+            for instruction in block.instructions:
+                if isinstance(instruction, _PURE):
+                    defs = instruction.defs()
+                    if defs and all(
+                        use_counts[(d.var, d.version)] == 0 for d in defs
+                    ):
+                        removed_this_round += 1
+                        continue
+                kept.append(instruction)
+            block.instructions = kept
+        removed_total += removed_this_round
+        if removed_this_round == 0:
+            return removed_total

@@ -1,0 +1,110 @@
+"""Dominator trees and dominance frontiers.
+
+Implements the Cooper–Harvey–Kennedy "engineered" iterative algorithm for
+immediate dominators and the Cytron et al. dominance-frontier computation
+— the standard substrate for SSA construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir.cfg import BasicBlock, ControlFlowGraph
+
+
+class DominatorTree:
+    """Immediate dominators, dominator-tree children, and dominance
+    frontiers for the reachable portion of a CFG."""
+
+    def __init__(
+        self,
+        entry: BasicBlock,
+        idom: Dict[BasicBlock, Optional[BasicBlock]],
+        children: Dict[BasicBlock, List[BasicBlock]],
+        frontier: Dict[BasicBlock, Set[BasicBlock]],
+        rpo: List[BasicBlock],
+    ):
+        self.entry = entry
+        self.idom = idom
+        self.children = children
+        self.frontier = frontier
+        self.reverse_postorder = rpo
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True iff ``a`` dominates ``b`` (reflexively)."""
+        node: Optional[BasicBlock] = b
+        while node is not None:
+            if node is a:
+                return True
+            node = self.idom[node]
+        return False
+
+    def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates(a, b)
+
+    def preorder(self) -> List[BasicBlock]:
+        """Dominator-tree preorder (used by SSA renaming)."""
+        order: List[BasicBlock] = []
+        stack = [self.entry]
+        while stack:
+            block = stack.pop()
+            order.append(block)
+            stack.extend(reversed(self.children[block]))
+        return order
+
+
+def compute_dominator_tree(cfg: ControlFlowGraph) -> DominatorTree:
+    """Compute the dominator tree and dominance frontiers of ``cfg``.
+
+    Unreachable blocks are ignored (they have no dominator facts).
+    """
+    rpo = cfg.reverse_postorder()
+    order_index = {block: index for index, block in enumerate(rpo)}
+    predecessors = cfg.predecessors()
+
+    idom: Dict[BasicBlock, Optional[BasicBlock]] = {cfg.entry: cfg.entry}
+
+    def intersect(a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        while a is not b:
+            while order_index[a] > order_index[b]:
+                a = idom[a]
+            while order_index[b] > order_index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for block in rpo:
+            if block is cfg.entry:
+                continue
+            candidates = [
+                p for p in predecessors[block] if p in idom and p in order_index
+            ]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for other in candidates[1:]:
+                new_idom = intersect(new_idom, other)
+            if idom.get(block) is not new_idom:
+                idom[block] = new_idom
+                changed = True
+
+    idom[cfg.entry] = None
+    children: Dict[BasicBlock, List[BasicBlock]] = {block: [] for block in rpo}
+    for block in rpo:
+        parent = idom.get(block)
+        if parent is not None:
+            children[parent].append(block)
+
+    frontier: Dict[BasicBlock, Set[BasicBlock]] = {block: set() for block in rpo}
+    for block in rpo:
+        preds = [p for p in predecessors[block] if p in order_index]
+        if len(preds) >= 2:
+            for pred in preds:
+                runner = pred
+                while runner is not idom[block]:
+                    frontier[runner].add(block)
+                    runner = idom[runner]
+
+    return DominatorTree(cfg.entry, idom, children, frontier, rpo)

@@ -1,0 +1,170 @@
+"""Natural-loop detection and induction-variable recognition.
+
+Substrate for the paper's motivating applications (dependence analysis
+and parallelization, §1): both need to know which array subscripts and
+trip counts are affine in loop induction variables. Loops are found as
+back edges to dominators; basic induction variables are header phis of
+the form ``i = phi(init, i ± c)`` with a constant step — exactly the
+shape DO-loop lowering produces, but recognized generally so GOTO-built
+loops qualify too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.dominance import DominatorTree, compute_dominator_tree
+from repro.analysis.ssa import ssa_definitions
+from repro.ir.cfg import BasicBlock, ControlFlowGraph
+from repro.ir.instructions import BinOp, Const, Phi, Use
+from repro.ir.module import Procedure
+from repro.ir.symbols import Variable
+
+
+@dataclass
+class InductionVariable:
+    """A basic induction variable of one loop.
+
+    ``phi`` is the header phi; ``init_operand`` is the value entering
+    from outside the loop; ``step`` is the constant added every
+    iteration (negative for downward loops).
+    """
+
+    phi: Phi
+    init_operand: object
+    step: int
+
+    @property
+    def var(self) -> Variable:
+        return self.phi.target.var
+
+    @property
+    def ssa_name(self) -> Tuple[Variable, int]:
+        return (self.phi.target.var, self.phi.target.version)
+
+    def __repr__(self) -> str:
+        return f"IV({self.var.name} step {self.step:+d})"
+
+
+@dataclass
+class NaturalLoop:
+    """One natural loop: header plus the body block set."""
+
+    header: BasicBlock
+    blocks: Set[BasicBlock] = field(default_factory=set)
+    latches: List[BasicBlock] = field(default_factory=list)
+    induction_variables: List[InductionVariable] = field(default_factory=list)
+
+    def contains(self, block: BasicBlock) -> bool:
+        return block in self.blocks
+
+    def __repr__(self) -> str:
+        return f"NaturalLoop({self.header.name}, {len(self.blocks)} blocks)"
+
+
+def find_natural_loops(
+    cfg: ControlFlowGraph, domtree: Optional[DominatorTree] = None
+) -> List[NaturalLoop]:
+    """All natural loops of ``cfg``, largest-first (one loop per header;
+    multiple back edges to one header merge)."""
+    domtree = domtree or compute_dominator_tree(cfg)
+    predecessors = cfg.predecessors()
+    loops: Dict[BasicBlock, NaturalLoop] = {}
+    for block in cfg.reverse_postorder():
+        for successor in block.successors():
+            if domtree.dominates(successor, block):
+                loop = loops.setdefault(successor, NaturalLoop(successor))
+                loop.latches.append(block)
+                _collect_body(loop, block, predecessors)
+    for loop in loops.values():
+        loop.blocks.add(loop.header)
+    return sorted(loops.values(), key=lambda l: -len(l.blocks))
+
+
+def _collect_body(
+    loop: NaturalLoop,
+    latch: BasicBlock,
+    predecessors: Dict[BasicBlock, List[BasicBlock]],
+) -> None:
+    """Add all blocks that reach ``latch`` without passing the header."""
+    stack = [latch]
+    while stack:
+        block = stack.pop()
+        if block is loop.header or block in loop.blocks:
+            continue
+        loop.blocks.add(block)
+        stack.extend(predecessors.get(block, ()))
+
+
+def analyze_loops(procedure: Procedure) -> List[NaturalLoop]:
+    """Find the loops of one SSA procedure and recognize their basic
+    induction variables."""
+    domtree = compute_dominator_tree(procedure.cfg)
+    loops = find_natural_loops(procedure.cfg, domtree)
+    definitions = ssa_definitions(procedure)
+    for loop in loops:
+        loop.induction_variables = _recognize_induction_variables(
+            loop, definitions
+        )
+    return loops
+
+
+def _recognize_induction_variables(
+    loop: NaturalLoop, definitions
+) -> List[InductionVariable]:
+    result: List[InductionVariable] = []
+    for phi in loop.header.phis():
+        outside_values = []
+        inside_values = []
+        for pred, operand in phi.incoming.items():
+            if pred in loop.blocks:
+                inside_values.append(operand)
+            else:
+                outside_values.append(operand)
+        if len(outside_values) != 1 or not inside_values:
+            continue
+        step = _common_step(phi, inside_values, definitions)
+        if step is None:
+            continue
+        result.append(InductionVariable(phi, outside_values[0], step))
+    return result
+
+
+def _common_step(phi: Phi, inside_values, definitions) -> Optional[int]:
+    """The constant step if every latch value is ``phi ± c`` with one
+    consistent c."""
+    steps: Set[int] = set()
+    for operand in inside_values:
+        if not isinstance(operand, Use):
+            return None
+        definition = definitions.get((operand.var, operand.version))
+        if not isinstance(definition, BinOp) or definition.op not in ("+", "-"):
+            return None
+        step = _step_of(definition, phi)
+        if step is None:
+            return None
+        steps.add(step)
+    if len(steps) == 1:
+        return steps.pop()
+    return None
+
+
+def _step_of(definition: BinOp, phi: Phi) -> Optional[int]:
+    target = (phi.target.var, phi.target.version)
+
+    def is_phi_use(operand) -> bool:
+        return (
+            isinstance(operand, Use)
+            and (operand.var, operand.version) == target
+        )
+
+    if definition.op == "+":
+        if is_phi_use(definition.left) and isinstance(definition.right, Const):
+            return definition.right.value
+        if is_phi_use(definition.right) and isinstance(definition.left, Const):
+            return definition.left.value
+    elif definition.op == "-":
+        if is_phi_use(definition.left) and isinstance(definition.right, Const):
+            return -definition.right.value
+    return None

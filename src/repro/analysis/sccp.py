@@ -1,0 +1,342 @@
+"""Sparse conditional constant propagation (Wegman–Zadeck) over SSA.
+
+This is the engine behind three different paper roles:
+
+1. the **intraprocedural propagation baseline** (Table 3, last column):
+   run with every entry value ⊥;
+2. the **final substitution pass**: run with entry values taken from the
+   interprocedural ``CONSTANTS`` sets, then count how many source-level
+   references were proven constant (the study's effectiveness metric);
+3. the **dead-code detector** for complete propagation: blocks never
+   marked executable under the discovered constants are removable.
+
+Call effects are interpreted through an :class:`SCCPCallModel`; the IPCP
+layer provides one that evaluates return jump functions over the lattice
+(the "symbolic expression evaluator" of §4.1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.ir.cfg import BasicBlock
+from repro.ir.instructions import (
+    ArrayLoad,
+    Assign,
+    BinOp,
+    Call,
+    CondBranch,
+    Const,
+    Instruction,
+    Jump,
+    Operand,
+    Phi,
+    Read,
+    UnOp,
+    Use,
+)
+from repro.ir.module import Procedure
+from repro.ir.symbols import Variable, VarKind
+from repro.lattice import BOTTOM, LatticeValue, TOP, const, meet_all
+from repro.analysis.expr import fold_operator
+
+SSAName = Tuple[Variable, int]
+
+#: Alias kept for external readability: one lattice cell per SSA name.
+LatticeCell = LatticeValue
+
+
+class SCCPCallModel:
+    """How SCCP interprets call effects; the default is fully pessimistic."""
+
+    def modified_value(
+        self,
+        call: Call,
+        var: Variable,
+        operand_value: Callable[[Operand], LatticeValue],
+    ) -> LatticeValue:
+        """Lattice value of caller variable ``var`` after the call."""
+        return BOTTOM
+
+    def result_value(
+        self, call: Call, operand_value: Callable[[Operand], LatticeValue]
+    ) -> LatticeValue:
+        """Lattice value of a function call's result."""
+        return BOTTOM
+
+
+class SCCPResult:
+    """Outcome of one SCCP run."""
+
+    def __init__(
+        self,
+        procedure: Procedure,
+        values: Dict[SSAName, LatticeValue],
+        executable_blocks: Set[BasicBlock],
+        entry_values: Dict[Variable, LatticeValue],
+    ):
+        self.procedure = procedure
+        self._values = values
+        self.executable_blocks = executable_blocks
+        self.entry_values = entry_values
+
+    def value_of(self, var: Variable, version: Optional[int]) -> LatticeValue:
+        """Lattice value of an SSA name."""
+        if version is None or version == 0:
+            return self.entry_values.get(var, BOTTOM)
+        return self._values.get((var, version), TOP)
+
+    def operand_value(self, operand: Operand) -> LatticeValue:
+        if isinstance(operand, Const):
+            return const(operand.value)
+        return self.value_of(operand.var, operand.version)
+
+    def constant_source_references(self) -> List[Use]:
+        """Every source-level scalar reference proven constant, in
+        executable code — what the substitution pass rewrites and the
+        study counts ("the number of constants that this option
+        substituted into each program", §4.1).
+
+        An actual argument aliased to a formal the callee may *modify*
+        is an address, not a value read: replacing it with a literal
+        would sever the writeback, so such references are excluded (both
+        from the count and from textual substitution).
+        """
+        found: List[Use] = []
+        for block in self.procedure.cfg.blocks:
+            if block not in self.executable_blocks:
+                continue
+            for instruction in block.instructions:
+                if isinstance(instruction, Phi):
+                    continue
+                modified_actuals = modified_actual_uses(instruction)
+                for use in instruction.uses():
+                    if use in modified_actuals:
+                        continue
+                    if use.from_source and self.operand_value(use).is_constant:
+                        found.append(use)
+        return found
+
+    def dead_blocks(self) -> List[BasicBlock]:
+        """Reachable-in-CFG blocks that can never execute under the
+        propagated constants."""
+        return [
+            b
+            for b in self.procedure.cfg.blocks
+            if b not in self.executable_blocks
+        ]
+
+
+def modified_actual_uses(instruction: Instruction) -> Set[Use]:
+    """Uses of a Call that pass a variable the call may write back to."""
+    if not isinstance(instruction, Call) or not instruction.may_define:
+        return set()
+    killed = {definition.var for definition in instruction.may_define}
+    return {
+        arg.value
+        for arg in instruction.args
+        if isinstance(arg.value, Use) and arg.value.var in killed
+    }
+
+
+def run_sccp(
+    procedure: Procedure,
+    entry_values: Optional[Dict[Variable, LatticeValue]] = None,
+    call_model: Optional[SCCPCallModel] = None,
+) -> SCCPResult:
+    """Run sparse conditional constant propagation on one procedure.
+
+    ``entry_values`` supplies lattice values for version-0 names of
+    formals and globals (missing entries default to ⊥ — unknown on
+    entry). Locals default to ⊥ as well: an undefined variable may hold
+    anything.
+    """
+    engine = _SCCPEngine(procedure, entry_values or {}, call_model or SCCPCallModel())
+    engine.run()
+    return SCCPResult(
+        procedure, engine.values, engine.executable_blocks, engine.entry_values
+    )
+
+
+class _SCCPEngine:
+    def __init__(
+        self,
+        procedure: Procedure,
+        entry_values: Dict[Variable, LatticeValue],
+        call_model: SCCPCallModel,
+    ):
+        self.procedure = procedure
+        self.call_model = call_model
+        self.entry_values = dict(entry_values)
+        self.values: Dict[SSAName, LatticeValue] = {}
+        self.executable_blocks: Set[BasicBlock] = set()
+        self._executable_edges: Set[Tuple[BasicBlock, BasicBlock]] = set()
+        self._flow_worklist: List[Tuple[Optional[BasicBlock], BasicBlock]] = []
+        self._ssa_worklist: List[SSAName] = []
+        self._uses_of: Dict[SSAName, List[Tuple[BasicBlock, Instruction]]] = defaultdict(list)
+        self._block_of: Dict[Instruction, BasicBlock] = {}
+        self._predecessors = procedure.cfg.predecessors()
+        self._build_use_lists()
+
+    def _build_use_lists(self) -> None:
+        for block in self.procedure.cfg.blocks:
+            for instruction in block.instructions:
+                self._block_of[instruction] = block
+                for use in instruction.uses():
+                    if use.version:
+                        self._uses_of[(use.var, use.version)].append(
+                            (block, instruction)
+                        )
+
+    # -- lattice plumbing ------------------------------------------------
+
+    def _value(self, name: SSAName) -> LatticeValue:
+        variable, version = name
+        if version == 0 or version is None:
+            return self.entry_values.get(variable, BOTTOM)
+        return self.values.get(name, TOP)
+
+    def operand_value(self, operand: Operand) -> LatticeValue:
+        if isinstance(operand, Const):
+            return const(operand.value)
+        return self._value((operand.var, operand.version))
+
+    def _lower(self, name: SSAName, new_value: LatticeValue) -> None:
+        old = self._value(name)
+        merged = old.meet(new_value)
+        if merged != old:
+            self.values[name] = merged
+            self._ssa_worklist.append(name)
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self) -> None:
+        self._flow_worklist.append((None, self.procedure.cfg.entry))
+        while self._flow_worklist or self._ssa_worklist:
+            while self._flow_worklist:
+                pred, block = self._flow_worklist.pop()
+                self._visit_edge(pred, block)
+            while self._ssa_worklist:
+                name = self._ssa_worklist.pop()
+                for block, instruction in self._uses_of.get(name, ()):
+                    if block in self.executable_blocks:
+                        self._visit_instruction(block, instruction)
+
+    def _visit_edge(self, pred: Optional[BasicBlock], block: BasicBlock) -> None:
+        if pred is not None:
+            edge = (pred, block)
+            if edge in self._executable_edges:
+                # Edge already processed: only phis need re-evaluation.
+                for phi in block.phis():
+                    self._visit_phi(block, phi)
+                return
+            self._executable_edges.add(edge)
+        first_visit = block not in self.executable_blocks
+        self.executable_blocks.add(block)
+        for phi in block.phis():
+            self._visit_phi(block, phi)
+        if first_visit:
+            for instruction in block.non_phi_instructions():
+                self._visit_instruction(block, instruction)
+
+    def _edge_executable(self, pred: BasicBlock, block: BasicBlock) -> bool:
+        return (pred, block) in self._executable_edges or (
+            pred is None and block is self.procedure.cfg.entry
+        )
+
+    def _visit_phi(self, block: BasicBlock, phi: Phi) -> None:
+        incoming_values = []
+        for pred, operand in phi.incoming.items():
+            if (pred, block) in self._executable_edges:
+                incoming_values.append(self.operand_value(operand))
+        name = (phi.target.var, phi.target.version)
+        self._lower(name, meet_all(incoming_values))
+
+    def _visit_instruction(self, block: BasicBlock, instruction: Instruction) -> None:
+        if isinstance(instruction, Phi):
+            self._visit_phi(block, instruction)
+        elif isinstance(instruction, Assign):
+            target = instruction.target
+            self._lower(
+                (target.var, target.version), self.operand_value(instruction.source)
+            )
+        elif isinstance(instruction, BinOp):
+            self._visit_binop(instruction)
+        elif isinstance(instruction, UnOp):
+            self._visit_unop(instruction)
+        elif isinstance(instruction, ArrayLoad):
+            target = instruction.target
+            self._lower((target.var, target.version), BOTTOM)
+        elif isinstance(instruction, Read):
+            for target in instruction.targets:
+                self._lower((target.var, target.version), BOTTOM)
+        elif isinstance(instruction, Call):
+            self._visit_call(instruction)
+        elif isinstance(instruction, CondBranch):
+            self._visit_branch(block, instruction)
+        elif isinstance(instruction, Jump):
+            self._flow_worklist.append((block, instruction.target))
+        # Return/Halt/Print/ArrayStore produce no values and no flow.
+
+    def _visit_binop(self, instruction: BinOp) -> None:
+        left = self.operand_value(instruction.left)
+        right = self.operand_value(instruction.right)
+        name = (instruction.target.var, instruction.target.version)
+        if left.is_bottom or right.is_bottom:
+            # Some operators have absorbing constants (0 * ⊥ = 0).
+            folded = _fold_with_bottom(instruction.op, left, right)
+            self._lower(name, folded)
+        elif left.is_top or right.is_top:
+            pass  # stay optimistic
+        else:
+            result = fold_operator(instruction.op, [left.value, right.value])
+            self._lower(name, BOTTOM if result is None else const(result))
+
+    def _visit_unop(self, instruction: UnOp) -> None:
+        operand = self.operand_value(instruction.operand)
+        name = (instruction.target.var, instruction.target.version)
+        if operand.is_bottom:
+            self._lower(name, BOTTOM)
+        elif operand.is_constant:
+            result = fold_operator(instruction.op, [operand.value])
+            self._lower(name, BOTTOM if result is None else const(result))
+
+    def _visit_call(self, call: Call) -> None:
+        for definition in call.may_define:
+            value = self.call_model.modified_value(
+                call, definition.var, self.operand_value
+            )
+            self._lower((definition.var, definition.version), value)
+        if call.result is not None:
+            value = self.call_model.result_value(call, self.operand_value)
+            self._lower((call.result.var, call.result.version), value)
+
+    def _visit_branch(self, block: BasicBlock, branch: CondBranch) -> None:
+        cond = self.operand_value(branch.cond)
+        if cond.is_top:
+            return
+        if cond.is_constant:
+            taken = branch.if_true if cond.value != 0 else branch.if_false
+            self._flow_worklist.append((block, taken))
+        else:
+            self._flow_worklist.append((block, branch.if_true))
+            self._flow_worklist.append((block, branch.if_false))
+
+
+def _fold_with_bottom(op: str, left: LatticeValue, right: LatticeValue) -> LatticeValue:
+    """Fold operators with an absorbing constant operand even when the
+    other side is ⊥ (e.g. ``0 * x == 0``)."""
+    if op == "*":
+        for side in (left, right):
+            if side.is_constant and side.value == 0:
+                return const(0)
+    if op == "and":
+        for side in (left, right):
+            if side.is_constant and side.value == 0:
+                return const(0)
+    if op == "or":
+        for side in (left, right):
+            if side.is_constant and side.value != 0:
+                return const(1)
+    return BOTTOM

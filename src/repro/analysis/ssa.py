@@ -1,0 +1,184 @@
+"""SSA construction over the versioned-variable IR.
+
+Phi placement follows Cytron et al. (iterated dominance frontiers);
+renaming is the classic dominator-tree walk with version stacks, done
+iteratively to stay safe on deep CFGs.
+
+Version numbering convention:
+
+- version ``0`` of any variable is its *entry value*: the value a formal
+  or global has on entry to the procedure, or "undefined" for a local
+  used before being assigned;
+- every definition site (including phis and call ``may_define`` slots)
+  receives a fresh version ≥ 1.
+
+SSA names are ``(Variable, version)`` tuples; :func:`ssa_definitions`
+maps each name to its unique defining instruction.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.cfg import BasicBlock, ControlFlowGraph
+from repro.ir.instructions import Def, Instruction, Phi, Use
+from repro.ir.module import Procedure
+from repro.ir.symbols import Variable
+from repro.analysis.dominance import DominatorTree, compute_dominator_tree
+
+SSAName = Tuple[Variable, int]
+
+
+def construct_ssa(procedure: Procedure) -> DominatorTree:
+    """Convert ``procedure`` to SSA form in place; returns the dominator
+    tree computed along the way.
+
+    Call instructions must already carry their side-effect annotations
+    (``may_define`` / ``entry_uses``) — see
+    :func:`repro.summary.modref.annotate_call_effects`.
+    """
+    cfg = procedure.cfg
+    cfg.remove_unreachable()
+    domtree = compute_dominator_tree(cfg)
+    def_blocks = _collect_definition_sites(cfg)
+    _place_phis(cfg, domtree, def_blocks)
+    _rename(cfg, domtree)
+    return domtree
+
+
+def _collect_definition_sites(
+    cfg: ControlFlowGraph,
+) -> Dict[Variable, Set[BasicBlock]]:
+    def_blocks: Dict[Variable, Set[BasicBlock]] = defaultdict(set)
+    for block in cfg.blocks:
+        for instruction in block.instructions:
+            for definition in instruction.defs():
+                def_blocks[definition.var].add(block)
+    return def_blocks
+
+
+def _place_phis(
+    cfg: ControlFlowGraph,
+    domtree: DominatorTree,
+    def_blocks: Dict[Variable, Set[BasicBlock]],
+) -> None:
+    predecessors = cfg.predecessors()
+    for variable, blocks in def_blocks.items():
+        placed: Set[BasicBlock] = set()
+        worklist: List[BasicBlock] = list(blocks)
+        ever_queued: Set[BasicBlock] = set(worklist)
+        while worklist:
+            block = worklist.pop()
+            for frontier_block in domtree.frontier[block]:
+                if frontier_block in placed:
+                    continue
+                # A join with a single predecessor cannot occur (frontier
+                # membership requires >= 2 preds), so a phi is meaningful.
+                if len(predecessors[frontier_block]) < 2:
+                    continue
+                frontier_block.insert_phi(Phi(Def(variable), {}))
+                placed.add(frontier_block)
+                if frontier_block not in ever_queued:
+                    ever_queued.add(frontier_block)
+                    worklist.append(frontier_block)
+
+
+def _rename(cfg: ControlFlowGraph, domtree: DominatorTree) -> None:
+    counters: Dict[Variable, int] = defaultdict(int)
+    stacks: Dict[Variable, List[int]] = defaultdict(lambda: [0])
+
+    def new_version(definition: Def) -> None:
+        counters[definition.var] += 1
+        version = counters[definition.var]
+        definition.version = version
+        stacks[definition.var].append(version)
+
+    # Iterative dominator-tree preorder walk with explicit unwind markers.
+    work: List[Tuple[str, BasicBlock]] = [("visit", cfg.entry)]
+    pushed_per_block: Dict[BasicBlock, List[Variable]] = {}
+
+    while work:
+        action, block = work.pop()
+        if action == "leave":
+            for variable in pushed_per_block.pop(block, []):
+                stacks[variable].pop()
+            continue
+
+        pushed: List[Variable] = []
+        for phi in block.phis():
+            new_version(phi.target)
+            pushed.append(phi.target.var)
+        for instruction in block.non_phi_instructions():
+            for use in instruction.uses():
+                use.version = stacks[use.var][-1]
+            for definition in instruction.defs():
+                new_version(definition)
+                pushed.append(definition.var)
+        for successor in block.successors():
+            for phi in successor.phis():
+                variable = phi.target.var
+                incoming = Use(variable)
+                incoming.version = stacks[variable][-1]
+                phi.incoming[block] = incoming
+        pushed_per_block[block] = pushed
+
+        work.append(("leave", block))
+        for child in reversed(domtree.children[block]):
+            work.append(("visit", child))
+
+
+def ssa_definitions(procedure: Procedure) -> Dict[SSAName, Instruction]:
+    """Map each SSA name to its unique defining instruction.
+
+    Entry values (version 0) have no defining instruction and do not
+    appear in the map.
+    """
+    definitions: Dict[SSAName, Instruction] = {}
+    for instruction in procedure.cfg.instructions():
+        for definition in instruction.defs():
+            definitions[(definition.var, definition.version)] = instruction
+    return definitions
+
+
+def verify_ssa(procedure: Procedure) -> List[str]:
+    """Check SSA invariants; returns a list of violation descriptions
+    (empty when the procedure is valid SSA). Used by tests and as a
+    debugging aid after transformation passes."""
+    problems: List[str] = []
+    seen: Set[SSAName] = set()
+    predecessors = procedure.cfg.predecessors()
+
+    for block in procedure.cfg.blocks:
+        for instruction in block.instructions:
+            for definition in instruction.defs():
+                if definition.version is None:
+                    problems.append(f"unversioned def of {definition.var.name}")
+                    continue
+                name = (definition.var, definition.version)
+                if name in seen:
+                    problems.append(
+                        f"multiple definitions of {definition.var.name}."
+                        f"{definition.version}"
+                    )
+                seen.add(name)
+            for use in instruction.uses():
+                if use.version is None:
+                    problems.append(f"unversioned use of {use.var.name}")
+        for phi in block.phis():
+            preds = set(predecessors[block])
+            inputs = set(phi.incoming)
+            if inputs != preds:
+                problems.append(
+                    f"phi for {phi.target.var.name} in {block.name} covers "
+                    f"{sorted(b.name for b in inputs)} but predecessors are "
+                    f"{sorted(b.name for b in preds)}"
+                )
+    for block in procedure.cfg.blocks:
+        for instruction in block.instructions:
+            for use in instruction.uses():
+                if use.version and (use.var, use.version) not in seen:
+                    problems.append(
+                        f"use of undefined SSA name {use.var.name}.{use.version}"
+                    )
+    return problems

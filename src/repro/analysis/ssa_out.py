@@ -1,0 +1,107 @@
+"""SSA destruction: translate an SSA procedure back to executable form.
+
+The versioned-variable SSA this repository uses makes destruction almost
+trivial: every phi merges versions of *one* base variable, and renaming
+guaranteed that each phi operand names exactly the version reaching
+along its edge — so for ordinary operands the phi is a no-op at runtime
+and can simply be deleted. Two cases need real work:
+
+- a phi operand that is a **constant** (introduced by
+  :func:`repro.ipcp.substitution.apply_substitution`): the value must be
+  materialized with a copy on the incoming edge;
+- inserting that copy on a **critical edge** (the predecessor branches
+  to multiple successors) requires splitting the edge first, or the copy
+  would leak onto the other path.
+
+After destruction the procedure contains no phis and no version
+annotations, and the reference interpreter can execute it — which is how
+the test suite proves that branch folding and dead-code removal preserve
+behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.ir.cfg import BasicBlock, ControlFlowGraph
+from repro.ir.instructions import (
+    Assign,
+    CondBranch,
+    Const,
+    Def,
+    Jump,
+    Phi,
+    Use,
+)
+from repro.ir.module import Procedure, Program
+
+
+def destruct_ssa(procedure: Procedure) -> int:
+    """Remove phis and version annotations in place; returns the number
+    of edge copies that had to be materialized."""
+    copies = 0
+    cfg = procedure.cfg
+    for block in list(cfg.blocks):
+        phis = block.phis()
+        if not phis:
+            continue
+        for phi in phis:
+            copies += _lower_phi(cfg, block, phi)
+        block.instructions = [
+            i for i in block.instructions if not isinstance(i, Phi)
+        ]
+    _strip_versions(procedure)
+    return copies
+
+
+def _lower_phi(cfg: ControlFlowGraph, block: BasicBlock, phi: Phi) -> int:
+    """Insert copies for phi inputs that are not the naturally reaching
+    value (constants, or — defensively — uses of a different variable)."""
+    copies = 0
+    for pred, operand in list(phi.incoming.items()):
+        natural = isinstance(operand, Use) and operand.var is phi.target.var
+        if natural:
+            continue
+        edge_block = _edge_block(cfg, pred, block)
+        copy = Assign(Def(phi.target.var), operand, phi.location)
+        edge_block.instructions.insert(
+            len(edge_block.instructions) - 1, copy
+        )
+        copies += 1
+    return copies
+
+
+def _edge_block(cfg: ControlFlowGraph, pred: BasicBlock,
+                succ: BasicBlock) -> BasicBlock:
+    """The block in which an edge copy may be placed: the predecessor
+    itself when the edge is its only outgoing edge, otherwise a fresh
+    block splitting the critical edge."""
+    successors = pred.successors()
+    if len(successors) <= 1:
+        return pred
+    split = cfg.new_block(f"{pred.name}.split")
+    split.append(Jump(succ))
+    terminator = pred.terminator
+    assert isinstance(terminator, CondBranch)
+    if terminator.if_true is succ:
+        terminator.if_true = split
+    if terminator.if_false is succ:
+        terminator.if_false = split
+    # Redirect any other phis in succ that referenced pred on this edge.
+    for phi in succ.phis():
+        if pred in phi.incoming:
+            phi.incoming[split] = phi.incoming.pop(pred)
+    return split
+
+
+def _strip_versions(procedure: Procedure) -> None:
+    for instruction in procedure.cfg.instructions():
+        for use in instruction.uses():
+            use.version = None
+        for definition in instruction.defs():
+            definition.version = None
+
+
+def destruct_program(program: Program) -> int:
+    """Destruct every procedure; returns total materialized copies."""
+    return sum(destruct_ssa(procedure) for procedure in program)

@@ -1,0 +1,26 @@
+"""Applications of interprocedural constants — the paper's motivation.
+
+The introduction motivates IPCP through downstream consumers:
+
+- **dependence analysis** (Shen, Li & Yew): "approximately 50 percent of
+  the subscripts which had previously been considered nonlinear were
+  found to be linear in the presence of interprocedural constant
+  information" — :mod:`repro.apps.subscripts` reproduces that study's
+  methodology on MiniFortran programs;
+- **automatic parallelization** (Eigenmann & Blume): "interprocedural
+  constants are often used as loop bounds", whose values let the
+  compiler judge the profitability of parallel execution —
+  :mod:`repro.apps.trip_counts` computes known trip counts from
+  CONSTANTS sets.
+"""
+
+from repro.apps.subscripts import SubscriptClass, SubscriptStudy, classify_subscripts
+from repro.apps.trip_counts import LoopTripCount, known_trip_counts
+
+__all__ = [
+    "LoopTripCount",
+    "SubscriptClass",
+    "SubscriptStudy",
+    "classify_subscripts",
+    "known_trip_counts",
+]

@@ -1,0 +1,162 @@
+"""Known loop trip counts — the Eigenmann–Blume motivation.
+
+"Knowing their values allows the compiler to make informed decisions
+about the profitability of parallel execution: the number of iterations
+executed by a particular loop is an important factor in determining both
+the amount of work it represents and the number of processors that it
+can profitably employ" (§1).
+
+For each natural loop whose header ends in a comparison between a basic
+induction variable and a bound, the trip count is computable whenever
+the IPCP-seeded SCCP run proves both the initial value and the bound
+constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.loops import InductionVariable, NaturalLoop, analyze_loops
+from repro.analysis.sccp import SCCPCallModel, run_sccp
+from repro.analysis.ssa import ssa_definitions
+from repro.ipcp.constants import ConstantsResult
+from repro.ir.instructions import BinOp, CondBranch, Use
+from repro.ir.module import Procedure, Program
+
+
+@dataclass
+class LoopTripCount:
+    """One loop's trip-count verdict."""
+
+    procedure_name: str
+    loop: NaturalLoop
+    induction_variable: Optional[InductionVariable]
+    count: Optional[int]
+    reason: str
+
+    @property
+    def known(self) -> bool:
+        return self.count is not None
+
+
+def known_trip_counts(
+    program: Program,
+    constants: Optional[ConstantsResult] = None,
+    call_model: Optional[SCCPCallModel] = None,
+) -> List[LoopTripCount]:
+    """Trip-count verdicts for every loop in ``program`` (SSA form).
+
+    ``constants`` seeds each procedure's entry values (None = no
+    interprocedural information).
+    """
+    verdicts: List[LoopTripCount] = []
+    for procedure in program:
+        loops = analyze_loops(procedure)
+        if not loops:
+            continue
+        entry = (
+            constants.entry_lattice(procedure) if constants is not None else {}
+        )
+        sccp = run_sccp(procedure, entry, call_model)
+        definitions = ssa_definitions(procedure)
+        for loop in loops:
+            verdicts.append(
+                _analyze_loop(procedure, loop, sccp, definitions)
+            )
+    return verdicts
+
+
+def _analyze_loop(procedure, loop, sccp, definitions) -> LoopTripCount:
+    if not loop.induction_variables:
+        return LoopTripCount(
+            procedure.name, loop, None, None, "no basic induction variable"
+        )
+    terminator = loop.header.terminator
+    if not isinstance(terminator, CondBranch) or not isinstance(
+        terminator.cond, Use
+    ):
+        return LoopTripCount(
+            procedure.name,
+            loop,
+            loop.induction_variables[0],
+            None,
+            "header does not end in a comparison",
+        )
+    compare = definitions.get((terminator.cond.var, terminator.cond.version))
+    if not isinstance(compare, BinOp) or compare.op not in ("le", "lt", "ge", "gt"):
+        return LoopTripCount(
+            procedure.name,
+            loop,
+            loop.induction_variables[0],
+            None,
+            "header test is not a bound comparison",
+        )
+
+    for iv in loop.induction_variables:
+        verdict = _try_iv(procedure, loop, iv, compare, sccp)
+        if verdict is not None:
+            return verdict
+    return LoopTripCount(
+        procedure.name,
+        loop,
+        loop.induction_variables[0],
+        None,
+        "bound or initial value not a known constant",
+    )
+
+
+def _try_iv(procedure, loop, iv, compare: BinOp, sccp) -> Optional[LoopTripCount]:
+    """Match ``iv OP bound`` (or ``bound OP iv``) and compute the count
+    when init and bound are constants."""
+    iv_name = iv.ssa_name
+    op = compare.op
+    if (
+        isinstance(compare.left, Use)
+        and (compare.left.var, compare.left.version) == iv_name
+    ):
+        bound_operand = compare.right
+    elif (
+        isinstance(compare.right, Use)
+        and (compare.right.var, compare.right.version) == iv_name
+    ):
+        bound_operand = compare.left
+        op = {"le": "ge", "lt": "gt", "ge": "le", "gt": "lt"}[op]
+    else:
+        return None
+
+    init_value = sccp.operand_value(iv.init_operand)
+    bound_value = sccp.operand_value(bound_operand)
+    if not init_value.is_constant or not bound_value.is_constant:
+        return None
+
+    count = _trip_count(init_value.value, bound_value.value, iv.step, op)
+    if count is None:
+        return LoopTripCount(
+            procedure.name, loop, iv, None, "step direction never terminates"
+        )
+    return LoopTripCount(
+        procedure.name,
+        loop,
+        iv,
+        count,
+        f"{iv.var.name} from {init_value.value} while {op} {bound_value.value} "
+        f"step {iv.step:+d}",
+    )
+
+
+def _trip_count(init: int, bound: int, step: int, op: str) -> Optional[int]:
+    """Iterations of ``for (i = init; i OP bound; i += step)``."""
+    if op == "lt":
+        bound, op = bound - 1, "le"
+    elif op == "gt":
+        bound, op = bound + 1, "ge"
+    if op == "le":
+        if step <= 0:
+            return 0 if init > bound else None  # non-terminating upward test
+        return max(0, (bound - init) // step + 1)
+    if op == "ge":
+        if step >= 0:
+            return 0 if init < bound else None
+        return max(0, (init - bound) // (-step) + 1)
+    return None

@@ -1,0 +1,5 @@
+"""Call graph construction and traversal orders."""
+
+from repro.callgraph.callgraph import CallGraph, CallSite, build_call_graph
+
+__all__ = ["CallGraph", "CallSite", "build_call_graph"]

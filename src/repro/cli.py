@@ -1,0 +1,291 @@
+"""Command-line interface.
+
+Subcommands:
+
+- ``analyze FILE`` — run one configuration on a MiniFortran program and
+  report CONSTANTS sets, substitution counts, and (optionally) the
+  transformed source or the IR;
+- ``compare FILE`` — run all four forward jump functions side by side;
+- ``run FILE`` — execute a program with the reference interpreter;
+- ``clone FILE`` — goal-directed procedure cloning, before/after;
+- ``integrate FILE`` — Wegman-Zadeck procedure integration, before/after;
+- ``suite`` — write the 12 benchmark programs to disk as .f files;
+- ``tables`` — regenerate the study's Tables 1-3 on the bundled
+  benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import AnalysisConfig, JumpFunctionKind
+from repro.ipcp.driver import analyze_file
+
+_KIND_ALIASES = {
+    "literal": JumpFunctionKind.LITERAL,
+    "intra": JumpFunctionKind.INTRAPROCEDURAL,
+    "intraprocedural": JumpFunctionKind.INTRAPROCEDURAL,
+    "pass": JumpFunctionKind.PASS_THROUGH,
+    "pass-through": JumpFunctionKind.PASS_THROUGH,
+    "poly": JumpFunctionKind.POLYNOMIAL,
+    "polynomial": JumpFunctionKind.POLYNOMIAL,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ipcp",
+        description="Interprocedural constant propagation with jump functions",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="analyze one program")
+    analyze.add_argument("file", help="MiniFortran source file")
+    analyze.add_argument(
+        "--jump",
+        default="poly",
+        choices=sorted(_KIND_ALIASES),
+        help="forward jump function implementation (default: poly)",
+    )
+    analyze.add_argument(
+        "--no-returns", action="store_true", help="disable return jump functions"
+    )
+    analyze.add_argument(
+        "--no-mod", action="store_true", help="disable MOD side-effect information"
+    )
+    analyze.add_argument(
+        "--complete",
+        action="store_true",
+        help="iterate propagation with dead-code elimination",
+    )
+    analyze.add_argument(
+        "--intra-only",
+        action="store_true",
+        help="purely intraprocedural propagation (with MOD)",
+    )
+    analyze.add_argument(
+        "--gsa",
+        action="store_true",
+        help="GSA-style refinement (complete-propagation results, no DCE)",
+    )
+    analyze.add_argument(
+        "--transform",
+        action="store_true",
+        help="print the source with constants substituted",
+    )
+    analyze.add_argument(
+        "--dump-ir", action="store_true", help="print the SSA IR after analysis"
+    )
+    analyze.add_argument(
+        "--stats", action="store_true", help="print analysis statistics"
+    )
+    analyze.add_argument(
+        "--dot",
+        metavar="DIR",
+        default=None,
+        help="write Graphviz files (call graph + one CFG per procedure)",
+    )
+
+    compare = sub.add_parser("compare", help="compare all four jump functions")
+    compare.add_argument("file", help="MiniFortran source file")
+
+    run = sub.add_parser("run", help="execute a program with the interpreter")
+    run.add_argument("file", help="MiniFortran source file")
+    run.add_argument(
+        "--input",
+        type=int,
+        action="append",
+        default=[],
+        help="integer fed to READ statements (repeatable)",
+    )
+    run.add_argument(
+        "--fuel", type=int, default=10_000_000, help="instruction budget"
+    )
+
+    clone = sub.add_parser("clone", help="procedure cloning on conflicts")
+    clone.add_argument("file", help="MiniFortran source file")
+    clone.add_argument(
+        "--max-clones", type=int, default=4, help="clones per procedure cap"
+    )
+
+    integrate = sub.add_parser(
+        "integrate", help="procedure integration (Wegman-Zadeck comparator)"
+    )
+    integrate.add_argument("file", help="MiniFortran source file")
+    integrate.add_argument("--depth", type=int, default=6, help="inline rounds")
+
+    suite = sub.add_parser(
+        "suite", help="write the benchmark suite programs to a directory"
+    )
+    suite.add_argument(
+        "--out", default="suite_programs", help="output directory"
+    )
+
+    tables = sub.add_parser("tables", help="regenerate the paper's tables")
+    tables.add_argument(
+        "--table",
+        type=int,
+        choices=(1, 2, 3),
+        default=None,
+        help="which table (default: all)",
+    )
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> AnalysisConfig:
+    if args.intra_only:
+        return AnalysisConfig.intraprocedural_only()
+    return AnalysisConfig(
+        jump_function=_KIND_ALIASES[args.jump],
+        use_return_functions=not args.no_returns,
+        use_mod=not args.no_mod,
+        complete=args.complete,
+        gsa_refinement=args.gsa,
+    )
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    result = analyze_file(args.file, config)
+    print(f"configuration: {config.describe()}")
+    print(result.constants.format_report())
+    print(f"substituted constant references: {result.substituted_constants}")
+    for name in sorted(result.substitution.per_procedure):
+        count = result.substitution.per_procedure[name]
+        if count:
+            print(f"  {name}: {count}")
+    if args.transform:
+        print("\n--- transformed source ---")
+        print(result.transformed_source())
+    if args.dump_ir:
+        from repro.ir.printer import format_program
+
+        print("\n--- SSA IR ---")
+        print(format_program(result.program))
+    if args.stats:
+        from repro.ipcp.stats import collect_statistics
+
+        print("\n--- statistics ---")
+        print(collect_statistics(result).format())
+    if args.dot:
+        from repro.ir.dot import write_dot_files
+
+        paths = write_dot_files(
+            result.program, result.callgraph, args.dot, result.constants
+        )
+        print(f"[{len(paths)} Graphviz files written to {args.dot}]")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    header = f"{'jump function':>16} {'constants':>10} {'substituted refs':>17}"
+    print(header)
+    print("-" * len(header))
+    for kind in JumpFunctionKind:
+        result = analyze_file(args.file, AnalysisConfig(jump_function=kind))
+        print(
+            f"{kind.value:>16} {result.constants.total_pairs():>10} "
+            f"{result.substituted_constants:>17}"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.frontend.parser import parse_file
+    from repro.frontend.source import SourceFile
+    from repro.ir.interp import run_program
+    from repro.ir.lowering import lower_module
+
+    with open(args.file, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    program = lower_module(
+        parse_file(args.file), SourceFile(args.file, text)
+    )
+    trace = run_program(program, inputs=args.input, fuel=args.fuel)
+    for line in trace.output:
+        print(line)
+    print(f"[{trace.steps} instructions executed]")
+    return 0
+
+
+def _cmd_clone(args: argparse.Namespace) -> int:
+    from repro.frontend.parser import parse_file
+    from repro.frontend.source import SourceFile
+    from repro.ipcp.cloning import clone_for_constants
+    from repro.ir.lowering import lower_module
+
+    with open(args.file, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    program = lower_module(parse_file(args.file), SourceFile(args.file, text))
+    report = clone_for_constants(
+        program, max_clones_per_procedure=args.max_clones
+    )
+    print(f"substituted references before cloning: "
+          f"{report.base.substituted_constants}")
+    for original, clones in report.clones.items():
+        print(f"  cloned {original} -> {', '.join(clones)}")
+    print(f"substituted references after cloning:  "
+          f"{report.final.substituted_constants} "
+          f"(+{report.constants_gained})")
+    return 0
+
+
+def _cmd_integrate(args: argparse.Namespace) -> int:
+    from repro.frontend.parser import parse_file
+    from repro.frontend.source import SourceFile
+    from repro.ipcp.inlining import integrate_and_propagate
+    from repro.ir.lowering import lower_module
+
+    with open(args.file, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    baseline = analyze_file(args.file, AnalysisConfig())
+    program = lower_module(parse_file(args.file), SourceFile(args.file, text))
+    report = integrate_and_propagate(program, max_depth=args.depth)
+    print(f"jump-function framework:  {baseline.substituted_constants} "
+          f"substituted references")
+    print(f"procedure integration:    {report.substituted_references} "
+          f"substituted references")
+    print(f"  calls inlined: {report.inlined_calls}, remaining: "
+          f"{report.remaining_calls}, code growth: {report.code_growth:.1f}x")
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from repro.suite.programs import write_suite
+
+    paths = write_suite(args.out)
+    for path in paths:
+        print(path)
+    print(f"[{len(paths)} programs written to {args.out}]")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.suite.tables import format_table1, format_table2, format_table3
+
+    wanted = (args.table,) if args.table else (1, 2, 3)
+    formatters = {1: format_table1, 2: format_table2, 3: format_table3}
+    for number in wanted:
+        print(formatters[number]())
+        print()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "analyze": _cmd_analyze,
+        "compare": _cmd_compare,
+        "run": _cmd_run,
+        "clone": _cmd_clone,
+        "integrate": _cmd_integrate,
+        "suite": _cmd_suite,
+        "tables": _cmd_tables,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

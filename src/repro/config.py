@@ -1,0 +1,108 @@
+"""Analysis configuration: which jump functions to use and which
+supporting information to incorporate.
+
+One :class:`AnalysisConfig` value corresponds to one column of the
+study's Tables 2 and 3; the named constructors build the exact
+configurations those tables compare.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class JumpFunctionKind(enum.Enum):
+    """The four forward jump function implementations (§3.1), in
+    increasing order of construction complexity and power. Constants
+    found by one kind are a subset of those found by later kinds."""
+
+    LITERAL = "literal"
+    INTRAPROCEDURAL = "intraprocedural"
+    PASS_THROUGH = "pass_through"
+    POLYNOMIAL = "polynomial"
+
+    @property
+    def order(self) -> int:
+        return _KIND_ORDER[self]
+
+
+_KIND_ORDER = {
+    JumpFunctionKind.LITERAL: 0,
+    JumpFunctionKind.INTRAPROCEDURAL: 1,
+    JumpFunctionKind.PASS_THROUGH: 2,
+    JumpFunctionKind.POLYNOMIAL: 3,
+}
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Knobs for one interprocedural constant propagation run.
+
+    - ``jump_function``: forward jump function implementation;
+    - ``use_return_functions``: build and apply polynomial return jump
+      functions (§3.2);
+    - ``use_mod``: compute MOD summaries and use them to limit call-site
+      kills; when False every call is assumed to clobber every global
+      and every bindable actual (Table 3, column 1);
+    - ``complete``: iterate propagation with dead-code elimination until
+      no further dead code appears (Table 3, column 3);
+    - ``interprocedural``: when False, skip propagation entirely and
+      measure a purely intraprocedural run (Table 3, column 4);
+    - ``gcp_oracle``: how the ``gcp(y, s)`` constant oracle of §3.1 is
+      computed — ``"value_numbering"`` (the paper's implementation) or
+      ``"sccp"`` (branch-sensitive conditional propagation, which can
+      prove more call-site operands constant by pruning dead arms).
+    """
+
+    jump_function: JumpFunctionKind = JumpFunctionKind.POLYNOMIAL
+    use_return_functions: bool = True
+    use_mod: bool = True
+    complete: bool = False
+    interprocedural: bool = True
+    gcp_oracle: str = "value_numbering"
+    #: GSA-style refinement (§4.2's closing remark): after a first
+    #: propagation, regenerate jump functions with branch-sensitive
+    #: oracles seeded by CONSTANTS and exclude never-executed call
+    #: sites, then re-propagate — achieving complete-propagation
+    #: results without any dead-code elimination.
+    gsa_refinement: bool = False
+
+    # -- the named configurations of the paper's tables ----------------
+
+    @classmethod
+    def table2(cls, kind: JumpFunctionKind, returns: bool = True) -> "AnalysisConfig":
+        """A Table 2 column: forward kind x return-function toggle."""
+        return cls(jump_function=kind, use_return_functions=returns)
+
+    @classmethod
+    def polynomial_without_mod(cls) -> "AnalysisConfig":
+        return cls(use_mod=False)
+
+    @classmethod
+    def polynomial_with_mod(cls) -> "AnalysisConfig":
+        return cls()
+
+    @classmethod
+    def complete_propagation(cls) -> "AnalysisConfig":
+        return cls(complete=True)
+
+    @classmethod
+    def intraprocedural_only(cls) -> "AnalysisConfig":
+        return cls(interprocedural=False)
+
+    def with_kind(self, kind: JumpFunctionKind) -> "AnalysisConfig":
+        return replace(self, jump_function=kind)
+
+    def describe(self) -> str:
+        """Short human-readable description for reports."""
+        if not self.interprocedural:
+            return "intraprocedural propagation (with MOD)"
+        parts = [self.jump_function.value]
+        parts.append("ret" if self.use_return_functions else "noret")
+        parts.append("mod" if self.use_mod else "nomod")
+        if self.complete:
+            parts.append("complete")
+        if self.gsa_refinement:
+            parts.append("gsa")
+        return "+".join(parts)

@@ -1,0 +1,81 @@
+"""MiniFortran frontend: lexer, parser, and abstract syntax tree.
+
+MiniFortran is a FORTRAN-77 subset covering the constructs that matter to
+interprocedural constant propagation: program units (PROGRAM, SUBROUTINE,
+INTEGER FUNCTION), call-by-reference parameter passing, COMMON blocks,
+integer arithmetic, DO loops, block and logical IF, GOTO with labels, and
+READ (the source of unknowable values).
+
+The public entry points are :func:`parse_source` and :func:`parse_file`.
+"""
+
+from repro.frontend.ast import (
+    ArrayRef,
+    Assign,
+    BinaryOp,
+    CallStmt,
+    CommonDecl,
+    Compare,
+    DimensionDecl,
+    DoStmt,
+    FunctionCall,
+    GotoStmt,
+    IfStmt,
+    IntegerDecl,
+    IntLiteral,
+    LogicalOp,
+    Module,
+    ParameterDecl,
+    PrintStmt,
+    ProcedureKind,
+    ProcedureUnit,
+    ReadStmt,
+    ReturnStmt,
+    StopStmt,
+    UnaryOp,
+    VarRef,
+)
+from repro.frontend.errors import FrontendError, LexError, ParseError
+from repro.frontend.lexer import Lexer, tokenize
+from repro.frontend.parser import Parser, parse_file, parse_source
+from repro.frontend.source import SourceFile, SourceLocation
+from repro.frontend.tokens import Token, TokenKind
+
+__all__ = [
+    "ArrayRef",
+    "Assign",
+    "BinaryOp",
+    "CallStmt",
+    "CommonDecl",
+    "Compare",
+    "DimensionDecl",
+    "DoStmt",
+    "FrontendError",
+    "FunctionCall",
+    "GotoStmt",
+    "IfStmt",
+    "IntLiteral",
+    "IntegerDecl",
+    "LexError",
+    "Lexer",
+    "LogicalOp",
+    "Module",
+    "ParameterDecl",
+    "ParseError",
+    "Parser",
+    "PrintStmt",
+    "ProcedureKind",
+    "ProcedureUnit",
+    "ReadStmt",
+    "ReturnStmt",
+    "SourceFile",
+    "SourceLocation",
+    "StopStmt",
+    "Token",
+    "TokenKind",
+    "UnaryOp",
+    "VarRef",
+    "parse_file",
+    "parse_source",
+    "tokenize",
+]

@@ -1,0 +1,328 @@
+"""Abstract syntax tree for MiniFortran.
+
+The tree is deliberately small: one node class per construct, all plain
+dataclasses carrying a :class:`SourceLocation`. Lowering to the IR
+(:mod:`repro.ir.lowering`) consumes this tree; nothing else mutates it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.frontend.source import SourceLocation
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base class for expression nodes."""
+
+    location: SourceLocation
+
+
+@dataclass
+class IntLiteral(Expr):
+    """An integer literal such as ``42``."""
+
+    value: int
+
+
+@dataclass
+class VarRef(Expr):
+    """A reference to a scalar variable (or a whole array, as an actual
+    argument)."""
+
+    name: str
+
+
+@dataclass
+class ArrayRef(Expr):
+    """A subscripted array reference ``A(I, J)``."""
+
+    name: str
+    indices: List[Expr]
+
+
+@dataclass
+class FunctionCall(Expr):
+    """A call to an INTEGER FUNCTION appearing inside an expression."""
+
+    name: str
+    args: List[Expr]
+
+
+@dataclass
+class UnaryOp(Expr):
+    """Unary minus or ``.NOT.``; ``op`` is ``'-'`` or ``'not'``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class BinaryOp(Expr):
+    """Integer arithmetic; ``op`` is one of ``+ - * /``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Compare(Expr):
+    """A relational comparison; ``op`` is ``eq ne lt le gt ge``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class LogicalOp(Expr):
+    """``.AND.`` / ``.OR.``; ``op`` is ``'and'`` or ``'or'``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    """Base class for statement nodes; ``label`` is the numeric statement
+    label when one is present in the label field."""
+
+    location: SourceLocation
+    label: Optional[int] = None
+
+
+@dataclass
+class Assign(Stmt):
+    """``target = value`` where target is a VarRef or ArrayRef."""
+
+    target: Union[VarRef, ArrayRef] = None
+    value: Expr = None
+
+
+@dataclass
+class CallStmt(Stmt):
+    """``CALL name(args)``."""
+
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class IfStmt(Stmt):
+    """Block IF with optional ELSEIF arms and ELSE body.
+
+    A logical IF (``IF (cond) stmt``) parses to an IfStmt whose then-body
+    holds the single statement.
+    """
+
+    cond: Expr = None
+    then_body: List[Stmt] = field(default_factory=list)
+    elifs: List[Tuple[Expr, List[Stmt]]] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class DoStmt(Stmt):
+    """``DO var = start, stop [, step]`` ... ``ENDDO``.
+
+    ``step`` must be an integer-literal expression (possibly negated);
+    this restriction keeps the loop lowering direction-deterministic and
+    is checked during lowering.
+    """
+
+    var: str = ""
+    start: Expr = None
+    stop: Expr = None
+    step: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class DoWhileStmt(Stmt):
+    """``DO WHILE (cond)`` ... ``ENDDO``."""
+
+    cond: Expr = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class GotoStmt(Stmt):
+    """``GOTO label``."""
+
+    target: int = 0
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    """``CONTINUE`` — a no-op, typically a GOTO target."""
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    """``RETURN``."""
+
+
+@dataclass
+class StopStmt(Stmt):
+    """``STOP`` — terminate the program."""
+
+
+@dataclass
+class ReadStmt(Stmt):
+    """``READ *, targets`` — assigns run-time (unknowable) values."""
+
+    targets: List[Union[VarRef, ArrayRef]] = field(default_factory=list)
+
+
+@dataclass
+class PrintStmt(Stmt):
+    """``PRINT *, items`` (WRITE is accepted as a synonym); items are
+    expressions or string literals."""
+
+    items: List[Union[Expr, str]] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Decl:
+    """Base class for specification statements."""
+
+    location: SourceLocation
+
+
+@dataclass
+class DeclItem:
+    """One name in a declaration list, with optional array dimensions."""
+
+    name: str
+    dims: Optional[List[int]] = None
+
+    @property
+    def is_array(self) -> bool:
+        return self.dims is not None
+
+
+@dataclass
+class IntegerDecl(Decl):
+    """``INTEGER a, b(10), c`` — type (and possibly shape) declarations."""
+
+    items: List[DeclItem] = field(default_factory=list)
+
+
+@dataclass
+class DimensionDecl(Decl):
+    """``DIMENSION a(10)`` — shape declarations."""
+
+    items: List[DeclItem] = field(default_factory=list)
+
+
+@dataclass
+class CommonDecl(Decl):
+    """``COMMON /block/ a, b(5)`` — global storage declaration."""
+
+    block: str = ""
+    items: List[DeclItem] = field(default_factory=list)
+
+
+@dataclass
+class ParameterDecl(Decl):
+    """``PARAMETER (n = 10, m = n * 2)`` — named compile-time constants."""
+
+    bindings: List[Tuple[str, Expr]] = field(default_factory=list)
+
+
+@dataclass
+class DataDecl(Decl):
+    """``DATA a, b /1, 2/`` — static initial values. MiniFortran allows
+    DATA only inside BLOCK DATA units, initializing scalar COMMON
+    members (the FORTRAN idiom interprocedural constant propagation
+    cares about: compile-time-known global configuration)."""
+
+    bindings: List[Tuple[str, int]] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Program units
+# ---------------------------------------------------------------------------
+
+
+class ProcedureKind(enum.Enum):
+    """The three kinds of program unit."""
+
+    PROGRAM = "program"
+    SUBROUTINE = "subroutine"
+    FUNCTION = "function"
+    BLOCK_DATA = "block_data"
+
+
+@dataclass
+class ProcedureUnit:
+    """One program unit: PROGRAM, SUBROUTINE, or INTEGER FUNCTION."""
+
+    kind: ProcedureKind
+    name: str
+    params: List[str]
+    decls: List[Decl]
+    body: List[Stmt]
+    location: SourceLocation
+
+
+@dataclass
+class Module:
+    """A whole source file: a list of program units."""
+
+    units: List[ProcedureUnit]
+    filename: str = "<string>"
+
+    def unit(self, name: str) -> ProcedureUnit:
+        """Look up a unit by (case-insensitive) name."""
+        lowered = name.lower()
+        for unit in self.units:
+            if unit.name == lowered:
+                return unit
+        raise KeyError(name)
+
+
+def walk_statements(body: List[Stmt]):
+    """Yield every statement in ``body``, recursing into compound bodies."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, IfStmt):
+            yield from walk_statements(stmt.then_body)
+            for _, arm in stmt.elifs:
+                yield from walk_statements(arm)
+            yield from walk_statements(stmt.else_body)
+        elif isinstance(stmt, (DoStmt, DoWhileStmt)):
+            yield from walk_statements(stmt.body)
+
+
+def walk_expressions(expr: Expr):
+    """Yield ``expr`` and every sub-expression."""
+    yield expr
+    if isinstance(expr, (BinaryOp, Compare, LogicalOp)):
+        yield from walk_expressions(expr.left)
+        yield from walk_expressions(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from walk_expressions(expr.operand)
+    elif isinstance(expr, (FunctionCall, ArrayRef)):
+        children = expr.args if isinstance(expr, FunctionCall) else expr.indices
+        for child in children:
+            yield from walk_expressions(child)

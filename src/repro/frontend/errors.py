@@ -1,0 +1,37 @@
+"""Diagnostics raised by the MiniFortran frontend."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frontend.source import SourceLocation
+
+
+class FrontendError(Exception):
+    """Base class for all frontend diagnostics.
+
+    Carries an optional :class:`SourceLocation`; the message is rendered
+    with a ``file:line:col`` prefix when the location is known.
+    """
+
+    def __init__(self, message: str, location: Optional[SourceLocation] = None):
+        self.message = message
+        self.location = location
+        if location is not None:
+            super().__init__(f"{location}: {message}")
+        else:
+            super().__init__(message)
+
+
+class LexError(FrontendError):
+    """Raised when the lexer encounters text it cannot tokenize."""
+
+
+class ParseError(FrontendError):
+    """Raised when the parser encounters an unexpected token."""
+
+
+class SemanticError(FrontendError):
+    """Raised for ill-formed programs that lex and parse but cannot be
+    lowered (undeclared arrays used with subscripts, duplicate procedure
+    names, mismatched COMMON declarations, and similar)."""

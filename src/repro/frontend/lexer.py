@@ -1,0 +1,144 @@
+"""A line-oriented lexer for MiniFortran.
+
+MiniFortran keeps FORTRAN's statement-per-line structure but relaxes the
+fixed-column card format:
+
+- a line whose first column is ``C`` or ``*`` followed by whitespace (or
+  nothing), or whose first non-blank character is ``!``, is a comment;
+- ``!`` starts an inline comment anywhere outside a string;
+- an integer at the very start of a statement is a statement *label*;
+- statements end at end of line (a NEWLINE token); there are no
+  continuation cards.
+
+Identifiers and keywords are case-insensitive; identifier tokens carry
+their lower-cased spelling in ``value``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.frontend.errors import LexError
+from repro.frontend.source import SourceFile, SourceLocation
+from repro.frontend.tokens import DOTTED_OPERATORS, KEYWORDS, Token, TokenKind
+
+_SINGLE_CHAR_TOKENS = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ",": TokenKind.COMMA,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "=": TokenKind.EQUALS,
+}
+
+
+def _is_comment_line(line: str) -> bool:
+    """True for classic FORTRAN comment cards and ``!`` comment lines."""
+    stripped = line.strip()
+    if not stripped:
+        return True
+    if stripped.startswith("!"):
+        return True
+    first = line[:1].upper()
+    if first in ("C", "*") and (len(line) == 1 or line[1:2] in (" ", "\t")):
+        return True
+    return False
+
+
+class Lexer:
+    """Tokenizes one :class:`SourceFile` into a stream of tokens."""
+
+    def __init__(self, source: SourceFile):
+        self.source = source
+
+    def tokens(self) -> List[Token]:
+        """Tokenize the whole file, ending with a single EOF token."""
+        result: List[Token] = []
+        line_count = len(self.source.lines)
+        for line_number, line in enumerate(self.source.lines, start=1):
+            if _is_comment_line(line):
+                continue
+            line_tokens = list(self._lex_line(line, line_number))
+            if line_tokens:
+                result.extend(line_tokens)
+                result.append(
+                    Token(
+                        TokenKind.NEWLINE,
+                        "\n",
+                        self.source.location(line_number, len(line) + 1),
+                    )
+                )
+        result.append(
+            Token(TokenKind.EOF, "", self.source.location(line_count + 1, 1))
+        )
+        return result
+
+    def _lex_line(self, line: str, line_number: int) -> Iterator[Token]:
+        pos = 0
+        length = len(line)
+        at_statement_start = True
+        while pos < length:
+            char = line[pos]
+            if char in (" ", "\t"):
+                pos += 1
+                continue
+            if char == "!":
+                return  # inline comment: rest of line ignored
+            location = self.source.location(line_number, pos + 1)
+            if char.isdigit():
+                end = pos
+                while end < length and line[end].isdigit():
+                    end += 1
+                text = line[pos:end]
+                kind = TokenKind.LABEL if at_statement_start else TokenKind.INT_LITERAL
+                yield Token(kind, text, location, int(text))
+                pos = end
+                at_statement_start = False
+                continue
+            at_statement_start = False
+            if char == "." and self._looks_like_dotted_operator(line, pos):
+                end = line.index(".", pos + 1) + 1
+                spelled = line[pos:end].lower()
+                yield Token(DOTTED_OPERATORS[spelled], line[pos:end], location)
+                pos = end
+                continue
+            if char.isalpha() or char == "_":
+                end = pos
+                while end < length and (line[end].isalnum() or line[end] == "_"):
+                    end += 1
+                text = line[pos:end]
+                lowered = text.lower()
+                kind = KEYWORDS.get(lowered, TokenKind.IDENT)
+                yield Token(kind, text, location, lowered)
+                pos = end
+                continue
+            if char == "'":
+                end = line.find("'", pos + 1)
+                if end < 0:
+                    raise LexError("unterminated string literal", location)
+                yield Token(
+                    TokenKind.STRING, line[pos : end + 1], location, line[pos + 1 : end]
+                )
+                pos = end + 1
+                continue
+            if char in _SINGLE_CHAR_TOKENS:
+                yield Token(_SINGLE_CHAR_TOKENS[char], char, location)
+                pos += 1
+                continue
+            raise LexError(f"unexpected character {char!r}", location)
+
+    @staticmethod
+    def _looks_like_dotted_operator(line: str, pos: int) -> bool:
+        """True when the text at ``pos`` spells one of ``.EQ.`` etc."""
+        close = line.find(".", pos + 1)
+        if close < 0:
+            return False
+        spelled = line[pos : close + 1].lower()
+        return spelled in DOTTED_OPERATORS
+
+
+def tokenize(text: str, filename: str = "<string>") -> List[Token]:
+    """Convenience wrapper: tokenize ``text`` as file ``filename``."""
+    return Lexer(SourceFile(filename, text)).tokens()

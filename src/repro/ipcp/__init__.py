@@ -1,0 +1,54 @@
+"""Interprocedural constant propagation — the paper's core contribution.
+
+The pipeline (§4.1) has four stages, each a module here:
+
+1. :mod:`repro.ipcp.return_functions` — bottom-up generation of
+   polynomial return jump functions;
+2. :mod:`repro.ipcp.jump_functions` — top-down generation of forward
+   jump functions (literal / intraprocedural / pass-through /
+   polynomial);
+3. :mod:`repro.ipcp.solver` — iterative propagation of VAL sets around
+   the call graph on the Figure 1 lattice;
+4. :mod:`repro.ipcp.substitution` — recording: substitute discovered
+   constants and count substituted source references.
+
+:mod:`repro.ipcp.driver` wires the stages together behind one call;
+:mod:`repro.ipcp.complete` adds the propagate/DCE iteration, and
+:mod:`repro.ipcp.cloning` the procedure-cloning extension.
+"""
+
+from repro.ipcp.binding_graph import BindingMultiGraph, propagate_binding_graph
+from repro.ipcp.cloning import CloningReport, clone_for_constants
+from repro.ipcp.constants import ConstantsResult
+from repro.ipcp.driver import AnalysisResult, analyze_program, analyze_source
+from repro.ipcp.jump_functions import ForwardJumpFunction, JumpFunctionTable, build_forward_jump_functions
+from repro.ipcp.return_functions import ReturnFunctionMap, ReturnJumpFunction, build_return_functions
+from repro.ipcp.inlining import IntegrationReport, integrate_and_propagate
+from repro.ipcp.solver import PropagationResult, propagate
+from repro.ipcp.stats import AnalysisStatistics, collect_statistics
+from repro.ipcp.substitution import SubstitutionReport, measure_substitution
+
+__all__ = [
+    "AnalysisResult",
+    "AnalysisStatistics",
+    "BindingMultiGraph",
+    "CloningReport",
+    "IntegrationReport",
+    "ConstantsResult",
+    "ForwardJumpFunction",
+    "JumpFunctionTable",
+    "PropagationResult",
+    "ReturnFunctionMap",
+    "ReturnJumpFunction",
+    "SubstitutionReport",
+    "analyze_program",
+    "analyze_source",
+    "clone_for_constants",
+    "collect_statistics",
+    "integrate_and_propagate",
+    "propagate_binding_graph",
+    "build_forward_jump_functions",
+    "build_return_functions",
+    "measure_substitution",
+    "propagate",
+]

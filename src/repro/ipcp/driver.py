@@ -1,0 +1,201 @@
+"""End-to-end analysis driver.
+
+:func:`analyze_source` / :func:`analyze_program` run the full pipeline
+for one :class:`~repro.config.AnalysisConfig`:
+
+    parse -> lower -> call graph -> MOD/REF -> call-effect annotation
+    -> SSA -> return jump functions -> forward jump functions
+    -> interprocedural propagation -> substitution measurement
+
+Complete propagation (``config.complete``) extends the tail with
+substitute -> DCE -> re-propagate iterations
+(:mod:`repro.ipcp.complete`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.analysis.sccp import SCCPCallModel
+from repro.analysis.ssa import construct_ssa
+from repro.callgraph.callgraph import CallGraph, build_call_graph
+from repro.config import AnalysisConfig
+from repro.frontend.parser import parse_source
+from repro.frontend.source import SourceFile
+from repro.ipcp.constants import ConstantsResult, empty_constants
+from repro.ipcp.jump_functions import (
+    JumpFunctionTable,
+    build_forward_jump_functions,
+)
+from repro.ipcp.return_functions import (
+    ReturnFunctionCallModel,
+    ReturnFunctionMap,
+    build_return_functions,
+)
+from repro.ipcp.solver import PropagationResult, propagate
+from repro.ipcp.substitution import (
+    SubstitutionReport,
+    measure_substitution,
+    render_transformed_source,
+)
+from repro.ir.lowering import lower_module
+from repro.ir.module import Program
+from repro.summary.modref import ModRefInfo, annotate_call_effects, compute_modref
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analysis run produced."""
+
+    config: AnalysisConfig
+    program: Program
+    callgraph: CallGraph
+    modref: Optional[ModRefInfo]
+    return_functions: ReturnFunctionMap
+    jump_table: Optional[JumpFunctionTable]
+    propagation: Optional[PropagationResult]
+    constants: ConstantsResult
+    substitution: SubstitutionReport
+    dce_rounds: int = 0
+
+    @property
+    def substituted_constants(self) -> int:
+        """The headline number: source references substituted."""
+        return self.substitution.total
+
+    def transformed_source(self) -> str:
+        """The original program with constants textually substituted."""
+        if self.program.source is None:
+            raise ValueError("program was not built from source text")
+        return render_transformed_source(self.program.source, self.substitution)
+
+
+def prepare_program(
+    program: Program, config: AnalysisConfig
+) -> "tuple[CallGraph, Optional[ModRefInfo]]":
+    """Shared front half: call graph, MOD/REF, call-effect annotation,
+    SSA conversion. Mutates ``program`` (which must be freshly lowered
+    and not yet in SSA form)."""
+    callgraph = build_call_graph(program)
+    modref = compute_modref(program, callgraph) if config.use_mod else None
+    annotate_call_effects(program, callgraph, modref)
+    for procedure in program:
+        construct_ssa(procedure)
+    return callgraph, modref
+
+
+def analyze_prepared(
+    program: Program,
+    callgraph: CallGraph,
+    modref: Optional[ModRefInfo],
+    config: AnalysisConfig,
+) -> AnalysisResult:
+    """Back half of the pipeline, on an SSA-form annotated program.
+
+    Factored out so complete propagation can re-run it after dead-code
+    elimination without reconstructing SSA.
+    """
+    if config.use_return_functions:
+        return_map = build_return_functions(program, callgraph, modref)
+    else:
+        return_map = ReturnFunctionMap()
+
+    jump_table: Optional[JumpFunctionTable] = None
+    propagation: Optional[PropagationResult] = None
+    if config.interprocedural:
+        jump_table = build_forward_jump_functions(
+            program, callgraph, config.jump_function, return_map,
+            gcp_oracle=config.gcp_oracle,
+        )
+        propagation = propagate(program, callgraph, jump_table)
+        constants = propagation.constants
+        if config.gsa_refinement:
+            jump_table, propagation = _refine_gsa_style(
+                program, callgraph, config, return_map, constants
+            )
+            constants = propagation.constants
+    else:
+        constants = empty_constants(program)
+
+    if config.use_return_functions:
+        call_model: SCCPCallModel = ReturnFunctionCallModel(program, return_map)
+    else:
+        call_model = SCCPCallModel()
+    substitution = measure_substitution(program, constants, call_model)
+
+    return AnalysisResult(
+        config=config,
+        program=program,
+        callgraph=callgraph,
+        modref=modref,
+        return_functions=return_map,
+        jump_table=jump_table,
+        propagation=propagation,
+        constants=constants,
+        substitution=substitution,
+    )
+
+
+#: Bound on GSA-style refinement rounds (the paper's suite converged
+#: after one extra round of complete propagation; ours does too).
+_GSA_MAX_ROUNDS = 4
+
+
+def _refine_gsa_style(program, callgraph, config, return_map, constants):
+    """§4.2's remark realized: regenerate jump functions with a
+    branch-sensitive oracle seeded by the previous round's CONSTANTS,
+    dropping never-executed call sites, until the result stabilizes.
+    Every VAL cell restarts at ⊤ each round ("reset to T"), so this is
+    complete propagation without dead-code elimination."""
+    from repro.ipcp.jump_functions import build_refined_jump_functions
+
+    jump_table = None
+    propagation = None
+    previous_pairs = constants.total_pairs()
+    for _round in range(_GSA_MAX_ROUNDS):
+        jump_table, excluded = build_refined_jump_functions(
+            program, callgraph, config.jump_function, return_map, constants
+        )
+        propagation = propagate(
+            program, callgraph, jump_table, excluded_calls=excluded
+        )
+        constants = propagation.constants
+        if constants.total_pairs() == previous_pairs:
+            break
+        previous_pairs = constants.total_pairs()
+    return jump_table, propagation
+
+
+def analyze_program(program: Program, config: Optional[AnalysisConfig] = None) -> AnalysisResult:
+    """Analyze a freshly lowered (non-SSA) program under ``config``.
+
+    The program is mutated (annotated, converted to SSA, and — under
+    complete propagation — transformed); re-lower from source to analyze
+    the same program under another configuration.
+    """
+    config = config or AnalysisConfig()
+    callgraph, modref = prepare_program(program, config)
+    if config.complete:
+        # Imported here: complete.py uses analyze_prepared from this module.
+        from repro.ipcp.complete import run_complete_propagation
+
+        return run_complete_propagation(program, callgraph, modref, config)
+    return analyze_prepared(program, callgraph, modref, config)
+
+
+def analyze_source(
+    text: str,
+    config: Optional[AnalysisConfig] = None,
+    filename: str = "<string>",
+) -> AnalysisResult:
+    """Parse, lower, and analyze MiniFortran source text."""
+    module = parse_source(text, filename)
+    program = lower_module(module, SourceFile(filename, text))
+    return analyze_program(program, config)
+
+
+def analyze_file(path: str, config: Optional[AnalysisConfig] = None) -> AnalysisResult:
+    """Analyze the MiniFortran program stored at ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return analyze_source(handle.read(), config, filename=path)

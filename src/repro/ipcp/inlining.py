@@ -1,0 +1,209 @@
+"""Procedure integration + intraprocedural propagation — the
+Wegman–Zadeck approach the paper contrasts against (§5).
+
+"Wegman and Zadeck propose combining procedure integration with
+intraprocedural constant propagation to detect interprocedural
+constants. Because procedure integration makes paths through the
+program's call graph explicit, the interprocedural information computed
+along a particular path may be improved. ... Because [the jump-function]
+technique does not make paths through the call graph explicit, it
+potentially detects fewer constants than the method proposed by Wegman
+and Zadeck." The paper adds: "Data is not yet available to indicate
+whether or not the proposed algorithm would perform efficiently in
+practice."
+
+This module supplies that data point for our suite: it inlines call
+sites into the main program (bounded depth; recursive cycles are left as
+calls), runs SCCP over the integrated body, and counts substitutable
+references — per-path precision traded against code growth.
+
+Inlining substance:
+
+- a scalar variable actual aliases the callee's reference formal, so the
+  formal is *renamed to* the caller variable (exact call-by-reference);
+- expression actuals initialize a fresh local; writebacks through them
+  are lost (consistent with lowering and the interpreter);
+- array actuals rename the callee's array formal;
+- globals are shared objects already — nothing to do;
+- the callee body is deep-copied (fresh locals/temps/blocks), its
+  RETURNs become jumps to the continuation block, and a function result
+  assigns the call's result temp.
+
+Inlining happens on the *pre-SSA* IR (fresh from lowering); the
+integrated program is then analyzed intraprocedurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.sccp import run_sccp
+from repro.analysis.ssa import construct_ssa
+from repro.callgraph.callgraph import build_call_graph
+from repro.ir.clone import clone_procedure
+from repro.ir.instructions import Assign, Call, Const, Def, Jump, Return, Use
+from repro.ir.module import Procedure, Program
+from repro.ir.symbols import Variable
+
+
+@dataclass
+class IntegrationReport:
+    """Outcome of integrate-then-propagate."""
+
+    program: Program
+    inlined_calls: int
+    remaining_calls: int
+    instructions_before: int
+    instructions_after: int
+    substituted_references: int = 0
+
+    @property
+    def code_growth(self) -> float:
+        if not self.instructions_before:
+            return 1.0
+        return self.instructions_after / self.instructions_before
+
+
+def _instruction_count(program: Program) -> int:
+    return sum(len(list(p.cfg.instructions())) for p in program)
+
+
+def inline_call(caller: Procedure, call: Call, callee: Procedure) -> None:
+    """Splice a copy of ``callee`` into ``caller`` at ``call``.
+
+    The call instruction is removed; control flows through the copied
+    body and resumes at the instructions that followed the call.
+    """
+    clone, var_map = clone_procedure(callee, f"{callee.name}@inline")
+
+    # Formal binding: rename the clone's formal to the actual variable
+    # (reference semantics) or initialize a fresh local from the value.
+    init_instructions: List[Assign] = []
+    rename: Dict[Variable, Variable] = {}
+    for formal, arg in zip(callee.formals, call.args):
+        clone_formal = var_map[formal]
+        if arg.is_array:
+            rename[clone_formal] = arg.array
+        elif isinstance(arg.value, Use) and not arg.value.var.is_temp:
+            rename[clone_formal] = arg.value.var
+        else:
+            value = arg.value if arg.value is not None else Const(0)
+            init_instructions.append(Assign(Def(clone_formal), value, call.location))
+
+    if rename:
+        _rename_variables(clone, rename)
+
+    # Split the containing block at the call.
+    block = _block_containing(caller, call)
+    index = block.instructions.index(call)
+    continuation = caller.cfg.new_block(f"{block.name}.cont")
+    continuation.instructions = block.instructions[index + 1 :]
+    block.instructions = block.instructions[:index]
+    block.instructions.extend(init_instructions)
+    block.append(Jump(clone.cfg.entry, call.location))
+
+    # Rewire the clone's returns to the continuation.
+    for clone_block in clone.cfg.blocks:
+        terminator = clone_block.terminator
+        if isinstance(terminator, Return):
+            replacement: List = []
+            if call.result is not None and terminator.value is not None:
+                replacement.append(
+                    Assign(call.result, terminator.value, terminator.location)
+                )
+            replacement.append(Jump(continuation, terminator.location))
+            clone_block.instructions = (
+                clone_block.instructions[:-1] + replacement
+            )
+
+    caller.cfg.blocks.extend(clone.cfg.blocks)
+    # Adopt the clone's symbols so later passes can see them.
+    for variable in clone.symbols.variables():
+        if caller.symbols.lookup(variable.name) is None:
+            caller.symbols.declare(variable)
+
+
+def _block_containing(procedure: Procedure, call: Call):
+    for block in procedure.cfg.blocks:
+        if call in block.instructions:
+            return block
+    raise ValueError("call instruction not found in procedure")
+
+
+def _rename_variables(procedure: Procedure, rename: Dict[Variable, Variable]) -> None:
+    for instruction in procedure.cfg.instructions():
+        for use in instruction.uses():
+            if use.var in rename:
+                use.var = rename[use.var]
+        for definition in instruction.defs():
+            if definition.var in rename:
+                definition.var = rename[definition.var]
+        if isinstance(instruction, Call):
+            for arg in instruction.args:
+                if arg.array is not None and arg.array in rename:
+                    arg.array = rename[arg.array]
+        array = getattr(instruction, "array", None)
+        if array is not None and array in rename:
+            instruction.array = rename[array]
+
+
+def integrate_program(program: Program, max_depth: int = 6,
+                      max_instructions: int = 200_000) -> IntegrationReport:
+    """Inline call sites into MAIN, innermost-first, up to ``max_depth``
+    rounds. Calls into recursive SCCs (and calls left when the budget
+    runs out) remain as calls. Mutates ``program`` (which must be fresh
+    from lowering, pre-SSA)."""
+    before = _instruction_count(program)
+    callgraph = build_call_graph(program)
+    recursive = {p.name for p in callgraph.recursive_procedures()}
+    inlined = 0
+
+    for _round in range(max_depth):
+        progress = False
+        for procedure in list(program):
+            if not procedure.is_main:
+                continue  # integrate into MAIN only
+            for call in list(procedure.call_sites()):
+                callee = program.procedure(call.callee)
+                if callee.name in recursive:
+                    continue
+                if _instruction_count(program) > max_instructions:
+                    break
+                inline_call(procedure, call, callee)
+                inlined += 1
+                progress = True
+        if not progress:
+            break
+
+    program.main.cfg.remove_unreachable()
+    remaining = sum(len(p.call_sites()) for p in program if p.is_main)
+    return IntegrationReport(
+        program=program,
+        inlined_calls=inlined,
+        remaining_calls=remaining,
+        instructions_before=before,
+        instructions_after=_instruction_count(program),
+    )
+
+
+def integrate_and_propagate(program: Program, max_depth: int = 6) -> IntegrationReport:
+    """The full Wegman–Zadeck-style pipeline: integrate, then run
+    intraprocedural SCCP over MAIN and count substitutable references.
+
+    Remaining calls (recursive or budget-capped) are treated with
+    worst-case assumptions — annotate-and-SSA happens after integration.
+    """
+    from repro.config import AnalysisConfig
+    from repro.ipcp.driver import prepare_program
+
+    report = integrate_program(program, max_depth)
+    prepare_program(program, AnalysisConfig())
+    total = 0
+    for procedure in program:
+        if not procedure.is_main:
+            continue
+        result = run_sccp(procedure)
+        total += len(result.constant_source_references())
+    report.substituted_references = total
+    return report

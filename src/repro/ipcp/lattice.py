@@ -1,0 +1,10 @@
+"""Re-export of the constant-propagation lattice (Figure 1).
+
+The implementation lives in :mod:`repro.lattice` so that intraprocedural
+analyses can use it without importing the IPCP package; this module
+provides the path the design document names.
+"""
+
+from repro.lattice import BOTTOM, TOP, LatticeValue, const, depth_to_bottom, meet_all
+
+__all__ = ["BOTTOM", "TOP", "LatticeValue", "const", "depth_to_bottom", "meet_all"]

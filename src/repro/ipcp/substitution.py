@@ -1,0 +1,142 @@
+"""Recording the results: constant substitution and the effectiveness
+metric (§4.1 "Recording the results").
+
+After propagation, each procedure is re-analyzed by SCCP with its entry
+values seeded from ``CONSTANTS(p)``; every *source-level reference* to a
+scalar variable whose value is proven constant is a substitution site.
+The per-program count of such references is the number the study's
+Tables 2 and 3 report — the Metzger–Stroud measure, which "relates more
+directly to code improvement [and] factors out procedure length and
+modularity" (known-but-unreferenced constants do not count).
+
+The module also implements the optional transformed-source output: "the
+analyzer can produce a transformed version of the original source in
+which the interprocedural constants are textually substituted into the
+code".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.sccp import (
+    SCCPCallModel,
+    SCCPResult,
+    modified_actual_uses,
+    run_sccp,
+)
+from repro.frontend.source import SourceFile
+from repro.ipcp.constants import ConstantsResult
+from repro.ir.instructions import Const, Phi, Use
+from repro.ir.module import Procedure, Program
+
+
+@dataclass
+class SubstitutionSite:
+    """One source reference replaced by a constant."""
+
+    procedure_name: str
+    use: Use
+    value: int
+
+    @property
+    def location(self):
+        return self.use.location
+
+
+@dataclass
+class SubstitutionReport:
+    """Substitution counts for one analysis configuration."""
+
+    per_procedure: Dict[str, int] = field(default_factory=dict)
+    sites: List[SubstitutionSite] = field(default_factory=list)
+    sccp_results: Dict[str, SCCPResult] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        """The Table 2 / Table 3 cell: constants substituted into the
+        program."""
+        return sum(self.per_procedure.values())
+
+    def count_for(self, procedure_name: str) -> int:
+        return self.per_procedure.get(procedure_name, 0)
+
+
+def measure_substitution(
+    program: Program,
+    constants: ConstantsResult,
+    call_model: Optional[SCCPCallModel] = None,
+) -> SubstitutionReport:
+    """Run the substitution SCCP per procedure and count constant
+    source references. Non-mutating."""
+    report = SubstitutionReport()
+    call_model = call_model or SCCPCallModel()
+    for procedure in program:
+        entry = constants.entry_lattice(procedure)
+        result = run_sccp(procedure, entry, call_model)
+        report.sccp_results[procedure.name] = result
+        uses = result.constant_source_references()
+        report.per_procedure[procedure.name] = len(uses)
+        for use in uses:
+            value = result.operand_value(use)
+            report.sites.append(
+                SubstitutionSite(procedure.name, use, value.value)
+            )
+    return report
+
+
+def apply_substitution(program: Program, report: SubstitutionReport) -> int:
+    """Rewrite every constant-valued operand (source-level or temporary)
+    to a literal Const, in executable code. Mutates the IR; returns the
+    number of operands rewritten. Used by complete propagation so that
+    dead-code elimination can see the folded branches and unused
+    definitions."""
+    rewritten = 0
+    for procedure in program:
+        result = report.sccp_results.get(procedure.name)
+        if result is None:
+            continue
+        for block in procedure.cfg.blocks:
+            if block not in result.executable_blocks:
+                continue
+            for instruction in block.instructions:
+                if isinstance(instruction, Phi):
+                    continue
+                skip = modified_actual_uses(instruction)
+                for use in list(instruction.uses()):
+                    if use in skip:
+                        # A by-reference actual the callee may write:
+                        # replacing it with a literal would sever the
+                        # writeback.
+                        continue
+                    value = result.operand_value(use)
+                    if value.is_constant:
+                        instruction.replace_operand(use, Const(value.value))
+                        rewritten += 1
+    return rewritten
+
+
+def render_transformed_source(source: SourceFile, report: SubstitutionReport) -> str:
+    """Textually substitute the discovered constants into the original
+    source, returning the transformed program text."""
+    lines = source.lines
+    # Replace right-to-left within each line so columns stay valid.
+    per_line: Dict[int, List[Tuple[int, str, int]]] = {}
+    for site in report.sites:
+        location = site.location
+        if location.filename != source.name or location.line <= 0:
+            continue
+        per_line.setdefault(location.line, []).append(
+            (location.column, site.use.var.name, site.value)
+        )
+    for line_number, replacements in per_line.items():
+        text = lines[line_number - 1]
+        for column, name, value in sorted(replacements, reverse=True):
+            start = column - 1
+            end = start + len(name)
+            if text[start:end].lower() != name:
+                continue  # stale location (source drifted); skip safely
+            text = text[:start] + str(value) + text[end:]
+        lines[line_number - 1] = text
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,153 @@
+"""Basic blocks and control-flow graphs."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.ir.instructions import CondBranch, Instruction, Jump, Phi
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions ending in a terminator.
+
+    Phi nodes, when present, sit at the front of ``instructions``.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, name: Optional[str] = None):
+        self.uid = next(BasicBlock._ids)
+        self.name = name or f"B{self.uid}"
+        self.instructions: List[Instruction] = []
+
+    def append(self, instruction: Instruction) -> Instruction:
+        self.instructions.append(instruction)
+        return instruction
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    def successors(self) -> List["BasicBlock"]:
+        term = self.terminator
+        if isinstance(term, Jump):
+            return [term.target]
+        if isinstance(term, CondBranch):
+            if term.if_true is term.if_false:
+                return [term.if_true]
+            return [term.if_true, term.if_false]
+        return []
+
+    def phis(self) -> List[Phi]:
+        result = []
+        for instruction in self.instructions:
+            if isinstance(instruction, Phi):
+                result.append(instruction)
+            else:
+                break
+        return result
+
+    def non_phi_instructions(self) -> List[Instruction]:
+        return [i for i in self.instructions if not isinstance(i, Phi)]
+
+    def insert_phi(self, phi: Phi) -> None:
+        self.instructions.insert(0, phi)
+
+    def __repr__(self) -> str:
+        return f"BasicBlock({self.name})"
+
+    def __hash__(self) -> int:
+        return self.uid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+class ControlFlowGraph:
+    """The CFG of one procedure: an entry block plus a block list.
+
+    Predecessor sets are recomputed on demand (:meth:`predecessors`);
+    passes that restructure the graph call :meth:`remove_unreachable` to
+    drop dead blocks and fix phi inputs.
+    """
+
+    def __init__(self, entry: BasicBlock):
+        self.entry = entry
+        self.blocks: List[BasicBlock] = [entry]
+
+    def new_block(self, name: Optional[str] = None) -> BasicBlock:
+        block = BasicBlock(name)
+        self.blocks.append(block)
+        return block
+
+    def predecessors(self) -> Dict[BasicBlock, List[BasicBlock]]:
+        """Map from block to its predecessor list (in block order)."""
+        preds: Dict[BasicBlock, List[BasicBlock]] = {b: [] for b in self.blocks}
+        for block in self.blocks:
+            for succ in block.successors():
+                preds[succ].append(block)
+        return preds
+
+    def reverse_postorder(self) -> List[BasicBlock]:
+        """Blocks in reverse postorder from the entry (reachable only)."""
+        visited: Set[BasicBlock] = set()
+        order: List[BasicBlock] = []
+
+        def visit(block: BasicBlock) -> None:
+            stack = [(block, iter(block.successors()))]
+            visited.add(block)
+            while stack:
+                current, successors = stack[-1]
+                advanced = False
+                for succ in successors:
+                    if succ not in visited:
+                        visited.add(succ)
+                        stack.append((succ, iter(succ.successors())))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(current)
+                    stack.pop()
+
+        visit(self.entry)
+        order.reverse()
+        return order
+
+    def reachable_blocks(self) -> Set[BasicBlock]:
+        return set(self.reverse_postorder())
+
+    def remove_unreachable(self) -> List[BasicBlock]:
+        """Delete unreachable blocks; prune their phi contributions.
+
+        Returns the removed blocks.
+        """
+        reachable = self.reachable_blocks()
+        removed = [b for b in self.blocks if b not in reachable]
+        if not removed:
+            return []
+        removed_set = set(removed)
+        self.blocks = [b for b in self.blocks if b in reachable]
+        for block in self.blocks:
+            for phi in block.phis():
+                for dead in list(phi.incoming):
+                    if dead in removed_set:
+                        del phi.incoming[dead]
+        return removed
+
+    def instructions(self) -> Iterator[Instruction]:
+        """All instructions in block order."""
+        for block in self.blocks:
+            yield from block.instructions
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks)
+
+    def __len__(self) -> int:
+        return len(self.blocks)

@@ -1,0 +1,202 @@
+"""Deep-copying procedures — the substrate for procedure cloning.
+
+Cloning duplicates a procedure's CFG, instructions, and local symbol
+objects under a new name. Globals (COMMON members) are shared with the
+original — they name the same storage — while formals, locals,
+temporaries, and the function-result variable are replaced by fresh
+:class:`Variable` objects. SSA versions are preserved verbatim, so a
+procedure in SSA form clones to a valid SSA procedure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.ir.cfg import BasicBlock, ControlFlowGraph
+from repro.ir.instructions import (
+    ArrayLoad,
+    ArrayStore,
+    Assign,
+    BinOp,
+    Call,
+    CallArg,
+    CondBranch,
+    Const,
+    Def,
+    Halt,
+    Instruction,
+    Jump,
+    Operand,
+    Phi,
+    Print,
+    Read,
+    Return,
+    UnOp,
+    Use,
+)
+from repro.ir.module import Procedure
+from repro.ir.symbols import SymbolTable, Variable, VarKind
+
+
+class _Cloner:
+    def __init__(self, procedure: Procedure, new_name: str):
+        self.procedure = procedure
+        self.new_name = new_name
+        self.var_map: Dict[Variable, Variable] = {}
+        self.block_map: Dict[BasicBlock, BasicBlock] = {}
+        self.symbols = SymbolTable(new_name)
+
+    def map_var(self, var: Variable) -> Variable:
+        if var.is_global:
+            return var  # shared storage
+        mapped = self.var_map.get(var)
+        if mapped is None:
+            mapped = Variable(
+                var.name, var.kind, is_array=var.is_array, dims=var.dims
+            )
+            self.var_map[var] = mapped
+        return mapped
+
+    def map_operand(self, operand: Optional[Operand]) -> Optional[Operand]:
+        if operand is None or isinstance(operand, Const):
+            return operand
+        use = Use(self.map_var(operand.var), operand.location, operand.from_source)
+        use.version = operand.version
+        return use
+
+    def map_def(self, definition: Optional[Def]) -> Optional[Def]:
+        if definition is None:
+            return None
+        new_def = Def(self.map_var(definition.var))
+        new_def.version = definition.version
+        return new_def
+
+    def map_block(self, block: BasicBlock) -> BasicBlock:
+        mapped = self.block_map.get(block)
+        if mapped is None:
+            mapped = BasicBlock(block.name)
+            self.block_map[block] = mapped
+        return mapped
+
+    def clone_instruction(self, instruction: Instruction) -> Instruction:
+        loc = instruction.location
+        if isinstance(instruction, Assign):
+            return Assign(
+                self.map_def(instruction.target),
+                self.map_operand(instruction.source),
+                loc,
+            )
+        if isinstance(instruction, BinOp):
+            return BinOp(
+                self.map_def(instruction.target),
+                instruction.op,
+                self.map_operand(instruction.left),
+                self.map_operand(instruction.right),
+                loc,
+            )
+        if isinstance(instruction, UnOp):
+            return UnOp(
+                self.map_def(instruction.target),
+                instruction.op,
+                self.map_operand(instruction.operand),
+                loc,
+            )
+        if isinstance(instruction, ArrayLoad):
+            return ArrayLoad(
+                self.map_def(instruction.target),
+                self.map_var(instruction.array),
+                [self.map_operand(i) for i in instruction.indices],
+                loc,
+            )
+        if isinstance(instruction, ArrayStore):
+            return ArrayStore(
+                self.map_var(instruction.array),
+                [self.map_operand(i) for i in instruction.indices],
+                self.map_operand(instruction.value),
+                loc,
+            )
+        if isinstance(instruction, Call):
+            args = []
+            for arg in instruction.args:
+                if arg.is_array:
+                    args.append(
+                        CallArg(array=self.map_var(arg.array), location=arg.location)
+                    )
+                else:
+                    args.append(
+                        CallArg(value=self.map_operand(arg.value), location=arg.location)
+                    )
+            call = Call(instruction.callee, args, self.map_def(instruction.result), loc)
+            call.may_define = [self.map_def(d) for d in instruction.may_define]
+            call.entry_uses = [self.map_operand(u) for u in instruction.entry_uses]
+            return call
+        if isinstance(instruction, Read):
+            return Read([self.map_def(t) for t in instruction.targets], loc)
+        if isinstance(instruction, Print):
+            items = [
+                item if isinstance(item, str) else self.map_operand(item)
+                for item in instruction.items
+            ]
+            return Print(items, loc)
+        if isinstance(instruction, Jump):
+            return Jump(self.map_block(instruction.target), loc)
+        if isinstance(instruction, CondBranch):
+            return CondBranch(
+                self.map_operand(instruction.cond),
+                self.map_block(instruction.if_true),
+                self.map_block(instruction.if_false),
+                loc,
+            )
+        if isinstance(instruction, Return):
+            ret = Return(self.map_operand(instruction.value), loc)
+            ret.exit_uses = [self.map_operand(u) for u in instruction.exit_uses]
+            return ret
+        if isinstance(instruction, Halt):
+            return Halt(loc)
+        if isinstance(instruction, Phi):
+            incoming = {
+                self.map_block(pred): self.map_operand(op)
+                for pred, op in instruction.incoming.items()
+            }
+            return Phi(self.map_def(instruction.target), incoming, loc)
+        raise TypeError(f"cannot clone {type(instruction).__name__}")
+
+    def clone(self) -> Tuple[Procedure, Dict[Variable, Variable]]:
+        old_cfg = self.procedure.cfg
+        entry = self.map_block(old_cfg.entry)
+        cfg = ControlFlowGraph(entry)
+        for block in old_cfg.blocks:
+            new_block = self.map_block(block)
+            if new_block is not entry and new_block not in cfg.blocks:
+                cfg.blocks.append(new_block)
+            for instruction in block.instructions:
+                new_block.append(self.clone_instruction(instruction))
+        formals = [self.map_var(f) for f in self.procedure.formals]
+        result_var = (
+            self.map_var(self.procedure.result_var)
+            if self.procedure.result_var is not None
+            else None
+        )
+        for variable in self.procedure.symbols.variables():
+            self.symbols.declare(self.map_var(variable))
+        clone = Procedure(
+            self.new_name,
+            self.procedure.kind,
+            formals,
+            cfg,
+            self.symbols,
+            result_var,
+        )
+        clone.visible_globals = list(self.procedure.visible_globals)
+        return clone, dict(self.var_map)
+
+
+def clone_procedure(
+    procedure: Procedure, new_name: str
+) -> Tuple[Procedure, Dict[Variable, Variable]]:
+    """Clone ``procedure`` under ``new_name``.
+
+    Returns the clone and the old-variable -> new-variable mapping
+    (globals map to themselves and are omitted).
+    """
+    return _Cloner(procedure, new_name).clone()

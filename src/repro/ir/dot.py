@@ -1,0 +1,102 @@
+"""Graphviz DOT rendering of CFGs and call graphs.
+
+Debugging/teaching aids: ``cfg_to_dot`` draws one procedure's control
+flow (instructions per block, branch edges labeled T/F), and
+``call_graph_to_dot`` draws the program's call graph with one edge per
+call site. The CLI exposes them via ``analyze --dot DIR``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.callgraph.callgraph import CallGraph
+from repro.ir.cfg import ControlFlowGraph
+from repro.ir.instructions import CondBranch
+from repro.ir.module import Procedure, Program
+from repro.ir.printer import format_instruction
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\l")
+    )
+
+
+def cfg_to_dot(procedure: Procedure, max_instructions: int = 12) -> str:
+    """Render one procedure's CFG as a DOT digraph."""
+    lines: List[str] = [
+        f'digraph "{procedure.name}" {{',
+        '  node [shape=box, fontname="monospace", fontsize=9];',
+        f'  label="{procedure.kind.value} {procedure.name}";',
+    ]
+    for block in procedure.cfg.blocks:
+        rendered = [format_instruction(i) for i in block.instructions]
+        if len(rendered) > max_instructions:
+            extra = len(rendered) - max_instructions
+            rendered = rendered[:max_instructions] + [f"... (+{extra} more)"]
+        body = _escape("\n".join([f"{block.name}:"] + rendered) + "\n")
+        lines.append(f'  "{block.name}" [label="{body}"];')
+    for block in procedure.cfg.blocks:
+        terminator = block.terminator
+        if isinstance(terminator, CondBranch):
+            lines.append(
+                f'  "{block.name}" -> "{terminator.if_true.name}" [label="T"];'
+            )
+            if terminator.if_false is not terminator.if_true:
+                lines.append(
+                    f'  "{block.name}" -> "{terminator.if_false.name}" '
+                    '[label="F"];'
+                )
+        else:
+            for successor in block.successors():
+                lines.append(f'  "{block.name}" -> "{successor.name}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def call_graph_to_dot(callgraph: CallGraph,
+                      constants=None) -> str:
+    """Render the call graph; when a ConstantsResult is supplied, each
+    node is annotated with its discovered constants."""
+    lines: List[str] = [
+        "digraph callgraph {",
+        '  node [shape=ellipse, fontname="monospace", fontsize=10];',
+    ]
+    for procedure in callgraph.program:
+        label = procedure.name
+        if constants is not None:
+            pairs = constants.constants_of(procedure.name)
+            if pairs:
+                rendered = ", ".join(
+                    f"{var.name}={value}"
+                    for var, value in sorted(
+                        pairs.items(), key=lambda item: item[0].name
+                    )
+                )
+                label = f"{procedure.name}\\n{{{rendered}}}"
+        shape = ', shape=doubleoctagon' if procedure.is_main else ""
+        lines.append(f'  "{procedure.name}" [label="{label}"{shape}];')
+    for site in callgraph.sites:
+        lines.append(f'  "{site.caller.name}" -> "{site.callee.name}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_dot_files(program: Program, callgraph: CallGraph, directory: str,
+                    constants=None) -> List[str]:
+    """Write callgraph.dot plus one cfg_<proc>.dot per procedure."""
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    paths: List[str] = []
+    path = os.path.join(directory, "callgraph.dot")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(call_graph_to_dot(callgraph, constants))
+    paths.append(path)
+    for procedure in program:
+        path = os.path.join(directory, f"cfg_{procedure.name}.dot")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(cfg_to_dot(procedure))
+        paths.append(path)
+    return paths

@@ -1,0 +1,306 @@
+"""A reference interpreter for lowered (non-SSA) programs.
+
+The interpreter serves two purposes:
+
+1. **Soundness oracle** — run a program, record the values of every
+   formal and global at each procedure entry, and check that every pair
+   the analyzer put in ``CONSTANTS(p)`` actually held on every invocation
+   (the property-based test suite's strongest invariant);
+2. **Runnable examples** — the example scripts execute the programs they
+   analyze.
+
+Semantics pinned down here match lowering's assumptions: call-by-
+reference for scalar variable actuals (writebacks propagate), shared
+COMMON storage, FORTRAN integer division (truncation toward zero),
+uninitialized variables read as an arbitrary-but-fixed value (0), READ
+pulling from a supplied input stream (0 once exhausted).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.expr import fold_operator
+from repro.ir.cfg import BasicBlock
+from repro.ir.instructions import (
+    ArrayLoad,
+    ArrayStore,
+    Assign,
+    BinOp,
+    Call,
+    CondBranch,
+    Const,
+    Halt,
+    Jump,
+    Operand,
+    Phi,
+    Print,
+    Read,
+    Return,
+    UnOp,
+    Use,
+)
+from repro.ir.module import Procedure, Program
+from repro.ir.symbols import Variable
+
+
+class InterpreterError(Exception):
+    """Raised for runtime errors (division by zero, step overrun)."""
+
+
+class _Halt(Exception):
+    """Internal: unwinds the call stack on STOP."""
+
+
+@dataclass
+class Trace:
+    """Observations from one execution."""
+
+    #: procedure name -> list of {entry variable: value} per invocation.
+    entries: Dict[str, List[Dict[Variable, int]]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+    #: Lines produced by PRINT statements.
+    output: List[str] = field(default_factory=list)
+    #: Total instructions executed (fuel consumed).
+    steps: int = 0
+
+    def invocations(self, procedure_name: str) -> int:
+        return len(self.entries.get(procedure_name, ()))
+
+    def constant_violations(
+        self, procedure_name: str, claimed: Dict[Variable, int]
+    ) -> List[str]:
+        """Check claimed CONSTANTS(p) pairs against every recorded
+        invocation; returns human-readable violations (empty = sound)."""
+        problems = []
+        for index, snapshot in enumerate(self.entries.get(procedure_name, ())):
+            for var, value in claimed.items():
+                seen = snapshot.get(var)
+                if seen is not None and seen != value:
+                    problems.append(
+                        f"{procedure_name} invocation {index}: {var.name} was "
+                        f"{seen}, analyzer claimed {value}"
+                    )
+        return problems
+
+
+class _Frame:
+    """One activation: scalar cells and array storage.
+
+    Cells are single-element lists so that reference formals can alias
+    the caller's storage directly.
+    """
+
+    def __init__(self):
+        self.scalars: Dict[Variable, List[int]] = {}
+        self.arrays: Dict[Variable, Dict[Tuple[int, ...], int]] = {}
+
+    def cell(self, var: Variable) -> List[int]:
+        existing = self.scalars.get(var)
+        if existing is None:
+            existing = [0]
+            self.scalars[var] = existing
+        return existing
+
+    def array(self, var: Variable) -> Dict[Tuple[int, ...], int]:
+        existing = self.arrays.get(var)
+        if existing is None:
+            existing = {}
+            self.arrays[var] = existing
+        return existing
+
+
+class Interpreter:
+    """Executes a lowered program.
+
+    ``inputs`` feeds READ statements; ``fuel`` bounds total executed
+    instructions (InterpreterError when exhausted) so analyses can be
+    checked against looping programs safely.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        inputs: Optional[Sequence[int]] = None,
+        fuel: int = 1_000_000,
+    ):
+        self.program = program
+        self._input_iter: Iterator[int] = iter(inputs or ())
+        self.fuel = fuel
+        self.trace = Trace()
+        self._globals = _Frame()
+        for variable, value in program.global_initial_values.items():
+            self._globals.cell(variable)[0] = value
+
+    # -- public ------------------------------------------------------------
+
+    def run(self) -> Trace:
+        """Execute from the main program; returns the trace."""
+        main = self.program.main
+        if main is None:
+            raise InterpreterError("program has no PROGRAM unit")
+        try:
+            self._invoke(main, [])
+        except _Halt:
+            pass
+        return self.trace
+
+    # -- execution ---------------------------------------------------------------
+
+    def _next_input(self) -> int:
+        return next(self._input_iter, 0)
+
+    def _invoke(self, procedure: Procedure, arg_cells: List[object]) -> int:
+        """Run one procedure; returns the function result (0 for
+        subroutines). ``arg_cells`` holds scalar cells (lists) or array
+        dicts, positionally matching the formals."""
+        frame = _Frame()
+        for formal, cell in zip(procedure.formals, arg_cells):
+            if formal.is_array:
+                frame.arrays[formal] = cell
+            else:
+                frame.scalars[formal] = cell
+
+        snapshot: Dict[Variable, int] = {}
+        for formal in procedure.formals:
+            if formal.is_scalar:
+                snapshot[formal] = frame.cell(formal)[0]
+        for variable in self.program.scalar_globals():
+            snapshot[variable] = self._globals.cell(variable)[0]
+        self.trace.entries[procedure.name].append(snapshot)
+
+        block: Optional[BasicBlock] = procedure.cfg.entry
+        while block is not None:
+            block, returned = self._run_block(procedure, frame, block)
+            if returned is not None or block is None:
+                if procedure.result_var is not None and returned is not None:
+                    return returned
+                return 0
+        return 0
+
+    def _cell(self, procedure: Procedure, frame: _Frame, var: Variable):
+        if var.is_global:
+            target_frame = self._globals
+        else:
+            target_frame = frame
+        if var.is_array:
+            return target_frame.array(var)
+        return target_frame.cell(var)
+
+    def _value(self, procedure: Procedure, frame: _Frame, operand: Operand) -> int:
+        if isinstance(operand, Const):
+            return operand.value
+        return self._cell(procedure, frame, operand.var)[0]
+
+    def _run_block(
+        self, procedure: Procedure, frame: _Frame, block: BasicBlock
+    ):
+        """Execute one block; returns (next_block, returned_value)."""
+        for instruction in block.instructions:
+            self.fuel -= 1
+            self.trace.steps += 1
+            if self.fuel <= 0:
+                raise InterpreterError("fuel exhausted (infinite loop?)")
+            if isinstance(instruction, Phi):
+                raise InterpreterError(
+                    "cannot interpret SSA form (run on a freshly lowered program)"
+                )
+            if isinstance(instruction, Assign):
+                value = self._value(procedure, frame, instruction.source)
+                self._cell(procedure, frame, instruction.target.var)[0] = value
+            elif isinstance(instruction, BinOp):
+                left = self._value(procedure, frame, instruction.left)
+                right = self._value(procedure, frame, instruction.right)
+                result = fold_operator(instruction.op, [left, right])
+                if result is None:
+                    raise InterpreterError(
+                        f"division by zero at {instruction.location}"
+                    )
+                self._cell(procedure, frame, instruction.target.var)[0] = result
+            elif isinstance(instruction, UnOp):
+                operand = self._value(procedure, frame, instruction.operand)
+                result = fold_operator(instruction.op, [operand])
+                self._cell(procedure, frame, instruction.target.var)[0] = result
+            elif isinstance(instruction, ArrayLoad):
+                storage = self._cell(procedure, frame, instruction.array)
+                key = tuple(
+                    self._value(procedure, frame, index)
+                    for index in instruction.indices
+                )
+                value = storage.get(key, 0)
+                self._cell(procedure, frame, instruction.target.var)[0] = value
+            elif isinstance(instruction, ArrayStore):
+                storage = self._cell(procedure, frame, instruction.array)
+                key = tuple(
+                    self._value(procedure, frame, index)
+                    for index in instruction.indices
+                )
+                storage[key] = self._value(procedure, frame, instruction.value)
+            elif isinstance(instruction, Call):
+                self._run_call(procedure, frame, instruction)
+            elif isinstance(instruction, Read):
+                for target in instruction.targets:
+                    self._cell(procedure, frame, target.var)[0] = self._next_input()
+            elif isinstance(instruction, Print):
+                rendered = []
+                for item in instruction.items:
+                    if isinstance(item, str):
+                        rendered.append(item)
+                    else:
+                        rendered.append(str(self._value(procedure, frame, item)))
+                self.trace.output.append(" ".join(rendered))
+            elif isinstance(instruction, Jump):
+                return instruction.target, None
+            elif isinstance(instruction, CondBranch):
+                cond = self._value(procedure, frame, instruction.cond)
+                return (
+                    instruction.if_true if cond != 0 else instruction.if_false
+                ), None
+            elif isinstance(instruction, Return):
+                if instruction.value is not None:
+                    return None, self._value(procedure, frame, instruction.value)
+                return None, 0
+            elif isinstance(instruction, Halt):
+                raise _Halt()
+        raise InterpreterError(f"block {block.name} has no terminator")
+
+    def _run_call(self, procedure: Procedure, frame: _Frame, call: Call) -> None:
+        callee = self.program.procedure(call.callee)
+        arg_cells: List[object] = []
+        for formal, arg in zip(callee.formals, call.args):
+            if arg.is_array:
+                arg_cells.append(self._cell(procedure, frame, arg.array))
+            elif isinstance(arg.value, Use) and not arg.value.var.is_temp:
+                # Call-by-reference: alias the caller's cell.
+                arg_cells.append(self._cell(procedure, frame, arg.value.var))
+            else:
+                # Expression actual: a fresh cell; writebacks are lost.
+                arg_cells.append([self._value(procedure, frame, arg.value)])
+        result = self._invoke(callee, arg_cells)
+        if call.result is not None:
+            self._cell(procedure, frame, call.result.var)[0] = result
+
+
+def run_program(
+    program: Program,
+    inputs: Optional[Sequence[int]] = None,
+    fuel: int = 1_000_000,
+) -> Trace:
+    """Execute ``program`` (freshly lowered, not in SSA form)."""
+    return Interpreter(program, inputs, fuel).run()
+
+
+def run_source(
+    text: str, inputs: Optional[Sequence[int]] = None, fuel: int = 1_000_000
+) -> Trace:
+    """Parse, lower, and execute MiniFortran source text."""
+    from repro.frontend.parser import parse_source
+    from repro.frontend.source import SourceFile
+    from repro.ir.lowering import lower_module
+
+    module = parse_source(text)
+    program = lower_module(module, SourceFile("<string>", text))
+    return run_program(program, inputs, fuel)

@@ -1,0 +1,128 @@
+"""Human-readable dumps of the IR, for tests and debugging."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.cfg import BasicBlock
+from repro.ir.instructions import (
+    ArrayLoad,
+    ArrayStore,
+    Assign,
+    BinOp,
+    Call,
+    CondBranch,
+    Const,
+    Def,
+    Halt,
+    Instruction,
+    Jump,
+    Operand,
+    Phi,
+    Print,
+    Read,
+    Return,
+    UnOp,
+    Use,
+)
+from repro.ir.module import Procedure, Program
+
+
+def format_operand(operand: Operand) -> str:
+    if isinstance(operand, Const):
+        return str(operand.value)
+    suffix = f".{operand.version}" if operand.version is not None else ""
+    return f"{operand.var.name}{suffix}"
+
+
+def format_def(definition: Def) -> str:
+    suffix = f".{definition.version}" if definition.version is not None else ""
+    return f"{definition.var.name}{suffix}"
+
+
+def format_instruction(instruction: Instruction) -> str:
+    """One-line rendering of ``instruction``."""
+    if isinstance(instruction, Assign):
+        return f"{format_def(instruction.target)} = {format_operand(instruction.source)}"
+    if isinstance(instruction, BinOp):
+        return (
+            f"{format_def(instruction.target)} = "
+            f"{format_operand(instruction.left)} {instruction.op} "
+            f"{format_operand(instruction.right)}"
+        )
+    if isinstance(instruction, UnOp):
+        return (
+            f"{format_def(instruction.target)} = "
+            f"{instruction.op} {format_operand(instruction.operand)}"
+        )
+    if isinstance(instruction, ArrayLoad):
+        indices = ", ".join(format_operand(i) for i in instruction.indices)
+        return f"{format_def(instruction.target)} = {instruction.array.name}({indices})"
+    if isinstance(instruction, ArrayStore):
+        indices = ", ".join(format_operand(i) for i in instruction.indices)
+        return f"{instruction.array.name}({indices}) = {format_operand(instruction.value)}"
+    if isinstance(instruction, Call):
+        args = ", ".join(
+            arg.array.name if arg.is_array else format_operand(arg.value)
+            for arg in instruction.args
+        )
+        prefix = ""
+        if instruction.result is not None:
+            prefix = f"{format_def(instruction.result)} = "
+        effects = ""
+        if instruction.may_define:
+            defined = ", ".join(format_def(d) for d in instruction.may_define)
+            effects = f" [defines {defined}]"
+        return f"{prefix}call {instruction.callee}({args}){effects}"
+    if isinstance(instruction, Read):
+        targets = ", ".join(format_def(d) for d in instruction.targets)
+        return f"read {targets}"
+    if isinstance(instruction, Print):
+        items = ", ".join(
+            repr(item) if isinstance(item, str) else format_operand(item)
+            for item in instruction.items
+        )
+        return f"print {items}"
+    if isinstance(instruction, Jump):
+        return f"jump {instruction.target.name}"
+    if isinstance(instruction, CondBranch):
+        return (
+            f"branch {format_operand(instruction.cond)} ? "
+            f"{instruction.if_true.name} : {instruction.if_false.name}"
+        )
+    if isinstance(instruction, Return):
+        if instruction.value is None:
+            return "return"
+        return f"return {format_operand(instruction.value)}"
+    if isinstance(instruction, Halt):
+        return "halt"
+    if isinstance(instruction, Phi):
+        parts = ", ".join(
+            f"{block.name}: {format_operand(op)}"
+            for block, op in instruction.incoming.items()
+        )
+        return f"{format_def(instruction.target)} = phi({parts})"
+    return repr(instruction)
+
+
+def format_block(block: BasicBlock) -> str:
+    lines = [f"{block.name}:"]
+    lines.extend(f"  {format_instruction(i)}" for i in block.instructions)
+    return "\n".join(lines)
+
+
+def format_procedure(procedure: Procedure) -> str:
+    """Multi-line rendering of one procedure's CFG."""
+    formals = ", ".join(v.name for v in procedure.formals)
+    lines = [f"{procedure.kind.value} {procedure.name}({formals}):"]
+    for block in procedure.cfg.blocks:
+        lines.append(format_block(block))
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    """Render every procedure in the program."""
+    chunks: List[str] = []
+    for procedure in program:
+        chunks.append(format_procedure(procedure))
+    return "\n\n".join(chunks)

@@ -1,0 +1,103 @@
+"""Variables and per-procedure symbol tables.
+
+A :class:`Variable` is an identity object (compared by ``is``): globals in
+COMMON storage are represented by a *single* Variable shared by every
+procedure that declares the block, which is what lets interprocedural
+analyses treat them uniformly with formal parameters (the paper extends
+"parameter" to include global variables, §2 footnote 1).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class VarKind(enum.Enum):
+    """What storage a variable names."""
+
+    FORMAL = "formal"  # formal parameter (call-by-reference)
+    LOCAL = "local"  # procedure-local scalar or array
+    GLOBAL = "global"  # member of a COMMON block
+    TEMP = "temp"  # compiler temporary introduced by lowering
+    RESULT = "result"  # the function-name variable holding the result
+
+
+@dataclass(eq=False)
+class Variable:
+    """A named storage location. Identity semantics: two Variables are the
+    same variable iff they are the same object."""
+
+    name: str
+    kind: VarKind
+    is_array: bool = False
+    dims: Optional[Tuple[int, ...]] = None
+    common_block: Optional[str] = None
+
+    _ids = itertools.count()
+
+    def __post_init__(self) -> None:
+        self.uid = next(Variable._ids)
+
+    @property
+    def is_temp(self) -> bool:
+        return self.kind is VarKind.TEMP
+
+    @property
+    def is_global(self) -> bool:
+        return self.kind is VarKind.GLOBAL
+
+    @property
+    def is_scalar(self) -> bool:
+        return not self.is_array
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r}, {self.kind.value})"
+
+    def __hash__(self) -> int:
+        return self.uid
+
+
+class SymbolTable:
+    """Maps source names to :class:`Variable` objects inside one procedure.
+
+    Globals resolve to the Program-wide Variable for their COMMON slot;
+    everything else is procedure-local. Temporaries get fresh names
+    ``%t0, %t1, ...`` and never enter the name map.
+    """
+
+    def __init__(self, procedure_name: str):
+        self.procedure_name = procedure_name
+        self._by_name: Dict[str, Variable] = {}
+        self._temp_counter = itertools.count()
+
+    def declare(self, variable: Variable) -> Variable:
+        """Register ``variable`` under its name; returns it for chaining."""
+        self._by_name[variable.name] = variable
+        return variable
+
+    def lookup(self, name: str) -> Optional[Variable]:
+        """The Variable bound to ``name``, or None if not yet declared."""
+        return self._by_name.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def new_temp(self) -> Variable:
+        """Create a fresh compiler temporary."""
+        return Variable(f"%t{next(self._temp_counter)}", VarKind.TEMP)
+
+    def variables(self) -> List[Variable]:
+        """All named variables, in declaration order."""
+        return list(self._by_name.values())
+
+    def formals(self) -> List[Variable]:
+        return [v for v in self._by_name.values() if v.kind is VarKind.FORMAL]
+
+    def globals(self) -> List[Variable]:
+        return [v for v in self._by_name.values() if v.kind is VarKind.GLOBAL]
+
+    def scalars(self) -> Iterable[Variable]:
+        return (v for v in self._by_name.values() if v.is_scalar)

@@ -1,0 +1,21 @@
+"""Type constants for the IR.
+
+MiniFortran is monotyped — every scalar is INTEGER (the study propagates
+integer constants only, §4) — so this module exists to make the
+restriction explicit and give shape queries one home.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Type(enum.Enum):
+    """Scalar value types. Only INTEGER exists; LOGICAL values are
+    represented as 0/1 integers by lowering."""
+
+    INTEGER = "integer"
+
+
+#: The type every MiniFortran scalar has.
+INTEGER = Type.INTEGER

@@ -1,0 +1,124 @@
+"""The constant-propagation lattice of the paper's Figure 1.
+
+Three levels::
+
+            T           (top: no evidence yet / never executed)
+       ... -1 0 1 2 ...  (the integer constants)
+            _|_          (bottom: provably not a single constant)
+
+with the meet operation
+
+====================  =========
+``T ∧ x``             ``x``
+``c ∧ c``             ``c``
+``ci ∧ cj`` (i ≠ j)   ``⊥``
+``⊥ ∧ x``             ``⊥``
+====================  =========
+
+The lattice is infinite but of bounded depth: any value can be lowered at
+most twice (T → constant → ⊥), which is what bounds the iterative
+propagation (§2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+class LatticeValue:
+    """An element of the constant-propagation lattice. Immutable.
+
+    Use the module constants :data:`TOP` and :data:`BOTTOM` and the
+    factory :func:`const`; equality and hashing are value-based.
+    """
+
+    __slots__ = ("kind", "value")
+
+    _TOP_KIND = "top"
+    _CONST_KIND = "const"
+    _BOTTOM_KIND = "bottom"
+
+    def __init__(self, kind: str, value: Optional[int] = None):
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name: str, value) -> None:
+        raise AttributeError("LatticeValue is immutable")
+
+    @property
+    def is_top(self) -> bool:
+        return self.kind == self._TOP_KIND
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.kind == self._BOTTOM_KIND
+
+    @property
+    def is_constant(self) -> bool:
+        return self.kind == self._CONST_KIND
+
+    def meet(self, other: "LatticeValue") -> "LatticeValue":
+        """Figure 1's ∧ operation."""
+        if self.is_top:
+            return other
+        if other.is_top:
+            return self
+        if self.is_bottom or other.is_bottom:
+            return BOTTOM
+        if self.value == other.value:
+            return self
+        return BOTTOM
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, LatticeValue)
+            and other.kind == self.kind
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.value))
+
+    def __repr__(self) -> str:
+        if self.is_top:
+            return "T"
+        if self.is_bottom:
+            return "_|_"
+        return f"const({self.value})"
+
+    def __le__(self, other: "LatticeValue") -> bool:
+        """Lattice partial order: ``a <= b`` iff ``a`` is at or below
+        ``b`` (``a ∧ b == a``)."""
+        return self.meet(other) == self
+
+
+#: The optimistic initial approximation for every parameter (§2).
+TOP = LatticeValue(LatticeValue._TOP_KIND)
+
+#: "Not a compile-time constant."
+BOTTOM = LatticeValue(LatticeValue._BOTTOM_KIND)
+
+
+def const(value: int) -> LatticeValue:
+    """The lattice element for the integer constant ``value``."""
+    return LatticeValue(LatticeValue._CONST_KIND, value)
+
+
+def meet_all(values: Iterable[LatticeValue]) -> LatticeValue:
+    """Meet of a (possibly empty) collection; the empty meet is TOP."""
+    result = TOP
+    for value in values:
+        result = result.meet(value)
+        if result.is_bottom:
+            return BOTTOM
+    return result
+
+
+def depth_to_bottom(value: LatticeValue) -> int:
+    """How many more times ``value`` can be lowered (2, 1, or 0) — the
+    bounded-depth property the propagation complexity argument rests on."""
+    if value.is_top:
+        return 2
+    if value.is_constant:
+        return 1
+    return 0

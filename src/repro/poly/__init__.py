@@ -1,0 +1,6 @@
+"""Multivariate integer polynomials used by the polynomial parameter jump
+function and the return jump functions."""
+
+from repro.poly.polynomial import Polynomial, expr_to_polynomial
+
+__all__ = ["Polynomial", "expr_to_polynomial"]

@@ -1,0 +1,32 @@
+"""The benchmark suite: modeled stand-ins for the study's SPEC/PERFECT
+FORTRAN programs, plus the table harness that regenerates the paper's
+evaluation."""
+
+from repro.suite.programs import SUITE_PROGRAM_NAMES, program_source, suite_sources
+from repro.suite.characteristics import ProgramCharacteristics, characterize
+from repro.suite.tables import (
+    Table2Row,
+    Table3Row,
+    compute_table1,
+    compute_table2,
+    compute_table3,
+    format_table1,
+    format_table2,
+    format_table3,
+)
+
+__all__ = [
+    "ProgramCharacteristics",
+    "SUITE_PROGRAM_NAMES",
+    "Table2Row",
+    "Table3Row",
+    "characterize",
+    "compute_table1",
+    "compute_table2",
+    "compute_table3",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "program_source",
+    "suite_sources",
+]

@@ -1,0 +1,428 @@
+"""Program builder: composes MiniFortran benchmark programs from
+constant-flow patterns.
+
+Each pattern reproduces one of the mechanisms the study's results hinge
+on. The comments on each method state which analysis configurations
+detect the constants it plants — that mapping is what lets a program
+spec dial in the *shape* of its Table 2 / Table 3 row:
+
+======================  =====================================================
+local_constants         found by every configuration including the purely
+                        intraprocedural baseline; with ``sink=True`` the
+                        value dies without MOD information
+literal_leaf            a literal actual: found by every jump function,
+                        immune to everything; invisible to intra-only
+intra_chain             a locally-constant variable actual: missed by the
+                        literal jump function
+formal_chain            constants down a call chain: levels >= 2 need the
+                        pass-through (or polynomial) jump function;
+                        ``fragile=True`` makes levels >= 2 die without MOD
+global_direct           globals assigned in MAIN and read by workers:
+                        missed by the literal jump function
+global_via_init         globals assigned inside an INIT procedure: needs
+                        return jump functions (the ocean pattern)
+function_returns        a constant-returning INTEGER FUNCTION: needs
+                        return jump functions
+dead_branch_reveal      a constant-guarded dispatch: only complete
+                        propagation (propagate + DCE + re-propagate)
+                        recovers the live arm's constant
+conflict_calls          same procedure called with different constants:
+                        contributes nothing (the meet is ⊥) — realism and
+                        cloning-bench material
+noise_proc              READ-driven computation with no constants at all
+======================  =====================================================
+
+The "sink" used by no-MOD-fragile patterns is a *recursive* helper: in
+the no-MOD configuration a recursive procedure gets no return jump
+functions (call-graph SCC), so a call to it clobbers every global and
+every actual with no recovery — whereas exact MOD summaries know it
+touches nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence
+
+
+class SuiteProgramBuilder:
+    """Accumulates procedures and MAIN statements, then renders the
+    complete MiniFortran source text."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.main_lines: List[str] = []
+        self.procedures: List[str] = []
+        self.global_names: List[str] = []
+        self._ids = itertools.count(1)
+        self._sink_added = False
+        self._checker_added = False
+
+    # -- low-level helpers -------------------------------------------------
+
+    def _fresh(self, prefix: str) -> str:
+        return f"{prefix}{next(self._ids)}"
+
+    #: Placeholder replaced with the final COMMON declaration at build
+    #: time (the member list grows as patterns register globals, so the
+    #: declaration cannot be rendered eagerly without risking mismatched
+    #: COMMON layouts across procedures).
+    _COMMON_PLACEHOLDER = "__COMMON__\n"
+
+    def _common_decl(self) -> str:
+        if not self.global_names:
+            return ""
+        return f"      COMMON /GLB/ {', '.join(self.global_names)}\n"
+
+    def add_global(self, name: str) -> str:
+        if name not in self.global_names:
+            self.global_names.append(name)
+        return name
+
+    def add_procedure(self, text: str) -> None:
+        self.procedures.append(text)
+
+    def add_main(self, line: str) -> None:
+        self.main_lines.append(line)
+
+    @staticmethod
+    def _ref_lines(var: str, count: int, prefix: str) -> List[str]:
+        """``count`` executable statements, each containing exactly one
+        reference to ``var``."""
+        lines = []
+        for index in range(count):
+            lines.append(f"      {prefix}{index} = {var} + {index + 1}")
+        return lines
+
+    def _ensure_sink(self) -> str:
+        """The recursive no-MOD poison (see module docstring)."""
+        if not self._sink_added:
+            self._sink_added = True
+            # V is passed back into the recursive call: in the no-MOD
+            # configuration the inner call's worst-case kill leaves V's
+            # exit value unknown on the recursive path, so RSINK gets no
+            # return jump function for V (nor for any global) and a call
+            # to it clobbers everything. Exact MOD summaries see that
+            # RSINK modifies nothing.
+            self.add_procedure(
+                "      SUBROUTINE RSINK(D, V)\n"
+                "      INTEGER D, V, T\n"
+                "      T = V + 1\n"
+                "      IF (D .GT. 0) THEN\n"
+                "        CALL RSINK(D - 1, V)\n"
+                "      ENDIF\n"
+                "      RETURN\n"
+                "      END\n"
+            )
+            # Diversifier: guarantee RSINK's V meets >= 2 distinct
+            # values, so no pass-through constant leaks out of the sink
+            # itself (keeping jump-function comparisons clean).
+            self.add_main("      CALL RSINK(0, 987654)")
+        return "RSINK"
+
+    def _ensure_checker(self) -> str:
+        """A read-only helper whose identity return jump functions are
+        rejected by the forward phase when its argument is an entry
+        value — the cheap no-MOD breaker for pass-through chains."""
+        if not self._checker_added:
+            self._checker_added = True
+            self.add_procedure(
+                "      SUBROUTINE CHECK(V)\n"
+                "      INTEGER V, T\n"
+                "      T = V * 2\n"
+                "      RETURN\n"
+                "      END\n"
+            )
+        return "CHECK"
+
+    # -- patterns -----------------------------------------------------------
+
+    def local_constants(self, n_refs: int, value: int, sink: bool = False,
+                        in_procedure: bool = True) -> None:
+        """A locally assigned constant referenced ``n_refs`` times.
+
+        Detected by: every configuration (the substitution metric counts
+        intraprocedurally derived constants too). With ``sink=True`` the
+        references die in the no-MOD configuration (the value is passed
+        to the recursive sink first).
+        """
+        tag = self._fresh("lc")
+        var = f"N{tag}"
+        lines = [f"      {var} = {value}"]
+        if sink:
+            sink_name = self._ensure_sink()
+            lines.append(f"      CALL {sink_name}(1, {var})")
+        lines.extend(self._ref_lines(var, n_refs, f"R{tag}X"))
+        if in_procedure:
+            proc = f"LC{tag}"
+            body = "\n".join(lines)
+            self.add_procedure(
+                f"      SUBROUTINE {proc}\n{body}\n"
+                "      RETURN\n      END\n"
+            )
+            self.add_main(f"      CALL {proc}")
+        else:
+            self.main_lines.extend(lines)
+
+    def literal_leaf(self, n_refs: int, value: int) -> None:
+        """A literal constant actual argument.
+
+        Detected by: every jump function kind (it is a literal at the
+        call site); immune to MOD and return-function settings; invisible
+        to the intraprocedural-only baseline.
+        """
+        tag = self._fresh("ll")
+        proc = f"LL{tag}"
+        refs = "\n".join(self._ref_lines("K", n_refs, f"R{tag}X"))
+        self.add_procedure(
+            f"      SUBROUTINE {proc}(K)\n      INTEGER K\n{refs}\n"
+            "      RETURN\n      END\n"
+        )
+        self.add_main(f"      CALL {proc}({value})")
+
+    def intra_chain(self, n_refs: int, value: int, sink: bool = False) -> None:
+        """A locally computed constant passed as a variable actual.
+
+        Detected by: intraprocedural, pass-through, and polynomial jump
+        functions (the literal jump function sees only a variable at the
+        call site). ``sink=True`` interposes the recursive sink so the
+        no-MOD configuration loses the value before the call.
+        """
+        tag = self._fresh("ic")
+        proc = f"IC{tag}"
+        var = f"X{tag}"
+        refs = "\n".join(self._ref_lines("K", n_refs, f"R{tag}X"))
+        self.add_procedure(
+            f"      SUBROUTINE {proc}(K)\n      INTEGER K\n{refs}\n"
+            "      RETURN\n      END\n"
+        )
+        self.add_main(f"      {var} = {value}")
+        if sink:
+            self.add_main(f"      CALL {self._ensure_sink()}(1, {var})")
+        self.add_main(f"      CALL {proc}({var})")
+
+    def formal_chain(self, depth: int, refs_per_level: int, value: int,
+                     fragile: bool = False) -> None:
+        """A constant passed down a chain of ``depth`` procedures, each
+        referencing its formal ``refs_per_level`` times.
+
+        Detected by: level 1 by every jump function (the actual is a
+        literal); levels >= 2 only by pass-through and polynomial jump
+        functions (the actual is the incoming formal). With
+        ``fragile=True`` each level first shows its formal to a read-only
+        helper, which kills levels >= 2 in the no-MOD configuration.
+        """
+        assert depth >= 1
+        tag = self._fresh("fc")
+        names = [f"FC{tag}L{level}" for level in range(1, depth + 1)]
+        checker = self._ensure_checker() if fragile else None
+        for level, proc in enumerate(names, start=1):
+            lines = self._ref_lines("K", refs_per_level, f"R{tag}L{level}X")
+            if level < depth:
+                if checker is not None:
+                    lines.append(f"      CALL {checker}(K)")
+                lines.append(f"      CALL {names[level]}(K)")
+            body = "\n".join(lines)
+            self.add_procedure(
+                f"      SUBROUTINE {proc}(K)\n      INTEGER K\n{body}\n"
+                "      RETURN\n      END\n"
+            )
+        self.add_main(f"      CALL {names[0]}({value})")
+
+    def global_direct(self, values: Sequence[int], n_workers: int,
+                      refs_per_worker: int, kill_from_worker: Optional[int] = None
+                      ) -> None:
+        """Globals assigned in MAIN, read by ``n_workers`` sibling
+        procedures.
+
+        Detected by: intraprocedural and better (the literal jump
+        function misses implicitly passed globals). Return functions are
+        not needed. With ``kill_from_worker=i`` a recursive-sink call is
+        inserted before worker ``i``, so workers ``i..`` lose the globals
+        in the no-MOD configuration.
+        """
+        tag = self._fresh("gd")
+        globals_here = []
+        for index, value in enumerate(values):
+            name = self.add_global(f"G{tag}V{index}")
+            globals_here.append(name)
+            self.add_main(f"      {name} = {value}")
+        for worker in range(n_workers):
+            if kill_from_worker is not None and worker == kill_from_worker:
+                self.add_main(f"      TK{tag} = {worker}")
+                self.add_main(f"      CALL {self._ensure_sink()}(1, TK{tag})")
+            proc = f"GD{tag}W{worker}"
+            lines = []
+            for ref in range(refs_per_worker):
+                source = globals_here[ref % len(globals_here)]
+                lines.append(f"      R{tag}W{worker}X{ref} = {source} + {ref + 1}")
+            body = "\n".join(lines)
+            self.add_procedure(
+                f"      SUBROUTINE {proc}\n{self._COMMON_PLACEHOLDER}{body}\n"
+                "      RETURN\n      END\n"
+            )
+            self.add_main(f"      CALL {proc}")
+
+    def global_via_init(self, values: Sequence[int], n_workers: int,
+                        refs_per_worker: int,
+                        kill_from_worker: Optional[int] = None) -> None:
+        """Globals assigned inside an INIT procedure called first by MAIN
+        — the ocean pattern: without return jump functions the analyzer
+        cannot see what INIT did, and every downstream constant is lost.
+
+        Detected by: intraprocedural and better, but only when return
+        jump functions are on.
+        """
+        tag = self._fresh("gi")
+        globals_here = []
+        init_lines = []
+        for index, value in enumerate(values):
+            name = self.add_global(f"G{tag}V{index}")
+            globals_here.append(name)
+            init_lines.append(f"      {name} = {value}")
+        init = f"GI{tag}INIT"
+        self.add_procedure(
+            f"      SUBROUTINE {init}\n{self._COMMON_PLACEHOLDER}"
+            + "\n".join(init_lines)
+            + "\n      RETURN\n      END\n"
+        )
+        self.add_main(f"      CALL {init}")
+        for worker in range(n_workers):
+            if kill_from_worker is not None and worker == kill_from_worker:
+                self.add_main(f"      TK{tag} = {worker}")
+                self.add_main(f"      CALL {self._ensure_sink()}(1, TK{tag})")
+            proc = f"GI{tag}W{worker}"
+            lines = []
+            for ref in range(refs_per_worker):
+                source = globals_here[ref % len(globals_here)]
+                lines.append(f"      R{tag}W{worker}X{ref} = {source} * {ref + 2}")
+            body = "\n".join(lines)
+            self.add_procedure(
+                f"      SUBROUTINE {proc}\n{self._COMMON_PLACEHOLDER}{body}\n"
+                "      RETURN\n      END\n"
+            )
+            self.add_main(f"      CALL {proc}")
+
+    def function_returns(self, n_refs: int, value: int) -> None:
+        """A constant-returning INTEGER FUNCTION whose result is
+        referenced ``n_refs`` times in MAIN.
+
+        Detected by: every jump-function kind, but only when return jump
+        functions are on; invisible to the intraprocedural baseline.
+        """
+        tag = self._fresh("fr")
+        func = f"FR{tag}"
+        var = f"Y{tag}"
+        self.add_procedure(
+            f"      INTEGER FUNCTION {func}()\n"
+            f"      {func} = {value}\n"
+            "      RETURN\n      END\n"
+        )
+        self.add_main(f"      {var} = {func}()")
+        for line in self._ref_lines(var, n_refs, f"R{tag}X"):
+            self.add_main(line)
+
+    def dead_branch_reveal(self, n_refs: int, live_value: int,
+                           dead_value: int) -> None:
+        """A dispatcher whose branch condition is an interprocedural
+        constant; the dead arm calls the worker with a different
+        constant. Ordinary propagation meets the two edges to ⊥; only
+        complete propagation (which folds the branch, deletes the dead
+        call site, and re-propagates) recovers the live constant.
+        """
+        tag = self._fresh("db")
+        dispatch = f"DB{tag}D"
+        worker = f"DB{tag}W"
+        refs = "\n".join(self._ref_lines("K", n_refs, f"R{tag}X"))
+        self.add_procedure(
+            f"      SUBROUTINE {worker}(K)\n      INTEGER K\n{refs}\n"
+            "      RETURN\n      END\n"
+        )
+        self.add_procedure(
+            f"      SUBROUTINE {dispatch}(MODE)\n"
+            "      INTEGER MODE\n"
+            "      IF (MODE .EQ. 1) THEN\n"
+            f"        CALL {worker}({live_value})\n"
+            "      ELSE\n"
+            f"        CALL {worker}({dead_value})\n"
+            "      ENDIF\n"
+            "      RETURN\n      END\n"
+        )
+        self.add_main(f"      CALL {dispatch}(1)")
+
+    def conflict_calls(self, values: Sequence[int], n_refs: int = 2) -> None:
+        """The same procedure invoked with different constants: the meet
+        washes its parameter to ⊥, so nothing is found (but a cloning
+        pass can split the call sites)."""
+        tag = self._fresh("cf")
+        proc = f"CF{tag}"
+        refs = "\n".join(self._ref_lines("K", n_refs, f"R{tag}X"))
+        self.add_procedure(
+            f"      SUBROUTINE {proc}(K)\n      INTEGER K\n{refs}\n"
+            "      RETURN\n      END\n"
+        )
+        for value in values:
+            self.add_main(f"      CALL {proc}({value})")
+
+    def bounded_loop(self, trips: int) -> None:
+        """A worker whose loop bound is an interprocedural constant —
+        the paper's archetypal application ("interprocedural constants
+        are often used as loop bounds").
+
+        Detected by: every jump function (the actual is a literal);
+        contributes exactly one countable reference (the bound) to every
+        interprocedural configuration and zero to the intraprocedural
+        baseline. The trip-count application resolves the loop to
+        ``trips`` iterations exactly when propagation delivers the
+        constant.
+        """
+        tag = self._fresh("bl")
+        proc = f"BL{tag}"
+        self.add_procedure(
+            f"      SUBROUTINE {proc}(K)\n"
+            "      INTEGER K, S\n"
+            "      S = 0\n"
+            f"      DO I{tag} = 1, K\n"
+            f"        S = S + I{tag}\n"
+            "      ENDDO\n"
+            f"      PRINT *, S\n"
+            "      RETURN\n      END\n"
+        )
+        self.add_main(f"      CALL {proc}({trips})")
+
+    def noise_proc(self, n_statements: int, with_loop: bool = True) -> None:
+        """A procedure full of READ-driven computation: contributes lines
+        and call-graph realism, but no constants anywhere."""
+        tag = self._fresh("nz")
+        proc = f"NZ{tag}"
+        lines = [f"      READ *, A{tag}", f"      B{tag} = A{tag} * 3"]
+        if with_loop:
+            lines.append(f"      S{tag} = 0")
+            lines.append(f"      DO I{tag} = 1, A{tag}")
+            lines.append(f"        S{tag} = S{tag} + I{tag} * B{tag}")
+            lines.append("      ENDDO")
+        for index in range(max(0, n_statements - len(lines))):
+            lines.append(f"      C{tag}X{index} = B{tag} + A{tag} * {index + 1}")
+        lines.append(f"      PRINT *, B{tag}")
+        body = "\n".join(lines)
+        self.add_procedure(
+            f"      SUBROUTINE {proc}\n{body}\n      RETURN\n      END\n"
+        )
+        self.add_main(f"      CALL {proc}")
+
+    # -- assembly ---------------------------------------------------------------
+
+    def build(self) -> str:
+        """Render the full program text (MAIN first, then procedures),
+        resolving COMMON placeholders against the final global list."""
+        main = ["      PROGRAM MAIN"]
+        common = self._common_decl()
+        if common:
+            main.append(common.rstrip("\n"))
+        main.append(f"C     suite program: {self.name}")
+        main.extend(self.main_lines)
+        main.append("      END")
+        chunks = ["\n".join(main) + "\n"]
+        chunks.extend(self.procedures)
+        text = "\n".join(chunks)
+        return text.replace(self._COMMON_PLACEHOLDER, common)

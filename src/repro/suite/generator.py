@@ -1,0 +1,249 @@
+"""Seeded random MiniFortran program generator.
+
+Used by the property-based tests (every generated program must parse,
+lower, analyze without error, and — the strongest check — every
+CONSTANTS pair the analyzer claims must hold on every invocation when
+the program is executed by the reference interpreter) and by the scaling
+benchmark.
+
+Generated programs are guaranteed to terminate: the call graph is
+acyclic by construction (a procedure only calls higher-numbered
+procedures) and every DO loop has literal bounds with a positive literal
+step.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class GeneratorConfig:
+    """Size and shape knobs for :func:`generate_program`."""
+
+    procedures: int = 5
+    max_statements_per_procedure: int = 12
+    globals_count: int = 3
+    max_formals: int = 3
+    read_probability: float = 0.15
+    call_probability: float = 0.3
+    branch_probability: float = 0.25
+    loop_probability: float = 0.15
+    goto_probability: float = 0.05
+
+
+class _ProcedureShape:
+    def __init__(self, name: str, formals: List[str], is_function: bool):
+        self.name = name
+        self.formals = formals
+        self.is_function = is_function
+
+
+class _Generator:
+    def __init__(self, seed: int, config: GeneratorConfig):
+        self.rng = random.Random(seed)
+        self.config = config
+        self.globals = [f"GV{i}" for i in range(config.globals_count)]
+        self.shapes: List[_ProcedureShape] = []
+        self._label_counter = 100
+        #: Loop variables of enclosing DO loops: reads are fine, but a
+        #: write below the bound would make the loop spin forever.
+        self._protected: set = set()
+
+    # -- shapes -------------------------------------------------------------
+
+    def _make_shapes(self) -> None:
+        for index in range(self.config.procedures):
+            formals = [
+                f"F{index}A{j}"
+                for j in range(self.rng.randint(0, self.config.max_formals))
+            ]
+            is_function = bool(formals) and self.rng.random() < 0.25
+            self.shapes.append(
+                _ProcedureShape(f"P{index}", formals, is_function)
+            )
+
+    # -- expressions ----------------------------------------------------------
+
+    def _expr(self, variables: List[str], depth: int = 0) -> str:
+        roll = self.rng.random()
+        if depth >= 2 or roll < 0.4 or not variables:
+            return str(self.rng.randint(-20, 20))
+        if roll < 0.7:
+            return self.rng.choice(variables)
+        op = self.rng.choice(["+", "-", "*"])
+        left = self._expr(variables, depth + 1)
+        right = self._expr(variables, depth + 1)
+        return f"({left} {op} {right})"
+
+    def _condition(self, variables: List[str]) -> str:
+        relation = self.rng.choice([".EQ.", ".NE.", ".LT.", ".LE.", ".GT.", ".GE."])
+        return f"{self._expr(variables)} {relation} {self._expr(variables)}"
+
+    # -- statements -----------------------------------------------------------
+
+    def _call_target(self, caller_index: int) -> Optional[_ProcedureShape]:
+        candidates = self.shapes[caller_index + 1 :]
+        if not candidates:
+            return None
+        return self.rng.choice(candidates)
+
+    def _call_statement(self, caller_index: int, variables: List[str]) -> List[str]:
+        target = self._call_target(caller_index)
+        if target is None:
+            return []
+        # Loop variables must not be passed by reference (a callee
+        # writeback below the loop bound would spin forever). Globals
+        # must not be passed by reference either, and no variable twice
+        # in one call: FORTRAN forbids modifying aliased dummy/global
+        # pairs, and the analysis — like the paper's — assumes
+        # standard-conforming programs.
+        passable = [
+            v
+            for v in variables
+            if v not in self._protected and v not in self.globals
+        ]
+        args = []
+        used: set = set()
+        for _ in target.formals:
+            candidates = [v for v in passable if v not in used]
+            if candidates and self.rng.random() < 0.6:
+                choice = self.rng.choice(candidates)
+                used.add(choice)
+                args.append(choice)
+            else:
+                args.append(str(self.rng.randint(-10, 10)))
+        arg_text = f"({', '.join(args)})" if args else ""
+        if target.is_function:
+            result = self._fresh_local(variables)
+            return [f"      {result} = {target.name}{arg_text}"]
+        return [f"      CALL {target.name}{arg_text}"]
+
+    def _fresh_local(self, variables: List[str]) -> str:
+        name = f"L{len(variables)}Z"
+        variables.append(name)
+        return name
+
+    def _statements(
+        self, caller_index: int, variables: List[str], budget: int, depth: int = 0
+    ) -> List[str]:
+        lines: List[str] = []
+        while budget > 0:
+            budget -= 1
+            roll = self.rng.random()
+            config = self.config
+            writable = [v for v in variables if v not in self._protected]
+            if roll < config.read_probability and writable:
+                lines.append(f"      READ *, {self.rng.choice(writable)}")
+            elif roll < config.read_probability + config.call_probability:
+                lines.extend(self._call_statement(caller_index, variables))
+            elif (
+                roll
+                < config.read_probability
+                + config.call_probability
+                + config.branch_probability
+                and depth < 2
+            ):
+                then_body = self._statements(
+                    caller_index, variables, self.rng.randint(1, 2), depth + 1
+                )
+                lines.append(f"      IF ({self._condition(variables)}) THEN")
+                lines.extend("  " + line for line in then_body)
+                if self.rng.random() < 0.5:
+                    else_body = self._statements(
+                        caller_index, variables, self.rng.randint(1, 2), depth + 1
+                    )
+                    lines.append("      ELSE")
+                    lines.extend("  " + line for line in else_body)
+                lines.append("      ENDIF")
+            elif (
+                roll
+                < config.read_probability
+                + config.call_probability
+                + config.branch_probability
+                + config.loop_probability
+                and depth < 2
+            ):
+                loop_var = self._fresh_local(variables)
+                lo = self.rng.randint(1, 3)
+                hi = lo + self.rng.randint(0, 4)
+                self._protected.add(loop_var)
+                body = self._statements(
+                    caller_index, variables, self.rng.randint(1, 3), depth + 1
+                )
+                self._protected.discard(loop_var)
+                lines.append(f"      DO {loop_var} = {lo}, {hi}")
+                lines.extend("  " + line for line in body)
+                lines.append("      ENDDO")
+            elif roll < 0.99 or not writable:
+                target = (
+                    self._fresh_local(variables)
+                    if not writable or self.rng.random() < 0.4
+                    else self.rng.choice(writable)
+                )
+                lines.append(f"      {target} = {self._expr(variables)}")
+            else:
+                lines.append(f"      PRINT *, {self._expr(variables)}")
+        return lines
+
+    def _goto_wrap(self, lines: List[str], variables: List[str]) -> List[str]:
+        """Occasionally guard the body's tail with a forward GOTO."""
+        if self.rng.random() >= self.config.goto_probability or len(lines) < 3:
+            return lines
+        self._label_counter += 10
+        label = self._label_counter
+        split = self.rng.randint(1, len(lines) - 1)
+        guarded = [
+            f"      IF ({self._condition(variables)}) GOTO {label}",
+            *lines[:split],
+            f" {label}  CONTINUE",
+            *lines[split:],
+        ]
+        return guarded
+
+    # -- units ---------------------------------------------------------------
+
+    def _common_decl(self) -> str:
+        return f"      COMMON /GEN/ {', '.join(self.globals)}"
+
+    def _unit(self, index: int) -> str:
+        shape = self.shapes[index]
+        variables = list(shape.formals) + list(self.globals)
+        budget = self.rng.randint(2, self.config.max_statements_per_procedure)
+        body = self._statements(index, variables, budget)
+        body = self._goto_wrap(body, variables)
+        if shape.is_function:
+            header = (
+                f"      INTEGER FUNCTION {shape.name}"
+                f"({', '.join(shape.formals)})"
+            )
+            body.append(f"      {shape.name} = {self._expr(variables)}")
+        elif shape.formals:
+            header = f"      SUBROUTINE {shape.name}({', '.join(shape.formals)})"
+        else:
+            header = f"      SUBROUTINE {shape.name}"
+        return "\n".join(
+            [header, self._common_decl(), *body, "      RETURN", "      END"]
+        )
+
+    def generate(self) -> str:
+        self._make_shapes()
+        variables = list(self.globals)
+        main_body = self._statements(-1, variables, self.rng.randint(3, 10))
+        main = "\n".join(
+            [
+                "      PROGRAM MAIN",
+                self._common_decl(),
+                *main_body,
+                "      END",
+            ]
+        )
+        units = [main] + [self._unit(i) for i in range(len(self.shapes))]
+        return "\n\n".join(units) + "\n"
+
+
+def generate_program(seed: int, config: Optional[GeneratorConfig] = None) -> str:
+    """Generate a deterministic random MiniFortran program for ``seed``."""
+    return _Generator(seed, config or GeneratorConfig()).generate()

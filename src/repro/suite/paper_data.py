@@ -1,0 +1,166 @@
+"""The paper's published numbers, as data.
+
+Tables 2 and 3 of the study, transcribed row for row, plus the
+shape-agreement metrics the reproduction is judged by: column orderings,
+per-program equalities, and rank correlation between paper and measured
+columns. ``compare_with_measured()`` powers the side-by-side report in
+the benchmark run and the strongest assertions in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.suite.tables import Table2Row, Table3Row
+
+#: Table 2 as published (PLDI '93): program -> (poly, pass, intra,
+#: literal, poly-no-returns, pass-no-returns).
+PAPER_TABLE2: Dict[str, Tuple[int, int, int, int, int, int]] = {
+    "adm": (110, 110, 110, 110, 110, 110),
+    "doduc": (289, 289, 289, 288, 287, 287),
+    "fpppp": (60, 60, 54, 49, 56, 56),
+    "linpackd": (170, 170, 170, 94, 170, 170),
+    "matrix300": (138, 138, 122, 71, 138, 138),
+    "mdg": (41, 41, 40, 31, 40, 40),
+    "ocean": (194, 194, 194, 57, 62, 62),
+    "qcd": (180, 180, 180, 180, 180, 180),
+    "simple": (183, 183, 179, 174, 183, 183),
+    "snasa7": (336, 336, 336, 254, 336, 336),
+    "spec77": (137, 137, 137, 104, 137, 137),
+    "trfd": (16, 16, 16, 16, 16, 16),
+}
+
+#: Table 3 as published: program -> (no-MOD, with-MOD, complete, intra).
+PAPER_TABLE3: Dict[str, Tuple[int, int, int, int]] = {
+    "adm": (25, 110, 110, 105),
+    "doduc": (288, 289, 289, 3),
+    "fpppp": (34, 60, 60, 38),
+    "linpackd": (33, 170, 170, 74),
+    "matrix300": (18, 138, 138, 69),
+    "mdg": (31, 41, 41, 31),
+    "ocean": (79, 194, 204, 56),
+    "qcd": (169, 180, 180, 179),
+    "simple": (2, 183, 183, 174),
+    "snasa7": (303, 336, 336, 254),
+    "spec77": (76, 137, 141, 83),
+    "trfd": (10, 16, 16, 15),
+}
+
+
+@dataclass
+class ShapeAgreement:
+    """How closely the measured tables track the paper's shape."""
+
+    #: (program, description) for each paper relationship that failed.
+    violations: List[Tuple[str, str]]
+    #: Spearman rank correlation per compared column.
+    rank_correlations: Dict[str, float]
+
+    @property
+    def agrees(self) -> bool:
+        return not self.violations
+
+    def format(self) -> str:
+        lines = ["Shape agreement with the paper:"]
+        for column, rho in sorted(self.rank_correlations.items()):
+            lines.append(f"  rank correlation, {column:<22} rho = {rho:+.3f}")
+        if self.violations:
+            lines.append("  VIOLATED relationships:")
+            for program, description in self.violations:
+                lines.append(f"    {program}: {description}")
+        else:
+            lines.append("  every paper relationship holds")
+        return "\n".join(lines)
+
+
+def _rank(values: Sequence[float]) -> List[float]:
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    index = 0
+    while index < len(order):
+        # Average ranks over ties.
+        tail = index
+        while (
+            tail + 1 < len(order)
+            and values[order[tail + 1]] == values[order[index]]
+        ):
+            tail += 1
+        average = (index + tail) / 2 + 1
+        for position in range(index, tail + 1):
+            ranks[order[position]] = average
+        index = tail + 1
+    return ranks
+
+
+def spearman(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman rank correlation (tie-aware, via Pearson on ranks)."""
+    rx, ry = _rank(xs), _rank(ys)
+    n = len(rx)
+    mean_x = sum(rx) / n
+    mean_y = sum(ry) / n
+    cov = sum((a - mean_x) * (b - mean_y) for a, b in zip(rx, ry))
+    var_x = sum((a - mean_x) ** 2 for a in rx)
+    var_y = sum((b - mean_y) ** 2 for b in ry)
+    if var_x == 0 or var_y == 0:
+        return 1.0 if var_x == var_y else 0.0
+    return cov / (var_x * var_y) ** 0.5
+
+
+def _paper_relationships() -> List[Tuple[str, str]]:
+    """The qualitative claims the paper states, as (program, claim)
+    pairs evaluated against measured rows by compare_with_measured."""
+    return []
+
+
+def compare_with_measured(
+    table2: List[Table2Row], table3: List[Table3Row]
+) -> ShapeAgreement:
+    """Evaluate every paper relationship against measured rows and
+    compute per-column rank correlations with the paper's numbers."""
+    by2 = {row.program: row for row in table2}
+    by3 = {row.program: row for row in table3}
+    violations: List[Tuple[str, str]] = []
+
+    for name, row in by2.items():
+        paper = PAPER_TABLE2[name]
+        if row.polynomial != row.pass_through:
+            violations.append((name, "polynomial != pass-through"))
+        if not (row.literal <= row.intraprocedural <= row.polynomial):
+            violations.append((name, "literal <= intra <= poly violated"))
+        paper_ret_gain = paper[0] - paper[4]
+        measured_ret_gain = row.polynomial - row.polynomial_no_returns
+        if (paper_ret_gain > 50) != (measured_ret_gain > 50):
+            violations.append((name, "return-function impact class differs"))
+
+    for name, row in by3.items():
+        paper = PAPER_TABLE3[name]
+        if row.polynomial_without_mod > row.polynomial_with_mod:
+            violations.append((name, "no-MOD exceeded with-MOD"))
+        if row.complete_propagation < row.polynomial_with_mod:
+            violations.append((name, "complete below with-MOD"))
+        if row.intraprocedural > row.polynomial_with_mod:
+            violations.append((name, "intra exceeded interprocedural"))
+        paper_complete_gain = paper[2] > paper[1]
+        measured_complete_gain = row.complete_propagation > row.polynomial_with_mod
+        if paper_complete_gain != measured_complete_gain:
+            violations.append((name, "complete-propagation gain class differs"))
+
+    names = list(by2)
+    correlations = {
+        "Table2 polynomial": spearman(
+            [PAPER_TABLE2[n][0] for n in names], [by2[n].polynomial for n in names]
+        ),
+        "Table2 literal": spearman(
+            [PAPER_TABLE2[n][3] for n in names], [by2[n].literal for n in names]
+        ),
+        "Table3 without MOD": spearman(
+            [PAPER_TABLE3[n][0] for n in names],
+            [by3[n].polynomial_without_mod for n in names],
+        ),
+        "Table3 intraprocedural": spearman(
+            [PAPER_TABLE3[n][3] for n in names],
+            [by3[n].intraprocedural for n in names],
+        ),
+    }
+    return ShapeAgreement(violations, correlations)

@@ -1,0 +1,331 @@
+"""The 12-program benchmark suite.
+
+Each program here is a modeled stand-in for the same-named SPEC'89 /
+PERFECT benchmark of the study (Table 1). The originals are proprietary
+FORTRAN codes we cannot ship; each stand-in is generated from the
+pattern library in :mod:`repro.suite.builder` so that it contains the
+same *constant-flow structure* the paper attributes to its namesake —
+which jump functions find its constants, whether return jump functions
+matter, how badly the loss of MOD information hurts, and whether
+complete propagation exposes anything extra. Absolute counts are scaled
+to keep analysis fast; every comparison the paper makes is preserved in
+*shape* (orderings, rough ratios, crossovers).
+
+Per-program design notes (paper row -> mechanisms used):
+
+- **adm** — every jump function ties (110 everywhere); intraprocedural
+  propagation nearly as good (105); no-MOD collapses to ~25.
+  -> almost all constants are local, most of them killed by the
+  recursive sink without MOD; a pinch of literal actuals.
+- **doduc** — all counts ~289, but intraprocedural-only finds 3!
+  -> constants arrive as literal actuals at hundreds of call sites;
+  return values add 2; one intra-chain separates literal (288) from the
+  rest (289).
+- **fpppp** — staircase 49 < 54 < 60; returns worth 4; skewed toward one
+  big routine.
+- **linpackd** — literal loses big (94 vs 170): constants are passed as
+  variables and globals; returns irrelevant; no-MOD devastating (33).
+- **matrix300** — staircase 71 < 122 < 138 (pass-through chains matter).
+- **mdg** — small, mild staircase 31 < 40 < 41, returns worth 1.
+- **ocean** — the return-function showcase: an INIT routine assigns
+  configuration globals; with return functions 194, without 62; complete
+  propagation adds ~10 more (dead dispatch arms).
+- **qcd** — essentially all intraprocedural (180 vs 179); interprocedural
+  machinery nearly irrelevant; small no-MOD dent.
+- **simple** — no-MOD catastrophe (183 -> 2): every local constant is
+  shown to the recursive sink; skewed toward one big routine.
+- **snasa7** — large literal gap (254 vs 336), otherwise flat; most
+  constants intraprocedural (254).
+- **spec77** — moderate gaps everywhere; complete propagation adds ~4.
+- **trfd** — tiny (16): sanity-scale program.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.suite.builder import SuiteProgramBuilder
+
+
+def _build_adm() -> str:
+    b = SuiteProgramBuilder("adm")
+    # 105 intraprocedural references, 80 of them no-MOD-fragile.
+    for refs, value, sink in ((20, 3, True), (20, 12, True), (20, 7, True),
+                              (20, 64, True), (15, 2, False), (10, 5, False)):
+        b.local_constants(refs, value, sink=sink)
+    # The 5 interprocedural constants are literal actuals.
+    b.literal_leaf(3, 100)
+    b.literal_leaf(2, 8)
+    b.conflict_calls((1, 2), n_refs=2)
+    # adm is the largest program in the suite.
+    for size in (40, 34, 30, 26, 22, 12, 8):
+        b.noise_proc(size)
+    return b.build()
+
+
+def _build_doduc() -> str:
+    b = SuiteProgramBuilder("doduc")
+    # Hundreds of literal actuals spread over many leaves.
+    for index in range(20):
+        b.literal_leaf(14, 10 + index)
+    b.literal_leaf(3, 999)
+    # +1 found by intraprocedural and better (the literal JF misses it);
+    # routed through the sink so the no-MOD run loses exactly this one.
+    b.intra_chain(1, 77, sink=True)
+    # +2 from a constant-returning function.
+    b.function_returns(2, 31)
+    b.bounded_loop(250)
+    b.bounded_loop(40)
+    # Intraprocedural baseline sees only these 3 local references.
+    b.local_constants(3, 6, in_procedure=False)
+    b.noise_proc(10)
+    b.noise_proc(10)
+    b.noise_proc(6, with_loop=False)
+    return b.build()
+
+
+def _build_fpppp() -> str:
+    b = SuiteProgramBuilder("fpppp")
+    # 38 intraprocedural references: 22 robust, 16 no-MOD-fragile, most
+    # of them concentrated in one big routine (the paper notes fpppp is
+    # dominated by a single procedure).
+    b.local_constants(22, 4, sink=False)
+    b.local_constants(16, 9, sink=True)
+    # literal tier: +11.
+    b.literal_leaf(6, 2)
+    b.literal_leaf(5, 50)
+    # intraprocedural tier: +1 intra chain, +4 INIT globals (the latter
+    # need return functions and die without MOD thanks to the sink call
+    # placed before the readers).
+    b.intra_chain(1, 123)
+    b.global_via_init((10, 20), 2, 2, kill_from_worker=0)
+    # pass-through tier: +6 via a depth-3 fragile chain (2 refs at the
+    # entry level count for every kind; 4 deeper ones only for
+    # pass-through/polynomial and die without MOD).
+    b.formal_chain(3, 2, 55, fragile=True)
+    b.bounded_loop(12)
+    # One dominant routine (the paper notes fpppp's skew: a single
+    # routine makes up a large part of the code).
+    b.noise_proc(110)
+    b.noise_proc(6, with_loop=False)
+    b.noise_proc(5, with_loop=False)
+    return b.build()
+
+
+def _build_linpackd() -> str:
+    b = SuiteProgramBuilder("linpackd")
+    # 74 intraprocedural references, 46 no-MOD-fragile.
+    b.local_constants(28, 10, sink=False)
+    b.local_constants(24, 100, sink=True)
+    b.local_constants(22, 1, sink=True)
+    # literal tier: +20.
+    for value in (200, 201, 202, 203):
+        b.literal_leaf(5, value)
+    # variable actuals and direct globals: +76, all intraprocedural-
+    # detectable at the call sites, no return functions needed. The
+    # globals die without MOD from the second worker on.
+    b.intra_chain(10, 500, sink=True)
+    b.intra_chain(10, 501, sink=False)
+    b.global_direct((64, 128, 256), 7, 8, kill_from_worker=1)
+    b.bounded_loop(100)
+    b.bounded_loop(1000)
+    b.conflict_calls((3, 4, 5), n_refs=3)
+    b.noise_proc(14)
+    return b.build()
+
+
+def _build_matrix300() -> str:
+    b = SuiteProgramBuilder("matrix300")
+    # 69 intraprocedural references (30 fragile).
+    b.local_constants(39, 300, sink=False)
+    b.local_constants(30, 2, sink=True)
+    # literal tier: +2 -> 71.
+    b.literal_leaf(2, 300)
+    # intraprocedural tier: +51 -> 122 (variable actuals + globals).
+    b.intra_chain(15, 300, sink=True)
+    b.intra_chain(12, 64, sink=False)
+    b.global_direct((300, 150), 4, 6, kill_from_worker=0)
+    # pass-through tier: +16 -> 138 via two fragile depth-3 chains
+    # (entry level refs 0 so every ref needs pass-through).
+    b.formal_chain(3, 4, 300, fragile=True)
+    b.formal_chain(2, 4, 151, fragile=True)
+    b.bounded_loop(300)
+    b.bounded_loop(300)
+    b.noise_proc(12)
+    return b.build()
+
+
+def _build_mdg() -> str:
+    b = SuiteProgramBuilder("mdg")
+    # 31 intraprocedural references (6 fragile: no-MOD keeps 31 - 6 +
+    # a few interprocedural survivors ~= the paper's flat 31).
+    b.local_constants(25, 8, sink=False)
+    b.local_constants(6, 3, sink=True)
+    # intraprocedural tier: +9 -> 40 (literal finds none of these).
+    b.intra_chain(5, 25, sink=True)
+    b.global_direct((9,), 2, 2, kill_from_worker=0)
+    # +1 return-function constant -> 41 for pass/poly/intra... and the
+    # paper shows intra=40: make it pass-through-only depth-2.
+    b.formal_chain(2, 1, 33, fragile=True)
+    b.bounded_loop(27)
+    b.noise_proc(8)
+    return b.build()
+
+
+def _build_ocean() -> str:
+    b = SuiteProgramBuilder("ocean")
+    # 56 intraprocedural references (26 fragile).
+    b.local_constants(30, 5, sink=False)
+    b.local_constants(26, 11, sink=True)
+    # literal tier: +1 -> 57.
+    b.literal_leaf(1, 4)
+    # The initialization routine assigns many configuration globals;
+    # most workers read them. Everything here needs return jump
+    # functions (194 - 62 = 132 references): without them the analyzer
+    # has no idea what INIT did. A sink call before the last four
+    # workers makes roughly half of these die without MOD.
+    b.global_via_init((64, 32, 16, 8), 12, 9, kill_from_worker=7)
+    b.global_via_init((7, 77), 4, 6, kill_from_worker=2)
+    # +5 function-result references (also return-function-dependent).
+    b.function_returns(3, 12)
+    b.function_returns(2, 9)
+    # Complete propagation reveals ~10 more (constant-guarded dispatch).
+    b.bounded_loop(64)
+    b.bounded_loop(32)
+    b.bounded_loop(100)
+    b.dead_branch_reveal(6, 1, 2)
+    b.dead_branch_reveal(4, 3, 4)
+    b.noise_proc(10)
+    return b.build()
+
+
+def _build_qcd() -> str:
+    b = SuiteProgramBuilder("qcd")
+    # 179 intraprocedural references, only 11 fragile.
+    b.local_constants(60, 3, sink=False)
+    b.local_constants(56, 17, sink=False)
+    b.local_constants(52, 4, sink=False)
+    b.local_constants(11, 8, sink=True)
+    # +1 literal -> 180 flat across all configurations.
+    b.literal_leaf(1, 6)
+    b.conflict_calls((10, 20), n_refs=2)
+    b.bounded_loop(16)
+    b.noise_proc(26)
+    b.noise_proc(20)
+    b.noise_proc(16)
+    return b.build()
+
+
+def _build_simple() -> str:
+    b = SuiteProgramBuilder("simple")
+    # The no-MOD catastrophe: every local constant is shown to the
+    # recursive sink before use, so without MOD only 2 references
+    # survive. One dominant routine carries most of the program.
+    b.local_constants(60, 2, sink=True)
+    b.local_constants(58, 30, sink=True)
+    b.local_constants(56, 9, sink=True)
+    b.local_constants(2, 5, sink=False, in_procedure=False)
+    # intraprocedural tier: +5 -> 179 (all sink-fragile).
+    b.intra_chain(5, 40, sink=True)
+    # pass-through tier: +4 -> 183.
+    b.formal_chain(2, 2, 60, fragile=True)
+    b.noise_proc(80)
+    return b.build()
+
+
+def _build_snasa7() -> str:
+    b = SuiteProgramBuilder("snasa7")
+    # 254 intraprocedural references (33 fragile -> no-MOD 303).
+    b.local_constants(80, 7, sink=False)
+    b.local_constants(76, 2, sink=False)
+    b.local_constants(65, 50, sink=False)
+    b.local_constants(33, 4, sink=True)
+    # interprocedural tier: +82 -> 336, none of it literal-detectable
+    # (variable actuals and direct globals; literal stays at 254).
+    b.intra_chain(20, 1000, sink=False)
+    b.intra_chain(20, 1001, sink=False)
+    b.global_direct((7, 49), 6, 7, kill_from_worker=6)
+    b.bounded_loop(7)
+    b.bounded_loop(500)
+    b.noise_proc(12)
+    b.noise_proc(12)
+    return b.build()
+
+
+def _build_spec77() -> str:
+    b = SuiteProgramBuilder("spec77")
+    # 83 intraprocedural references (36 fragile).
+    b.local_constants(47, 6, sink=False)
+    b.local_constants(36, 13, sink=True)
+    # literal tier: +21 -> 104.
+    b.literal_leaf(11, 365)
+    b.literal_leaf(10, 24)
+    # intraprocedural-and-better tier: +33 -> 137.
+    b.intra_chain(12, 730, sink=True)
+    b.global_direct((360, 180), 3, 7, kill_from_worker=1)
+    # complete propagation adds ~4.
+    b.bounded_loop(365)
+    b.bounded_loop(24)
+    b.dead_branch_reveal(4, 5, 6)
+    b.conflict_calls((1, 2, 3), n_refs=2)
+    for size in (30, 26, 20, 16):
+        b.noise_proc(size)
+    return b.build()
+
+
+def _build_trfd() -> str:
+    b = SuiteProgramBuilder("trfd")
+    # 15 intraprocedural references (5 fragile), +1 literal -> 16 flat.
+    b.local_constants(10, 20, sink=False)
+    b.local_constants(5, 40, sink=True)
+    b.literal_leaf(1, 4)
+    b.noise_proc(6)
+    return b.build()
+
+
+_BUILDERS: Dict[str, Callable[[], str]] = {
+    "adm": _build_adm,
+    "doduc": _build_doduc,
+    "fpppp": _build_fpppp,
+    "linpackd": _build_linpackd,
+    "matrix300": _build_matrix300,
+    "mdg": _build_mdg,
+    "ocean": _build_ocean,
+    "qcd": _build_qcd,
+    "simple": _build_simple,
+    "snasa7": _build_snasa7,
+    "spec77": _build_spec77,
+    "trfd": _build_trfd,
+}
+
+#: Suite order, matching the paper's tables.
+SUITE_PROGRAM_NAMES: List[str] = list(_BUILDERS)
+
+_CACHE: Dict[str, str] = {}
+
+
+def program_source(name: str) -> str:
+    """The MiniFortran source text of suite program ``name``."""
+    if name not in _CACHE:
+        _CACHE[name] = _BUILDERS[name]()
+    return _CACHE[name]
+
+
+def suite_sources() -> Dict[str, str]:
+    """All suite programs, in table order."""
+    return {name: program_source(name) for name in SUITE_PROGRAM_NAMES}
+
+
+def write_suite(directory: str) -> List[str]:
+    """Write each suite program to ``directory`` as ``<name>.f``;
+    returns the paths written."""
+    import os
+
+    paths = []
+    os.makedirs(directory, exist_ok=True)
+    for name, source in suite_sources().items():
+        path = os.path.join(directory, f"{name}.f")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        paths.append(path)
+    return paths

@@ -1,0 +1,166 @@
+"""Regenerating the study's tables on the bundled suite.
+
+- **Table 1**: program characteristics (:mod:`repro.suite.characteristics`);
+- **Table 2**: constants substituted under each forward jump function,
+  with and without return jump functions;
+- **Table 3**: polynomial jump functions without MOD / with MOD /
+  complete propagation / purely intraprocedural propagation.
+
+Each run re-lowers the program from source: the driver mutates the IR
+(annotation, SSA, and — for complete propagation — DCE), so
+configurations must not share a Program object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.config import AnalysisConfig, JumpFunctionKind
+from repro.ipcp.driver import analyze_source
+from repro.suite.characteristics import ProgramCharacteristics, characterize_suite
+from repro.suite.programs import SUITE_PROGRAM_NAMES, program_source
+
+
+def run_configuration(name: str, config: AnalysisConfig) -> int:
+    """Analyze suite program ``name`` under ``config``; returns the
+    substituted-reference count (one table cell)."""
+    result = analyze_source(program_source(name), config, filename=f"{name}.f")
+    return result.substituted_constants
+
+
+# Backwards-compatible private alias used throughout this module.
+_run = run_configuration
+
+
+@dataclass
+class Table2Row:
+    """Constants found through use of jump functions (Table 2)."""
+
+    program: str
+    polynomial: int
+    pass_through: int
+    intraprocedural: int
+    literal: int
+    polynomial_no_returns: int
+    pass_through_no_returns: int
+
+
+@dataclass
+class Table3Row:
+    """Comparison of the most precise jump function with other
+    propagation techniques (Table 3)."""
+
+    program: str
+    polynomial_without_mod: int
+    polynomial_with_mod: int
+    complete_propagation: int
+    intraprocedural: int
+
+
+def compute_table1() -> Dict[str, ProgramCharacteristics]:
+    """Table 1 rows."""
+    return characterize_suite()
+
+
+def compute_table2(programs: List[str] = None) -> List[Table2Row]:
+    """Table 2 rows: 6 configurations per program."""
+    rows = []
+    for name in programs or SUITE_PROGRAM_NAMES:
+        rows.append(
+            Table2Row(
+                program=name,
+                polynomial=_run(name, AnalysisConfig.table2(JumpFunctionKind.POLYNOMIAL)),
+                pass_through=_run(name, AnalysisConfig.table2(JumpFunctionKind.PASS_THROUGH)),
+                intraprocedural=_run(
+                    name, AnalysisConfig.table2(JumpFunctionKind.INTRAPROCEDURAL)
+                ),
+                literal=_run(name, AnalysisConfig.table2(JumpFunctionKind.LITERAL)),
+                polynomial_no_returns=_run(
+                    name,
+                    AnalysisConfig.table2(JumpFunctionKind.POLYNOMIAL, returns=False),
+                ),
+                pass_through_no_returns=_run(
+                    name,
+                    AnalysisConfig.table2(JumpFunctionKind.PASS_THROUGH, returns=False),
+                ),
+            )
+        )
+    return rows
+
+
+def compute_table3(programs: List[str] = None) -> List[Table3Row]:
+    """Table 3 rows: 4 propagation techniques per program."""
+    rows = []
+    for name in programs or SUITE_PROGRAM_NAMES:
+        rows.append(
+            Table3Row(
+                program=name,
+                polynomial_without_mod=_run(name, AnalysisConfig.polynomial_without_mod()),
+                polynomial_with_mod=_run(name, AnalysisConfig.polynomial_with_mod()),
+                complete_propagation=_run(name, AnalysisConfig.complete_propagation()),
+                intraprocedural=_run(name, AnalysisConfig.intraprocedural_only()),
+            )
+        )
+    return rows
+
+
+# -- formatting ---------------------------------------------------------------
+
+
+def format_table1(rows=None) -> str:
+    rows = rows if rows is not None else compute_table1()
+    header = (
+        f"{'Program':<12} {'Lines':>6} {'Procs':>6} "
+        f"{'Mean l/p':>9} {'Median l/p':>11}"
+    )
+    lines = ["Table 1: Characteristics of program test suite", header,
+             "-" * len(header)]
+    for name, row in rows.items():
+        lines.append(
+            f"{name:<12} {row.lines:>6} {row.procedures:>6} "
+            f"{row.mean_lines_per_procedure:>9.1f} "
+            f"{row.median_lines_per_procedure:>11.1f}"
+        )
+    return "\n".join(lines)
+
+
+def format_table2(programs: List[str] = None, rows: List[Table2Row] = None) -> str:
+    rows = rows if rows is not None else compute_table2(programs)
+    header = (
+        f"{'Program':<12} {'Poly':>6} {'Pass':>6} {'Intra':>6} {'Literal':>8} "
+        f"{'Poly-NR':>8} {'Pass-NR':>8}"
+    )
+    lines = [
+        "Table 2: Constants found through use of jump functions",
+        "(first four columns use return jump functions; -NR = without)",
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.program:<12} {row.polynomial:>6} {row.pass_through:>6} "
+            f"{row.intraprocedural:>6} {row.literal:>8} "
+            f"{row.polynomial_no_returns:>8} {row.pass_through_no_returns:>8}"
+        )
+    return "\n".join(lines)
+
+
+def format_table3(programs: List[str] = None, rows: List[Table3Row] = None) -> str:
+    rows = rows if rows is not None else compute_table3(programs)
+    header = (
+        f"{'Program':<12} {'No MOD':>8} {'With MOD':>9} {'Complete':>9} "
+        f"{'Intra':>7}"
+    )
+    lines = [
+        "Table 3: Most precise jump function vs other propagation techniques",
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.program:<12} {row.polynomial_without_mod:>8} "
+            f"{row.polynomial_with_mod:>9} {row.complete_propagation:>9} "
+            f"{row.intraprocedural:>7}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Interprocedural side-effect summaries (MOD/REF)."""
+
+from repro.summary.modref import ModRefInfo, annotate_call_effects, compute_modref
+
+__all__ = ["ModRefInfo", "annotate_call_effects", "compute_modref"]

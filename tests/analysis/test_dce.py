@@ -1,0 +1,135 @@
+"""Dead-code elimination tests."""
+
+from repro.analysis.dce import eliminate_dead_code
+from repro.analysis.sccp import run_sccp
+from repro.analysis.ssa import verify_ssa
+from repro.config import AnalysisConfig
+from repro.ipcp.driver import prepare_program
+from repro.ir.instructions import Assign, Call, CondBranch, Phi
+
+from tests.conftest import lower
+
+
+def prepared_proc(text, proc="main"):
+    program = lower(text)
+    prepare_program(program, AnalysisConfig())
+    return program, program.procedure(proc)
+
+
+BRANCHY = (
+    "      PROGRAM MAIN\n      X = 1\n"
+    "      IF (X .EQ. 1) THEN\n      Y = 10\n      ELSE\n      Y = 20\n"
+    "      ENDIF\n      PRINT *, Y\n      END\n"
+)
+
+
+class TestBranchFolding:
+    def test_constant_branch_folds(self):
+        _, main = prepared_proc(BRANCHY)
+        sccp = run_sccp(main)
+        stats = eliminate_dead_code(main, sccp)
+        assert stats.folded_branches == 1
+        assert stats.removed_blocks >= 1
+        assert not any(
+            isinstance(i, CondBranch) for i in main.cfg.instructions()
+        )
+
+    def test_ssa_still_valid_after_dce(self):
+        _, main = prepared_proc(BRANCHY)
+        eliminate_dead_code(main, run_sccp(main))
+        assert verify_ssa(main) == []
+
+    def test_single_input_phi_becomes_copy(self):
+        _, main = prepared_proc(BRANCHY)
+        eliminate_dead_code(main, run_sccp(main), remove_dead_definitions=False)
+        # The y phi at the join collapsed into a copy.
+        phis = [i for i in main.cfg.instructions() if isinstance(i, Phi)]
+        assert not [p for p in phis if p.target.var.name == "y"]
+
+    def test_nonconstant_branch_untouched(self):
+        _, main = prepared_proc(
+            "      PROGRAM MAIN\n      READ *, X\n"
+            "      IF (X .EQ. 1) THEN\n      Y = 10\n      ELSE\n      Y = 20\n"
+            "      ENDIF\n      PRINT *, Y\n      END\n"
+        )
+        stats = eliminate_dead_code(main, run_sccp(main))
+        assert stats.folded_branches == 0
+
+    def test_without_sccp_no_folding(self):
+        _, main = prepared_proc(BRANCHY)
+        stats = eliminate_dead_code(main)
+        assert stats.folded_branches == 0
+
+
+class TestDeadDefinitions:
+    def test_unused_pure_def_removed(self):
+        _, main = prepared_proc(
+            "      PROGRAM MAIN\n      X = 1\n      Y = 2\n      PRINT *, X\n"
+            "      END\n"
+        )
+        stats = eliminate_dead_code(main)
+        assert stats.removed_instructions >= 1
+        names = [
+            d.var.name
+            for i in main.cfg.instructions()
+            for d in i.defs()
+        ]
+        assert "y" not in names
+
+    def test_used_def_kept(self):
+        _, main = prepared_proc(
+            "      PROGRAM MAIN\n      X = 1\n      PRINT *, X\n      END\n"
+        )
+        eliminate_dead_code(main)
+        names = [
+            d.var.name for i in main.cfg.instructions() for d in i.defs()
+        ]
+        assert "x" in names
+
+    def test_chain_of_dead_defs_removed_iteratively(self):
+        _, main = prepared_proc(
+            "      PROGRAM MAIN\n      A = 1\n      B = A + 1\n      C = B + 1\n"
+            "      END\n"
+        )
+        stats = eliminate_dead_code(main)
+        assert stats.removed_instructions == 3
+
+    def test_flag_disables_removal(self):
+        _, main = prepared_proc(
+            "      PROGRAM MAIN\n      A = 1\n      B = A + 1\n      END\n"
+        )
+        stats = eliminate_dead_code(main, remove_dead_definitions=False)
+        assert stats.removed_instructions == 0
+
+    def test_global_stores_kept_in_subroutine(self):
+        # Assignments to globals are observable at RETURN (exit_uses):
+        # never removed.
+        program, s = prepared_proc(
+            "      PROGRAM MAIN\n      COMMON /B/ G\n      CALL S\n"
+            "      PRINT *, G\n      END\n"
+            "      SUBROUTINE S\n      COMMON /B/ G\n      G = 5\n      END\n",
+            proc="s",
+        )
+        eliminate_dead_code(s)
+        names = [d.var.name for i in s.cfg.instructions() for d in i.defs()]
+        assert "g" in names
+
+    def test_calls_never_removed(self):
+        _, main = prepared_proc(
+            "      PROGRAM MAIN\n      X = F(1)\n      END\n"
+            "      INTEGER FUNCTION F(Q)\n      F = Q\n      END\n"
+        )
+        eliminate_dead_code(main)
+        assert any(isinstance(i, Call) for i in main.cfg.instructions())
+
+
+class TestStats:
+    def test_changed_flag(self):
+        _, main = prepared_proc(
+            "      PROGRAM MAIN\n      X = 1\n      PRINT *, X\n      END\n"
+        )
+        stats = eliminate_dead_code(main)
+        assert not stats.changed
+        _, main2 = prepared_proc(BRANCHY)
+        stats2 = eliminate_dead_code(main2, run_sccp(main2))
+        assert stats2.changed

@@ -1,0 +1,124 @@
+"""Dominator tree and dominance frontier tests."""
+
+from repro.analysis.dominance import compute_dominator_tree
+from repro.ir.cfg import BasicBlock, ControlFlowGraph
+from repro.ir.instructions import CondBranch, Const, Halt, Jump
+
+from tests.conftest import lower
+
+
+def diamond():
+    entry = BasicBlock("entry")
+    cfg = ControlFlowGraph(entry)
+    left, right, join = (cfg.new_block(n) for n in ("left", "right", "join"))
+    entry.append(CondBranch(Const(1), left, right))
+    left.append(Jump(join))
+    right.append(Jump(join))
+    join.append(Halt())
+    return cfg, entry, left, right, join
+
+
+def loop():
+    entry = BasicBlock("entry")
+    cfg = ControlFlowGraph(entry)
+    head, body, exit_block = (
+        cfg.new_block(n) for n in ("head", "body", "exit")
+    )
+    entry.append(Jump(head))
+    head.append(CondBranch(Const(1), body, exit_block))
+    body.append(Jump(head))
+    exit_block.append(Halt())
+    return cfg, entry, head, body, exit_block
+
+
+class TestImmediateDominators:
+    def test_entry_has_no_idom(self):
+        cfg, entry, *_ = diamond()
+        tree = compute_dominator_tree(cfg)
+        assert tree.idom[entry] is None
+
+    def test_diamond_idoms(self):
+        cfg, entry, left, right, join = diamond()
+        tree = compute_dominator_tree(cfg)
+        assert tree.idom[left] is entry
+        assert tree.idom[right] is entry
+        assert tree.idom[join] is entry
+
+    def test_loop_idoms(self):
+        cfg, entry, head, body, exit_block = loop()
+        tree = compute_dominator_tree(cfg)
+        assert tree.idom[head] is entry
+        assert tree.idom[body] is head
+        assert tree.idom[exit_block] is head
+
+    def test_chain(self):
+        entry = BasicBlock("a")
+        cfg = ControlFlowGraph(entry)
+        b = cfg.new_block("b")
+        c = cfg.new_block("c")
+        entry.append(Jump(b))
+        b.append(Jump(c))
+        c.append(Halt())
+        tree = compute_dominator_tree(cfg)
+        assert tree.idom[c] is b
+
+
+class TestDominanceQueries:
+    def test_dominates_reflexive(self):
+        cfg, entry, *_ = diamond()
+        tree = compute_dominator_tree(cfg)
+        assert tree.dominates(entry, entry)
+
+    def test_entry_dominates_all(self):
+        cfg, entry, left, right, join = diamond()
+        tree = compute_dominator_tree(cfg)
+        for block in (left, right, join):
+            assert tree.dominates(entry, block)
+
+    def test_branch_arm_does_not_dominate_join(self):
+        cfg, entry, left, right, join = diamond()
+        tree = compute_dominator_tree(cfg)
+        assert not tree.dominates(left, join)
+        assert not tree.strictly_dominates(join, join)
+
+    def test_preorder_parent_before_child(self):
+        cfg, entry, head, body, exit_block = loop()
+        tree = compute_dominator_tree(cfg)
+        order = tree.preorder()
+        assert order.index(head) < order.index(body)
+        assert order[0] is entry
+        assert len(order) == 4
+
+
+class TestDominanceFrontiers:
+    def test_diamond_frontier(self):
+        cfg, entry, left, right, join = diamond()
+        tree = compute_dominator_tree(cfg)
+        assert tree.frontier[left] == {join}
+        assert tree.frontier[right] == {join}
+        assert tree.frontier[entry] == set()
+
+    def test_loop_frontier_includes_head(self):
+        cfg, entry, head, body, exit_block = loop()
+        tree = compute_dominator_tree(cfg)
+        assert head in tree.frontier[body]
+        # The head is in its own frontier (it dominates a predecessor).
+        assert head in tree.frontier[head]
+
+    def test_real_program_frontiers_consistent(self):
+        from tests.conftest import TRI_PROGRAM
+
+        program = lower(TRI_PROGRAM)
+        for procedure in program:
+            tree = compute_dominator_tree(procedure.cfg)
+            preds = procedure.cfg.predecessors()
+            for block, frontier in tree.frontier.items():
+                for f in frontier:
+                    # Frontier definition: block dominates a pred of f
+                    # but not f strictly.
+                    assert any(
+                        tree.dominates(block, p)
+                        for p in preds[f]
+                        if p in tree.idom
+                    )
+                    assert not tree.strictly_dominates(block, f)

@@ -1,0 +1,192 @@
+"""SCCP (sparse conditional constant propagation) tests."""
+
+from repro.analysis.sccp import SCCPCallModel, run_sccp
+from repro.config import AnalysisConfig
+from repro.ipcp.driver import prepare_program
+from repro.ir.instructions import Print
+from repro.lattice import BOTTOM, TOP, const
+
+from tests.conftest import lower
+
+
+def sccp_of(text, proc="main", entry_values=None, call_model=None):
+    program = lower(text)
+    prepare_program(program, AnalysisConfig())
+    procedure = program.procedure(proc)
+    return procedure, run_sccp(procedure, entry_values, call_model)
+
+
+def print_value(procedure, result, index=0):
+    prints = [i for i in procedure.cfg.instructions() if isinstance(i, Print)]
+    return result.operand_value(prints[0].operands()[index])
+
+
+class TestConstants:
+    def test_straightline_constant(self):
+        p, r = sccp_of(
+            "      PROGRAM MAIN\n      X = 2\n      Y = X * 3\n"
+            "      PRINT *, Y\n      END\n"
+        )
+        assert print_value(p, r) == const(6)
+
+    def test_read_is_bottom(self):
+        p, r = sccp_of(
+            "      PROGRAM MAIN\n      READ *, X\n      PRINT *, X\n      END\n"
+        )
+        assert print_value(p, r).is_bottom
+
+    def test_equal_merge(self):
+        p, r = sccp_of(
+            "      PROGRAM MAIN\n      READ *, C\n"
+            "      IF (C .GT. 0) THEN\n      X = 4\n      ELSE\n      X = 4\n"
+            "      ENDIF\n      PRINT *, X\n      END\n"
+        )
+        assert print_value(p, r) == const(4)
+
+    def test_unequal_merge_is_bottom(self):
+        p, r = sccp_of(
+            "      PROGRAM MAIN\n      READ *, C\n"
+            "      IF (C .GT. 0) THEN\n      X = 4\n      ELSE\n      X = 5\n"
+            "      ENDIF\n      PRINT *, X\n      END\n"
+        )
+        assert print_value(p, r).is_bottom
+
+    def test_mul_by_zero_absorbs_bottom(self):
+        p, r = sccp_of(
+            "      PROGRAM MAIN\n      READ *, X\n      Y = X * 0\n"
+            "      PRINT *, Y\n      END\n"
+        )
+        assert print_value(p, r) == const(0)
+
+    def test_division_by_zero_is_bottom(self):
+        p, r = sccp_of(
+            "      PROGRAM MAIN\n      X = 1 / 0\n      PRINT *, X\n      END\n"
+        )
+        assert print_value(p, r).is_bottom
+
+
+class TestConditionalPruning:
+    BRANCHY = (
+        "      PROGRAM MAIN\n      X = 1\n"
+        "      IF (X .EQ. 1) THEN\n      Y = 10\n      ELSE\n      Y = 20\n"
+        "      ENDIF\n      PRINT *, Y\n      END\n"
+    )
+
+    def test_constant_branch_prunes_dead_arm(self):
+        p, r = sccp_of(self.BRANCHY)
+        # The dead arm never executes, so Y is exactly 10 (plain meet
+        # over both arms would give bottom).
+        assert print_value(p, r) == const(10)
+
+    def test_dead_blocks_reported(self):
+        p, r = sccp_of(self.BRANCHY)
+        assert r.dead_blocks()
+
+    def test_loop_with_constant_bounds_executes(self):
+        p, r = sccp_of(
+            "      PROGRAM MAIN\n      S = 0\n      DO I = 1, 3\n"
+            "      S = S + 1\n      ENDDO\n      PRINT *, S\n      END\n"
+        )
+        # Loop-carried: S is bottom, but everything is executable.
+        assert print_value(p, r).is_bottom
+        assert not r.dead_blocks()
+
+    def test_never_executed_loop_body(self):
+        p, r = sccp_of(
+            "      PROGRAM MAIN\n      S = 5\n      DO I = 3, 1\n"
+            "      S = 99\n      ENDDO\n      PRINT *, S\n      END\n"
+        )
+        # Zero-trip loop: body never executes; S stays 5.
+        assert print_value(p, r) == const(5)
+
+
+class TestEntryValues:
+    SUB = (
+        "      PROGRAM MAIN\n      CALL S(1)\n      END\n"
+        "      SUBROUTINE S(A)\n      X = A * 10\n      PRINT *, X\n      END\n"
+    )
+
+    def test_entry_constant_flows(self):
+        program = lower(self.SUB)
+        prepare_program(program, AnalysisConfig())
+        s = program.procedure("s")
+        a = s.formals[0]
+        result = run_sccp(s, {a: const(4)})
+        assert print_value(s, result) == const(40)
+
+    def test_default_entry_is_bottom(self):
+        p, r = sccp_of(self.SUB, proc="s")
+        assert print_value(p, r).is_bottom
+
+    def test_top_entry_stays_optimistic(self):
+        program = lower(self.SUB)
+        prepare_program(program, AnalysisConfig())
+        s = program.procedure("s")
+        a = s.formals[0]
+        result = run_sccp(s, {a: TOP})
+        # TOP entry: X = TOP * 10 never lowers.
+        assert print_value(s, result).is_top
+
+
+class TestCallModel:
+    CALLS = (
+        "      PROGRAM MAIN\n      N = 5\n      CALL T(N)\n      PRINT *, N\n"
+        "      END\n"
+        "      SUBROUTINE T(K)\n      K = 9\n      END\n"
+    )
+
+    def test_default_model_kills_modified(self):
+        p, r = sccp_of(self.CALLS)
+        assert print_value(p, r).is_bottom
+
+    def test_custom_model_supplies_value(self):
+        class NineModel(SCCPCallModel):
+            def modified_value(self, call, var, operand_value):
+                return const(9)
+
+        p, r = sccp_of(self.CALLS, call_model=NineModel())
+        assert print_value(p, r) == const(9)
+
+    def test_unmodified_vars_survive_with_mod(self):
+        p, r = sccp_of(
+            "      PROGRAM MAIN\n      N = 5\n      M = 0\n      CALL T(M)\n"
+            "      PRINT *, N\n      END\n"
+            "      SUBROUTINE T(K)\n      K = 9\n      END\n"
+        )
+        assert print_value(p, r) == const(5)
+
+    def test_function_result_bottom_by_default(self):
+        p, r = sccp_of(
+            "      PROGRAM MAIN\n      X = F(1)\n      PRINT *, X\n      END\n"
+            "      INTEGER FUNCTION F(Q)\n      F = 3\n      END\n"
+        )
+        assert print_value(p, r).is_bottom
+
+
+class TestSubstitutionMetric:
+    def test_counts_source_references_only(self):
+        p, r = sccp_of(
+            "      PROGRAM MAIN\n      X = 2\n      Y = X + X\n"
+            "      PRINT *, Y\n      END\n"
+        )
+        uses = r.constant_source_references()
+        # X twice and Y once: 3 source references with constant values.
+        assert len(uses) == 3
+
+    def test_dead_code_references_not_counted(self):
+        p, r = sccp_of(
+            "      PROGRAM MAIN\n      X = 1\n"
+            "      IF (X .NE. 1) THEN\n      Y = X + 1\n      ENDIF\n"
+            "      END\n"
+        )
+        counted_names = {u.var.name for u in r.constant_source_references()}
+        # The X inside the dead arm must not be counted; the X in the
+        # condition is.
+        uses = r.constant_source_references()
+        assert len(uses) == 1
+
+    def test_nonconstant_references_not_counted(self):
+        p, r = sccp_of(
+            "      PROGRAM MAIN\n      READ *, X\n      Y = X + 1\n      END\n"
+        )
+        assert r.constant_source_references() == []

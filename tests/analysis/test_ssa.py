@@ -1,0 +1,160 @@
+"""SSA construction tests."""
+
+import pytest
+
+from repro.analysis.ssa import construct_ssa, ssa_definitions, verify_ssa
+from repro.config import AnalysisConfig
+from repro.ipcp.driver import prepare_program
+from repro.ir.instructions import Assign, Call, Phi, Return
+from repro.suite.generator import generate_program
+
+from tests.conftest import TRI_PROGRAM, lower
+
+
+def ssa_program(text=TRI_PROGRAM):
+    program = lower(text)
+    prepare_program(program, AnalysisConfig())
+    return program
+
+
+class TestConstruction:
+    def test_tri_program_is_valid_ssa(self):
+        program = ssa_program()
+        for procedure in program:
+            assert verify_ssa(procedure) == []
+
+    def test_every_def_versioned(self):
+        program = ssa_program()
+        for procedure in program:
+            for instruction in procedure.cfg.instructions():
+                for definition in instruction.defs():
+                    assert definition.version is not None
+                    assert definition.version >= 1
+
+    def test_every_use_versioned(self):
+        program = ssa_program()
+        for procedure in program:
+            for instruction in procedure.cfg.instructions():
+                for use in instruction.uses():
+                    assert use.version is not None
+
+    def test_unique_definitions(self):
+        program = ssa_program()
+        for procedure in program:
+            seen = set()
+            for instruction in procedure.cfg.instructions():
+                for definition in instruction.defs():
+                    name = (definition.var, definition.version)
+                    assert name not in seen
+                    seen.add(name)
+
+    def test_phi_inserted_at_if_join(self):
+        program = ssa_program(
+            "      PROGRAM MAIN\n"
+            "      IF (A .GT. 0) THEN\n      X = 1\n      ELSE\n      X = 2\n"
+            "      ENDIF\n      PRINT *, X\n      END\n"
+        )
+        main = program.procedure("main")
+        phis = [i for i in main.cfg.instructions() if isinstance(i, Phi)]
+        assert any(p.target.var.name == "x" for p in phis)
+
+    def test_phi_inserted_at_loop_head(self):
+        program = ssa_program(
+            "      PROGRAM MAIN\n      S = 0\n      DO I = 1, 3\n"
+            "      S = S + I\n      ENDDO\n      PRINT *, S\n      END\n"
+        )
+        main = program.procedure("main")
+        phis = [i for i in main.cfg.instructions() if isinstance(i, Phi)]
+        assert any(p.target.var.name == "s" for p in phis)
+        assert any(p.target.var.name == "i" for p in phis)
+
+    def test_straightline_has_no_phis(self):
+        program = ssa_program(
+            "      PROGRAM MAIN\n      X = 1\n      Y = X + 1\n      END\n"
+        )
+        main = program.procedure("main")
+        assert not [i for i in main.cfg.instructions() if isinstance(i, Phi)]
+
+    def test_entry_value_is_version_zero(self):
+        program = ssa_program(
+            "      SUBROUTINE S(A)\n      X = A + 1\n      END\n"
+            "      PROGRAM MAIN\n      CALL S(1)\n      END\n"
+        )
+        s = program.procedure("s")
+        uses = [
+            u
+            for i in s.cfg.instructions()
+            for u in i.uses()
+            if u.var.name == "a"
+        ]
+        assert any(u.version == 0 for u in uses)
+
+    def test_call_may_define_versioned(self):
+        program = ssa_program()
+        foo = program.procedure("foo")
+        for call in foo.call_sites():
+            for definition in call.may_define:
+                assert definition.version is not None
+
+    def test_return_exit_uses_versioned(self):
+        program = ssa_program()
+        foo = program.procedure("foo")
+        returns = [
+            i for i in foo.cfg.instructions() if isinstance(i, Return)
+        ]
+        assert returns
+        for ret in returns:
+            assert ret.exit_uses
+            for use in ret.exit_uses:
+                assert use.version is not None
+
+
+class TestDefinitionsMap:
+    def test_ssa_definitions_complete(self):
+        program = ssa_program()
+        for procedure in program:
+            definitions = ssa_definitions(procedure)
+            for instruction in procedure.cfg.instructions():
+                for definition in instruction.defs():
+                    key = (definition.var, definition.version)
+                    assert definitions[key] is instruction
+
+    def test_version_zero_not_in_map(self):
+        program = ssa_program()
+        for procedure in program:
+            definitions = ssa_definitions(procedure)
+            assert not any(version == 0 for _var, version in definitions)
+
+
+class TestVerifier:
+    def test_detects_duplicate_definition(self):
+        program = ssa_program(
+            "      PROGRAM MAIN\n      X = 1\n      X = 2\n      END\n"
+        )
+        main = program.procedure("main")
+        assigns = [
+            i for i in main.cfg.instructions() if isinstance(i, Assign)
+        ]
+        assigns[1].target.version = assigns[0].target.version
+        assert any(
+            "multiple definitions" in problem for problem in verify_ssa(main)
+        )
+
+    def test_detects_unversioned_use(self):
+        program = ssa_program(
+            "      PROGRAM MAIN\n      X = 1\n      Y = X\n      END\n"
+        )
+        main = program.procedure("main")
+        for instruction in main.cfg.instructions():
+            for use in instruction.uses():
+                use.version = None
+        assert verify_ssa(main)
+
+
+class TestGeneratedPrograms:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_generated_programs_are_valid_ssa(self, seed):
+        program = lower(generate_program(seed))
+        prepare_program(program, AnalysisConfig())
+        for procedure in program:
+            assert verify_ssa(procedure) == [], procedure.name

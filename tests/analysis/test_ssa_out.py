@@ -1,0 +1,113 @@
+"""SSA destruction tests: transformed programs must run, and behave."""
+
+import pytest
+
+from repro.analysis.ssa_out import destruct_program, destruct_ssa
+from repro.config import AnalysisConfig
+from repro.frontend.parser import parse_source
+from repro.frontend.source import SourceFile
+from repro.ipcp.driver import analyze_program, prepare_program
+from repro.ipcp.substitution import apply_substitution
+from repro.ir.instructions import Phi
+from repro.ir.interp import run_program
+from repro.ir.lowering import lower_module
+from repro.suite.generator import GeneratorConfig, generate_program
+
+from tests.conftest import TRI_PROGRAM, lower
+
+
+def fresh(source):
+    return lower_module(parse_source(source), SourceFile("t.f", source))
+
+
+class TestDestruction:
+    def test_no_phis_remain(self):
+        program = lower(TRI_PROGRAM)
+        prepare_program(program, AnalysisConfig())
+        destruct_program(program)
+        for procedure in program:
+            assert not any(
+                isinstance(i, Phi) for i in procedure.cfg.instructions()
+            )
+
+    def test_versions_stripped(self):
+        program = lower(TRI_PROGRAM)
+        prepare_program(program, AnalysisConfig())
+        destruct_program(program)
+        for procedure in program:
+            for instruction in procedure.cfg.instructions():
+                assert all(u.version is None for u in instruction.uses())
+                assert all(d.version is None for d in instruction.defs())
+
+    def test_natural_phis_cost_no_copies(self):
+        program = lower(TRI_PROGRAM)
+        prepare_program(program, AnalysisConfig())
+        assert destruct_program(program) == 0
+
+    def test_roundtrip_behaviour(self):
+        source = (
+            "      PROGRAM MAIN\n      S = 0\n      DO I = 1, 5\n"
+            "      S = S + I\n      ENDDO\n"
+            "      IF (S .GT. 10) THEN\n      PRINT *, 'big', S\n"
+            "      ELSE\n      PRINT *, 'small', S\n      ENDIF\n      END\n"
+        )
+        original = run_program(fresh(source))
+        program = fresh(source)
+        prepare_program(program, AnalysisConfig())
+        destruct_program(program)
+        assert run_program(program).output == original.output
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_roundtrip_generated_programs(self, seed):
+        source = generate_program(seed, GeneratorConfig(procedures=4))
+        inputs = [2, -1, 5] * 40
+        original = run_program(fresh(source), inputs=inputs, fuel=3_000_000)
+        program = fresh(source)
+        prepare_program(program, AnalysisConfig())
+        destruct_program(program)
+        roundtrip = run_program(program, inputs=inputs, fuel=3_000_000)
+        assert roundtrip.output == original.output
+
+
+class TestAfterTransformations:
+    def test_constant_phi_inputs_materialized(self):
+        # apply_substitution can turn phi inputs into constants; the
+        # destructor must materialize them with edge copies.
+        source = (
+            "      PROGRAM MAIN\n      READ *, C\n"
+            "      IF (C .GT. 0) THEN\n      X = 7\n      ELSE\n      X = 7\n"
+            "      ENDIF\n      PRINT *, X\n      END\n"
+        )
+        program = fresh(source)
+        result = analyze_program(program, AnalysisConfig())
+        apply_substitution(program, result.substitution)
+        destruct_program(program)
+        trace = run_program(program, inputs=[1])
+        assert trace.output == ["7"]
+
+    def test_complete_propagation_preserves_behaviour(self):
+        # The strongest check: complete propagation folds branches and
+        # deletes blocks; the mutated program must still behave.
+        source = (
+            "      PROGRAM MAIN\n      CALL D(1)\n      END\n"
+            "      SUBROUTINE D(M)\n"
+            "      IF (M .EQ. 1) THEN\n      CALL W(7)\n"
+            "      ELSE\n      CALL W(9)\n      ENDIF\n      END\n"
+            "      SUBROUTINE W(K)\n      PRINT *, K\n      END\n"
+        )
+        original = run_program(fresh(source))
+        program = fresh(source)
+        analyze_program(program, AnalysisConfig.complete_propagation())
+        destruct_program(program)
+        assert run_program(program).output == original.output == ["7"]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_complete_propagation_roundtrip_generated(self, seed):
+        source = generate_program(seed, GeneratorConfig(procedures=4))
+        inputs = [3, 0, -4] * 40
+        original = run_program(fresh(source), inputs=inputs, fuel=3_000_000)
+        program = fresh(source)
+        analyze_program(program, AnalysisConfig.complete_propagation())
+        destruct_program(program)
+        roundtrip = run_program(program, inputs=inputs, fuel=3_000_000)
+        assert roundtrip.output == original.output

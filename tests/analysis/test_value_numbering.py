@@ -1,0 +1,161 @@
+"""Value numbering tests."""
+
+from repro.analysis.expr import ConstExpr, EntryExpr, OpExpr, UnknownExpr
+from repro.analysis.value_numbering import ValueNumbering
+from repro.config import AnalysisConfig
+from repro.ipcp.driver import prepare_program
+from repro.ir.instructions import Call, Print
+
+from tests.conftest import lower
+
+
+def numbered(text, proc="main"):
+    program = lower(text)
+    prepare_program(program, AnalysisConfig())
+    procedure = program.procedure(proc)
+    return program, procedure, ValueNumbering(procedure)
+
+
+def print_operand_expr(procedure, numbering, index=0):
+    prints = [
+        i for i in procedure.cfg.instructions() if isinstance(i, Print)
+    ]
+    operands = prints[0].operands()
+    return numbering.operand_expr(operands[index])
+
+
+class TestStraightLine:
+    def test_constant_propagates_through_copies(self):
+        _, main, vn = numbered(
+            "      PROGRAM MAIN\n      X = 5\n      Y = X\n      Z = Y\n"
+            "      PRINT *, Z\n      END\n"
+        )
+        assert print_operand_expr(main, vn) == ConstExpr(5)
+
+    def test_arithmetic_folds(self):
+        _, main, vn = numbered(
+            "      PROGRAM MAIN\n      X = 4\n      Y = X * 2 + 1\n"
+            "      PRINT *, Y\n      END\n"
+        )
+        assert print_operand_expr(main, vn) == ConstExpr(9)
+
+    def test_formal_entry_value(self):
+        program, s, _ = numbered(
+            "      PROGRAM MAIN\n      CALL S(1)\n      END\n"
+            "      SUBROUTINE S(A)\n      PRINT *, A\n      END\n",
+            proc="s",
+        )
+        vn = ValueNumbering(s)
+        expr = print_operand_expr(s, vn)
+        assert isinstance(expr, EntryExpr)
+        assert expr.var.name == "a"
+
+    def test_expression_over_formals(self):
+        _, s, _ = numbered(
+            "      PROGRAM MAIN\n      CALL S(1, 2)\n      END\n"
+            "      SUBROUTINE S(A, B)\n      X = A + B * 2\n      PRINT *, X\n"
+            "      END\n",
+            proc="s",
+        )
+        vn = ValueNumbering(s)
+        expr = print_operand_expr(s, vn)
+        assert isinstance(expr, OpExpr)
+        assert len(expr.support()) == 2
+
+    def test_read_is_unknown(self):
+        _, main, vn = numbered(
+            "      PROGRAM MAIN\n      READ *, X\n      PRINT *, X\n      END\n"
+        )
+        assert isinstance(print_operand_expr(main, vn), UnknownExpr)
+
+    def test_array_load_is_unknown(self):
+        _, main, vn = numbered(
+            "      PROGRAM MAIN\n      INTEGER A(5)\n      A(1) = 3\n"
+            "      PRINT *, A(1)\n      END\n"
+        )
+        assert isinstance(print_operand_expr(main, vn), UnknownExpr)
+
+    def test_copies_of_unknown_share_tag(self):
+        _, main, vn = numbered(
+            "      PROGRAM MAIN\n      READ *, X\n      Y = X\n      Z = X\n"
+            "      PRINT *, Y, Z\n      END\n"
+        )
+        y = print_operand_expr(main, vn, 0)
+        z = print_operand_expr(main, vn, 1)
+        assert isinstance(y, UnknownExpr)
+        assert y == z
+
+    def test_undefined_local_is_stable_unknown(self):
+        _, main, vn = numbered(
+            "      PROGRAM MAIN\n      PRINT *, Q, Q\n      END\n"
+        )
+        assert print_operand_expr(main, vn, 0) == print_operand_expr(main, vn, 1)
+
+
+class TestMerges:
+    def test_equal_arms_merge_to_value(self):
+        _, main, vn = numbered(
+            "      PROGRAM MAIN\n      READ *, C\n"
+            "      IF (C .GT. 0) THEN\n      X = 7\n      ELSE\n      X = 7\n"
+            "      ENDIF\n      PRINT *, X\n      END\n"
+        )
+        assert print_operand_expr(main, vn) == ConstExpr(7)
+
+    def test_unequal_arms_merge_to_unknown(self):
+        _, main, vn = numbered(
+            "      PROGRAM MAIN\n      READ *, C\n"
+            "      IF (C .GT. 0) THEN\n      X = 7\n      ELSE\n      X = 8\n"
+            "      ENDIF\n      PRINT *, X\n      END\n"
+        )
+        assert isinstance(print_operand_expr(main, vn), UnknownExpr)
+
+    def test_loop_carried_value_is_unknown(self):
+        _, main, vn = numbered(
+            "      PROGRAM MAIN\n      S = 0\n      DO I = 1, 3\n"
+            "      S = S + I\n      ENDDO\n      PRINT *, S\n      END\n"
+        )
+        assert isinstance(print_operand_expr(main, vn), UnknownExpr)
+
+    def test_same_expression_both_arms(self):
+        # Value numbering proves both arms compute A+1.
+        _, s, _ = numbered(
+            "      PROGRAM MAIN\n      CALL S(1, 2)\n      END\n"
+            "      SUBROUTINE S(A, C)\n"
+            "      IF (C .GT. 0) THEN\n      X = A + 1\n"
+            "      ELSE\n      X = A + 1\n      ENDIF\n"
+            "      PRINT *, X\n      END\n",
+            proc="s",
+        )
+        vn = ValueNumbering(s)
+        expr = print_operand_expr(s, vn)
+        assert isinstance(expr, OpExpr)
+        assert expr.op == "+"
+
+
+class TestCallEffects:
+    def test_default_semantics_kills_modified(self):
+        _, main, vn = numbered(
+            "      PROGRAM MAIN\n      N = 5\n      CALL S(N)\n"
+            "      PRINT *, N\n      END\n"
+            "      SUBROUTINE S(K)\n      K = K + 1\n      END\n"
+        )
+        # Default CallSemantics: the modified actual becomes unknown.
+        assert isinstance(print_operand_expr(main, vn), UnknownExpr)
+
+    def test_unmodified_var_survives_call(self):
+        _, main, vn = numbered(
+            "      PROGRAM MAIN\n      N = 5\n      M = 1\n      CALL S(M)\n"
+            "      PRINT *, N\n      END\n"
+            "      SUBROUTINE S(K)\n      K = K + 1\n      END\n"
+        )
+        # MOD knows only M is written: N's constant survives the call.
+        assert print_operand_expr(main, vn) == ConstExpr(5)
+
+    def test_constant_of_oracle(self):
+        _, main, vn = numbered(
+            "      PROGRAM MAIN\n      X = 6\n      PRINT *, X, Y\n      END\n"
+        )
+        prints = [i for i in main.cfg.instructions() if isinstance(i, Print)]
+        x_op, y_op = prints[0].operands()
+        assert vn.constant_of(x_op) == 6
+        assert vn.constant_of(y_op) is None

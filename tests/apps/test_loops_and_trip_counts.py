@@ -1,0 +1,196 @@
+"""Natural loops, induction variables, and trip-count application tests."""
+
+import pytest
+
+from repro.analysis.loops import analyze_loops
+from repro.apps.trip_counts import known_trip_counts
+from repro.config import AnalysisConfig
+from repro.ipcp.driver import analyze_source, prepare_program
+from repro.ipcp.return_functions import ReturnFunctionCallModel
+
+from tests.conftest import lower
+
+
+def ssa_procedure(text, proc="main"):
+    program = lower(text)
+    prepare_program(program, AnalysisConfig())
+    return program, program.procedure(proc)
+
+
+class TestNaturalLoops:
+    def test_do_loop_found(self):
+        _, main = ssa_procedure(
+            "      PROGRAM MAIN\n      S = 0\n      DO I = 1, 10\n"
+            "      S = S + I\n      ENDDO\n      PRINT *, S\n      END\n"
+        )
+        loops = analyze_loops(main)
+        assert len(loops) == 1
+        assert len(loops[0].latches) == 1
+
+    def test_nested_loops_found(self):
+        _, main = ssa_procedure(
+            "      PROGRAM MAIN\n      DO I = 1, 3\n      DO J = 1, 4\n"
+            "      S = S + I * J\n      ENDDO\n      ENDDO\n      END\n"
+        )
+        loops = analyze_loops(main)
+        assert len(loops) == 2
+        outer, inner = loops  # sorted largest-first
+        assert inner.blocks < outer.blocks
+
+    def test_goto_loop_found(self):
+        _, main = ssa_procedure(
+            "      PROGRAM MAIN\n      I = 0\n"
+            " 10   I = I + 1\n"
+            "      IF (I .LT. 5) GOTO 10\n      PRINT *, I\n      END\n"
+        )
+        loops = analyze_loops(main)
+        assert len(loops) == 1
+
+    def test_straightline_has_no_loops(self):
+        _, main = ssa_procedure(
+            "      PROGRAM MAIN\n      X = 1\n      Y = X\n      END\n"
+        )
+        assert analyze_loops(main) == []
+
+
+class TestInductionVariables:
+    def test_do_variable_recognized(self):
+        _, main = ssa_procedure(
+            "      PROGRAM MAIN\n      DO I = 2, 20, 3\n      S = S + I\n"
+            "      ENDDO\n      END\n"
+        )
+        (loop,) = analyze_loops(main)
+        ivs = {iv.var.name: iv.step for iv in loop.induction_variables}
+        assert ivs["i"] == 3
+
+    def test_negative_step(self):
+        _, main = ssa_procedure(
+            "      PROGRAM MAIN\n      DO I = 9, 1, -2\n      S = S + I\n"
+            "      ENDDO\n      END\n"
+        )
+        (loop,) = analyze_loops(main)
+        ivs = {iv.var.name: iv.step for iv in loop.induction_variables}
+        assert ivs["i"] == -2
+
+    def test_hand_written_induction(self):
+        _, main = ssa_procedure(
+            "      PROGRAM MAIN\n      K = 0\n"
+            " 10   K = K + 4\n"
+            "      IF (K .LT. 100) GOTO 10\n      END\n"
+        )
+        (loop,) = analyze_loops(main)
+        assert any(iv.step == 4 for iv in loop.induction_variables)
+
+    def test_non_constant_step_not_recognized(self):
+        _, main = ssa_procedure(
+            "      PROGRAM MAIN\n      READ *, D\n      K = 0\n"
+            " 10   K = K + D\n"
+            "      IF (K .LT. 100) GOTO 10\n      END\n"
+        )
+        (loop,) = analyze_loops(main)
+        assert not any(
+            iv.var.name == "k" for iv in loop.induction_variables
+        )
+
+
+class TestTripCounts:
+    PROGRAM = (
+        "      PROGRAM MAIN\n      COMMON /C/ N\n      CALL INIT\n"
+        "      CALL WORK(25)\n      END\n"
+        "      SUBROUTINE INIT\n      COMMON /C/ N\n      N = 40\n      END\n"
+        "      SUBROUTINE WORK(M)\n      COMMON /C/ N\n"
+        "      DO I = 1, N\n      S = S + I\n      ENDDO\n"
+        "      DO J = 1, M, 2\n      T = T + J\n      ENDDO\n"
+        "      DO K = 1, L\n      U = U + K\n      ENDDO\n"
+        "      END\n"
+    )
+
+    def counts(self, constants):
+        result = analyze_source(self.PROGRAM)
+        call_model = ReturnFunctionCallModel(
+            result.program, result.return_functions
+        )
+        return known_trip_counts(
+            result.program,
+            result.constants if constants else None,
+            call_model if constants else None,
+        )
+
+    def test_with_constants_two_loops_known(self):
+        verdicts = [v for v in self.counts(True) if v.procedure_name == "work"]
+        known = {v.induction_variable.var.name: v.count for v in verdicts if v.known}
+        # N=40 -> 40 trips; M=25 step 2 -> 13 trips; L unknown.
+        assert known == {"i": 40, "j": 13}
+
+    def test_without_constants_nothing_known(self):
+        verdicts = [v for v in self.counts(False) if v.procedure_name == "work"]
+        assert not any(v.known for v in verdicts)
+
+    def test_zero_trip_loop(self):
+        result = analyze_source(
+            "      PROGRAM MAIN\n      CALL W(0)\n      END\n"
+            "      SUBROUTINE W(M)\n      DO I = 1, M\n      S = S + I\n"
+            "      ENDDO\n      END\n"
+        )
+        verdicts = [
+            v
+            for v in known_trip_counts(result.program, result.constants)
+            if v.procedure_name == "w"
+        ]
+        assert verdicts[0].count == 0
+
+    def test_downward_loop(self):
+        result = analyze_source(
+            "      PROGRAM MAIN\n      CALL W(10)\n      END\n"
+            "      SUBROUTINE W(M)\n      DO I = M, 1, -3\n      S = S + I\n"
+            "      ENDDO\n      END\n"
+        )
+        verdicts = [
+            v
+            for v in known_trip_counts(result.program, result.constants)
+            if v.procedure_name == "w" and v.known
+        ]
+        assert verdicts[0].count == 4  # 10, 7, 4, 1
+
+    def test_trip_count_matches_execution(self):
+        from repro.ir.interp import run_source
+
+        # DO I = 1, 40 -> S printed = sum 1..40 = 820.
+        source = (
+            "      PROGRAM MAIN\n      CALL W(40)\n      END\n"
+            "      SUBROUTINE W(M)\n      S = 0\n"
+            "      DO I = 1, M\n      S = S + 1\n      ENDDO\n"
+            "      PRINT *, S\n      END\n"
+        )
+        result = analyze_source(source)
+        verdicts = [
+            v
+            for v in known_trip_counts(result.program, result.constants)
+            if v.procedure_name == "w" and v.known
+        ]
+        assert verdicts[0].count == 40
+        assert run_source(source).output == ["40"]
+
+
+class TestTripCountEdges:
+    def test_upward_test_with_negative_step_detected(self):
+        # DO-style loop hand-built via GOTO: i starts above the bound
+        # and decreases while the test is `i <= bound` with i starting
+        # below: a normal downward DO covers the 0-trip case; here we
+        # check the never-terminating classification path via a
+        # synthetic le/negative-step combination.
+        from repro.apps.trip_counts import _trip_count
+
+        # le with non-positive step: terminates only if 0 trips.
+        assert _trip_count(5, 3, -1, "le") == 0
+        assert _trip_count(1, 5, -1, "le") is None  # would spin forever
+        # ge with non-negative step mirrored.
+        assert _trip_count(1, 5, 1, "ge") == 0
+        assert _trip_count(9, 5, 1, "ge") is None
+
+    def test_strict_comparisons(self):
+        from repro.apps.trip_counts import _trip_count
+
+        assert _trip_count(1, 5, 1, "lt") == 4
+        assert _trip_count(5, 1, -1, "gt") == 4
+        assert _trip_count(1, 10, 3, "le") == 4  # 1 4 7 10

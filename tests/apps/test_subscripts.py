@@ -1,0 +1,135 @@
+"""Subscript-linearity study tests (the Shen-Li-Yew motivation)."""
+
+import pytest
+
+from repro.apps.subscripts import SubscriptClass, classify_subscripts
+from repro.ipcp.driver import analyze_source
+
+
+def study_pair(text):
+    """(without-IPCP study, with-IPCP study) for one program."""
+    result = analyze_source(text)
+    without = classify_subscripts(result.program, None, result.return_functions)
+    with_ipcp = classify_subscripts(
+        result.program, result.constants, result.return_functions
+    )
+    return without, with_ipcp
+
+
+class TestClassification:
+    def test_plain_induction_subscript_linear(self):
+        without, _ = study_pair(
+            "      PROGRAM MAIN\n      INTEGER A(100)\n"
+            "      DO I = 1, 100\n      A(I) = I\n      ENDDO\n      END\n"
+        )
+        assert without.total == 1
+        assert without.linear == 1
+
+    def test_affine_subscript_linear(self):
+        without, _ = study_pair(
+            "      PROGRAM MAIN\n      INTEGER A(100)\n"
+            "      DO I = 1, 20\n      A(3 * I + 2) = I\n      ENDDO\n"
+            "      END\n"
+        )
+        assert without.linear == 1
+
+    def test_quadratic_subscript_nonlinear(self):
+        without, with_ipcp = study_pair(
+            "      PROGRAM MAIN\n      INTEGER A(100)\n"
+            "      DO I = 1, 10\n      A(I * I) = I\n      ENDDO\n      END\n"
+        )
+        assert without.nonlinear == 1
+        assert with_ipcp.nonlinear == 1  # constants cannot fix I*I
+
+    def test_symbolic_coefficient_nonlinear_without_ipcp(self):
+        text = (
+            "      PROGRAM MAIN\n      CALL W(8)\n      END\n"
+            "      SUBROUTINE W(LDA)\n      INTEGER A(100)\n"
+            "      DO I = 1, 10\n      A(LDA * I) = I\n      ENDDO\n"
+            "      END\n"
+        )
+        without, with_ipcp = study_pair(text)
+        assert without.nonlinear == 1
+        assert with_ipcp.linear == 1  # LDA = 8 linearizes it
+
+    def test_symbolic_offset_is_linear(self):
+        # A(I + BASE): BASE is loop-invariant; affine even when unknown.
+        without, _ = study_pair(
+            "      PROGRAM MAIN\n      INTEGER A(100)\n      READ *, BASE\n"
+            "      DO I = 1, 10\n      A(I + BASE) = I\n      ENDDO\n"
+            "      END\n"
+        )
+        assert without.linear == 1
+
+    def test_unknown_multiplier_from_read_stays_nonlinear(self):
+        without, with_ipcp = study_pair(
+            "      PROGRAM MAIN\n      INTEGER A(100)\n      READ *, N\n"
+            "      DO I = 1, 10\n      A(N * I) = I\n      ENDDO\n      END\n"
+        )
+        assert without.nonlinear == 1
+        assert with_ipcp.nonlinear == 1  # N really is unknown
+
+    def test_subscripts_outside_loops_ignored(self):
+        without, _ = study_pair(
+            "      PROGRAM MAIN\n      INTEGER A(10)\n      A(3) = 1\n"
+            "      END\n"
+        )
+        assert without.total == 0
+
+    def test_array_load_indices_classified_too(self):
+        without, _ = study_pair(
+            "      PROGRAM MAIN\n      INTEGER A(100)\n"
+            "      DO I = 1, 10\n      X = A(2 * I)\n      ENDDO\n      END\n"
+        )
+        assert without.total == 1
+        assert without.linear == 1
+
+
+class TestStudyShape:
+    #: The linpackd-like pattern: leading-dimension multipliers flow in
+    #: as arguments; half the subscripts are LDA-style products.
+    WORKLOAD = (
+        "      PROGRAM MAIN\n"
+        "      CALL SAXPYISH(100)\n"
+        "      CALL SCALEISH(100)\n"
+        "      END\n"
+        "      SUBROUTINE SAXPYISH(LDA)\n"
+        "      INTEGER A(10000), B(10000)\n"
+        "      DO J = 1, 10\n"
+        "      DO I = 1, 10\n"
+        "      A(LDA * J + I) = B(LDA * J + I) + 1\n"
+        "      ENDDO\n"
+        "      ENDDO\n"
+        "      END\n"
+        "      SUBROUTINE SCALEISH(LDA)\n"
+        "      INTEGER C(10000)\n"
+        "      DO I = 1, 100\n"
+        "      C(I) = C(I) * 3\n"
+        "      ENDDO\n"
+        "      DO K = 1, 10\n"
+        "      C(LDA * K) = 0\n"
+        "      ENDDO\n"
+        "      END\n"
+    )
+
+    def test_interprocedural_constants_linearize_subscripts(self):
+        without, with_ipcp = study_pair(self.WORKLOAD)
+        assert without.total == with_ipcp.total
+        # The Shen-Li-Yew effect: a large fraction of the previously
+        # nonlinear subscripts become linear.
+        assert without.nonlinear > 0
+        recovered = without.nonlinear - with_ipcp.nonlinear
+        assert recovered / without.nonlinear >= 0.5
+
+    def test_linear_fraction_monotone(self):
+        without, with_ipcp = study_pair(self.WORKLOAD)
+        assert with_ipcp.linear_fraction() >= without.linear_fraction()
+
+    def test_per_subscript_details_available(self):
+        _, with_ipcp = study_pair(self.WORKLOAD)
+        for info in with_ipcp.subscripts:
+            assert info.procedure_name
+            assert info.classification in (
+                SubscriptClass.LINEAR,
+                SubscriptClass.NONLINEAR,
+            )

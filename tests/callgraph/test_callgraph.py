@@ -1,0 +1,109 @@
+"""Call graph tests."""
+
+from repro.callgraph.callgraph import build_call_graph
+
+from tests.conftest import lower
+
+CHAIN = (
+    "      PROGRAM MAIN\n      CALL A\n      CALL A\n      END\n"
+    "      SUBROUTINE A\n      CALL B\n      END\n"
+    "      SUBROUTINE B\n      X = 1\n      END\n"
+)
+
+RECURSIVE = (
+    "      PROGRAM MAIN\n      CALL A(3)\n      END\n"
+    "      SUBROUTINE A(N)\n      IF (N .GT. 0) THEN\n      CALL B(N)\n"
+    "      ENDIF\n      END\n"
+    "      SUBROUTINE B(N)\n      CALL A(N - 1)\n      END\n"
+    "      SUBROUTINE SELF(N)\n      IF (N .GT. 0) CALL SELF(N - 1)\n"
+    "      END\n"
+)
+
+
+class TestStructure:
+    def test_one_edge_per_call_site(self):
+        graph = build_call_graph(lower(CHAIN))
+        main = graph.program.procedure("main")
+        assert len(graph.sites_from(main)) == 2  # two CALL A statements
+
+    def test_callees_deduplicated(self):
+        graph = build_call_graph(lower(CHAIN))
+        main = graph.program.procedure("main")
+        assert [c.name for c in graph.callees(main)] == ["a"]
+
+    def test_callers(self):
+        graph = build_call_graph(lower(CHAIN))
+        b = graph.program.procedure("b")
+        assert [c.name for c in graph.callers(b)] == ["a"]
+
+    def test_sites_into(self):
+        graph = build_call_graph(lower(CHAIN))
+        a = graph.program.procedure("a")
+        assert len(graph.sites_into(a)) == 2
+
+    def test_site_for_call(self):
+        program = lower(CHAIN)
+        graph = build_call_graph(program)
+        call = program.procedure("a").call_sites()[0]
+        site = graph.site_for_call(call)
+        assert site.caller.name == "a"
+        assert site.callee.name == "b"
+
+
+class TestOrders:
+    def test_bottom_up_order_chain(self):
+        graph = build_call_graph(lower(CHAIN))
+        order = [p.name for p in graph.bottom_up_order()]
+        assert order.index("b") < order.index("a") < order.index("main")
+
+    def test_top_down_is_reverse(self):
+        graph = build_call_graph(lower(CHAIN))
+        assert graph.top_down_order() == list(reversed(graph.bottom_up_order()))
+
+    def test_sccs_trivial(self):
+        graph = build_call_graph(lower(CHAIN))
+        assert all(len(c) == 1 for c in graph.sccs())
+
+    def test_recursive_scc_detected(self):
+        graph = build_call_graph(lower(RECURSIVE))
+        sccs = graph.sccs()
+        nontrivial = [c for c in sccs if len(c) > 1]
+        assert len(nontrivial) == 1
+        assert {p.name for p in nontrivial[0]} == {"a", "b"}
+
+    def test_recursive_procedures_include_self_recursion(self):
+        graph = build_call_graph(lower(RECURSIVE))
+        names = {p.name for p in graph.recursive_procedures()}
+        assert names == {"a", "b", "self"}
+
+    def test_bottom_up_respects_condensation(self):
+        graph = build_call_graph(lower(RECURSIVE))
+        order = [p.name for p in graph.bottom_up_order()]
+        # main calls the {a, b} SCC: both appear before main.
+        assert order.index("a") < order.index("main")
+        assert order.index("b") < order.index("main")
+
+    def test_never_called_procedure_is_node(self):
+        graph = build_call_graph(lower(RECURSIVE))
+        self_proc = graph.program.procedure("self")
+        external = [
+            s for s in graph.sites_into(self_proc) if s.caller is not self_proc
+        ]
+        assert external == []
+
+
+class TestReachability:
+    def test_reachable_from_main(self):
+        graph = build_call_graph(lower(CHAIN))
+        names = {p.name for p in graph.reachable_from_main()}
+        assert names == {"main", "a", "b"}
+
+    def test_orphan_excluded(self):
+        graph = build_call_graph(
+            lower(
+                "      PROGRAM MAIN\n      X = 1\n      END\n"
+                "      SUBROUTINE ORPHAN\n      Y = 2\n      END\n"
+            )
+        )
+        names = {p.name for p in graph.reachable_from_main()}
+        assert names == {"main"}

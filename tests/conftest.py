@@ -1,0 +1,67 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend.parser import parse_source
+from repro.frontend.source import SourceFile
+from repro.ir.lowering import lower_module
+
+
+def lower(text: str, filename: str = "test.f"):
+    """Parse and lower MiniFortran text into a Program (not yet SSA)."""
+    module = parse_source(text, filename)
+    return lower_module(module, SourceFile(filename, text))
+
+
+def prepared(text: str, config=None):
+    """Lower + annotate + SSA, returning (program, callgraph, modref)."""
+    from repro.config import AnalysisConfig
+    from repro.ipcp.driver import prepare_program
+
+    program = lower(text)
+    callgraph, modref = prepare_program(program, config or AnalysisConfig())
+    return program, callgraph, modref
+
+
+#: A small three-procedure program exercising formals, globals, calls,
+#: branches, and a loop — used by many structural tests.
+TRI_PROGRAM = """
+      PROGRAM MAIN
+      INTEGER N
+      COMMON /BLK/ G1, G2
+      N = 100
+      G1 = 7
+      CALL FOO(N, 5)
+      PRINT *, G2
+      END
+
+      SUBROUTINE FOO(X, Y)
+      INTEGER X, Y, Z
+      COMMON /BLK/ G1, G2
+      Z = X + Y
+      IF (Z .GT. 10) THEN
+        G2 = Z
+      ELSE
+        G2 = 0
+      ENDIF
+      DO I = 1, Y
+        Z = Z + 1
+      ENDDO
+      CALL BAR(Z)
+      RETURN
+      END
+
+      SUBROUTINE BAR(A)
+      INTEGER A
+      COMMON /BLK/ G1, G2
+      PRINT *, A + G1
+      RETURN
+      END
+"""
+
+
+@pytest.fixture
+def tri_program():
+    return lower(TRI_PROGRAM)

@@ -1,0 +1,165 @@
+"""BLOCK DATA / DATA statement tests: parsing, lowering, propagation,
+and interpretation of static global initial values."""
+
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.frontend import ast
+from repro.frontend.errors import ParseError, SemanticError
+from repro.frontend.parser import parse_source
+from repro.ipcp.driver import analyze_source
+from repro.ir.interp import run_source
+
+from tests.conftest import lower
+
+BLOCK_DATA_PROGRAM = (
+    "      PROGRAM MAIN\n"
+    "      COMMON /CFG/ NX, NY\n"
+    "      CALL WORK\n"
+    "      END\n"
+    "      BLOCK DATA SETUP\n"
+    "      COMMON /CFG/ NX, NY\n"
+    "      DATA NX /64/, NY /32/\n"
+    "      END\n"
+    "      SUBROUTINE WORK\n"
+    "      COMMON /CFG/ NX, NY\n"
+    "      A = NX + NY\n"
+    "      PRINT *, A\n"
+    "      END\n"
+)
+
+
+class TestParsing:
+    def test_block_data_unit_kind(self):
+        module = parse_source(BLOCK_DATA_PROGRAM)
+        setup = module.unit("setup")
+        assert setup.kind is ast.ProcedureKind.BLOCK_DATA
+
+    def test_unnamed_block_data(self):
+        module = parse_source(
+            "      BLOCK DATA\n      COMMON /C/ G\n      DATA G /1/\n"
+            "      END\n"
+            "      PROGRAM MAIN\n      COMMON /C/ G\n      PRINT *, G\n"
+            "      END\n"
+        )
+        assert module.units[0].kind is ast.ProcedureKind.BLOCK_DATA
+        assert module.units[0].name == "blockdata"
+
+    def test_blockdata_single_token(self):
+        module = parse_source(
+            "      BLOCKDATA INIT\n      COMMON /C/ G\n      DATA G /1/\n"
+            "      END\n"
+            "      PROGRAM MAIN\n      COMMON /C/ G\n      X = G\n      END\n"
+        )
+        assert module.units[0].kind is ast.ProcedureKind.BLOCK_DATA
+
+    def test_data_group_form(self):
+        module = parse_source(
+            "      BLOCK DATA B\n      COMMON /C/ G, H\n"
+            "      DATA G, H /7, -8/\n      END\n"
+            "      PROGRAM MAIN\n      COMMON /C/ G, H\n      X = G\n"
+            "      END\n"
+        )
+        data = [d for d in module.units[0].decls if isinstance(d, ast.DataDecl)]
+        assert data[0].bindings == [("g", 7), ("h", -8)]
+
+    def test_mismatched_group_counts_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source(
+                "      BLOCK DATA B\n      COMMON /C/ G, H\n"
+                "      DATA G, H /7/\n      END\n"
+            )
+
+
+class TestLowering:
+    def test_initial_values_recorded(self):
+        program = lower(BLOCK_DATA_PROGRAM)
+        values = {
+            var.name: value
+            for var, value in program.global_initial_values.items()
+        }
+        assert values == {"nx": 64, "ny": 32}
+
+    def test_block_data_produces_no_procedure(self):
+        program = lower(BLOCK_DATA_PROGRAM)
+        assert set(program.procedures) == {"main", "work"}
+
+    def test_data_in_procedure_rejected(self):
+        with pytest.raises(SemanticError):
+            lower(
+                "      PROGRAM MAIN\n      COMMON /C/ G\n      DATA G /1/\n"
+                "      G = G + 1\n      END\n"
+            )
+
+    def test_data_for_non_common_rejected(self):
+        with pytest.raises(SemanticError):
+            lower(
+                "      BLOCK DATA B\n      INTEGER X\n      DATA X /1/\n"
+                "      END\n"
+                "      PROGRAM MAIN\n      Y = 1\n      END\n"
+            )
+
+    def test_duplicate_data_rejected(self):
+        with pytest.raises(SemanticError):
+            lower(
+                "      BLOCK DATA B\n      COMMON /C/ G\n"
+                "      DATA G /1/, G /2/\n      END\n"
+                "      PROGRAM MAIN\n      COMMON /C/ G\n      X = G\n"
+                "      END\n"
+            )
+
+    def test_statements_in_block_data_rejected(self):
+        with pytest.raises(SemanticError):
+            lower(
+                "      BLOCK DATA B\n      COMMON /C/ G\n      G = 1\n"
+                "      END\n"
+                "      PROGRAM MAIN\n      COMMON /C/ G\n      X = G\n"
+                "      END\n"
+            )
+
+
+class TestPropagation:
+    def test_data_values_become_interprocedural_constants(self):
+        result = analyze_source(BLOCK_DATA_PROGRAM)
+        work = {
+            var.name: value
+            for var, value in result.constants.constants_of("work").items()
+        }
+        assert work == {"nx": 64, "ny": 32}
+
+    def test_reassignment_kills_data_value(self):
+        result = analyze_source(
+            "      PROGRAM MAIN\n      COMMON /C/ G\n      READ *, G\n"
+            "      CALL W\n      END\n"
+            "      BLOCK DATA B\n      COMMON /C/ G\n      DATA G /5/\n"
+            "      END\n"
+            "      SUBROUTINE W\n      COMMON /C/ G\n      X = G\n      END\n"
+        )
+        assert result.constants.constants_of("w") == {}
+
+    def test_uninitialized_globals_still_bottom(self):
+        result = analyze_source(
+            "      PROGRAM MAIN\n      COMMON /C/ G, H\n      CALL W\n"
+            "      END\n"
+            "      BLOCK DATA B\n      COMMON /C/ G, H\n      DATA G /5/\n"
+            "      END\n"
+            "      SUBROUTINE W\n      COMMON /C/ G, H\n      X = G + H\n"
+            "      END\n"
+        )
+        names = {
+            var.name for var in result.constants.constants_of("w")
+        }
+        assert names == {"g"}
+
+
+class TestInterpretation:
+    def test_interpreter_honours_data(self):
+        trace = run_source(BLOCK_DATA_PROGRAM)
+        assert trace.output == ["96"]
+
+    def test_analysis_sound_with_data(self):
+        trace = run_source(BLOCK_DATA_PROGRAM)
+        result = analyze_source(BLOCK_DATA_PROGRAM)
+        for proc in ("main", "work"):
+            claimed = result.constants.constants_of(proc)
+            assert trace.constant_violations(proc, claimed) == []

@@ -1,0 +1,145 @@
+"""Diagnostics: error classes, locations, and message quality across the
+frontend and lowering. A production frontend lives or dies by its error
+reporting; these tests pin the contract."""
+
+import pytest
+
+from repro.frontend.errors import (
+    FrontendError,
+    LexError,
+    ParseError,
+    SemanticError,
+)
+from repro.frontend.lexer import tokenize
+from repro.frontend.parser import parse_source
+from repro.frontend.source import SourceFile, SourceLocation, UNKNOWN_LOCATION
+
+from tests.conftest import lower
+
+
+class TestErrorHierarchy:
+    def test_all_diagnostics_are_frontend_errors(self):
+        for cls in (LexError, ParseError, SemanticError):
+            assert issubclass(cls, FrontendError)
+
+    def test_message_includes_location(self):
+        error = ParseError("boom", SourceLocation("f.f", 3, 7))
+        assert str(error) == "f.f:3:7: boom"
+        assert error.message == "boom"
+
+    def test_message_without_location(self):
+        error = ParseError("boom")
+        assert str(error) == "boom"
+        assert error.location is None
+
+
+class TestLexDiagnostics:
+    def test_bad_character_location(self):
+        with pytest.raises(LexError) as info:
+            tokenize("  x = $", filename="bad.f")
+        assert info.value.location.filename == "bad.f"
+        assert info.value.location.column == 7
+
+    def test_unterminated_string_location(self):
+        with pytest.raises(LexError) as info:
+            tokenize("print *, 'open")
+        assert "unterminated" in info.value.message
+
+
+class TestParseDiagnostics:
+    def unit(self, body):
+        return f"      PROGRAM MAIN\n{body}\n      END\n"
+
+    @pytest.mark.parametrize(
+        "body,fragment",
+        [
+            ("      X = ", "unexpected"),
+            ("      IF (X) ELSE", "expected THEN or a simple statement"),
+            ("      CALL", "subroutine name"),
+            ("      DO I = 1\n      ENDDO", ","),
+            ("      X = (1 + 2", ")"),
+            ("      GOTO X", "statement label"),
+        ],
+    )
+    def test_messages_name_the_problem(self, body, fragment):
+        with pytest.raises(ParseError) as info:
+            parse_source(self.unit(body))
+        assert fragment.lower() in str(info.value).lower()
+
+    def test_error_location_points_at_offender(self):
+        # The lexer rejects '@' before the parser ever sees it; both are
+        # FrontendErrors with accurate locations.
+        with pytest.raises(FrontendError) as info:
+            parse_source("      PROGRAM MAIN\n      X = @\n      END\n")
+        assert info.value.location.line == 2
+
+
+class TestSemanticDiagnostics:
+    @pytest.mark.parametrize(
+        "source,fragment",
+        [
+            (
+                "      PROGRAM MAIN\n      CALL GHOST\n      END\n",
+                "undefined procedure",
+            ),
+            (
+                "      PROGRAM MAIN\n      X = GHOST(1)\n      END\n",
+                "undefined function",
+            ),
+            (
+                "      PROGRAM MAIN\n      PARAMETER (K = 2)\n      K = 3\n"
+                "      END\n",
+                "PARAMETER",
+            ),
+            (
+                "      PROGRAM MAIN\n      DO I = 1, 5, J\n      X = I\n"
+                "      ENDDO\n      END\n",
+                "step",
+            ),
+            (
+                "      PROGRAM MAIN\n      GOTO 77\n      END\n",
+                "label",
+            ),
+        ],
+    )
+    def test_messages_name_the_problem(self, source, fragment):
+        with pytest.raises(SemanticError) as info:
+            lower(source)
+        assert fragment.lower() in str(info.value).lower()
+
+    def test_arity_error_counts_arguments(self):
+        source = (
+            "      PROGRAM MAIN\n      CALL S(1, 2, 3)\n      END\n"
+            "      SUBROUTINE S(A)\n      X = A\n      END\n"
+        )
+        with pytest.raises(SemanticError) as info:
+            lower(source)
+        assert "3 arguments" in str(info.value)
+        assert "expected 1" in str(info.value)
+
+
+class TestSourceFile:
+    def test_line_access(self):
+        source = SourceFile("t.f", "one\ntwo\nthree")
+        assert source.line(2) == "two"
+        assert source.line(99) == ""
+        assert source.line(0) == ""
+
+    def test_count_code_lines_excludes_comments_and_blanks(self):
+        text = (
+            "      X = 1\n"
+            "C comment card\n"
+            "* star comment\n"
+            "\n"
+            "   ! bang comment\n"
+            "      Y = 2\n"
+        )
+        assert SourceFile("t.f", text).count_code_lines() == 2
+
+    def test_call_line_is_code(self):
+        # 'CALL ...' starts with C but is not a comment card.
+        assert SourceFile("t.f", "CALL F\n").count_code_lines() == 1
+
+    def test_unknown_location_constant(self):
+        assert UNKNOWN_LOCATION.line == 0
+        assert "unknown" in UNKNOWN_LOCATION.filename

@@ -1,0 +1,161 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.frontend.errors import LexError
+from repro.frontend.lexer import tokenize
+from repro.frontend.tokens import TokenKind
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def non_structural(text):
+    return [
+        t
+        for t in tokenize(text)
+        if t.kind not in (TokenKind.NEWLINE, TokenKind.EOF)
+    ]
+
+
+class TestBasicTokens:
+    def test_integer_literal(self):
+        (tok,) = non_structural("X = 42")[2:]
+        assert tok.kind is TokenKind.INT_LITERAL
+        assert tok.value == 42
+
+    def test_identifier_is_lowercased_in_value(self):
+        tok = non_structural("FooBar = 1")[0]
+        assert tok.kind is TokenKind.IDENT
+        assert tok.value == "foobar"
+        assert tok.text == "FooBar"
+
+    def test_keywords_case_insensitive(self):
+        for spelling in ("call", "CALL", "Call"):
+            assert non_structural(f"{spelling} f")[0].kind is TokenKind.CALL
+
+    def test_operators(self):
+        tokens = non_structural("a = b + c - d * e / f")
+        ops = [t.kind for t in tokens if t.kind is not TokenKind.IDENT]
+        assert ops == [
+            TokenKind.EQUALS,
+            TokenKind.PLUS,
+            TokenKind.MINUS,
+            TokenKind.STAR,
+            TokenKind.SLASH,
+        ]
+
+    def test_parens_and_commas(self):
+        tokens = non_structural("call f(a, b)")
+        assert [t.kind for t in tokens] == [
+            TokenKind.CALL,
+            TokenKind.IDENT,
+            TokenKind.LPAREN,
+            TokenKind.IDENT,
+            TokenKind.COMMA,
+            TokenKind.IDENT,
+            TokenKind.RPAREN,
+        ]
+
+    def test_string_literal(self):
+        tokens = non_structural("print *, 'hello world'")
+        assert tokens[-1].kind is TokenKind.STRING
+        assert tokens[-1].value == "hello world"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize("print *, 'oops")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("x = @")
+
+
+class TestDottedOperators:
+    @pytest.mark.parametrize(
+        "spelling,kind",
+        [
+            (".EQ.", TokenKind.EQ),
+            (".ne.", TokenKind.NE),
+            (".Lt.", TokenKind.LT),
+            (".LE.", TokenKind.LE),
+            (".GT.", TokenKind.GT),
+            (".ge.", TokenKind.GE),
+            (".AND.", TokenKind.AND),
+            (".or.", TokenKind.OR),
+            (".NOT.", TokenKind.NOT),
+        ],
+    )
+    def test_each_operator(self, spelling, kind):
+        tokens = non_structural(f"x = a {spelling} b")
+        assert kind in [t.kind for t in tokens]
+
+
+class TestLabels:
+    def test_label_at_line_start(self):
+        tokens = non_structural(" 10   CONTINUE")
+        assert tokens[0].kind is TokenKind.LABEL
+        assert tokens[0].value == 10
+
+    def test_integer_mid_line_is_literal_not_label(self):
+        tokens = non_structural("GOTO 10")
+        assert tokens[1].kind is TokenKind.INT_LITERAL
+
+    def test_do_loop_label_is_literal(self):
+        tokens = non_structural("DO 10 I = 1, 5")
+        assert tokens[0].kind is TokenKind.DO
+        assert tokens[1].kind is TokenKind.INT_LITERAL
+
+
+class TestCommentsAndStructure:
+    def test_comment_card_c(self):
+        assert non_structural("C this is a comment") == []
+
+    def test_comment_card_star(self):
+        assert non_structural("* this too") == []
+
+    def test_bang_comment_line(self):
+        assert non_structural("  ! whole line") == []
+
+    def test_inline_bang_comment(self):
+        tokens = non_structural("x = 1  ! trailing")
+        assert len(tokens) == 3
+
+    def test_call_is_not_comment(self):
+        # 'CALL' starts with C but is not a comment card (no space after C).
+        tokens = non_structural("CALL F")
+        assert tokens[0].kind is TokenKind.CALL
+
+    def test_newline_per_statement(self):
+        tokens = tokenize("x = 1\ny = 2")
+        newlines = [t for t in tokens if t.kind is TokenKind.NEWLINE]
+        assert len(newlines) == 2
+
+    def test_blank_lines_produce_nothing(self):
+        tokens = tokenize("x = 1\n\n\ny = 2")
+        newlines = [t for t in tokens if t.kind is TokenKind.NEWLINE]
+        assert len(newlines) == 2
+
+    def test_eof_is_last(self):
+        assert tokenize("x = 1")[-1].kind is TokenKind.EOF
+
+    def test_empty_source_has_only_eof(self):
+        assert kinds("") == [TokenKind.EOF]
+
+
+class TestLocations:
+    def test_line_and_column(self):
+        tokens = non_structural("  x = 1")
+        assert tokens[0].location.line == 1
+        assert tokens[0].location.column == 3
+
+    def test_multiline_locations(self):
+        tokens = [t for t in tokenize("a = 1\n  b = 2") if t.kind is TokenKind.IDENT]
+        assert tokens[0].location.line == 1
+        assert tokens[1].location.line == 2
+        assert tokens[1].location.column == 3
+
+    def test_filename_propagates(self):
+        tok = tokenize("x = 1", filename="prog.f")[0]
+        assert tok.location.filename == "prog.f"

@@ -1,0 +1,313 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.frontend import ast
+from repro.frontend.errors import ParseError
+from repro.frontend.parser import parse_source
+
+
+def parse_unit(body, header="      PROGRAM MAIN", decls=""):
+    text = f"{header}\n{decls}{body}\n      END\n"
+    return parse_source(text).units[0]
+
+
+def parse_stmts(body, decls=""):
+    return parse_unit(body, decls=decls).body
+
+
+class TestUnits:
+    def test_program_unit(self):
+        unit = parse_unit("      X = 1")
+        assert unit.kind is ast.ProcedureKind.PROGRAM
+        assert unit.name == "main"
+        assert unit.params == []
+
+    def test_subroutine_with_params(self):
+        module = parse_source(
+            "      SUBROUTINE S(A, B)\n      A = B\n      END\n"
+        )
+        unit = module.units[0]
+        assert unit.kind is ast.ProcedureKind.SUBROUTINE
+        assert unit.params == ["a", "b"]
+
+    def test_subroutine_without_params(self):
+        unit = parse_source("      SUBROUTINE S\n      X = 1\n      END\n").units[0]
+        assert unit.params == []
+
+    def test_integer_function(self):
+        unit = parse_source(
+            "      INTEGER FUNCTION F(Q)\n      F = Q\n      END\n"
+        ).units[0]
+        assert unit.kind is ast.ProcedureKind.FUNCTION
+        assert unit.name == "f"
+
+    def test_multiple_units(self):
+        module = parse_source(
+            "      PROGRAM MAIN\n      CALL S\n      END\n"
+            "      SUBROUTINE S\n      X = 1\n      END\n"
+        )
+        assert [u.name for u in module.units] == ["main", "s"]
+
+    def test_module_unit_lookup(self):
+        module = parse_source("      PROGRAM MAIN\n      X = 1\n      END\n")
+        assert module.unit("MAIN").name == "main"
+        with pytest.raises(KeyError):
+            module.unit("nope")
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("")
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("      BANANA MAIN\n      END\n")
+
+
+class TestDeclarations:
+    def test_integer_decl(self):
+        unit = parse_unit("      X = 1", decls="      INTEGER A, B\n")
+        (decl,) = unit.decls
+        assert isinstance(decl, ast.IntegerDecl)
+        assert [i.name for i in decl.items] == ["a", "b"]
+
+    def test_array_decl(self):
+        unit = parse_unit("      X = 1", decls="      INTEGER A(10), B(3, 4)\n")
+        items = unit.decls[0].items
+        assert items[0].dims == [10]
+        assert items[1].dims == [3, 4]
+
+    def test_dimension_decl(self):
+        unit = parse_unit("      X = 1", decls="      DIMENSION A(5)\n")
+        assert isinstance(unit.decls[0], ast.DimensionDecl)
+
+    def test_common_decl(self):
+        unit = parse_unit("      X = 1", decls="      COMMON /BLK/ G1, G2\n")
+        decl = unit.decls[0]
+        assert isinstance(decl, ast.CommonDecl)
+        assert decl.block == "blk"
+        assert [i.name for i in decl.items] == ["g1", "g2"]
+
+    def test_parameter_decl(self):
+        unit = parse_unit("      X = K", decls="      PARAMETER (K = 10, L = K + 1)\n")
+        decl = unit.decls[0]
+        assert isinstance(decl, ast.ParameterDecl)
+        assert decl.bindings[0][0] == "k"
+
+    def test_declarations_must_precede_statements(self):
+        # An INTEGER decl after an executable statement is a parse error
+        # (INTEGER starts a declaration, which is no longer allowed).
+        with pytest.raises(ParseError):
+            parse_source(
+                "      PROGRAM MAIN\n      X = 1\n      INTEGER Y\n      END\n"
+            )
+
+
+class TestStatements:
+    def test_assignment(self):
+        (stmt,) = parse_stmts("      X = 1 + 2")
+        assert isinstance(stmt, ast.Assign)
+        assert isinstance(stmt.target, ast.VarRef)
+
+    def test_array_assignment(self):
+        (stmt,) = parse_stmts("      A(3) = 1", decls="      INTEGER A(10)\n")
+        assert isinstance(stmt.target, ast.ArrayRef)
+
+    def test_call_no_args(self):
+        module = parse_source(
+            "      PROGRAM MAIN\n      CALL S\n      END\n"
+            "      SUBROUTINE S\n      X = 1\n      END\n"
+        )
+        stmt = module.units[0].body[0]
+        assert isinstance(stmt, ast.CallStmt)
+        assert stmt.args == []
+
+    def test_call_with_args(self):
+        (stmt,) = parse_stmts("      CALL S(1, X, Y + 1)")
+        assert len(stmt.args) == 3
+
+    def test_goto_and_labeled_continue(self):
+        stmts = parse_stmts("      GOTO 10\n 10   CONTINUE")
+        assert isinstance(stmts[0], ast.GotoStmt)
+        assert stmts[0].target == 10
+        assert isinstance(stmts[1], ast.ContinueStmt)
+        assert stmts[1].label == 10
+
+    def test_return(self):
+        (stmt,) = parse_stmts("      RETURN")
+        assert isinstance(stmt, ast.ReturnStmt)
+
+    def test_stop(self):
+        (stmt,) = parse_stmts("      STOP")
+        assert isinstance(stmt, ast.StopStmt)
+
+    def test_read(self):
+        (stmt,) = parse_stmts("      READ *, X, Y")
+        assert isinstance(stmt, ast.ReadStmt)
+        assert len(stmt.targets) == 2
+
+    def test_print_with_string(self):
+        (stmt,) = parse_stmts("      PRINT *, 'v', X")
+        assert stmt.items[0] == "v"
+        assert isinstance(stmt.items[1], ast.VarRef)
+
+    def test_write_is_print_synonym(self):
+        (stmt,) = parse_stmts("      WRITE *, X")
+        assert isinstance(stmt, ast.PrintStmt)
+
+
+class TestIf:
+    def test_logical_if(self):
+        (stmt,) = parse_stmts("      IF (X .GT. 0) Y = 1")
+        assert isinstance(stmt, ast.IfStmt)
+        assert len(stmt.then_body) == 1
+        assert stmt.else_body == []
+
+    def test_block_if(self):
+        (stmt,) = parse_stmts(
+            "      IF (X .GT. 0) THEN\n      Y = 1\n      ENDIF"
+        )
+        assert isinstance(stmt, ast.IfStmt)
+        assert len(stmt.then_body) == 1
+
+    def test_if_else(self):
+        (stmt,) = parse_stmts(
+            "      IF (X .GT. 0) THEN\n      Y = 1\n      ELSE\n      Y = 2\n"
+            "      ENDIF"
+        )
+        assert len(stmt.else_body) == 1
+
+    def test_elseif_joined(self):
+        (stmt,) = parse_stmts(
+            "      IF (X .EQ. 1) THEN\n      Y = 1\n"
+            "      ELSEIF (X .EQ. 2) THEN\n      Y = 2\n      ENDIF"
+        )
+        assert len(stmt.elifs) == 1
+
+    def test_else_if_split(self):
+        (stmt,) = parse_stmts(
+            "      IF (X .EQ. 1) THEN\n      Y = 1\n"
+            "      ELSE IF (X .EQ. 2) THEN\n      Y = 2\n"
+            "      ELSE\n      Y = 3\n      END IF"
+        )
+        assert len(stmt.elifs) == 1
+        assert len(stmt.else_body) == 1
+
+    def test_end_if_two_tokens(self):
+        (stmt,) = parse_stmts("      IF (X .GT. 0) THEN\n      Y = 1\n      END IF")
+        assert isinstance(stmt, ast.IfStmt)
+
+    def test_missing_endif_rejected(self):
+        with pytest.raises(ParseError):
+            parse_stmts("      IF (X .GT. 0) THEN\n      Y = 1")
+
+
+class TestDo:
+    def test_do_enddo(self):
+        (stmt,) = parse_stmts("      DO I = 1, 10\n      X = I\n      ENDDO")
+        assert isinstance(stmt, ast.DoStmt)
+        assert stmt.var == "i"
+        assert stmt.step is None
+
+    def test_do_with_step(self):
+        (stmt,) = parse_stmts("      DO I = 1, 10, 2\n      X = I\n      ENDDO")
+        assert isinstance(stmt.step, ast.IntLiteral)
+
+    def test_do_end_do_two_tokens(self):
+        (stmt,) = parse_stmts("      DO I = 1, 3\n      X = I\n      END DO")
+        assert isinstance(stmt, ast.DoStmt)
+
+    def test_labeled_do(self):
+        (stmt,) = parse_stmts(
+            "      DO 20 I = 1, 3\n      X = I\n 20   CONTINUE"
+        )
+        assert isinstance(stmt, ast.DoStmt)
+        assert len(stmt.body) == 2  # the X= and the labeled CONTINUE
+
+    def test_labeled_do_missing_terminal(self):
+        with pytest.raises(ParseError):
+            parse_stmts("      DO 20 I = 1, 3\n      X = I")
+
+    def test_do_while(self):
+        (stmt,) = parse_stmts(
+            "      DO WHILE (X .GT. 0)\n      X = X - 1\n      ENDDO"
+        )
+        assert isinstance(stmt, ast.DoWhileStmt)
+
+    def test_nested_do(self):
+        (stmt,) = parse_stmts(
+            "      DO I = 1, 3\n      DO J = 1, 3\n      X = I + J\n"
+            "      ENDDO\n      ENDDO"
+        )
+        assert isinstance(stmt.body[0], ast.DoStmt)
+
+
+class TestExpressions:
+    def expr_of(self, text):
+        (stmt,) = parse_stmts(f"      X = {text}")
+        return stmt.value
+
+    def test_precedence_mul_over_add(self):
+        expr = self.expr_of("1 + 2 * 3")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "*"
+
+    def test_parentheses(self):
+        expr = self.expr_of("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert isinstance(expr.left, ast.BinaryOp)
+
+    def test_left_associativity(self):
+        expr = self.expr_of("10 - 4 - 3")
+        assert expr.op == "-"
+        assert isinstance(expr.left, ast.BinaryOp)
+        assert expr.right.value == 3
+
+    def test_unary_minus(self):
+        expr = self.expr_of("-X")
+        assert isinstance(expr, ast.UnaryOp) and expr.op == "-"
+
+    def test_relational(self):
+        expr = self.expr_of("A .LE. B")
+        assert isinstance(expr, ast.Compare) and expr.op == "le"
+
+    def test_logical_precedence(self):
+        expr = self.expr_of("A .GT. 0 .AND. B .GT. 0 .OR. C .GT. 0")
+        assert isinstance(expr, ast.LogicalOp) and expr.op == "or"
+        assert expr.left.op == "and"
+
+    def test_not(self):
+        expr = self.expr_of(".NOT. (A .EQ. B)")
+        assert isinstance(expr, ast.UnaryOp) and expr.op == "not"
+
+    def test_array_ref_vs_function_call(self):
+        unit = parse_unit(
+            "      X = A(1) + F(1)", decls="      INTEGER A(10)\n"
+        )
+        expr = unit.body[0].value
+        assert isinstance(expr.left, ast.ArrayRef)
+        assert isinstance(expr.right, ast.FunctionCall)
+
+    def test_function_call_no_args(self):
+        expr = self.expr_of("F()")
+        assert isinstance(expr, ast.FunctionCall)
+        assert expr.args == []
+
+    def test_walk_expressions(self):
+        expr = self.expr_of("1 + F(A, B(2))")
+        names = [
+            e.name for e in ast.walk_expressions(expr) if isinstance(e, ast.VarRef)
+        ]
+        assert "a" in names
+
+
+class TestWalkStatements:
+    def test_recurses_into_compounds(self):
+        stmts = parse_stmts(
+            "      IF (X .GT. 0) THEN\n"
+            "      DO I = 1, 3\n      Y = I\n      ENDDO\n"
+            "      ENDIF"
+        )
+        all_stmts = list(ast.walk_statements(stmts))
+        assert any(isinstance(s, ast.DoStmt) for s in all_stmts)
+        assert any(isinstance(s, ast.Assign) for s in all_stmts)

@@ -1,0 +1,169 @@
+"""Binding multi-graph solver tests: structure, fixpoint equivalence
+with the call-graph worklist solver, and work granularity."""
+
+import pytest
+
+from repro.config import AnalysisConfig, JumpFunctionKind
+from repro.ipcp.binding_graph import BindingMultiGraph, propagate_binding_graph
+from repro.ipcp.driver import prepare_program
+from repro.ipcp.jump_functions import build_forward_jump_functions
+from repro.ipcp.return_functions import build_return_functions
+from repro.ipcp.solver import propagate
+from repro.suite.generator import GeneratorConfig, generate_program
+from repro.suite.programs import program_source
+
+from tests.conftest import lower
+
+
+def prepared_with_table(text, kind=JumpFunctionKind.POLYNOMIAL):
+    program = lower(text)
+    config = AnalysisConfig(jump_function=kind)
+    callgraph, modref = prepare_program(program, config)
+    return_map = build_return_functions(program, callgraph, modref)
+    table = build_forward_jump_functions(program, callgraph, kind, return_map)
+    return program, callgraph, table
+
+
+CHAIN = (
+    "      PROGRAM MAIN\n      CALL A(5)\n      END\n"
+    "      SUBROUTINE A(X)\n      CALL B(X)\n      CALL B(X)\n      END\n"
+    "      SUBROUTINE B(Y)\n      Z = Y\n      END\n"
+)
+
+
+class TestGraphStructure:
+    def test_nodes_cover_entry_domains(self):
+        program, callgraph, table = prepared_with_table(CHAIN)
+        graph = BindingMultiGraph(program, callgraph, table)
+        node_names = {(proc, var.name) for proc, var in graph.nodes}
+        assert ("a", "x") in node_names
+        assert ("b", "y") in node_names
+
+    def test_one_edge_per_site_per_parameter(self):
+        program, callgraph, table = prepared_with_table(CHAIN)
+        graph = BindingMultiGraph(program, callgraph, table)
+        b = program.procedure("b")
+        target = ("b", b.formals[0])
+        assert len(graph.in_edges[target]) == 2  # two CALL B sites
+
+    def test_dependents_index_follows_support(self):
+        program, callgraph, table = prepared_with_table(CHAIN)
+        graph = BindingMultiGraph(program, callgraph, table)
+        a = program.procedure("a")
+        source = ("a", a.formals[0])
+        # Both edges into B depend on A's formal (pass-through support).
+        assert len(graph.dependents[source]) == 2
+
+    def test_statistics(self):
+        program, callgraph, table = prepared_with_table(CHAIN)
+        graph = BindingMultiGraph(program, callgraph, table)
+        stats = graph.statistics()
+        assert stats["nodes"] == len(graph.nodes)
+        assert stats["edges"] == len(graph.edges)
+        assert stats["total_support"] >= 2
+
+
+class TestFixpointEquivalence:
+    def assert_equivalent(self, text, kind=JumpFunctionKind.POLYNOMIAL):
+        program, callgraph, table = prepared_with_table(text, kind)
+        worklist_result = propagate(program, callgraph, table)
+        binding_result = propagate_binding_graph(program, callgraph, table)
+        for procedure in program:
+            assert binding_result.constants.constants_of(
+                procedure.name
+            ) == worklist_result.constants.constants_of(procedure.name), (
+                procedure.name
+            )
+
+    def test_chain(self):
+        self.assert_equivalent(CHAIN)
+
+    def test_conflict(self):
+        self.assert_equivalent(
+            "      PROGRAM MAIN\n      CALL S(1)\n      CALL S(2)\n      END\n"
+            "      SUBROUTINE S(K)\n      X = K\n      END\n"
+        )
+
+    def test_recursion(self):
+        self.assert_equivalent(
+            "      PROGRAM MAIN\n      CALL R(10, 7)\n      END\n"
+            "      SUBROUTINE R(N, V)\n"
+            "      IF (N .GT. 0) THEN\n      CALL R(N - 1, V)\n      ENDIF\n"
+            "      END\n"
+        )
+
+    @pytest.mark.parametrize("kind", list(JumpFunctionKind), ids=lambda k: k.value)
+    def test_every_kind(self, kind):
+        self.assert_equivalent(CHAIN, kind)
+
+    @pytest.mark.parametrize("name", ["ocean", "doduc", "trfd", "simple"])
+    def test_suite_programs(self, name):
+        self.assert_equivalent(program_source(name))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_generated_programs(self, seed):
+        self.assert_equivalent(
+            generate_program(seed, GeneratorConfig(procedures=5))
+        )
+
+
+class TestGranularity:
+    def test_binding_graph_evaluates_fewer_functions_on_sparse_change(self):
+        # A program with a wide procedure where only one parameter's
+        # lowering should trigger narrow re-evaluation.
+        text = (
+            "      PROGRAM MAIN\n"
+            "      CALL W(1, 2, 3, 4)\n      CALL W(9, 2, 3, 4)\n      END\n"
+            "      SUBROUTINE W(A, B, C, D)\n"
+            "      CALL L(A)\n      CALL L(B)\n      CALL L(C)\n"
+            "      CALL L(D)\n      END\n"
+            "      SUBROUTINE L(K)\n      X = K\n      END\n"
+        )
+        program, callgraph, table = prepared_with_table(text)
+        worklist_result = propagate(program, callgraph, table)
+        binding_result = propagate_binding_graph(program, callgraph, table)
+        assert (
+            binding_result.stats.jump_function_evaluations
+            <= worklist_result.stats.jump_function_evaluations
+        )
+
+
+class TestComplexityStructure:
+    """§3.1.5's accounting, observable in the binding multi-graph: jump
+    functions with empty support are never re-evaluated; pass-through
+    and polynomial functions are re-evaluated once per support-variable
+    lowering."""
+
+    def _solve(self, text, kind):
+        program, callgraph, table = prepared_with_table(text, kind)
+        graph = BindingMultiGraph(program, callgraph, table)
+        result = propagate_binding_graph(program, callgraph, table)
+        return graph, result
+
+    def test_supportless_kinds_evaluate_each_edge_once(self):
+        text = (
+            "      PROGRAM MAIN\n      N = 2\n"
+            "      CALL A(5)\n      CALL B(N)\n      END\n"
+            "      SUBROUTINE A(X)\n      Y = X\n      END\n"
+            "      SUBROUTINE B(X)\n      Y = X\n      END\n"
+        )
+        for kind in (JumpFunctionKind.LITERAL, JumpFunctionKind.INTRAPROCEDURAL):
+            graph, result = self._solve(text, kind)
+            # No jump function has support, so nothing ever triggers a
+            # re-evaluation: total evaluations == total in-edges.
+            edges = sum(len(v) for v in graph.in_edges.values())
+            assert result.stats.jump_function_evaluations == edges, kind
+
+    def test_support_triggers_bounded_reevaluation(self):
+        # A pass-through chain: each lowering of a node re-evaluates its
+        # dependent edges; the lattice's bounded depth caps the total at
+        # edges * (1 + lowerings-per-support-var) <= edges * 3.
+        text = (
+            "      PROGRAM MAIN\n      CALL C1(5)\n      END\n"
+            "      SUBROUTINE C1(X)\n      CALL C2(X)\n      END\n"
+            "      SUBROUTINE C2(X)\n      CALL C3(X)\n      END\n"
+            "      SUBROUTINE C3(X)\n      Y = X\n      END\n"
+        )
+        graph, result = self._solve(text, JumpFunctionKind.PASS_THROUGH)
+        edges = sum(len(v) for v in graph.in_edges.values())
+        assert result.stats.jump_function_evaluations <= edges * 3

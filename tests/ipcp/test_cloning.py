@@ -1,0 +1,85 @@
+"""Procedure cloning extension tests."""
+
+from repro.config import AnalysisConfig
+from repro.ipcp.cloning import clone_for_constants
+
+from tests.conftest import lower
+
+CONFLICT = (
+    "      PROGRAM MAIN\n"
+    "      CALL C(4)\n      CALL C(4)\n      CALL C(8)\n      END\n"
+    "      SUBROUTINE C(S)\n      A = S + 1\n      B = S + 2\n      END\n"
+)
+
+
+class TestCloning:
+    def test_conflicting_edges_split(self):
+        report = clone_for_constants(lower(CONFLICT))
+        assert report.clones_created == 1
+        assert report.constants_gained > 0
+
+    def test_each_version_gets_its_constant(self):
+        report = clone_for_constants(lower(CONFLICT))
+        constants = report.final.constants
+        values = set()
+        for name in ("c", "c%clone1"):
+            proc = report.final.program.procedure(name)
+            values.add(constants.constants_of(name)[proc.formals[0]])
+        assert values == {4, 8}
+
+    def test_majority_group_keeps_original(self):
+        report = clone_for_constants(lower(CONFLICT))
+        original = report.final.program.procedure("c")
+        # Two call sites agreed on 4: the original body serves them.
+        assert (
+            report.final.constants.constants_of("c")[original.formals[0]] == 4
+        )
+
+    def test_no_clone_when_edges_agree(self):
+        report = clone_for_constants(
+            lower(
+                "      PROGRAM MAIN\n      CALL C(4)\n      CALL C(4)\n"
+                "      END\n"
+                "      SUBROUTINE C(S)\n      A = S\n      END\n"
+            )
+        )
+        assert report.clones_created == 0
+        assert report.final is report.base
+
+    def test_no_clone_for_single_call_site(self):
+        report = clone_for_constants(
+            lower(
+                "      PROGRAM MAIN\n      CALL C(4)\n      END\n"
+                "      SUBROUTINE C(S)\n      A = S\n      END\n"
+            )
+        )
+        assert report.clones_created == 0
+
+    def test_clone_cap_respected(self):
+        calls = "\n".join(f"      CALL C({v})" for v in range(10))
+        text = (
+            f"      PROGRAM MAIN\n{calls}\n      END\n"
+            "      SUBROUTINE C(S)\n      A = S\n      END\n"
+        )
+        report = clone_for_constants(lower(text), max_clones_per_procedure=2)
+        assert report.clones_created <= 2
+
+    def test_globals_still_shared_after_cloning(self):
+        text = (
+            "      PROGRAM MAIN\n      COMMON /B/ G\n      G = 5\n"
+            "      CALL C(1)\n      CALL C(2)\n      END\n"
+            "      SUBROUTINE C(S)\n      COMMON /B/ G\n      A = G + S\n"
+            "      END\n"
+        )
+        report = clone_for_constants(lower(text))
+        g = report.final.program.scalar_globals()[0]
+        for name in report.final.program.procedures:
+            if name.startswith("c"):
+                assert report.final.constants.constants_of(name).get(g) == 5
+
+    def test_final_counts_at_least_base(self):
+        report = clone_for_constants(lower(CONFLICT))
+        assert (
+            report.final.substituted_constants
+            >= report.base.substituted_constants
+        )

@@ -1,0 +1,108 @@
+"""Complete propagation and driver configuration tests."""
+
+import pytest
+
+from repro.config import AnalysisConfig, JumpFunctionKind
+from repro.ipcp.driver import analyze_source
+
+DISPATCH = (
+    "      PROGRAM MAIN\n      CALL DISP(1)\n      END\n"
+    "      SUBROUTINE DISP(MODE)\n      INTEGER MODE\n"
+    "      IF (MODE .EQ. 1) THEN\n      CALL WK(7)\n"
+    "      ELSE\n      CALL WK(9)\n      ENDIF\n      END\n"
+    "      SUBROUTINE WK(K)\n      A = K + 1\n      B = K + 2\n      END\n"
+)
+
+
+class TestCompletePropagation:
+    def test_dead_call_edge_removed_exposes_constant(self):
+        plain = analyze_source(DISPATCH)
+        assert plain.constants.constants_of("wk") == {}
+
+        complete = analyze_source(DISPATCH, AnalysisConfig.complete_propagation())
+        wk = complete.program.procedure("wk")
+        assert complete.constants.constants_of("wk") == {wk.formals[0]: 7}
+        assert complete.dce_rounds == 1
+
+    def test_complete_never_below_plain(self):
+        plain = analyze_source(DISPATCH)
+        complete = analyze_source(DISPATCH, AnalysisConfig.complete_propagation())
+        assert complete.substituted_constants >= plain.substituted_constants
+
+    def test_no_dead_code_means_zero_rounds(self):
+        result = analyze_source(
+            "      PROGRAM MAIN\n      CALL S(1)\n      END\n"
+            "      SUBROUTINE S(K)\n      X = K\n      END\n",
+            AnalysisConfig.complete_propagation(),
+        )
+        assert result.dce_rounds == 0
+
+    def test_callgraph_rebuilt(self):
+        complete = analyze_source(DISPATCH, AnalysisConfig.complete_propagation())
+        wk = complete.program.procedure("wk")
+        assert len(complete.callgraph.sites_into(wk)) == 1
+
+
+class TestDriverConfigurations:
+    PROGRAM = (
+        "      PROGRAM MAIN\n      COMMON /C/ G\n      N = 4\n"
+        "      CALL INIT\n      CALL S(N)\n      END\n"
+        "      SUBROUTINE INIT\n      COMMON /C/ G\n      G = 2\n      END\n"
+        "      SUBROUTINE S(K)\n      COMMON /C/ G\n      A = K + G\n"
+        "      END\n"
+    )
+
+    def test_default_config_finds_everything(self):
+        result = analyze_source(self.PROGRAM)
+        s = result.program.procedure("s")
+        constants = result.constants.constants_of("s")
+        assert constants[s.formals[0]] == 4
+        g = result.program.scalar_globals()[0]
+        assert constants[g] == 2
+
+    def test_no_returns_loses_init_global(self):
+        result = analyze_source(
+            self.PROGRAM, AnalysisConfig(use_return_functions=False)
+        )
+        g = result.program.scalar_globals()[0]
+        assert g not in result.constants.constants_of("s")
+
+    def test_intraprocedural_only_finds_no_interprocedural(self):
+        result = analyze_source(self.PROGRAM, AnalysisConfig.intraprocedural_only())
+        assert result.constants.constants_of("s") == {}
+        assert result.jump_table is None
+        assert result.propagation is None
+
+    def test_describe_strings(self):
+        assert "poly" in AnalysisConfig().describe()
+        assert "nomod" in AnalysisConfig(use_mod=False).describe()
+        assert "complete" in AnalysisConfig.complete_propagation().describe()
+        assert "intraprocedural" in AnalysisConfig.intraprocedural_only().describe()
+
+    def test_with_kind(self):
+        config = AnalysisConfig().with_kind(JumpFunctionKind.LITERAL)
+        assert config.jump_function is JumpFunctionKind.LITERAL
+        assert config.use_mod  # other fields preserved
+
+    def test_kind_order(self):
+        order = [k.order for k in JumpFunctionKind]
+        assert order == sorted(order)
+
+    def test_constants_report_format(self):
+        result = analyze_source(self.PROGRAM)
+        report = result.constants.format_report()
+        assert "CONSTANTS(s)" in report
+        assert "k=4" in report
+
+    def test_total_pairs(self):
+        result = analyze_source(self.PROGRAM)
+        assert result.constants.total_pairs() >= 2
+
+    def test_transformed_source_requires_source(self):
+        from repro.ir.module import Program
+        from repro.ipcp.driver import analyze_program
+
+        result = analyze_source(self.PROGRAM)
+        result.program.source = None
+        with pytest.raises(ValueError):
+            result.transformed_source()

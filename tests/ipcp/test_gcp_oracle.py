@@ -1,0 +1,84 @@
+"""gcp oracle ablation tests: value numbering vs SCCP (§3.1 leaves the
+choice open — "intraprocedural constant propagation or value numbering").
+"""
+
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.ipcp.driver import analyze_source
+from repro.suite.generator import GeneratorConfig, generate_program
+
+#: A branch on an intraprocedurally known condition feeds the call:
+#: value numbering merges the two arms to unknown, but SCCP prunes the
+#: dead arm and proves Y = 5.
+BRANCHY_CALL = (
+    "      PROGRAM MAIN\n"
+    "      X = 1\n"
+    "      IF (X .EQ. 1) THEN\n      Y = 5\n      ELSE\n      Y = 6\n"
+    "      ENDIF\n"
+    "      CALL S(Y)\n"
+    "      END\n"
+    "      SUBROUTINE S(K)\n      A = K + 1\n      B = K + 2\n      END\n"
+)
+
+
+def constants_of(result, proc):
+    return {
+        var.name: value
+        for var, value in result.constants.constants_of(proc).items()
+    }
+
+
+class TestOracles:
+    def test_value_numbering_misses_branch_merge(self):
+        result = analyze_source(
+            BRANCHY_CALL, AnalysisConfig(gcp_oracle="value_numbering")
+        )
+        assert constants_of(result, "s") == {}
+
+    def test_sccp_oracle_prunes_dead_arm(self):
+        result = analyze_source(BRANCHY_CALL, AnalysisConfig(gcp_oracle="sccp"))
+        assert constants_of(result, "s") == {"k": 5}
+
+    def test_sccp_oracle_strictly_stronger_here(self):
+        vn = analyze_source(BRANCHY_CALL, AnalysisConfig())
+        sccp = analyze_source(BRANCHY_CALL, AnalysisConfig(gcp_oracle="sccp"))
+        assert sccp.substituted_constants > vn.substituted_constants
+
+    def test_oracles_agree_on_straightline_code(self):
+        text = (
+            "      PROGRAM MAIN\n      N = 3\n      CALL S(N * 2)\n      END\n"
+            "      SUBROUTINE S(K)\n      A = K\n      END\n"
+        )
+        vn = analyze_source(text, AnalysisConfig())
+        sccp = analyze_source(text, AnalysisConfig(gcp_oracle="sccp"))
+        assert vn.substituted_constants == sccp.substituted_constants
+        assert constants_of(vn, "s") == constants_of(sccp, "s") == {"k": 6}
+
+    def test_unknown_oracle_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_source(BRANCHY_CALL, AnalysisConfig(gcp_oracle="psychic"))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_sccp_oracle_never_finds_fewer(self, seed):
+        source = generate_program(seed, GeneratorConfig(procedures=4))
+        vn = analyze_source(source, AnalysisConfig())
+        sccp = analyze_source(source, AnalysisConfig(gcp_oracle="sccp"))
+        assert sccp.substituted_constants >= vn.substituted_constants
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sccp_oracle_is_sound(self, seed):
+        from repro.frontend.parser import parse_source
+        from repro.frontend.source import SourceFile
+        from repro.ir.interp import run_program
+        from repro.ir.lowering import lower_module
+
+        source = generate_program(seed, GeneratorConfig(procedures=4))
+        executable = lower_module(
+            parse_source(source), SourceFile("g.f", source)
+        )
+        trace = run_program(executable, inputs=[1, 4, -3] * 40, fuel=3_000_000)
+        result = analyze_source(source, AnalysisConfig(gcp_oracle="sccp"))
+        for procedure in result.program:
+            claimed = result.constants.constants_of(procedure.name)
+            assert trace.constant_violations(procedure.name, claimed) == []

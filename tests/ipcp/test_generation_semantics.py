@@ -1,0 +1,110 @@
+"""Value-numbering call semantics in *generation* mode (§3.2's first
+evaluation): symbolic return-jump-function composition during the
+bottom-up pass — the machinery that lets a caller's return jump function
+be built from its callees' effects."""
+
+from repro.analysis.expr import ConstExpr, EntryExpr, OpExpr
+from repro.analysis.value_numbering import ValueNumbering
+from repro.config import AnalysisConfig
+from repro.ipcp.driver import prepare_program
+from repro.ipcp.return_functions import (
+    ForwardCallSemantics,
+    GenerationCallSemantics,
+    build_return_functions,
+)
+from repro.ir.instructions import Print
+
+from tests.conftest import lower
+
+
+def build(text):
+    program = lower(text)
+    callgraph, modref = prepare_program(program, AnalysisConfig())
+    return_map = build_return_functions(program, callgraph, modref)
+    return program, return_map
+
+
+def print_expr(program, return_map, proc, semantics_cls, index=0):
+    procedure = program.procedure(proc)
+    numbering = ValueNumbering(
+        procedure, semantics_cls(program, return_map)
+    )
+    prints = [
+        i for i in procedure.cfg.instructions() if isinstance(i, Print)
+    ]
+    return numbering.operand_expr(prints[0].operands()[index])
+
+
+SYMBOLIC = (
+    "      PROGRAM MAIN\n      N = 1\n      CALL OUTER(N)\n      END\n"
+    "      SUBROUTINE OUTER(X)\n      CALL TRIPLE(X)\n      PRINT *, X\n"
+    "      END\n"
+    "      SUBROUTINE TRIPLE(Y)\n      Y = Y * 3\n      END\n"
+)
+
+
+class TestGenerationMode:
+    def test_symbolic_composition_kept(self):
+        # After CALL TRIPLE(X), generation-mode value numbering knows
+        # X = 3 * entry(X) — a symbolic polynomial of OUTER's entry.
+        program, return_map = build(SYMBOLIC)
+        expr = print_expr(program, return_map, "outer", GenerationCallSemantics)
+        assert isinstance(expr, OpExpr)
+        outer_x = program.procedure("outer").formals[0]
+        assert expr.support() == frozenset((outer_x,))
+
+    def test_composed_return_function_built(self):
+        # OUTER's own return jump function for X composes TRIPLE's.
+        program, return_map = build(SYMBOLIC)
+        outer = program.procedure("outer")
+        rjf = return_map.lookup("outer", outer.formals[0])
+        assert rjf is not None
+        assert rjf.polynomial.evaluate({outer.formals[0]: 5}) == 15
+
+    def test_two_level_composition(self):
+        text = (
+            "      PROGRAM MAIN\n      N = 1\n      CALL A(N)\n      END\n"
+            "      SUBROUTINE A(X)\n      CALL B(X)\n      END\n"
+            "      SUBROUTINE B(Y)\n      CALL C(Y)\n      Y = Y + 1\n"
+            "      END\n"
+            "      SUBROUTINE C(Z)\n      Z = Z * 2\n      END\n"
+        )
+        program, return_map = build(text)
+        a = program.procedure("a")
+        rjf = return_map.lookup("a", a.formals[0])
+        assert rjf is not None
+        # A(x): B(x) = C(x) + 1 = 2x + 1.
+        assert rjf.polynomial.evaluate({a.formals[0]: 10}) == 21
+
+
+class TestForwardMode:
+    def test_nonconstant_rejected(self):
+        # Forward mode (§3.2's second evaluation): TRIPLE's result
+        # depends on OUTER's formal, so it "can never be evaluated as
+        # constant" — X after the call is opaque.
+        program, return_map = build(SYMBOLIC)
+        expr = print_expr(program, return_map, "outer", ForwardCallSemantics)
+        assert not isinstance(expr, (ConstExpr, OpExpr, EntryExpr))
+
+    def test_constant_accepted(self):
+        text = (
+            "      PROGRAM MAIN\n      N = 7\n      CALL TRIPLE(N)\n"
+            "      PRINT *, N\n      END\n"
+            "      SUBROUTINE TRIPLE(Y)\n      Y = Y * 3\n      END\n"
+        )
+        program, return_map = build(text)
+        expr = print_expr(program, return_map, "main", ForwardCallSemantics)
+        assert expr == ConstExpr(21)
+
+    def test_generation_and_forward_agree_on_constants(self):
+        text = (
+            "      PROGRAM MAIN\n      N = 7\n      CALL TRIPLE(N)\n"
+            "      PRINT *, N\n      END\n"
+            "      SUBROUTINE TRIPLE(Y)\n      Y = Y * 3\n      END\n"
+        )
+        program, return_map = build(text)
+        generation = print_expr(
+            program, return_map, "main", GenerationCallSemantics
+        )
+        forward = print_expr(program, return_map, "main", ForwardCallSemantics)
+        assert generation == forward == ConstExpr(21)

@@ -1,0 +1,91 @@
+"""GSA-style refinement tests (§4.2's closing remark): complete-
+propagation results without dead-code elimination."""
+
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.ipcp.driver import analyze_source
+from repro.suite.programs import program_source
+
+DISPATCH = (
+    "      PROGRAM MAIN\n      CALL DISP(1)\n      END\n"
+    "      SUBROUTINE DISP(MODE)\n      INTEGER MODE\n"
+    "      IF (MODE .EQ. 1) THEN\n      CALL WK(7)\n"
+    "      ELSE\n      CALL WK(9)\n      ENDIF\n      END\n"
+    "      SUBROUTINE WK(K)\n      A = K + 1\n      B = K + 2\n      END\n"
+)
+
+
+class TestRefinement:
+    def test_dead_dispatch_arm_excluded(self):
+        plain = analyze_source(DISPATCH)
+        assert plain.constants.constants_of("wk") == {}
+
+        gsa = analyze_source(DISPATCH, AnalysisConfig(gsa_refinement=True))
+        wk = gsa.program.procedure("wk")
+        assert gsa.constants.constants_of("wk") == {wk.formals[0]: 7}
+
+    def test_matches_complete_propagation_counts(self):
+        gsa = analyze_source(DISPATCH, AnalysisConfig(gsa_refinement=True))
+        complete = analyze_source(DISPATCH, AnalysisConfig.complete_propagation())
+        assert gsa.substituted_constants == complete.substituted_constants
+
+    def test_program_not_mutated(self):
+        # Unlike complete propagation, refinement never edits the IR:
+        # the dead branch is still present afterwards.
+        gsa = analyze_source(DISPATCH, AnalysisConfig(gsa_refinement=True))
+        disp = gsa.program.procedure("disp")
+        assert len(disp.call_sites()) == 2
+
+    @pytest.mark.parametrize("name", ["ocean", "spec77"])
+    def test_matches_complete_on_gaining_suite_programs(self, name):
+        # ocean and spec77 are exactly the programs where complete
+        # propagation gains over plain with-MOD; the GSA-style generator
+        # must recover the same counts without DCE.
+        source = program_source(name)
+        complete = analyze_source(
+            source, AnalysisConfig.complete_propagation(), filename=f"{name}.f"
+        )
+        gsa = analyze_source(
+            source, AnalysisConfig(gsa_refinement=True), filename=f"{name}.f"
+        )
+        assert gsa.substituted_constants == complete.substituted_constants
+
+    @pytest.mark.parametrize("name", ["trfd", "mdg", "qcd"])
+    def test_no_change_where_complete_gains_nothing(self, name):
+        source = program_source(name)
+        plain = analyze_source(source, filename=f"{name}.f")
+        gsa = analyze_source(
+            source, AnalysisConfig(gsa_refinement=True), filename=f"{name}.f"
+        )
+        assert gsa.substituted_constants == plain.substituted_constants
+
+    def test_describe_mentions_gsa(self):
+        assert "gsa" in AnalysisConfig(gsa_refinement=True).describe()
+
+    def test_refinement_never_loses_constants(self):
+        from repro.suite.generator import GeneratorConfig, generate_program
+
+        for seed in range(6):
+            source = generate_program(seed, GeneratorConfig(procedures=4))
+            plain = analyze_source(source)
+            gsa = analyze_source(source, AnalysisConfig(gsa_refinement=True))
+            assert gsa.substituted_constants >= plain.substituted_constants
+
+    def test_refinement_sound(self):
+        from repro.frontend.parser import parse_source
+        from repro.frontend.source import SourceFile
+        from repro.ir.interp import run_program
+        from repro.ir.lowering import lower_module
+        from repro.suite.generator import GeneratorConfig, generate_program
+
+        for seed in range(4):
+            source = generate_program(seed, GeneratorConfig(procedures=4))
+            executable = lower_module(
+                parse_source(source), SourceFile("g.f", source)
+            )
+            trace = run_program(executable, inputs=[2, -5, 9] * 40, fuel=3_000_000)
+            result = analyze_source(source, AnalysisConfig(gsa_refinement=True))
+            for procedure in result.program:
+                claimed = result.constants.constants_of(procedure.name)
+                assert trace.constant_violations(procedure.name, claimed) == []

@@ -1,0 +1,147 @@
+"""Procedure integration (Wegman-Zadeck comparator) tests."""
+
+import pytest
+
+from repro.ipcp.driver import analyze_source
+from repro.ipcp.inlining import integrate_and_propagate, integrate_program
+from repro.ir.interp import run_program
+from repro.suite.generator import GeneratorConfig, generate_program
+
+from tests.conftest import lower
+
+NESTED = (
+    "      PROGRAM MAIN\n      N = 2\n      CALL OUTER(N)\n"
+    "      PRINT *, N\n      END\n"
+    "      SUBROUTINE OUTER(X)\n      CALL INNER(X)\n      X = X + 1\n"
+    "      END\n"
+    "      SUBROUTINE INNER(Y)\n      Y = Y * 10\n      END\n"
+)
+
+
+class TestIntegrationMechanics:
+    def test_all_calls_inlined(self):
+        report = integrate_program(lower(NESTED))
+        assert report.inlined_calls == 2
+        assert report.remaining_calls == 0
+
+    def test_code_growth_reported(self):
+        report = integrate_program(lower(NESTED))
+        assert report.code_growth > 1.0
+        assert report.instructions_after > report.instructions_before
+
+    def test_behaviour_preserved(self):
+        original = run_program(lower(NESTED))
+        integrated_program = lower(NESTED)
+        integrate_program(integrated_program)
+        integrated = run_program(integrated_program)
+        # N = 2 -> INNER: 20 -> OUTER: 21
+        assert original.output == integrated.output == ["21"]
+
+    def test_function_result_wired(self):
+        text = (
+            "      PROGRAM MAIN\n      X = TWICE(21)\n      PRINT *, X\n"
+            "      END\n"
+            "      INTEGER FUNCTION TWICE(Q)\n      TWICE = Q * 2\n      END\n"
+        )
+        program = lower(text)
+        report = integrate_program(program)
+        assert report.remaining_calls == 0
+        assert run_program(program).output == ["42"]
+
+    def test_expression_actual_writeback_lost(self):
+        text = (
+            "      PROGRAM MAIN\n      N = 1\n      CALL SET(N + 0)\n"
+            "      PRINT *, N\n      END\n"
+            "      SUBROUTINE SET(K)\n      K = 42\n      END\n"
+        )
+        program = lower(text)
+        integrate_program(program)
+        assert run_program(program).output == ["1"]
+
+    def test_recursive_calls_left_alone(self):
+        text = (
+            "      PROGRAM MAIN\n      CALL R(3)\n      END\n"
+            "      SUBROUTINE R(N)\n"
+            "      IF (N .GT. 0) THEN\n      CALL R(N - 1)\n      ENDIF\n"
+            "      END\n"
+        )
+        report = integrate_program(lower(text))
+        assert report.inlined_calls == 0
+        assert report.remaining_calls == 1
+
+    def test_globals_shared_through_integration(self):
+        text = (
+            "      PROGRAM MAIN\n      COMMON /B/ G\n      CALL INIT\n"
+            "      PRINT *, G\n      END\n"
+            "      SUBROUTINE INIT\n      COMMON /B/ G\n      G = 13\n"
+            "      END\n"
+        )
+        program = lower(text)
+        integrate_program(program)
+        assert run_program(program).output == ["13"]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_generated_programs_preserved(self, seed):
+        source = generate_program(seed, GeneratorConfig(procedures=4))
+        inputs = [1, -2, 5] * 40
+        original = run_program(lower(source), inputs=inputs, fuel=3_000_000)
+        program = lower(source)
+        integrate_program(program, max_depth=3)
+        integrated = run_program(program, inputs=inputs, fuel=6_000_000)
+        assert integrated.output == original.output
+
+
+class TestIntegrationPropagation:
+    def test_finds_interprocedural_constants_intraprocedurally(self):
+        text = (
+            "      PROGRAM MAIN\n      CALL S(6)\n      END\n"
+            "      SUBROUTINE S(K)\n      A = K + 1\n      B = K * 2\n"
+            "      END\n"
+        )
+        report = integrate_and_propagate(lower(text))
+        # After inlining, K's references live in MAIN with K = 6.
+        assert report.substituted_references >= 2
+
+    def test_path_sensitivity_beats_meet(self):
+        # The same procedure called with 4 and 8: jump functions meet to
+        # bottom, but integration duplicates the body per path.
+        text = (
+            "      PROGRAM MAIN\n      CALL C(4)\n      CALL C(8)\n      END\n"
+            "      SUBROUTINE C(S)\n      A = S + 1\n      B = S + 2\n"
+            "      END\n"
+        )
+        jump_functions = analyze_source(text)
+        report = integrate_and_propagate(lower(text))
+        # Jump functions: S meets 4 ^ 8 = bottom, nothing substitutable.
+        assert jump_functions.substituted_constants == 0
+        assert report.substituted_references >= 4  # both specialized bodies
+
+    def test_depth_cap_respected(self):
+        report = integrate_program(lower(NESTED), max_depth=1)
+        # Round 1 inlines OUTER (and exposes INNER's call in MAIN).
+        assert report.inlined_calls >= 1
+
+
+class TestBudgetsAndEdges:
+    def test_instruction_budget_stops_inlining(self):
+        from repro.ipcp.inlining import integrate_program
+
+        report = integrate_program(lower(NESTED), max_instructions=1)
+        assert report.remaining_calls >= 1
+
+    def test_zero_depth_means_no_inlining(self):
+        from repro.ipcp.inlining import integrate_program
+
+        report = integrate_program(lower(NESTED), max_depth=0)
+        assert report.inlined_calls == 0
+        assert report.code_growth == 1.0
+
+    def test_only_main_is_integrated(self):
+        from repro.ipcp.inlining import integrate_program
+
+        program = lower(NESTED)
+        integrate_program(program)
+        # OUTER still contains its own call to INNER (only MAIN's view
+        # was integrated).
+        outer = program.procedure("outer")
+        assert len(outer.call_sites()) == 1

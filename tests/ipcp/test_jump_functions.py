@@ -1,0 +1,225 @@
+"""Forward jump function construction and evaluation tests (§3.1)."""
+
+import pytest
+
+from repro.config import AnalysisConfig, JumpFunctionKind
+from repro.ipcp.driver import prepare_program
+from repro.ipcp.jump_functions import build_forward_jump_functions
+from repro.ipcp.return_functions import build_return_functions
+from repro.lattice import BOTTOM, TOP, const
+
+from tests.conftest import lower
+
+
+def table_for(text, kind, use_returns=True):
+    program = lower(text)
+    config = AnalysisConfig(jump_function=kind, use_return_functions=use_returns)
+    callgraph, modref = prepare_program(program, config)
+    if use_returns:
+        return_map = build_return_functions(program, callgraph, modref)
+    else:
+        return_map = None
+    table = build_forward_jump_functions(program, callgraph, kind, return_map)
+    return program, table
+
+
+def jf_for_formal(program, table, callee_name, position=0, site_index=0):
+    callee = program.procedure(callee_name)
+    calls = [c for c in program.call_sites() if c.callee == callee_name]
+    return table.lookup(calls[site_index], callee.formals[position])
+
+
+LITERAL_ARG = (
+    "      PROGRAM MAIN\n      CALL S(42)\n      END\n"
+    "      SUBROUTINE S(K)\n      X = K\n      END\n"
+)
+
+VAR_ARG = (
+    "      PROGRAM MAIN\n      N = 7\n      CALL S(N)\n      END\n"
+    "      SUBROUTINE S(K)\n      X = K\n      END\n"
+)
+
+PASS_THROUGH = (
+    "      PROGRAM MAIN\n      CALL A(5)\n      END\n"
+    "      SUBROUTINE A(X)\n      CALL B(X)\n      END\n"
+    "      SUBROUTINE B(Y)\n      Z = Y\n      END\n"
+)
+
+POLY_ARG = (
+    "      PROGRAM MAIN\n      CALL A(5)\n      END\n"
+    "      SUBROUTINE A(X)\n      CALL B(X * 2 + 1)\n      END\n"
+    "      SUBROUTINE B(Y)\n      Z = Y\n      END\n"
+)
+
+GLOBAL_FLOW = (
+    "      PROGRAM MAIN\n      COMMON /C/ G\n      G = 9\n      CALL S\n"
+    "      END\n"
+    "      SUBROUTINE S\n      COMMON /C/ G\n      X = G\n      END\n"
+)
+
+
+class TestLiteralKind:
+    def test_literal_actual_is_constant(self):
+        program, table = table_for(LITERAL_ARG, JumpFunctionKind.LITERAL)
+        jf = jf_for_formal(program, table, "s")
+        assert jf.constant == 42
+
+    def test_variable_actual_is_bottom(self):
+        program, table = table_for(VAR_ARG, JumpFunctionKind.LITERAL)
+        jf = jf_for_formal(program, table, "s")
+        assert jf.is_bottom
+
+    def test_globals_always_bottom(self):
+        program, table = table_for(GLOBAL_FLOW, JumpFunctionKind.LITERAL)
+        g = program.scalar_globals()[0]
+        call = program.procedure("main").call_sites()[0]
+        assert table.lookup(call, g).is_bottom
+
+
+class TestIntraproceduralKind:
+    def test_gcp_constant_found(self):
+        program, table = table_for(VAR_ARG, JumpFunctionKind.INTRAPROCEDURAL)
+        jf = jf_for_formal(program, table, "s")
+        assert jf.constant == 7
+
+    def test_constant_global_found(self):
+        program, table = table_for(GLOBAL_FLOW, JumpFunctionKind.INTRAPROCEDURAL)
+        g = program.scalar_globals()[0]
+        call = program.procedure("main").call_sites()[0]
+        assert table.lookup(call, g).constant == 9
+
+    def test_incoming_formal_is_bottom(self):
+        program, table = table_for(PASS_THROUGH, JumpFunctionKind.INTRAPROCEDURAL)
+        jf = jf_for_formal(program, table, "b")
+        assert jf.is_bottom
+
+
+class TestPassThroughKind:
+    def test_forwarded_formal_is_pass_through(self):
+        program, table = table_for(PASS_THROUGH, JumpFunctionKind.PASS_THROUGH)
+        jf = jf_for_formal(program, table, "b")
+        assert jf.source_var is program.procedure("a").formals[0]
+
+    def test_support_is_exactly_source(self):
+        program, table = table_for(PASS_THROUGH, JumpFunctionKind.PASS_THROUGH)
+        jf = jf_for_formal(program, table, "b")
+        assert jf.support == frozenset((program.procedure("a").formals[0],))
+
+    def test_polynomial_actual_is_bottom(self):
+        program, table = table_for(POLY_ARG, JumpFunctionKind.PASS_THROUGH)
+        jf = jf_for_formal(program, table, "b")
+        assert jf.is_bottom
+
+    def test_global_pass_through(self):
+        text = (
+            "      PROGRAM MAIN\n      COMMON /C/ G\n      G = 9\n"
+            "      CALL A\n      END\n"
+            "      SUBROUTINE A\n      COMMON /C/ G\n      CALL B\n      END\n"
+            "      SUBROUTINE B\n      COMMON /C/ G\n      X = G\n      END\n"
+        )
+        program, table = table_for(text, JumpFunctionKind.PASS_THROUGH)
+        g = program.scalar_globals()[0]
+        call = program.procedure("a").call_sites()[0]
+        assert table.lookup(call, g).source_var is g
+
+
+class TestPolynomialKind:
+    def test_polynomial_payload(self):
+        program, table = table_for(POLY_ARG, JumpFunctionKind.POLYNOMIAL)
+        jf = jf_for_formal(program, table, "b")
+        assert jf.polynomial is not None
+        x = program.procedure("a").formals[0]
+        assert jf.polynomial.evaluate({x: 5}) == 11
+
+    def test_identity_polynomial_demoted_to_pass_through(self):
+        program, table = table_for(PASS_THROUGH, JumpFunctionKind.POLYNOMIAL)
+        jf = jf_for_formal(program, table, "b")
+        assert jf.source_var is not None
+        assert jf.polynomial is None
+
+    def test_unknown_actual_is_bottom(self):
+        text = (
+            "      PROGRAM MAIN\n      READ *, N\n      CALL S(N)\n      END\n"
+            "      SUBROUTINE S(K)\n      X = K\n      END\n"
+        )
+        program, table = table_for(text, JumpFunctionKind.POLYNOMIAL)
+        assert jf_for_formal(program, table, "s").is_bottom
+
+
+class TestEvaluation:
+    def test_constant_payload(self):
+        program, table = table_for(LITERAL_ARG, JumpFunctionKind.POLYNOMIAL)
+        jf = jf_for_formal(program, table, "s")
+        assert jf.evaluate(lambda v: BOTTOM) == const(42)
+
+    def test_pass_through_follows_caller(self):
+        program, table = table_for(PASS_THROUGH, JumpFunctionKind.PASS_THROUGH)
+        jf = jf_for_formal(program, table, "b")
+        assert jf.evaluate(lambda v: const(5)) == const(5)
+        assert jf.evaluate(lambda v: TOP) == TOP
+        assert jf.evaluate(lambda v: BOTTOM) == BOTTOM
+
+    def test_polynomial_evaluation_modes(self):
+        program, table = table_for(POLY_ARG, JumpFunctionKind.POLYNOMIAL)
+        jf = jf_for_formal(program, table, "b")
+        assert jf.evaluate(lambda v: const(3)) == const(7)
+        assert jf.evaluate(lambda v: TOP) == TOP
+        assert jf.evaluate(lambda v: BOTTOM) == BOTTOM
+
+    def test_bottom_payload(self):
+        program, table = table_for(VAR_ARG, JumpFunctionKind.LITERAL)
+        jf = jf_for_formal(program, table, "s")
+        assert jf.evaluate(lambda v: const(1)) == BOTTOM
+
+
+class TestHierarchy:
+    """§3.1: each kind's constants are a subset of the next kind's."""
+
+    @pytest.mark.parametrize(
+        "text", [LITERAL_ARG, VAR_ARG, PASS_THROUGH, POLY_ARG, GLOBAL_FLOW]
+    )
+    def test_constant_payload_subset(self, text):
+        # Build all four tables over the SAME prepared program so the
+        # Call instructions are shared keys.
+        program = lower(text)
+        config = AnalysisConfig()
+        callgraph, modref = prepare_program(program, config)
+        return_map = build_return_functions(program, callgraph, modref)
+        kinds = [
+            JumpFunctionKind.LITERAL,
+            JumpFunctionKind.INTRAPROCEDURAL,
+            JumpFunctionKind.PASS_THROUGH,
+            JumpFunctionKind.POLYNOMIAL,
+        ]
+        tables = [
+            build_forward_jump_functions(program, callgraph, kind, return_map)
+            for kind in kinds
+        ]
+        for weaker, stronger in zip(tables, tables[1:]):
+            for jf in weaker:
+                if jf.constant is not None:
+                    upgraded = stronger.lookup(jf.call, jf.target)
+                    assert upgraded is not None
+                    assert upgraded.constant == jf.constant
+
+
+class TestTableQueries:
+    def test_payload_counts(self):
+        program, table = table_for(POLY_ARG, JumpFunctionKind.POLYNOMIAL)
+        counts = table.payload_counts()
+        assert counts["constant"] >= 1
+        assert counts["polynomial"] >= 1
+        assert sum(counts.values()) == len(table)
+
+    def test_for_call(self):
+        program, table = table_for(GLOBAL_FLOW, JumpFunctionKind.POLYNOMIAL)
+        call = program.procedure("main").call_sites()[0]
+        functions = table.for_call(call)
+        assert len(functions) == 1  # one global, no formals
+
+    def test_cost_model(self):
+        program, table = table_for(POLY_ARG, JumpFunctionKind.POLYNOMIAL)
+        jf = jf_for_formal(program, table, "b")
+        assert jf.cost() >= 2  # polynomial with two terms
+        constant_jf = jf_for_formal(program, table, "a")
+        assert constant_jf.cost() == 1

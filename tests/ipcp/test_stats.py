@@ -1,0 +1,61 @@
+"""Analysis statistics tests."""
+
+from repro.config import AnalysisConfig, JumpFunctionKind
+from repro.ipcp.driver import analyze_source
+from repro.ipcp.stats import collect_statistics
+
+from tests.conftest import TRI_PROGRAM
+
+
+class TestStatistics:
+    def test_basic_fields(self):
+        result = analyze_source(TRI_PROGRAM)
+        stats = collect_statistics(result)
+        assert stats.procedures == 3
+        assert stats.call_sites == 2
+        assert stats.forward_jump_functions > 0
+        assert stats.constant_pairs == result.constants.total_pairs()
+        assert stats.substituted_references == result.substituted_constants
+
+    def test_payload_counts_sum(self):
+        result = analyze_source(TRI_PROGRAM)
+        stats = collect_statistics(result)
+        assert sum(stats.payload_counts.values()) == stats.forward_jump_functions
+
+    def test_intraprocedural_run_has_no_solver_stats(self):
+        result = analyze_source(TRI_PROGRAM, AnalysisConfig.intraprocedural_only())
+        stats = collect_statistics(result)
+        assert stats.forward_jump_functions == 0
+        assert stats.solver_visits == 0
+
+    def test_literal_cheaper_than_polynomial(self):
+        # The Section 3.1.5 cost ordering, made concrete: literal jump
+        # functions carry no support and unit cost.
+        literal = collect_statistics(
+            analyze_source(
+                TRI_PROGRAM, AnalysisConfig(jump_function=JumpFunctionKind.LITERAL)
+            )
+        )
+        poly = collect_statistics(analyze_source(TRI_PROGRAM))
+        assert literal.total_support == 0
+        assert literal.total_evaluation_cost <= poly.total_evaluation_cost
+        assert poly.total_support >= 1
+
+    def test_format_is_readable(self):
+        result = analyze_source(TRI_PROGRAM)
+        text = collect_statistics(result).format()
+        assert "forward jump functions" in text
+        assert "substituted references" in text
+
+    def test_dce_rounds_reported(self):
+        source = (
+            "      PROGRAM MAIN\n      CALL D(1)\n      END\n"
+            "      SUBROUTINE D(M)\n"
+            "      IF (M .EQ. 1) THEN\n      CALL W(7)\n"
+            "      ELSE\n      CALL W(9)\n      ENDIF\n      END\n"
+            "      SUBROUTINE W(K)\n      A = K\n      END\n"
+        )
+        result = analyze_source(source, AnalysisConfig.complete_propagation())
+        stats = collect_statistics(result)
+        assert stats.dce_rounds == 1
+        assert "DCE rounds" in stats.format()

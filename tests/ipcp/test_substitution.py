@@ -1,0 +1,151 @@
+"""Substitution measurement and transformed-source tests (§4.1)."""
+
+from repro.config import AnalysisConfig, JumpFunctionKind
+from repro.ipcp.driver import analyze_source
+from repro.ipcp.substitution import apply_substitution
+from repro.ir.instructions import Const, Print
+
+SIMPLE = (
+    "      PROGRAM MAIN\n"
+    "      N = 6\n"
+    "      CALL S(N)\n"
+    "      END\n"
+    "      SUBROUTINE S(K)\n"
+    "      A = K + 1\n"
+    "      B = K * 2\n"
+    "      RETURN\n"
+    "      END\n"
+)
+
+
+class TestMeasurement:
+    def test_counts_references_not_pairs(self):
+        result = analyze_source(SIMPLE)
+        # K is one constant but referenced twice; N referenced once.
+        assert result.substituted_constants == 3
+
+    def test_per_procedure_breakdown(self):
+        result = analyze_source(SIMPLE)
+        assert result.substitution.count_for("s") == 2
+        assert result.substitution.count_for("main") == 1
+
+    def test_sites_carry_values(self):
+        result = analyze_source(SIMPLE)
+        values = {site.value for site in result.substitution.sites}
+        assert values == {6}
+
+    def test_unreferenced_constant_not_counted(self):
+        # The Metzger-Stroud point: a known-but-unreferenced constant
+        # contributes nothing.
+        result = analyze_source(
+            "      PROGRAM MAIN\n      CALL S(6)\n      END\n"
+            "      SUBROUTINE S(K)\n      READ *, X\n      Y = X\n      END\n"
+        )
+        assert result.constants.constants_of("s")
+        assert result.substituted_constants == 0
+
+    def test_intraprocedural_cascade_counted(self):
+        result = analyze_source(
+            "      PROGRAM MAIN\n      CALL S(6)\n      END\n"
+            "      SUBROUTINE S(K)\n      A = K + 1\n      B = A * 2\n"
+            "      END\n"
+        )
+        # K const -> A const -> the A reference counts too.
+        assert result.substituted_constants == 2
+
+
+class TestTransformedSource:
+    def test_references_textually_replaced(self):
+        result = analyze_source(SIMPLE, filename="<string>")
+        transformed = result.transformed_source()
+        assert "A = 6 + 1" in transformed
+        assert "B = 6 * 2" in transformed
+        assert "CALL S(6)" in transformed
+
+    def test_untouched_lines_preserved(self):
+        result = analyze_source(SIMPLE, filename="<string>")
+        transformed = result.transformed_source()
+        assert "N = 6" in transformed
+        assert "SUBROUTINE S(K)" in transformed
+
+    def test_transformed_source_reanalyzes_identically(self):
+        result = analyze_source(SIMPLE, filename="<string>")
+        transformed = result.transformed_source()
+        # The transformed program is valid MiniFortran and the constants
+        # are now literals (found even by the literal jump function).
+        again = analyze_source(
+            transformed,
+            AnalysisConfig(jump_function=JumpFunctionKind.LITERAL),
+        )
+        assert again.substituted_constants >= 0  # parses and analyzes
+
+    def test_multiple_references_on_one_line(self):
+        result = analyze_source(
+            "      PROGRAM MAIN\n      K = 3\n      X = K + K + K\n      END\n",
+            filename="<string>",
+        )
+        transformed = result.transformed_source()
+        assert "X = 3 + 3 + 3" in transformed
+
+
+class TestApplySubstitution:
+    def test_operands_rewritten_in_ir(self):
+        result = analyze_source(
+            "      PROGRAM MAIN\n      K = 3\n      PRINT *, K\n      END\n"
+        )
+        rewritten = apply_substitution(result.program, result.substitution)
+        assert rewritten >= 1
+        main = result.program.procedure("main")
+        prints = [
+            i for i in main.cfg.instructions() if isinstance(i, Print)
+        ]
+        assert prints[0].items[0] == Const(3)
+
+
+class TestModifiedActualExclusion:
+    """Regression: a constant variable passed by reference to a callee
+    that modifies it is an address, not a value read — substituting it
+    textually would sever the writeback (found by the property tests)."""
+
+    PROGRAM = (
+        "      PROGRAM MAIN\n"
+        "      N = 5\n"
+        "      CALL BUMP(N)\n"
+        "      PRINT *, N\n"
+        "      END\n"
+        "      SUBROUTINE BUMP(K)\n"
+        "      K = K + 1\n"
+        "      END\n"
+    )
+
+    def test_modified_actual_not_counted(self):
+        result = analyze_source(self.PROGRAM)
+        # Only BUMP's K read (value 5) counts; the actual N at the call
+        # site and the post-call PRINT N (value 6 via the return jump
+        # function) are: excluded (address) and counted respectively.
+        locations = {
+            (site.use.var.name, site.location.line)
+            for site in result.substitution.sites
+        }
+        assert ("n", 3) not in locations  # the CALL BUMP(N) actual
+
+    def test_transformed_source_keeps_actual(self):
+        result = analyze_source(self.PROGRAM, filename="<string>")
+        transformed = result.transformed_source()
+        assert "CALL BUMP(N)" in transformed
+
+    def test_transformed_behaviour_preserved(self):
+        from repro.ir.interp import run_source
+
+        result = analyze_source(self.PROGRAM, filename="<string>")
+        transformed = result.transformed_source()
+        assert run_source(self.PROGRAM).output == run_source(transformed).output
+
+    def test_apply_substitution_keeps_actual(self):
+        result = analyze_source(self.PROGRAM)
+        apply_substitution(result.program, result.substitution)
+        main = result.program.procedure("main")
+        call = main.call_sites()[0]
+        from repro.ir.instructions import Use
+
+        assert isinstance(call.args[0].value, Use)

@@ -1,0 +1,114 @@
+"""CFG structure tests."""
+
+from repro.ir.cfg import BasicBlock, ControlFlowGraph
+from repro.ir.instructions import CondBranch, Const, Def, Halt, Jump, Phi, Use
+from repro.ir.symbols import Variable, VarKind
+
+
+def diamond():
+    """entry -> (left|right) -> join."""
+    entry = BasicBlock("entry")
+    cfg = ControlFlowGraph(entry)
+    left = cfg.new_block("left")
+    right = cfg.new_block("right")
+    join = cfg.new_block("join")
+    entry.append(CondBranch(Const(1), left, right))
+    left.append(Jump(join))
+    right.append(Jump(join))
+    join.append(Halt())
+    return cfg, entry, left, right, join
+
+
+class TestSuccessorsPredecessors:
+    def test_cond_branch_successors(self):
+        cfg, entry, left, right, join = diamond()
+        assert entry.successors() == [left, right]
+
+    def test_same_target_branch_deduplicates(self):
+        entry = BasicBlock("entry")
+        target = BasicBlock("t")
+        entry.append(CondBranch(Const(1), target, target))
+        assert entry.successors() == [target]
+
+    def test_predecessors(self):
+        cfg, entry, left, right, join = diamond()
+        preds = cfg.predecessors()
+        assert set(preds[join]) == {left, right}
+        assert preds[entry] == []
+
+    def test_halt_has_no_successors(self):
+        cfg, *_rest, join = diamond()
+        assert join.successors() == []
+
+
+class TestOrders:
+    def test_reverse_postorder_starts_at_entry(self):
+        cfg, entry, *_ = diamond()
+        rpo = cfg.reverse_postorder()
+        assert rpo[0] is entry
+        assert len(rpo) == 4
+
+    def test_rpo_visits_preds_before_join(self):
+        cfg, entry, left, right, join = diamond()
+        rpo = cfg.reverse_postorder()
+        assert rpo.index(join) > rpo.index(left)
+        assert rpo.index(join) > rpo.index(right)
+
+    def test_rpo_handles_loops(self):
+        entry = BasicBlock("entry")
+        cfg = ControlFlowGraph(entry)
+        head = cfg.new_block("head")
+        body = cfg.new_block("body")
+        exit_block = cfg.new_block("exit")
+        entry.append(Jump(head))
+        head.append(CondBranch(Const(1), body, exit_block))
+        body.append(Jump(head))
+        exit_block.append(Halt())
+        rpo = cfg.reverse_postorder()
+        assert len(rpo) == 4
+        assert rpo.index(head) < rpo.index(body)
+
+
+class TestUnreachableRemoval:
+    def test_removes_disconnected_block(self):
+        cfg, *_ = diamond()
+        dead = cfg.new_block("dead")
+        dead.append(Halt())
+        removed = cfg.remove_unreachable()
+        assert dead in removed
+        assert dead not in cfg.blocks
+
+    def test_prunes_phi_inputs_of_removed_preds(self):
+        cfg, entry, left, right, join = diamond()
+        var = Variable("x", VarKind.LOCAL)
+        dead = cfg.new_block("dead")
+        dead.append(Jump(join))
+        phi = Phi(Def(var), {left: Const(1), right: Const(2), dead: Const(3)})
+        join.insert_phi(phi)
+        cfg.remove_unreachable()
+        assert set(phi.incoming) == {left, right}
+
+    def test_noop_when_all_reachable(self):
+        cfg, *_ = diamond()
+        assert cfg.remove_unreachable() == []
+
+
+class TestBlockBasics:
+    def test_terminator_detection(self):
+        block = BasicBlock()
+        assert block.terminator is None
+        block.append(Halt())
+        assert isinstance(block.terminator, Halt)
+
+    def test_phis_are_prefix(self):
+        block = BasicBlock()
+        var = Variable("x", VarKind.LOCAL)
+        block.append(Halt())
+        block.insert_phi(Phi(Def(var), {}))
+        assert len(block.phis()) == 1
+        assert len(block.non_phi_instructions()) == 1
+
+    def test_block_identity_hash(self):
+        a, b = BasicBlock("same"), BasicBlock("same")
+        assert a != b
+        assert len({a, b}) == 2

@@ -1,0 +1,100 @@
+"""Procedure cloning (IR deep copy) tests."""
+
+from repro.analysis.ssa import verify_ssa
+from repro.config import AnalysisConfig
+from repro.ipcp.driver import prepare_program
+from repro.ir.clone import clone_procedure
+from repro.ir.instructions import Call, Use
+
+from tests.conftest import TRI_PROGRAM, lower
+
+
+def cloned_foo(ssa=False):
+    program = lower(TRI_PROGRAM)
+    if ssa:
+        prepare_program(program, AnalysisConfig())
+    original = program.procedure("foo")
+    clone, var_map = clone_procedure(original, "foo2")
+    return program, original, clone, var_map
+
+
+class TestCloneStructure:
+    def test_same_block_count(self):
+        _, original, clone, _ = cloned_foo()
+        assert len(clone.cfg.blocks) == len(original.cfg.blocks)
+
+    def test_same_instruction_counts(self):
+        _, original, clone, _ = cloned_foo()
+        assert len(list(clone.cfg.instructions())) == len(
+            list(original.cfg.instructions())
+        )
+
+    def test_blocks_are_fresh_objects(self):
+        _, original, clone, _ = cloned_foo()
+        assert not set(original.cfg.blocks) & set(clone.cfg.blocks)
+
+    def test_locals_and_formals_remapped(self):
+        _, original, clone, var_map = cloned_foo()
+        for old, new in var_map.items():
+            assert old is not new
+            assert old.name == new.name
+            assert old.kind is new.kind
+        assert clone.formals[0] is not original.formals[0]
+        assert clone.formals[0].name == original.formals[0].name
+
+    def test_globals_shared(self):
+        _, original, clone, var_map = cloned_foo()
+        original_globals = {
+            v for v in original.symbols.variables() if v.is_global
+        }
+        clone_globals = {v for v in clone.symbols.variables() if v.is_global}
+        assert original_globals == clone_globals
+        assert not any(v.is_global for v in var_map)
+
+    def test_branch_targets_point_into_clone(self):
+        _, original, clone, _ = cloned_foo()
+        original_blocks = set(original.cfg.blocks)
+        for block in clone.cfg.blocks:
+            for successor in block.successors():
+                assert successor not in original_blocks
+
+    def test_no_shared_operand_objects(self):
+        _, original, clone, _ = cloned_foo()
+        original_uses = set()
+        for instruction in original.cfg.instructions():
+            original_uses.update(id(u) for u in instruction.uses())
+        for instruction in clone.cfg.instructions():
+            for use in instruction.uses():
+                assert id(use) not in original_uses
+
+
+class TestCloneSSA:
+    def test_clone_of_ssa_is_valid_ssa(self):
+        _, _, clone, _ = cloned_foo(ssa=True)
+        assert verify_ssa(clone) == []
+
+    def test_versions_preserved(self):
+        _, original, clone, _ = cloned_foo(ssa=True)
+        original_versions = sorted(
+            (d.var.name, d.version)
+            for i in original.cfg.instructions()
+            for d in i.defs()
+        )
+        clone_versions = sorted(
+            (d.var.name, d.version)
+            for i in clone.cfg.instructions()
+            for d in i.defs()
+        )
+        assert original_versions == clone_versions
+
+    def test_call_side_effect_slots_remapped(self):
+        _, original, clone, var_map = cloned_foo(ssa=True)
+        original_call = original.call_sites()[0]
+        clone_call = clone.call_sites()[0]
+        assert clone_call.callee == original_call.callee
+        assert len(clone_call.may_define) == len(original_call.may_define)
+        for old_def, new_def in zip(
+            original_call.may_define, clone_call.may_define
+        ):
+            expected = var_map.get(old_def.var, old_def.var)
+            assert new_def.var is expected

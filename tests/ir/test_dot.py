@@ -1,0 +1,72 @@
+"""Graphviz DOT rendering tests."""
+
+from repro.config import AnalysisConfig
+from repro.ipcp.driver import analyze_source
+from repro.ir.dot import call_graph_to_dot, cfg_to_dot, write_dot_files
+
+from tests.conftest import TRI_PROGRAM
+
+
+def analyzed():
+    return analyze_source(TRI_PROGRAM)
+
+
+class TestCfgDot:
+    def test_blocks_and_edges_present(self):
+        result = analyzed()
+        dot = cfg_to_dot(result.program.procedure("foo"))
+        assert dot.startswith('digraph "foo"')
+        assert '"entry"' in dot
+        assert "->" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_branch_edges_labeled(self):
+        result = analyzed()
+        dot = cfg_to_dot(result.program.procedure("foo"))
+        assert '[label="T"]' in dot
+        assert '[label="F"]' in dot
+
+    def test_instruction_cap(self):
+        result = analyzed()
+        dot = cfg_to_dot(result.program.procedure("main"), max_instructions=1)
+        assert "more)" in dot
+
+    def test_quotes_escaped(self):
+        result = analyze_source(
+            "      PROGRAM MAIN\n      PRINT *, 'it''s'\n      END\n"
+            .replace("''", "x")  # avoid tricky quoting; just a string item
+        )
+        dot = cfg_to_dot(result.program.procedure("main"))
+        assert "digraph" in dot
+
+
+class TestCallGraphDot:
+    def test_nodes_and_edges(self):
+        result = analyzed()
+        dot = call_graph_to_dot(result.callgraph)
+        for name in ("main", "foo", "bar"):
+            assert f'"{name}"' in dot
+        assert '"main" -> "foo"' in dot
+        assert '"foo" -> "bar"' in dot
+
+    def test_constants_annotation(self):
+        result = analyzed()
+        dot = call_graph_to_dot(result.callgraph, result.constants)
+        assert "x=100" in dot
+
+    def test_main_highlighted(self):
+        result = analyzed()
+        dot = call_graph_to_dot(result.callgraph)
+        assert "doubleoctagon" in dot
+
+
+class TestWriteFiles:
+    def test_writes_all_files(self, tmp_path):
+        result = analyzed()
+        paths = write_dot_files(
+            result.program, result.callgraph, str(tmp_path), result.constants
+        )
+        assert len(paths) == 4  # callgraph + 3 CFGs
+        for path in paths:
+            content = open(path).read()
+            assert content.startswith("digraph")

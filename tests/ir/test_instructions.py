@@ -1,0 +1,169 @@
+"""Instruction operand/def protocol tests."""
+
+import pytest
+
+from repro.frontend.source import UNKNOWN_LOCATION
+from repro.ir.cfg import BasicBlock
+from repro.ir.instructions import (
+    ArrayLoad,
+    ArrayStore,
+    Assign,
+    BinOp,
+    Call,
+    CallArg,
+    CondBranch,
+    Const,
+    Def,
+    Jump,
+    Phi,
+    Print,
+    Read,
+    Return,
+    UnOp,
+    Use,
+)
+from repro.ir.symbols import Variable, VarKind
+
+
+def var(name, kind=VarKind.LOCAL, **kw):
+    return Variable(name, kind, **kw)
+
+
+class TestOperandProtocol:
+    def test_assign_uses_and_defs(self):
+        x, y = var("x"), var("y")
+        instr = Assign(Def(x), Use(y))
+        assert [u.var for u in instr.uses()] == [y]
+        assert [d.var for d in instr.defs()] == [x]
+
+    def test_binop_operands(self):
+        x = var("x")
+        instr = BinOp(Def(x), "+", Const(1), Use(var("y")))
+        assert len(instr.operands()) == 2
+        assert len(instr.uses()) == 1
+
+    def test_invalid_binop_op_asserts(self):
+        with pytest.raises(AssertionError):
+            BinOp(Def(var("x")), "bogus", Const(1), Const(2))
+
+    def test_replace_operand_binop(self):
+        y = var("y")
+        use = Use(y)
+        instr = BinOp(Def(var("x")), "+", use, Const(1))
+        instr.replace_operand(use, Const(9))
+        assert instr.left == Const(9)
+
+    def test_replace_operand_by_identity_not_equality(self):
+        y = var("y")
+        use1, use2 = Use(y), Use(y)
+        instr = BinOp(Def(var("x")), "+", use1, use2)
+        instr.replace_operand(use2, Const(5))
+        assert instr.left is use1
+        assert instr.right == Const(5)
+
+    def test_array_store_replace(self):
+        a = var("a", is_array=True)
+        idx, value = Use(var("i")), Use(var("v"))
+        instr = ArrayStore(a, [idx], value)
+        instr.replace_operand(value, Const(2))
+        assert instr.value == Const(2)
+        instr.replace_operand(idx, Const(1))
+        assert instr.indices == [Const(1)]
+
+    def test_phi_replace(self):
+        x = var("x")
+        block = BasicBlock()
+        use = Use(x)
+        phi = Phi(Def(x), {block: use})
+        phi.replace_operand(use, Const(3))
+        assert phi.incoming[block] == Const(3)
+
+    def test_print_mixed_items(self):
+        instr = Print(["label", Use(var("x")), Const(2)])
+        assert len(instr.operands()) == 2
+
+    def test_read_defines_targets(self):
+        instr = Read([Def(var("x")), Def(var("y"))])
+        assert len(instr.defs()) == 2
+        assert instr.uses() == []
+
+
+class TestCallInstruction:
+    def test_call_arg_requires_exactly_one_payload(self):
+        with pytest.raises(AssertionError):
+            CallArg()
+        with pytest.raises(AssertionError):
+            CallArg(value=Const(1), array=var("a", is_array=True))
+
+    def test_bindable_var(self):
+        local = var("x")
+        temp = var("%t0", VarKind.TEMP)
+        assert CallArg(value=Use(local)).bindable_var is local
+        assert CallArg(value=Use(temp)).bindable_var is None
+        assert CallArg(value=Const(3)).bindable_var is None
+
+    def test_call_defs_include_may_define_and_result(self):
+        g = var("g", VarKind.GLOBAL)
+        result = Def(var("%t1", VarKind.TEMP))
+        call = Call("f", [CallArg(value=Const(1))], result)
+        call.may_define = [Def(g)]
+        assert [d.var for d in call.defs()] == [g, result.var]
+
+    def test_call_uses_include_entry_uses(self):
+        g = var("g", VarKind.GLOBAL)
+        call = Call("f", [CallArg(value=Use(var("x")))])
+        call.entry_uses = [Use(g)]
+        assert {u.var for u in call.uses()} == {g, call.args[0].value.var}
+
+    def test_entry_use_lookup(self):
+        g1, g2 = var("g1", VarKind.GLOBAL), var("g2", VarKind.GLOBAL)
+        call = Call("f", [])
+        call.entry_uses = [Use(g1), Use(g2)]
+        assert call.entry_use_of(g2).var is g2
+        assert call.entry_use_of(var("g3", VarKind.GLOBAL)) is None
+
+    def test_replace_operand_targets_args_not_entry_uses(self):
+        g = var("g", VarKind.GLOBAL)
+        arg_use = Use(var("x"))
+        call = Call("f", [CallArg(value=arg_use)])
+        entry = Use(g)
+        call.entry_uses = [entry]
+        call.replace_operand(arg_use, Const(7))
+        assert call.args[0].value == Const(7)
+        call.replace_operand(entry, Const(8))
+        assert call.entry_uses[0] is entry  # entry uses never rewritten
+
+
+class TestReturn:
+    def test_exit_uses_participate_in_uses(self):
+        g = var("g", VarKind.GLOBAL)
+        ret = Return(None)
+        ret.exit_uses = [Use(g)]
+        assert [u.var for u in ret.uses()] == [g]
+
+    def test_exit_use_lookup(self):
+        g = var("g", VarKind.GLOBAL)
+        ret = Return(None)
+        ret.exit_uses = [Use(g)]
+        assert ret.exit_use_of(g) is ret.exit_uses[0]
+        assert ret.exit_use_of(var("h", VarKind.GLOBAL)) is None
+
+    def test_terminator_classification(self):
+        block = BasicBlock()
+        assert Return().is_terminator
+        assert Jump(block).is_terminator
+        assert CondBranch(Const(1), block, block).is_terminator
+        assert not Assign(Def(var("x")), Const(1)).is_terminator
+
+
+class TestConstSemantics:
+    def test_const_equality(self):
+        assert Const(3) == Const(3)
+        assert Const(3) != Const(4)
+        assert hash(Const(3)) == hash(Const(3))
+
+    def test_ssa_name_property(self):
+        x = var("x")
+        use = Use(x)
+        use.version = 4
+        assert use.ssa_name == (x, 4)

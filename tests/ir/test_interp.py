@@ -1,0 +1,179 @@
+"""Reference interpreter tests."""
+
+import pytest
+
+from repro.ir.interp import InterpreterError, run_source
+
+
+class TestBasics:
+    def test_arithmetic_and_print(self):
+        trace = run_source(
+            "      PROGRAM MAIN\n      X = 2 + 3 * 4\n      PRINT *, X\n"
+            "      END\n"
+        )
+        assert trace.output == ["14"]
+
+    def test_division_truncates_toward_zero(self):
+        trace = run_source(
+            "      PROGRAM MAIN\n      PRINT *, -7 / 2, 7 / 2\n      END\n"
+        )
+        assert trace.output == ["-3 3"]
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(InterpreterError):
+            run_source(
+                "      PROGRAM MAIN\n      X = 0\n      Y = 1 / X\n      END\n"
+            )
+
+    def test_uninitialized_reads_zero(self):
+        trace = run_source("      PROGRAM MAIN\n      PRINT *, Q\n      END\n")
+        assert trace.output == ["0"]
+
+    def test_read_consumes_inputs(self):
+        trace = run_source(
+            "      PROGRAM MAIN\n      READ *, A, B\n      PRINT *, A + B\n"
+            "      END\n",
+            inputs=[10, 32],
+        )
+        assert trace.output == ["42"]
+
+    def test_read_exhausted_yields_zero(self):
+        trace = run_source(
+            "      PROGRAM MAIN\n      READ *, A\n      PRINT *, A\n      END\n"
+        )
+        assert trace.output == ["0"]
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        trace = run_source(
+            "      PROGRAM MAIN\n      X = 5\n"
+            "      IF (X .GT. 3) THEN\n      PRINT *, 'big'\n"
+            "      ELSE\n      PRINT *, 'small'\n      ENDIF\n      END\n"
+        )
+        assert trace.output == ["big"]
+
+    def test_do_loop_sum(self):
+        trace = run_source(
+            "      PROGRAM MAIN\n      S = 0\n      DO I = 1, 10\n"
+            "      S = S + I\n      ENDDO\n      PRINT *, S\n      END\n"
+        )
+        assert trace.output == ["55"]
+
+    def test_do_loop_zero_trips(self):
+        trace = run_source(
+            "      PROGRAM MAIN\n      S = 7\n      DO I = 5, 1\n"
+            "      S = 0\n      ENDDO\n      PRINT *, S\n      END\n"
+        )
+        assert trace.output == ["7"]
+
+    def test_do_negative_step(self):
+        trace = run_source(
+            "      PROGRAM MAIN\n      S = 0\n      DO I = 5, 1, -1\n"
+            "      S = S * 10 + I\n      ENDDO\n      PRINT *, S\n      END\n"
+        )
+        assert trace.output == ["54321"]
+
+    def test_do_while(self):
+        trace = run_source(
+            "      PROGRAM MAIN\n      X = 4\n      DO WHILE (X .GT. 0)\n"
+            "      X = X - 1\n      ENDDO\n      PRINT *, X\n      END\n"
+        )
+        assert trace.output == ["0"]
+
+    def test_goto(self):
+        trace = run_source(
+            "      PROGRAM MAIN\n      GOTO 10\n      PRINT *, 'skipped'\n"
+            " 10   PRINT *, 'here'\n      END\n"
+        )
+        assert trace.output == ["here"]
+
+    def test_stop_unwinds_call_stack(self):
+        trace = run_source(
+            "      PROGRAM MAIN\n      CALL S\n      PRINT *, 'after'\n"
+            "      END\n"
+            "      SUBROUTINE S\n      STOP\n      END\n"
+        )
+        assert trace.output == []
+
+    def test_fuel_exhaustion(self):
+        with pytest.raises(InterpreterError):
+            run_source(
+                "      PROGRAM MAIN\n      X = 1\n"
+                "      DO WHILE (X .GT. 0)\n      X = X + 1\n      ENDDO\n"
+                "      END\n",
+                fuel=1000,
+            )
+
+
+class TestCalls:
+    def test_by_reference_writeback(self):
+        trace = run_source(
+            "      PROGRAM MAIN\n      N = 1\n      CALL SET(N)\n"
+            "      PRINT *, N\n      END\n"
+            "      SUBROUTINE SET(K)\n      K = 42\n      END\n"
+        )
+        assert trace.output == ["42"]
+
+    def test_expression_actual_writeback_lost(self):
+        trace = run_source(
+            "      PROGRAM MAIN\n      N = 1\n      CALL SET(N + 0)\n"
+            "      PRINT *, N\n      END\n"
+            "      SUBROUTINE SET(K)\n      K = 42\n      END\n"
+        )
+        assert trace.output == ["1"]
+
+    def test_globals_shared(self):
+        trace = run_source(
+            "      PROGRAM MAIN\n      COMMON /B/ G\n      CALL INIT\n"
+            "      PRINT *, G\n      END\n"
+            "      SUBROUTINE INIT\n      COMMON /B/ G\n      G = 13\n"
+            "      END\n"
+        )
+        assert trace.output == ["13"]
+
+    def test_function_result(self):
+        trace = run_source(
+            "      PROGRAM MAIN\n      PRINT *, TWICE(21)\n      END\n"
+            "      INTEGER FUNCTION TWICE(Q)\n      TWICE = Q * 2\n      END\n"
+        )
+        assert trace.output == ["42"]
+
+    def test_recursion(self):
+        trace = run_source(
+            "      PROGRAM MAIN\n      PRINT *, FACT(5)\n      END\n"
+            "      INTEGER FUNCTION FACT(N)\n"
+            "      IF (N .LE. 1) THEN\n      FACT = 1\n"
+            "      ELSE\n      FACT = N * FACT(N - 1)\n      ENDIF\n"
+            "      END\n"
+        )
+        assert trace.output == ["120"]
+
+    def test_array_passed_by_reference(self):
+        trace = run_source(
+            "      PROGRAM MAIN\n      INTEGER A(5)\n      A(2) = 7\n"
+            "      CALL BUMP(A)\n      PRINT *, A(2)\n      END\n"
+            "      SUBROUTINE BUMP(B)\n      INTEGER B(5)\n"
+            "      B(2) = B(2) + 1\n      END\n"
+        )
+        assert trace.output == ["8"]
+
+    def test_entry_snapshots_recorded(self):
+        trace = run_source(
+            "      PROGRAM MAIN\n      CALL S(3)\n      CALL S(4)\n      END\n"
+            "      SUBROUTINE S(K)\n      X = K\n      END\n"
+        )
+        assert trace.invocations("s") == 2
+        values = [
+            next(v for var, v in snap.items() if var.name == "k")
+            for snap in trace.entries["s"]
+        ]
+        assert values == [3, 4]
+
+    def test_intrinsics(self):
+        trace = run_source(
+            "      PROGRAM MAIN\n"
+            "      PRINT *, MOD(7, 3), MAX(2, 9), MIN(2, 9), IABS(-4)\n"
+            "      END\n"
+        )
+        assert trace.output == ["1 9 2 4"]

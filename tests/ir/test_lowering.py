@@ -1,0 +1,370 @@
+"""Lowering tests: AST -> CFG/IR semantics."""
+
+import pytest
+
+from repro.frontend.errors import SemanticError
+from repro.ir.instructions import (
+    ArrayLoad,
+    ArrayStore,
+    Assign,
+    BinOp,
+    Call,
+    CondBranch,
+    Const,
+    Halt,
+    Jump,
+    Print,
+    Read,
+    Return,
+    UnOp,
+    Use,
+)
+from repro.ir.symbols import VarKind
+
+from tests.conftest import lower
+
+
+def instructions_of(program, name):
+    return list(program.procedure(name).cfg.instructions())
+
+
+def single_proc(body, decls="", header="      PROGRAM MAIN"):
+    text = f"{header}\n{decls}{body}\n      END\n"
+    return lower(text)
+
+
+class TestBasicLowering:
+    def test_constant_assignment(self):
+        program = single_proc("      X = 5")
+        instrs = instructions_of(program, "main")
+        assigns = [i for i in instrs if isinstance(i, Assign)]
+        assert any(
+            isinstance(a.source, Const) and a.source.value == 5 for a in assigns
+        )
+
+    def test_binop_fused_into_target(self):
+        program = single_proc("      X = A + B")
+        instrs = instructions_of(program, "main")
+        binops = [i for i in instrs if isinstance(i, BinOp)]
+        assert len(binops) == 1
+        assert binops[0].target.var.name == "x"
+
+    def test_nested_expression_uses_temps(self):
+        program = single_proc("      X = (A + B) * C")
+        instrs = instructions_of(program, "main")
+        binops = [i for i in instrs if isinstance(i, BinOp)]
+        assert len(binops) == 2
+        assert binops[0].target.var.is_temp
+
+    def test_main_ends_with_halt(self):
+        program = single_proc("      X = 1")
+        terminators = [
+            b.terminator for b in program.procedure("main").cfg.blocks
+        ]
+        assert any(isinstance(t, Halt) for t in terminators)
+
+    def test_subroutine_ends_with_return(self):
+        program = lower(
+            "      SUBROUTINE S\n      X = 1\n      END\n"
+        )
+        terminators = [b.terminator for b in program.procedure("s").cfg.blocks]
+        assert any(isinstance(t, Return) for t in terminators)
+
+    def test_function_returns_result_var(self):
+        program = lower(
+            "      INTEGER FUNCTION F(Q)\n      F = Q * 2\n      RETURN\n      END\n"
+        )
+        f = program.procedure("f")
+        assert f.result_var is not None
+        returns = [
+            i for i in f.cfg.instructions() if isinstance(i, Return)
+        ]
+        assert all(
+            isinstance(r.value, Use) and r.value.var is f.result_var
+            for r in returns
+        )
+
+    def test_from_source_marks(self):
+        program = single_proc("      X = A + 1")
+        binop = [
+            i for i in instructions_of(program, "main") if isinstance(i, BinOp)
+        ][0]
+        assert isinstance(binop.left, Use) and binop.left.from_source
+
+
+class TestParameters:
+    def test_parameter_folds_to_literal(self):
+        program = single_proc(
+            "      X = K + 1", decls="      PARAMETER (K = 10)\n"
+        )
+        binop = [
+            i for i in instructions_of(program, "main") if isinstance(i, BinOp)
+        ][0]
+        assert isinstance(binop.left, Const) and binop.left.value == 10
+
+    def test_parameter_arithmetic(self):
+        program = single_proc(
+            "      X = L", decls="      PARAMETER (K = 6, L = K * 7)\n"
+        )
+        assign = [
+            i for i in instructions_of(program, "main") if isinstance(i, Assign)
+        ][0]
+        assert assign.source.value == 42
+
+    def test_parameter_division_truncates_toward_zero(self):
+        program = single_proc(
+            "      X = K", decls="      PARAMETER (K = -7 / 2)\n"
+        )
+        assign = [
+            i for i in instructions_of(program, "main") if isinstance(i, Assign)
+        ][0]
+        assert assign.source.value == -3
+
+    def test_assignment_to_parameter_rejected(self):
+        with pytest.raises(SemanticError):
+            single_proc("      K = 1", decls="      PARAMETER (K = 10)\n")
+
+    def test_nonconstant_parameter_rejected(self):
+        with pytest.raises(SemanticError):
+            single_proc("      X = 1", decls="      PARAMETER (K = X)\n")
+
+
+class TestControlFlow:
+    def test_if_creates_branch(self):
+        program = single_proc(
+            "      IF (X .GT. 0) THEN\n      Y = 1\n      ENDIF"
+        )
+        instrs = instructions_of(program, "main")
+        assert any(isinstance(i, CondBranch) for i in instrs)
+
+    def test_do_loop_structure(self):
+        program = single_proc("      DO I = 1, 10\n      X = I\n      ENDDO")
+        cfg = program.procedure("main").cfg
+        branches = [
+            i for i in cfg.instructions() if isinstance(i, CondBranch)
+        ]
+        assert len(branches) == 1
+        # Positive step: the loop test is 'le'.
+        binops = [i for i in cfg.instructions() if isinstance(i, BinOp)]
+        assert any(b.op == "le" for b in binops)
+
+    def test_do_negative_step_uses_ge(self):
+        program = single_proc("      DO I = 10, 1, -2\n      X = I\n      ENDDO")
+        binops = [
+            i
+            for i in instructions_of(program, "main")
+            if isinstance(i, BinOp)
+        ]
+        assert any(b.op == "ge" for b in binops)
+
+    def test_do_nonliteral_step_rejected(self):
+        with pytest.raises(SemanticError):
+            single_proc("      DO I = 1, 10, N\n      X = I\n      ENDDO")
+
+    def test_do_zero_step_rejected(self):
+        with pytest.raises(SemanticError):
+            single_proc("      DO I = 1, 10, 0\n      X = I\n      ENDDO")
+
+    def test_goto_targets_label_block(self):
+        program = single_proc("      GOTO 10\n      X = 1\n 10   CONTINUE")
+        cfg = program.procedure("main").cfg
+        # The X = 1 statement is unreachable and removed by cleanup.
+        assigns = [i for i in cfg.instructions() if isinstance(i, Assign)]
+        assert not assigns
+
+    def test_unknown_goto_label_rejected(self):
+        with pytest.raises(SemanticError):
+            single_proc("      GOTO 99")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(SemanticError):
+            single_proc(" 10   X = 1\n 10   Y = 2")
+
+    def test_stop_lowers_to_halt_in_subroutine(self):
+        program = lower("      SUBROUTINE S\n      STOP\n      END\n")
+        instrs = instructions_of(program, "s")
+        assert any(isinstance(i, Halt) for i in instrs)
+
+    def test_return_in_main_is_halt(self):
+        program = single_proc("      RETURN")
+        instrs = instructions_of(program, "main")
+        assert any(isinstance(i, Halt) for i in instrs)
+
+
+class TestArrays:
+    def test_array_load(self):
+        program = single_proc(
+            "      X = A(3)", decls="      INTEGER A(10)\n"
+        )
+        instrs = instructions_of(program, "main")
+        assert any(isinstance(i, ArrayLoad) for i in instrs)
+
+    def test_array_store(self):
+        program = single_proc(
+            "      A(3) = 7", decls="      INTEGER A(10)\n"
+        )
+        instrs = instructions_of(program, "main")
+        assert any(isinstance(i, ArrayStore) for i in instrs)
+
+    def test_undeclared_array_rejected(self):
+        # B(3) parses as a function call; calling an undefined function
+        # is a semantic error.
+        with pytest.raises(SemanticError):
+            single_proc("      X = B(3)")
+
+    def test_scalar_where_array_expected(self):
+        with pytest.raises(SemanticError):
+            single_proc("      X = A", decls="      INTEGER A(10)\n")
+
+
+class TestCalls:
+    TWO_PROC = (
+        "      PROGRAM MAIN\n      CALL S({args})\n      END\n"
+        "      SUBROUTINE S(A)\n      INTEGER A\n      X = A\n      END\n"
+    )
+
+    def test_scalar_var_actual_is_bindable(self):
+        program = lower(self.TWO_PROC.format(args="N"))
+        call = program.procedure("main").call_sites()[0]
+        assert call.args[0].bindable_var is not None
+
+    def test_literal_actual_not_bindable(self):
+        program = lower(self.TWO_PROC.format(args="3"))
+        call = program.procedure("main").call_sites()[0]
+        assert call.args[0].bindable_var is None
+
+    def test_expression_actual_uses_temp(self):
+        program = lower(self.TWO_PROC.format(args="N + 1"))
+        call = program.procedure("main").call_sites()[0]
+        assert call.args[0].bindable_var is None  # temp: not modifiable
+
+    def test_undefined_callee_rejected(self):
+        with pytest.raises(SemanticError):
+            lower("      PROGRAM MAIN\n      CALL NOPE\n      END\n")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SemanticError):
+            lower(self.TWO_PROC.format(args="1, 2"))
+
+    def test_array_formal_needs_array_actual(self):
+        with pytest.raises(SemanticError):
+            lower(
+                "      PROGRAM MAIN\n      CALL S(3)\n      END\n"
+                "      SUBROUTINE S(A)\n      INTEGER A(10)\n      A(1) = 0\n"
+                "      END\n"
+            )
+
+    def test_function_used_as_subroutine_rejected(self):
+        with pytest.raises(SemanticError):
+            lower(
+                "      PROGRAM MAIN\n      CALL F(1)\n      END\n"
+                "      INTEGER FUNCTION F(Q)\n      F = Q\n      END\n"
+            )
+
+    def test_subroutine_used_as_function_rejected(self):
+        with pytest.raises(SemanticError):
+            lower(
+                "      PROGRAM MAIN\n      X = S(1)\n      END\n"
+                "      SUBROUTINE S(A)\n      X = A\n      END\n"
+            )
+
+    def test_function_call_in_expression(self):
+        program = lower(
+            "      PROGRAM MAIN\n      X = F(2) + 1\n      END\n"
+            "      INTEGER FUNCTION F(Q)\n      F = Q\n      END\n"
+        )
+        calls = program.procedure("main").call_sites()
+        assert len(calls) == 1
+        assert calls[0].result is not None
+
+    def test_duplicate_unit_names_rejected(self):
+        with pytest.raises(SemanticError):
+            lower(
+                "      SUBROUTINE S\n      X = 1\n      END\n"
+                "      SUBROUTINE S\n      X = 2\n      END\n"
+            )
+
+
+class TestIntrinsics:
+    @pytest.mark.parametrize(
+        "expr,op",
+        [("MOD(A, 3)", "mod"), ("MAX(A, B)", "max"), ("MIN(A, B)", "min")],
+    )
+    def test_binary_intrinsics(self, expr, op):
+        program = single_proc(f"      X = {expr}")
+        binops = [
+            i for i in instructions_of(program, "main") if isinstance(i, BinOp)
+        ]
+        assert any(b.op == op for b in binops)
+
+    def test_iabs(self):
+        program = single_proc("      X = IABS(A)")
+        unops = [
+            i for i in instructions_of(program, "main") if isinstance(i, UnOp)
+        ]
+        assert any(u.op == "abs" for u in unops)
+
+    def test_intrinsic_wrong_arity(self):
+        with pytest.raises(SemanticError):
+            single_proc("      X = MOD(A)")
+
+    def test_user_procedure_shadows_intrinsic(self):
+        program = lower(
+            "      PROGRAM MAIN\n      X = MOD(3, 2)\n      END\n"
+            "      INTEGER FUNCTION MOD(A, B)\n      MOD = A\n      END\n"
+        )
+        calls = program.procedure("main").call_sites()
+        assert len(calls) == 1  # real call, not folded to an operator
+
+
+class TestCommons:
+    def test_common_variables_shared(self):
+        program = lower(
+            "      PROGRAM MAIN\n      COMMON /B/ G\n      G = 1\n      END\n"
+            "      SUBROUTINE S\n      COMMON /B/ G\n      X = G\n      END\n"
+        )
+        main_g = program.procedure("main").symbols.lookup("g")
+        s_g = program.procedure("s").symbols.lookup("g")
+        assert main_g is s_g
+        assert main_g.kind is VarKind.GLOBAL
+
+    def test_mismatched_common_rejected(self):
+        with pytest.raises(SemanticError):
+            lower(
+                "      PROGRAM MAIN\n      COMMON /B/ G, H\n      G = 1\n"
+                "      END\n"
+                "      SUBROUTINE S\n      COMMON /B/ H, G\n      X = G\n"
+                "      END\n"
+            )
+
+    def test_common_conflicts_with_local_rejected(self):
+        with pytest.raises(SemanticError):
+            lower(
+                "      PROGRAM MAIN\n      INTEGER G\n      COMMON /B/ G\n"
+                "      G = 1\n      END\n"
+            )
+
+
+class TestReadPrint:
+    def test_read_defines_targets(self):
+        program = single_proc("      READ *, X, Y")
+        reads = [
+            i for i in instructions_of(program, "main") if isinstance(i, Read)
+        ]
+        assert len(reads) == 1
+        assert len(reads[0].targets) == 2
+
+    def test_read_into_array_element(self):
+        program = single_proc(
+            "      READ *, A(2)", decls="      INTEGER A(5)\n"
+        )
+        instrs = instructions_of(program, "main")
+        assert any(isinstance(i, Read) for i in instrs)
+        assert any(isinstance(i, ArrayStore) for i in instrs)
+
+    def test_print_items(self):
+        program = single_proc("      PRINT *, 'x', X")
+        prints = [
+            i for i in instructions_of(program, "main") if isinstance(i, Print)
+        ]
+        assert prints[0].items[0] == "x"

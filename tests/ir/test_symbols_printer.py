@@ -1,0 +1,78 @@
+"""Symbol table and printer tests."""
+
+from repro.ir.instructions import Assign, BinOp, Const, Def, Use
+from repro.ir.printer import format_instruction, format_procedure, format_program
+from repro.ir.symbols import SymbolTable, Variable, VarKind
+
+from tests.conftest import TRI_PROGRAM, lower
+
+
+class TestSymbolTable:
+    def test_declare_and_lookup(self):
+        table = SymbolTable("p")
+        v = table.declare(Variable("x", VarKind.LOCAL))
+        assert table.lookup("x") is v
+        assert "x" in table
+        assert table.lookup("y") is None
+
+    def test_new_temp_unique(self):
+        table = SymbolTable("p")
+        t1, t2 = table.new_temp(), table.new_temp()
+        assert t1 is not t2
+        assert t1.name != t2.name
+        assert t1.is_temp
+
+    def test_formals_and_globals_filters(self):
+        table = SymbolTable("p")
+        f = table.declare(Variable("a", VarKind.FORMAL))
+        g = table.declare(Variable("g", VarKind.GLOBAL))
+        table.declare(Variable("l", VarKind.LOCAL))
+        assert table.formals() == [f]
+        assert table.globals() == [g]
+
+    def test_variable_identity_hash(self):
+        a = Variable("x", VarKind.LOCAL)
+        b = Variable("x", VarKind.LOCAL)
+        assert a != b
+        assert len({a, b}) == 2
+
+    def test_scalar_array_flags(self):
+        arr = Variable("a", VarKind.LOCAL, is_array=True, dims=(10,))
+        assert arr.is_array and not arr.is_scalar
+        assert Variable("s", VarKind.LOCAL).is_scalar
+
+
+class TestPrinter:
+    def test_format_assign(self):
+        x = Variable("x", VarKind.LOCAL)
+        text = format_instruction(Assign(Def(x), Const(5)))
+        assert text == "x = 5"
+
+    def test_format_versioned(self):
+        x = Variable("x", VarKind.LOCAL)
+        d = Def(x)
+        d.version = 2
+        u = Use(x)
+        u.version = 1
+        text = format_instruction(BinOp(d, "+", u, Const(1)))
+        assert text == "x.2 = x.1 + 1"
+
+    def test_format_procedure_includes_blocks(self):
+        program = lower(TRI_PROGRAM)
+        text = format_procedure(program.procedure("foo"))
+        assert "subroutine foo(x, y)" in text
+        assert "entry:" in text
+        assert "call bar" in text
+
+    def test_format_program_has_all_units(self):
+        program = lower(TRI_PROGRAM)
+        text = format_program(program)
+        for name in ("main", "foo", "bar"):
+            assert name in text
+
+    def test_every_instruction_formats(self):
+        program = lower(TRI_PROGRAM)
+        for procedure in program:
+            for instruction in procedure.cfg.instructions():
+                line = format_instruction(instruction)
+                assert isinstance(line, str) and line

@@ -1,0 +1,203 @@
+"""Polynomial engine tests, including hypothesis algebra properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.expr import ConstExpr, EntryExpr, UnknownExpr, make_binop, make_unop
+from repro.poly.polynomial import Polynomial, expr_to_polynomial
+from repro.ir.symbols import Variable, VarKind
+
+
+X = Variable("x", VarKind.FORMAL)
+Y = Variable("y", VarKind.FORMAL)
+Z = Variable("z", VarKind.GLOBAL)
+
+px = Polynomial.variable(X)
+py = Polynomial.variable(Y)
+
+
+def poly_const(value):
+    return Polynomial.constant(value)
+
+
+class TestConstruction:
+    def test_zero(self):
+        assert Polynomial().is_zero()
+        assert poly_const(0).is_zero()
+
+    def test_constant_value(self):
+        assert poly_const(7).constant_value() == 7
+        assert Polynomial().constant_value() == 0
+        assert px.constant_value() is None
+
+    def test_is_constant(self):
+        assert poly_const(3).is_constant()
+        assert not px.is_constant()
+
+    def test_variable_support(self):
+        assert px.support() == frozenset((X,))
+
+    def test_identity_detection(self):
+        assert px.is_single_variable_identity() is X
+        assert (px * poly_const(2)).is_single_variable_identity() is None
+        assert (px * px).is_single_variable_identity() is None
+        assert (px + poly_const(1)).is_single_variable_identity() is None
+
+
+class TestArithmetic:
+    def test_addition_merges_terms(self):
+        assert px + px == poly_const(2) * px
+
+    def test_subtraction_cancels(self):
+        assert (px - px).is_zero()
+
+    def test_multiplication_degree(self):
+        assert (px * px).degree() == 2
+        assert (px * py).degree() == 2
+        assert (px + py).degree() == 1
+
+    def test_distribution(self):
+        left = (px + py) * (px - py)
+        right = px * px - py * py
+        assert left == right
+
+    def test_negation(self):
+        assert -(px - py) == py - px
+
+    def test_exact_divide(self):
+        assert (poly_const(4) * px).exact_divide(2) == poly_const(2) * px
+        assert (poly_const(3) * px).exact_divide(2) is None
+        assert px.exact_divide(0) is None
+
+    def test_support_of_product(self):
+        assert (px * py + poly_const(1)).support() == frozenset((X, Y))
+
+
+class TestEvaluation:
+    def test_full_evaluation(self):
+        poly = px * px + poly_const(2) * py + poly_const(5)
+        assert poly.evaluate({X: 3, Y: 4}) == 9 + 8 + 5
+
+    def test_missing_variable_is_none(self):
+        assert px.evaluate({}) is None
+
+    def test_partial_evaluate(self):
+        poly = px * py + poly_const(3)
+        partial = poly.partial_evaluate({X: 2})
+        assert partial == poly_const(2) * py + poly_const(3)
+        assert partial.support() == frozenset((Y,))
+
+    def test_substitute_composition(self):
+        # p(x) = x + 1 composed with x := 2y -> 2y + 1
+        poly = px + poly_const(1)
+        composed = poly.substitute({X: poly_const(2) * py})
+        assert composed == poly_const(2) * py + poly_const(1)
+
+    def test_substitute_power(self):
+        poly = px * px
+        composed = poly.substitute({X: py + poly_const(1)})
+        assert composed == py * py + poly_const(2) * py + poly_const(1)
+
+
+class TestExprConversion:
+    def test_const(self):
+        assert expr_to_polynomial(ConstExpr(5)) == poly_const(5)
+
+    def test_entry(self):
+        assert expr_to_polynomial(EntryExpr(X)) == px
+
+    def test_unknown_is_none(self):
+        assert expr_to_polynomial(UnknownExpr()) is None
+
+    def test_arithmetic_tree(self):
+        expr = make_binop(
+            "+", make_binop("*", EntryExpr(X), ConstExpr(2)), ConstExpr(1)
+        )
+        assert expr_to_polynomial(expr) == poly_const(2) * px + poly_const(1)
+
+    def test_negation(self):
+        expr = make_unop("neg", EntryExpr(X))
+        assert expr_to_polynomial(expr) == -px
+
+    def test_exact_constant_division(self):
+        expr = make_binop(
+            "/", make_binop("*", EntryExpr(X), ConstExpr(4)), ConstExpr(2)
+        )
+        assert expr_to_polynomial(expr) == poly_const(2) * px
+
+    def test_inexact_division_rejected(self):
+        expr = make_binop(
+            "/", make_binop("+", EntryExpr(X), ConstExpr(1)), ConstExpr(2)
+        )
+        assert expr_to_polynomial(expr) is None
+
+    def test_division_by_variable_rejected(self):
+        expr = make_binop("/", ConstExpr(10), EntryExpr(X))
+        assert expr_to_polynomial(expr) is None
+
+    @pytest.mark.parametrize("op", ["mod", "max", "min", "eq", "lt"])
+    def test_nonpolynomial_operators_rejected(self, op):
+        expr = make_binop(op, EntryExpr(X), EntryExpr(Y))
+        assert expr_to_polynomial(expr) is None
+
+
+# -- hypothesis properties ----------------------------------------------------
+
+small_ints = st.integers(-30, 30)
+
+
+@st.composite
+def polynomials(draw, variables=(X, Y, Z)):
+    poly = Polynomial.constant(draw(small_ints))
+    for _ in range(draw(st.integers(0, 4))):
+        coefficient = draw(small_ints)
+        term = Polynomial.constant(coefficient)
+        for var in draw(
+            st.lists(st.sampled_from(list(variables)), min_size=0, max_size=3)
+        ):
+            term = term * Polynomial.variable(var)
+        poly = poly + term
+    return poly
+
+
+@st.composite
+def environments(draw):
+    return {v: draw(small_ints) for v in (X, Y, Z)}
+
+
+class TestAlgebraProperties:
+    @given(polynomials(), polynomials(), environments())
+    def test_addition_homomorphism(self, p, q, env):
+        assert (p + q).evaluate(env) == p.evaluate(env) + q.evaluate(env)
+
+    @given(polynomials(), polynomials(), environments())
+    def test_multiplication_homomorphism(self, p, q, env):
+        assert (p * q).evaluate(env) == p.evaluate(env) * q.evaluate(env)
+
+    @given(polynomials(), environments())
+    def test_negation_homomorphism(self, p, env):
+        assert (-p).evaluate(env) == -p.evaluate(env)
+
+    @given(polynomials(), polynomials())
+    def test_commutativity(self, p, q):
+        assert p + q == q + p
+        assert p * q == q * p
+
+    @given(polynomials(), polynomials(), polynomials())
+    def test_distributivity(self, p, q, r):
+        assert p * (q + r) == p * q + p * r
+
+    @given(polynomials())
+    def test_subtraction_self_is_zero(self, p):
+        assert (p - p).is_zero()
+
+    @given(polynomials(), environments())
+    def test_partial_then_full_evaluation(self, p, env):
+        partial = p.partial_evaluate({X: env[X]})
+        assert partial.evaluate(env) == p.evaluate(env)
+
+    @given(polynomials())
+    def test_canonical_equality_hash(self, p):
+        q = p + Polynomial.constant(0)
+        assert p == q
+        assert hash(p) == hash(q)

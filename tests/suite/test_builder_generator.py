@@ -1,0 +1,154 @@
+"""Builder and random-generator tests."""
+
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.ipcp.driver import analyze_source
+from repro.suite.builder import SuiteProgramBuilder
+from repro.suite.generator import GeneratorConfig, generate_program
+
+from tests.conftest import lower
+
+
+def analyze(text, config=None):
+    return analyze_source(text, config or AnalysisConfig())
+
+
+class TestBuilderPatterns:
+    def test_literal_leaf_counts_for_all_kinds(self):
+        b = SuiteProgramBuilder("t")
+        b.literal_leaf(4, 9)
+        source = b.build()
+        from repro.config import JumpFunctionKind
+
+        for kind in JumpFunctionKind:
+            result = analyze(source, AnalysisConfig(jump_function=kind))
+            assert result.substituted_constants == 4, kind
+
+    def test_local_constants_counted_by_intra_only(self):
+        b = SuiteProgramBuilder("t")
+        b.local_constants(5, 3)
+        result = analyze(b.build(), AnalysisConfig.intraprocedural_only())
+        assert result.substituted_constants == 5
+
+    def test_sinked_local_dies_without_mod(self):
+        b = SuiteProgramBuilder("t")
+        b.local_constants(5, 3, sink=True)
+        with_mod = analyze(b.build())
+        without = analyze(b.build(), AnalysisConfig(use_mod=False))
+        # Only the references *after* the sink call die; the actual-
+        # argument reference at the sink call (still constant
+        # intraprocedurally) and RSINK's own V uses survive.
+        assert with_mod.substituted_constants >= 5
+        assert without.substituted_constants <= 3
+        assert with_mod.substituted_constants - without.substituted_constants >= 5
+
+    def test_intra_chain_missed_by_literal(self):
+        from repro.config import JumpFunctionKind
+
+        b = SuiteProgramBuilder("t")
+        b.intra_chain(3, 7)
+        literal = analyze(
+            b.build(), AnalysisConfig(jump_function=JumpFunctionKind.LITERAL)
+        )
+        intra = analyze(
+            b.build(),
+            AnalysisConfig(jump_function=JumpFunctionKind.INTRAPROCEDURAL),
+        )
+        # literal finds only the X reference at the call site (an
+        # intraprocedural constant); intra adds the 3 refs inside the
+        # callee.
+        assert literal.substituted_constants == 1
+        assert intra.substituted_constants == 4
+
+    def test_formal_chain_needs_pass_through(self):
+        from repro.config import JumpFunctionKind
+
+        b = SuiteProgramBuilder("t")
+        b.formal_chain(3, 2, 5)
+        intra = analyze(
+            b.build(),
+            AnalysisConfig(jump_function=JumpFunctionKind.INTRAPROCEDURAL),
+        )
+        passthrough = analyze(
+            b.build(),
+            AnalysisConfig(jump_function=JumpFunctionKind.PASS_THROUGH),
+        )
+        # intra: level-1 refs (2) + the constant actual at level 1's
+        # call. pass-through: refs at all three levels (6) plus the two
+        # forwarding actuals.
+        assert intra.substituted_constants == 3
+        assert passthrough.substituted_constants == 8
+
+    def test_global_via_init_needs_returns(self):
+        b = SuiteProgramBuilder("t")
+        b.global_via_init((10,), 2, 3)
+        with_returns = analyze(b.build())
+        without = analyze(b.build(), AnalysisConfig(use_return_functions=False))
+        assert with_returns.substituted_constants == 6
+        assert without.substituted_constants == 0
+
+    def test_function_returns_needs_returns(self):
+        b = SuiteProgramBuilder("t")
+        b.function_returns(3, 8)
+        with_returns = analyze(b.build())
+        without = analyze(b.build(), AnalysisConfig(use_return_functions=False))
+        assert with_returns.substituted_constants == 3
+        assert without.substituted_constants == 0
+
+    def test_dead_branch_needs_complete(self):
+        b = SuiteProgramBuilder("t")
+        b.dead_branch_reveal(4, 1, 2)
+        plain = analyze(b.build())
+        complete = analyze(b.build(), AnalysisConfig.complete_propagation())
+        assert complete.substituted_constants > plain.substituted_constants
+
+    def test_conflict_calls_yield_nothing(self):
+        b = SuiteProgramBuilder("t")
+        b.conflict_calls((1, 2, 3))
+        assert analyze(b.build()).substituted_constants == 0
+
+    def test_noise_has_no_constants(self):
+        b = SuiteProgramBuilder("t")
+        b.noise_proc(20)
+        assert analyze(b.build()).substituted_constants == 0
+
+    def test_built_programs_parse_and_lower(self):
+        b = SuiteProgramBuilder("t")
+        b.local_constants(2, 1, sink=True)
+        b.global_direct((1, 2), 2, 2, kill_from_worker=1)
+        b.global_via_init((3,), 1, 1)
+        b.formal_chain(2, 1, 4, fragile=True)
+        b.function_returns(1, 5)
+        b.dead_branch_reveal(1, 1, 2)
+        b.conflict_calls((1, 2))
+        b.noise_proc(5)
+        program = lower(b.build())
+        assert len(program) > 10
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        assert generate_program(7) == generate_program(7)
+
+    def test_different_seeds_differ(self):
+        assert generate_program(1) != generate_program(2)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_generated_programs_lower(self, seed):
+        program = lower(generate_program(seed))
+        assert program.main is not None
+
+    def test_config_scales_size(self):
+        small = generate_program(3, GeneratorConfig(procedures=2))
+        large = generate_program(3, GeneratorConfig(procedures=12))
+        assert len(large) > len(small)
+
+    def test_generated_programs_terminate(self):
+        from repro.ir.interp import run_source
+
+        for seed in range(5):
+            trace = run_source(
+                generate_program(seed), inputs=[3, 1, 4] * 30, fuel=3_000_000
+            )
+            assert trace.steps > 0

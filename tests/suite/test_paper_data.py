@@ -1,0 +1,67 @@
+"""Paper-data comparison tests: the measured suite must satisfy every
+encoded paper relationship and correlate strongly in rank with the
+published columns."""
+
+import pytest
+
+from repro.suite.paper_data import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    compare_with_measured,
+    spearman,
+)
+from repro.suite.programs import SUITE_PROGRAM_NAMES
+from repro.suite.tables import compute_table2, compute_table3
+
+
+class TestSpearman:
+    def test_perfect_correlation(self):
+        assert spearman([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        assert spearman([1, 2, 3], [9, 5, 1]) == pytest.approx(-1.0)
+
+    def test_ties_handled(self):
+        rho = spearman([1, 1, 2, 3], [5, 5, 6, 7])
+        assert rho == pytest.approx(1.0)
+
+    def test_constant_column(self):
+        assert spearman([1, 1, 1], [1, 2, 3]) == 0.0
+
+
+class TestPaperData:
+    def test_tables_cover_suite(self):
+        assert set(PAPER_TABLE2) == set(SUITE_PROGRAM_NAMES)
+        assert set(PAPER_TABLE3) == set(SUITE_PROGRAM_NAMES)
+
+    def test_paper_internal_consistency(self):
+        # The transcription itself satisfies the paper's own claims.
+        for name, row in PAPER_TABLE2.items():
+            poly, pass_t, intra, literal, *_ = row
+            assert poly == pass_t, name
+            assert literal <= intra <= poly, name
+        for name, row in PAPER_TABLE3.items():
+            no_mod, with_mod, complete, intra = row
+            assert no_mod <= with_mod, name
+            assert complete >= with_mod, name
+            assert intra <= with_mod, name
+
+
+class TestShapeAgreement:
+    @pytest.fixture(scope="class")
+    def agreement(self):
+        return compare_with_measured(compute_table2(), compute_table3())
+
+    def test_no_violations(self, agreement):
+        assert agreement.agrees, agreement.violations
+
+    def test_rank_correlations_strong(self, agreement):
+        # Modeled programs were scaled, not matched: rank order across
+        # programs should still track the paper closely.
+        for column, rho in agreement.rank_correlations.items():
+            assert rho >= 0.8, (column, rho)
+
+    def test_format_readable(self, agreement):
+        text = agreement.format()
+        assert "rank correlation" in text
+        assert "every paper relationship holds" in text

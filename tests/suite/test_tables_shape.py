@@ -1,0 +1,177 @@
+"""Reproduction shape tests: the measured Tables 1-3 must show every
+qualitative relationship the paper reports.
+
+Absolute counts are scaled (our suite programs are modeled stand-ins for
+SPEC/PERFECT), so assertions are about orderings, equalities, and rough
+ratios — "who wins, by roughly what factor, where crossovers fall".
+
+These are the slowest tests in the suite (they run 10 configurations per
+program); the full-matrix computations are cached per session.
+"""
+
+import pytest
+
+from repro.suite.characteristics import characterize_suite
+from repro.suite.programs import SUITE_PROGRAM_NAMES
+from repro.suite.tables import compute_table2, compute_table3
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return {row.program: row for row in compute_table2()}
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return {row.program: row for row in compute_table3()}
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return characterize_suite()
+
+
+class TestTable1:
+    def test_all_programs_present(self, table1):
+        assert list(table1) == SUITE_PROGRAM_NAMES
+
+    def test_sizes_reasonable(self, table1):
+        for row in table1.values():
+            assert row.lines > 40
+            assert row.procedures >= 5
+
+    def test_trfd_smallest(self, table1):
+        smallest = min(table1.values(), key=lambda r: r.lines)
+        assert smallest.name == "trfd"
+
+    def test_fpppp_and_simple_skewed(self, table1):
+        # "a single routine made up a large part of the code in fpppp
+        # and simple"
+        assert table1["fpppp"].skewed
+        assert table1["simple"].skewed
+
+    def test_most_programs_evenly_distributed(self, table1):
+        even = [name for name, row in table1.items() if not row.skewed]
+        assert len(even) >= 7
+
+
+class TestTable2Orderings:
+    """The paper's universal orderings."""
+
+    def test_poly_equals_pass_through(self, table2):
+        # "the polynomial and pass-through parameter techniques found
+        # the same set of constants"
+        for row in table2.values():
+            assert row.polynomial == row.pass_through, row.program
+
+    def test_poly_equals_pass_without_returns_too(self, table2):
+        for row in table2.values():
+            assert row.polynomial_no_returns == row.pass_through_no_returns
+
+    def test_pass_at_least_intra(self, table2):
+        for row in table2.values():
+            assert row.pass_through >= row.intraprocedural, row.program
+
+    def test_intra_at_least_literal(self, table2):
+        for row in table2.values():
+            assert row.intraprocedural >= row.literal, row.program
+
+    def test_returns_never_hurt(self, table2):
+        for row in table2.values():
+            assert row.polynomial >= row.polynomial_no_returns, row.program
+
+
+class TestTable2ProgramShapes:
+    """Per-program relationships the paper highlights."""
+
+    def test_flat_programs(self, table2):
+        # adm, qcd, trfd: every jump function ties.
+        for name in ("adm", "qcd", "trfd"):
+            row = table2[name]
+            assert row.literal == row.intraprocedural == row.polynomial, name
+
+    def test_staircase_programs(self, table2):
+        # fpppp, matrix300, mdg, simple: strictly increasing power pays.
+        for name in ("fpppp", "matrix300", "mdg", "simple"):
+            row = table2[name]
+            assert row.literal < row.intraprocedural < row.pass_through, name
+
+    def test_literal_gap_programs(self, table2):
+        # linpackd, snasa7, spec77, ocean: literal loses badly but the
+        # other kinds tie.
+        for name in ("linpackd", "snasa7", "spec77", "ocean"):
+            row = table2[name]
+            assert row.literal < row.intraprocedural == row.polynomial, name
+        assert table2["linpackd"].literal <= 0.65 * table2["linpackd"].polynomial
+
+    def test_ocean_returns_tripling(self, table2):
+        # "In ocean, the return jump functions more than tripled the
+        # number of constants"
+        row = table2["ocean"]
+        assert row.polynomial >= 2.5 * row.polynomial_no_returns
+
+    def test_returns_barely_matter_elsewhere(self, table2):
+        # "Return jump functions made no noticeable difference in ten of
+        # the thirteen programs" — allow small deltas outside ocean.
+        for name, row in table2.items():
+            if name == "ocean":
+                continue
+            assert row.polynomial - row.polynomial_no_returns <= 8, name
+
+    def test_doduc_mostly_literal(self, table2):
+        # doduc's constants are literal actuals: literal within 1% of poly.
+        row = table2["doduc"]
+        assert row.literal >= 0.98 * row.polynomial
+
+
+class TestTable3Shapes:
+    def test_mod_never_hurts(self, table3):
+        for row in table3.values():
+            assert row.polynomial_with_mod >= row.polynomial_without_mod, row.program
+
+    def test_complete_at_least_with_mod(self, table3):
+        for row in table3.values():
+            assert row.complete_propagation >= row.polynomial_with_mod, row.program
+
+    def test_interprocedural_at_least_intraprocedural(self, table3):
+        # "the interprocedural propagation always detected more
+        # constants than strictly intraprocedural propagation"
+        for row in table3.values():
+            assert row.polynomial_with_mod >= row.intraprocedural, row.program
+
+    def test_mod_loss_striking_programs(self, table3):
+        # "particularly striking in adm, linpackd, matrix300, ocean,
+        # simple, and spec77"
+        for name in ("adm", "linpackd", "matrix300", "ocean", "simple", "spec77"):
+            row = table3[name]
+            assert row.polynomial_without_mod <= 0.65 * row.polynomial_with_mod, name
+
+    def test_simple_nomod_catastrophe(self, table3):
+        # simple: 183 -> 2 in the paper; ours collapses below 10%.
+        row = table3["simple"]
+        assert row.polynomial_without_mod <= 0.10 * row.polynomial_with_mod
+
+    def test_doduc_nomod_immune(self, table3):
+        # doduc: 288 vs 289 — virtually immune.
+        row = table3["doduc"]
+        assert row.polynomial_without_mod >= 0.98 * row.polynomial_with_mod
+
+    def test_complete_gains_only_where_expected(self, table3):
+        # ocean (+10) and spec77 (+4) gain; everywhere else complete
+        # propagation "did not expose many additional constants".
+        assert table3["ocean"].complete_propagation > table3["ocean"].polynomial_with_mod
+        assert table3["spec77"].complete_propagation > table3["spec77"].polynomial_with_mod
+        for name, row in table3.items():
+            if name in ("ocean", "spec77"):
+                continue
+            assert row.complete_propagation == row.polynomial_with_mod, name
+
+    def test_doduc_intraprocedural_collapse(self, table3):
+        # doduc: 289 interprocedural vs 3 intraprocedural-only.
+        row = table3["doduc"]
+        assert row.intraprocedural <= 0.05 * row.polynomial_with_mod
+
+    def test_qcd_mostly_intraprocedural(self, table3):
+        # qcd: 180 vs 179 — interprocedural machinery nearly irrelevant.
+        row = table3["qcd"]
+        assert row.intraprocedural >= 0.95 * row.polynomial_with_mod

@@ -1,0 +1,92 @@
+"""Unit tests for the table harness itself (fast: single-program runs)."""
+
+from repro.config import AnalysisConfig, JumpFunctionKind
+from repro.suite.characteristics import ProgramCharacteristics, characterize
+from repro.suite.programs import SUITE_PROGRAM_NAMES, program_source, suite_sources
+from repro.suite.tables import (
+    compute_table2,
+    compute_table3,
+    format_table1,
+    format_table2,
+    format_table3,
+    run_configuration,
+)
+
+
+class TestPrograms:
+    def test_names_match_paper_order(self):
+        assert SUITE_PROGRAM_NAMES == [
+            "adm", "doduc", "fpppp", "linpackd", "matrix300", "mdg",
+            "ocean", "qcd", "simple", "snasa7", "spec77", "trfd",
+        ]
+
+    def test_sources_cached(self):
+        assert program_source("trfd") is program_source("trfd")
+
+    def test_suite_sources_complete(self):
+        sources = suite_sources()
+        assert list(sources) == SUITE_PROGRAM_NAMES
+        assert all(text.startswith("      PROGRAM MAIN") for text in sources.values())
+
+
+class TestRunConfiguration:
+    def test_returns_cell_value(self):
+        count = run_configuration("trfd", AnalysisConfig())
+        assert isinstance(count, int) and count > 0
+
+    def test_independent_runs_do_not_interfere(self):
+        first = run_configuration("trfd", AnalysisConfig())
+        run_configuration("trfd", AnalysisConfig.complete_propagation())
+        second = run_configuration("trfd", AnalysisConfig())
+        assert first == second
+
+
+class TestRowComputation:
+    def test_table2_single_program(self):
+        (row,) = compute_table2(["trfd"])
+        assert row.program == "trfd"
+        assert row.polynomial == row.pass_through
+        assert row.literal <= row.intraprocedural <= row.polynomial
+
+    def test_table3_single_program(self):
+        (row,) = compute_table3(["trfd"])
+        assert row.polynomial_without_mod <= row.polynomial_with_mod
+        assert row.complete_propagation >= row.polynomial_with_mod
+
+
+class TestFormatting:
+    def test_format_table1_contains_programs(self):
+        text = format_table1()
+        for name in SUITE_PROGRAM_NAMES:
+            assert name in text
+
+    def test_format_table2_from_rows(self):
+        rows = compute_table2(["trfd"])
+        text = format_table2(rows=rows)
+        assert "trfd" in text
+        assert "Poly" in text
+
+    def test_format_table3_from_rows(self):
+        rows = compute_table3(["trfd"])
+        text = format_table3(rows=rows)
+        assert "With MOD" in text
+
+
+class TestCharacteristics:
+    def test_characterize_custom_source(self):
+        row = characterize(
+            "tiny",
+            source=(
+                "      PROGRAM MAIN\nC note\n      X = 1\n      END\n"
+                "      SUBROUTINE S\n      Y = 2\n      END\n"
+            ),
+        )
+        assert isinstance(row, ProgramCharacteristics)
+        assert row.procedures == 2
+        assert row.lines == 6  # comment excluded
+
+    def test_skew_flag(self):
+        row = ProgramCharacteristics("x", 100, 4, 40.0, 10.0)
+        assert row.skewed
+        even = ProgramCharacteristics("y", 100, 4, 12.0, 10.0)
+        assert not even.skewed

@@ -1,0 +1,171 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = (
+    "      PROGRAM MAIN\n"
+    "      N = 6\n"
+    "      CALL S(N)\n"
+    "      END\n"
+    "      SUBROUTINE S(K)\n"
+    "      A = K + 1\n"
+    "      RETURN\n"
+    "      END\n"
+)
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.f"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_default_run(self, program_file, capsys):
+        assert main(["analyze", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "CONSTANTS(s)" in out
+        assert "k=6" in out
+        assert "substituted constant references: 2" in out
+
+    def test_jump_kind_flag(self, program_file, capsys):
+        assert main(["analyze", program_file, "--jump", "literal"]) == 0
+        out = capsys.readouterr().out
+        assert "literal" in out
+        assert "no interprocedural constants" in out
+
+    def test_no_mod_flag(self, program_file, capsys):
+        assert main(["analyze", program_file, "--no-mod"]) == 0
+        assert "nomod" in capsys.readouterr().out
+
+    def test_intra_only_flag(self, program_file, capsys):
+        assert main(["analyze", program_file, "--intra-only"]) == 0
+        out = capsys.readouterr().out
+        assert "intraprocedural" in out
+
+    def test_complete_flag(self, program_file, capsys):
+        assert main(["analyze", program_file, "--complete"]) == 0
+        assert "complete" in capsys.readouterr().out
+
+    def test_transform_flag(self, program_file, capsys):
+        assert main(["analyze", program_file, "--transform"]) == 0
+        out = capsys.readouterr().out
+        assert "A = 6 + 1" in out
+
+    def test_dump_ir_flag(self, program_file, capsys):
+        assert main(["analyze", program_file, "--dump-ir"]) == 0
+        out = capsys.readouterr().out
+        assert "SSA IR" in out
+        assert "subroutine s" in out
+
+
+class TestCompare:
+    def test_compare_lists_all_kinds(self, program_file, capsys):
+        assert main(["compare", program_file]) == 0
+        out = capsys.readouterr().out
+        for kind in ("literal", "intraprocedural", "pass_through", "polynomial"):
+            assert kind in out
+
+
+class TestParser:
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_jump_kind_rejected(self, program_file):
+        with pytest.raises(SystemExit):
+            main(["analyze", program_file, "--jump", "quantum"])
+
+
+PROGRAM_WITH_IO = (
+    "      PROGRAM MAIN\n"
+    "      READ *, X\n"
+    "      PRINT *, X * 2\n"
+    "      END\n"
+)
+
+CONFLICT_PROGRAM = (
+    "      PROGRAM MAIN\n"
+    "      CALL C(4)\n      CALL C(8)\n      END\n"
+    "      SUBROUTINE C(S)\n      A = S + 1\n      END\n"
+)
+
+
+class TestRun:
+    def test_executes_and_prints(self, tmp_path, capsys):
+        path = tmp_path / "io.f"
+        path.write_text(PROGRAM_WITH_IO)
+        assert main(["run", str(path), "--input", "21"]) == 0
+        out = capsys.readouterr().out
+        assert "42" in out
+        assert "instructions executed" in out
+
+    def test_fuel_flag(self, tmp_path):
+        path = tmp_path / "loop.f"
+        path.write_text(
+            "      PROGRAM MAIN\n      X = 1\n"
+            "      DO WHILE (X .GT. 0)\n      X = X + 1\n      ENDDO\n"
+            "      END\n"
+        )
+        import pytest as _pytest
+        from repro.ir.interp import InterpreterError
+
+        with _pytest.raises(InterpreterError):
+            main(["run", str(path), "--fuel", "500"])
+
+
+class TestCloneCommand:
+    def test_reports_clones(self, tmp_path, capsys):
+        path = tmp_path / "c.f"
+        path.write_text(CONFLICT_PROGRAM)
+        assert main(["clone", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "cloned c ->" in out
+        assert "after cloning" in out
+
+
+class TestIntegrateCommand:
+    def test_reports_growth(self, tmp_path, capsys):
+        path = tmp_path / "c.f"
+        path.write_text(CONFLICT_PROGRAM)
+        assert main(["integrate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "procedure integration" in out
+        assert "code growth" in out
+
+
+class TestSuiteCommand:
+    def test_writes_programs(self, tmp_path, capsys):
+        out = tmp_path / "suite"
+        assert main(["suite", "--out", str(out)]) == 0
+        written = sorted(p.name for p in out.glob("*.f"))
+        assert "ocean.f" in written
+        assert len(written) == 12
+        # Each written program must itself parse and analyze.
+        from repro.ipcp.driver import analyze_file
+
+        result = analyze_file(str(out / "trfd.f"))
+        assert result.substituted_constants > 0
+
+
+class TestStatsFlag:
+    def test_stats_printed(self, program_file, capsys):
+        assert main(["analyze", program_file, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "statistics" in out
+        assert "forward jump functions" in out
+
+
+class TestDotAndGsaFlags:
+    def test_dot_writes_files(self, program_file, tmp_path, capsys):
+        out = tmp_path / "dots"
+        assert main(["analyze", program_file, "--dot", str(out)]) == 0
+        assert (out / "callgraph.dot").exists()
+        assert "Graphviz files written" in capsys.readouterr().out
+
+    def test_gsa_flag(self, program_file, capsys):
+        assert main(["analyze", program_file, "--gsa"]) == 0
+        assert "gsa" in capsys.readouterr().out

@@ -1,0 +1,195 @@
+"""End-to-end integration scenarios: realistic multi-procedure programs
+through the full public API, checking both the discovered CONSTANTS and
+the substitution counts against hand-computed expectations."""
+
+from repro import AnalysisConfig, JumpFunctionKind, analyze_source
+from repro.ir.interp import run_source
+
+
+def constants_by_name(result, proc):
+    return {
+        var.name: value
+        for var, value in result.constants.constants_of(proc).items()
+    }
+
+
+class TestLoopBoundsScenario:
+    """The paper's motivating application: interprocedural constants are
+    often loop bounds (Eigenmann & Blume), and knowing them tells the
+    compiler the trip count."""
+
+    SOURCE = (
+        "      PROGRAM MAIN\n"
+        "      COMMON /CFG/ NPTS\n"
+        "      NPTS = 128\n"
+        "      CALL SMOOTH\n"
+        "      CALL SCALE(4)\n"
+        "      END\n"
+        "      SUBROUTINE SMOOTH\n"
+        "      COMMON /CFG/ NPTS\n"
+        "      INTEGER S\n"
+        "      S = 0\n"
+        "      DO I = 1, NPTS\n"
+        "        S = S + I\n"
+        "      ENDDO\n"
+        "      PRINT *, S\n"
+        "      END\n"
+        "      SUBROUTINE SCALE(F)\n"
+        "      COMMON /CFG/ NPTS\n"
+        "      DO I = 1, NPTS\n"
+        "        X = I * F\n"
+        "      ENDDO\n"
+        "      END\n"
+    )
+
+    def test_loop_bounds_discovered(self):
+        result = analyze_source(self.SOURCE)
+        assert constants_by_name(result, "smooth") == {"npts": 128}
+        assert constants_by_name(result, "scale") == {"npts": 128, "f": 4}
+
+    def test_literal_misses_the_global_bound(self):
+        result = analyze_source(
+            self.SOURCE, AnalysisConfig(jump_function=JumpFunctionKind.LITERAL)
+        )
+        assert "npts" not in constants_by_name(result, "smooth")
+
+    def test_analysis_matches_execution(self):
+        trace = run_source(self.SOURCE)
+        assert trace.output == [str(sum(range(1, 129)))]
+
+
+class TestDiamondConflict:
+    SOURCE = (
+        "      PROGRAM MAIN\n"
+        "      READ *, C\n"
+        "      IF (C .GT. 0) THEN\n"
+        "        CALL W(5)\n"
+        "      ELSE\n"
+        "        CALL W(5)\n"
+        "      ENDIF\n"
+        "      CALL V(C)\n"
+        "      END\n"
+        "      SUBROUTINE W(K)\n      A = K\n      END\n"
+        "      SUBROUTINE V(K)\n      A = K\n      END\n"
+    )
+
+    def test_agreeing_branches_still_constant(self):
+        result = analyze_source(self.SOURCE)
+        assert constants_by_name(result, "w") == {"k": 5}
+
+    def test_runtime_value_not_claimed(self):
+        result = analyze_source(self.SOURCE)
+        assert constants_by_name(result, "v") == {}
+
+
+class TestMultiLevelPropagation:
+    SOURCE = (
+        "      PROGRAM MAIN\n      CALL L1(2, 3)\n      END\n"
+        "      SUBROUTINE L1(A, B)\n      CALL L2(A * B, A + B)\n      END\n"
+        "      SUBROUTINE L2(P, Q)\n      CALL L3(P + Q)\n      END\n"
+        "      SUBROUTINE L3(R)\n      X = R\n      END\n"
+    )
+
+    def test_polynomial_chains_compose(self):
+        result = analyze_source(self.SOURCE)
+        assert constants_by_name(result, "l2") == {"p": 6, "q": 5}
+        assert constants_by_name(result, "l3") == {"r": 11}
+
+    def test_pass_through_cannot_compose_arithmetic(self):
+        result = analyze_source(
+            self.SOURCE,
+            AnalysisConfig(jump_function=JumpFunctionKind.PASS_THROUGH),
+        )
+        assert constants_by_name(result, "l2") == {}
+        assert constants_by_name(result, "l3") == {}
+
+
+class TestReturnValueFlow:
+    SOURCE = (
+        "      PROGRAM MAIN\n"
+        "      COMMON /ST/ NDIM\n"
+        "      CALL SETUP\n"
+        "      K = GETDIM()\n"
+        "      CALL USE(K)\n"
+        "      END\n"
+        "      SUBROUTINE SETUP\n      COMMON /ST/ NDIM\n      NDIM = 3\n"
+        "      END\n"
+        "      INTEGER FUNCTION GETDIM()\n      COMMON /ST/ NDIM\n"
+        "      GETDIM = NDIM\n      END\n"
+        "      SUBROUTINE USE(D)\n      X = D * D\n      END\n"
+    )
+
+    def test_accessor_function_result_propagates(self):
+        result = analyze_source(self.SOURCE)
+        assert constants_by_name(result, "use") == {"d": 3, "ndim": 3}
+
+    def test_without_returns_everything_lost(self):
+        result = analyze_source(
+            self.SOURCE, AnalysisConfig(use_return_functions=False)
+        )
+        assert constants_by_name(result, "use") == {}
+
+
+class TestSideEffectKilling:
+    SOURCE = (
+        "      PROGRAM MAIN\n"
+        "      COMMON /G/ MODE\n"
+        "      MODE = 1\n"
+        "      CALL TOUCH\n"
+        "      CALL USE\n"
+        "      END\n"
+        "      SUBROUTINE TOUCH\n      COMMON /G/ MODE\n      READ *, MODE\n"
+        "      END\n"
+        "      SUBROUTINE USE\n      COMMON /G/ MODE\n      X = MODE\n"
+        "      END\n"
+    )
+
+    def test_real_modification_kills_constant(self):
+        # TOUCH really overwrites MODE with input: claiming MODE=1 in
+        # USE would be unsound, and the analyzer must not do it.
+        result = analyze_source(self.SOURCE)
+        assert constants_by_name(result, "use") == {}
+        assert constants_by_name(result, "touch") == {"mode": 1}
+
+    def test_soundness_against_execution(self):
+        trace = run_source(self.SOURCE, inputs=[42])
+        result = analyze_source(self.SOURCE)
+        for proc in ("touch", "use"):
+            claimed = result.constants.constants_of(proc)
+            assert trace.constant_violations(proc, claimed) == []
+
+
+class TestStopOnlyPath:
+    def test_procedure_that_never_returns(self):
+        result = analyze_source(
+            "      PROGRAM MAIN\n      CALL CHECKED(1)\n      X = 5\n"
+            "      CALL USE(X)\n      END\n"
+            "      SUBROUTINE CHECKED(OK)\n"
+            "      IF (OK .NE. 1) THEN\n      STOP\n      ENDIF\n      END\n"
+            "      SUBROUTINE USE(K)\n      A = K\n      END\n"
+        )
+        assert constants_by_name(result, "use") == {"k": 5}
+
+
+class TestWholeSuiteSoundness:
+    def test_every_suite_program_is_sound(self):
+        """Run each benchmark program and verify every CONSTANTS claim
+        against the interpreter trace (the strongest end-to-end check on
+        the actual evaluation workload)."""
+        from repro.frontend.parser import parse_source
+        from repro.frontend.source import SourceFile
+        from repro.ir.interp import run_program
+        from repro.ir.lowering import lower_module
+        from repro.suite.programs import SUITE_PROGRAM_NAMES, program_source
+
+        for name in SUITE_PROGRAM_NAMES:
+            source = program_source(name)
+            executable = lower_module(
+                parse_source(source), SourceFile(f"{name}.f", source)
+            )
+            trace = run_program(executable, inputs=[2, 5, 1] * 40, fuel=5_000_000)
+            result = analyze_source(source, filename=f"{name}.f")
+            for procedure in result.program:
+                claimed = result.constants.constants_of(procedure.name)
+                violations = trace.constant_violations(procedure.name, claimed)
+                assert violations == [], (name, violations[:3])

@@ -1,0 +1,240 @@
+"""Whole-pipeline properties over randomly generated programs.
+
+The central invariant is *soundness*: every ``(name, value)`` pair the
+analyzer places in ``CONSTANTS(p)`` must hold at every run-time
+invocation of ``p`` — checked by executing the program with the
+reference interpreter and comparing entry snapshots. This exercises the
+entire stack at once: parser, lowering, MOD/REF, SSA, value numbering,
+return jump functions, forward jump functions, and the solver.
+
+Secondary invariants: determinism, the jump-function power hierarchy
+(more powerful kinds never substitute fewer references), and
+configuration monotonicity (removing MOD or return information never
+adds constants).
+"""
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
+
+from repro.config import AnalysisConfig, JumpFunctionKind
+from repro.frontend.parser import parse_source
+from repro.frontend.source import SourceFile
+from repro.ipcp.driver import analyze_program, analyze_source
+from repro.ir.interp import run_program
+from repro.ir.lowering import lower_module
+from repro.suite.generator import GeneratorConfig, generate_program
+
+#: Small generator shape keeps each case fast while still covering
+#: branches, loops, reads, call chains, and globals.
+FAST = GeneratorConfig(procedures=4, max_statements_per_procedure=8)
+
+KINDS = list(JumpFunctionKind)
+
+CONFIGS = [
+    AnalysisConfig(),
+    AnalysisConfig(use_mod=False),
+    AnalysisConfig(use_return_functions=False),
+    AnalysisConfig.complete_propagation(),
+    AnalysisConfig(jump_function=JumpFunctionKind.PASS_THROUGH),
+    AnalysisConfig(jump_function=JumpFunctionKind.LITERAL),
+]
+
+
+def fresh_program(source):
+    return lower_module(parse_source(source), SourceFile("gen.f", source))
+
+
+def execute(source, inputs):
+    """Run a generated program; discard the (rare) cases whose nested
+    loop/call structure multiplies into astronomically long — but finite
+    — executions (the generator guarantees termination, not speed)."""
+    from repro.ir.interp import InterpreterError
+
+    try:
+        return run_program(fresh_program(source), inputs=inputs, fuel=3_000_000)
+    except InterpreterError:
+        assume(False)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 10_000),
+    inputs=st.lists(st.integers(-9, 9), min_size=0, max_size=20),
+)
+def test_soundness_of_every_configuration(seed, inputs):
+    """CONSTANTS claims hold at runtime, under every configuration."""
+    source = generate_program(seed, FAST)
+    trace = execute(source, inputs)
+    for config in CONFIGS:
+        result = analyze_program(fresh_program(source), config)
+        for procedure in result.program:
+            claimed = result.constants.constants_of(procedure.name)
+            if not claimed:
+                continue
+            violations = trace.constant_violations(procedure.name, claimed)
+            assert violations == [], (config.describe(), violations)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_determinism(seed):
+    """Identical source analyzes to identical counts and CONSTANTS."""
+    source = generate_program(seed, FAST)
+    first = analyze_source(source)
+    second = analyze_source(source)
+    assert first.substituted_constants == second.substituted_constants
+    assert first.constants.total_pairs() == second.constants.total_pairs()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_jump_function_hierarchy(seed):
+    """§3.1: more powerful jump functions never find fewer constants."""
+    source = generate_program(seed, FAST)
+    counts = [
+        analyze_source(
+            source, AnalysisConfig(jump_function=kind)
+        ).substituted_constants
+        for kind in KINDS
+    ]
+    for weaker, stronger in zip(counts, counts[1:]):
+        assert weaker <= stronger, (seed, counts)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_information_monotonicity(seed):
+    """Removing MOD or return-function information never adds constants."""
+    source = generate_program(seed, FAST)
+    full = analyze_source(source).substituted_constants
+    no_mod = analyze_source(
+        source, AnalysisConfig(use_mod=False)
+    ).substituted_constants
+    no_ret = analyze_source(
+        source, AnalysisConfig(use_return_functions=False)
+    ).substituted_constants
+    intra = analyze_source(
+        source, AnalysisConfig.intraprocedural_only()
+    ).substituted_constants
+    assert no_mod <= full
+    assert no_ret <= full
+    assert intra <= full
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_complete_at_least_plain_on_live_code(seed):
+    """Complete propagation never loses constants *in live code*. It can
+    legitimately report fewer total substitutions than plain propagation
+    when DCE orphans a whole procedure: the plain run substitutes inside
+    the never-invoked body (vacuously sound), the complete run deletes
+    its only call site — so the comparison is restricted to procedures
+    still reachable from MAIN after DCE."""
+    source = generate_program(seed, FAST)
+    plain = analyze_source(source)
+    complete = analyze_source(source, AnalysisConfig.complete_propagation())
+    live = {p.name for p in complete.callgraph.reachable_from_main()}
+    plain_live = sum(
+        count
+        for name, count in plain.substitution.per_procedure.items()
+        if name in live
+    )
+    complete_live = sum(
+        count
+        for name, count in complete.substitution.per_procedure.items()
+        if name in live
+    )
+    assert complete_live >= plain_live
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    inputs=st.lists(st.integers(-9, 9), min_size=0, max_size=10),
+)
+def test_transformed_source_preserves_behaviour(seed, inputs):
+    """Substituting constants into the source must not change what the
+    program prints."""
+    source = generate_program(seed, FAST)
+    original = execute(source, inputs)
+    result = analyze_source(source, filename="gen.f")
+    transformed = result.transformed_source()
+    after = run_program(
+        lower_module(
+            parse_source(transformed, "gen.f"), SourceFile("gen.f", transformed)
+        ),
+        inputs=inputs,
+        fuel=10_000_000,
+    )
+    assert after.output == original.output
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    inputs=st.lists(st.integers(-9, 9), min_size=0, max_size=10),
+)
+def test_complete_propagation_preserves_behaviour(seed, inputs):
+    """Branch folding + dead-code removal under complete propagation,
+    checked end to end: destruct the mutated SSA program and execute."""
+    from repro.analysis.ssa_out import destruct_program
+
+    source = generate_program(seed, FAST)
+    original = execute(source, inputs)
+    program = fresh_program(source)
+    analyze_program(program, AnalysisConfig.complete_propagation())
+    destruct_program(program)
+    after = run_program(program, inputs=inputs, fuel=3_000_000)
+    assert after.output == original.output
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_binding_graph_matches_worklist_solver(seed):
+    """The binding multi-graph formulation reaches the same fixpoint as
+    the call-graph worklist solver on arbitrary programs."""
+    from repro.ipcp.binding_graph import propagate_binding_graph
+    from repro.ipcp.driver import prepare_program
+    from repro.ipcp.jump_functions import build_forward_jump_functions
+    from repro.ipcp.return_functions import build_return_functions
+    from repro.ipcp.solver import propagate
+
+    source = generate_program(seed, FAST)
+    program = fresh_program(source)
+    config = AnalysisConfig()
+    callgraph, modref = prepare_program(program, config)
+    return_map = build_return_functions(program, callgraph, modref)
+    table = build_forward_jump_functions(
+        program, callgraph, config.jump_function, return_map
+    )
+    worklist = propagate(program, callgraph, table)
+    binding = propagate_binding_graph(program, callgraph, table)
+    for procedure in program:
+        assert binding.constants.constants_of(
+            procedure.name
+        ) == worklist.constants.constants_of(procedure.name)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_constant_sets_nest_by_kind(seed):
+    """§3.1's set-inclusion claim, stronger than count comparison: every
+    (procedure, parameter, value) pair a weaker jump function proves is
+    preserved by every stronger kind (it may only rise to ⊤ when a
+    never-taken optimistic edge is involved — same value, never a
+    different one)."""
+    source = generate_program(seed, FAST)
+    results = {}
+    for kind in KINDS:
+        result = analyze_program(
+            fresh_program(source), AnalysisConfig(jump_function=kind)
+        )
+        pairs = {}
+        for procedure in result.program:
+            for var, value in result.constants.constants_of(procedure.name).items():
+                pairs[(procedure.name, var.name)] = value
+        results[kind] = pairs
+    for weaker, stronger in zip(KINDS, KINDS[1:]):
+        for key, value in results[weaker].items():
+            if key in results[stronger]:
+                assert results[stronger][key] == value, (seed, weaker, key)
