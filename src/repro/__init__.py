@@ -23,31 +23,53 @@ Quick start::
     )
 """
 
-from repro.config import AnalysisConfig, JumpFunctionKind
+from repro.config import (
+    AnalysisBudget,
+    AnalysisConfig,
+    BudgetExceeded,
+    JumpFunctionKind,
+)
+from repro.diagnostics import Diagnostic, DiagnosticEngine, Severity
 from repro.frontend.parser import parse_file, parse_source
 from repro.ipcp.driver import (
     AnalysisResult,
     analyze_file,
+    analyze_file_resilient,
     analyze_program,
     analyze_source,
+    analyze_source_resilient,
 )
+from repro.ipcp.resilience import Demotion, ResilienceReport
+from repro.ir.verify import VerificationError, verify_procedure, verify_program
 from repro.lattice import BOTTOM, TOP, LatticeValue, const, meet_all
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisBudget",
     "AnalysisConfig",
     "AnalysisResult",
     "BOTTOM",
+    "BudgetExceeded",
+    "Demotion",
+    "Diagnostic",
+    "DiagnosticEngine",
     "JumpFunctionKind",
     "LatticeValue",
+    "ResilienceReport",
+    "Severity",
     "TOP",
+    "VerificationError",
     "analyze_file",
+    "analyze_file_resilient",
     "analyze_program",
     "analyze_source",
+    "analyze_source_resilient",
     "const",
     "meet_all",
     "parse_file",
     "parse_source",
+    "verify_procedure",
+    "verify_program",
     "__version__",
 ]

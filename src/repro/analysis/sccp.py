@@ -144,6 +144,7 @@ def run_sccp(
     procedure: Procedure,
     entry_values: Optional[Dict[Variable, LatticeValue]] = None,
     call_model: Optional[SCCPCallModel] = None,
+    max_visits: Optional[int] = None,
 ) -> SCCPResult:
     """Run sparse conditional constant propagation on one procedure.
 
@@ -151,8 +152,16 @@ def run_sccp(
     formals and globals (missing entries default to ⊥ — unknown on
     entry). Locals default to ⊥ as well: an undefined variable may hold
     anything.
+
+    ``max_visits`` bounds instruction evaluations
+    (``AnalysisBudget.sccp_visits``); past it the run raises
+    :class:`~repro.config.BudgetExceeded` — a partial SCCP result is
+    not a fixpoint and must be discarded, so callers fall back to a
+    weaker oracle (or no result) for this procedure.
     """
-    engine = _SCCPEngine(procedure, entry_values or {}, call_model or SCCPCallModel())
+    engine = _SCCPEngine(
+        procedure, entry_values or {}, call_model or SCCPCallModel(), max_visits
+    )
     engine.run()
     return SCCPResult(
         procedure, engine.values, engine.executable_blocks, engine.entry_values
@@ -165,9 +174,12 @@ class _SCCPEngine:
         procedure: Procedure,
         entry_values: Dict[Variable, LatticeValue],
         call_model: SCCPCallModel,
+        max_visits: Optional[int] = None,
     ):
         self.procedure = procedure
         self.call_model = call_model
+        self.max_visits = max_visits
+        self.visits = 0
         self.entry_values = dict(entry_values)
         self.values: Dict[SSAName, LatticeValue] = {}
         self.executable_blocks: Set[BasicBlock] = set()
@@ -254,6 +266,15 @@ class _SCCPEngine:
         self._lower(name, meet_all(incoming_values))
 
     def _visit_instruction(self, block: BasicBlock, instruction: Instruction) -> None:
+        if self.max_visits is not None:
+            self.visits += 1
+            if self.visits > self.max_visits:
+                from repro.config import BudgetExceeded
+
+                raise BudgetExceeded(
+                    "sccp", self.max_visits,
+                    f"procedure {self.procedure.name!r}",
+                )
         if isinstance(instruction, Phi):
             self._visit_phi(block, instruction)
         elif isinstance(instruction, Assign):

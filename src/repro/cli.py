@@ -18,10 +18,20 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
-from repro.config import AnalysisConfig, JumpFunctionKind
-from repro.ipcp.driver import analyze_file
+from repro.config import AnalysisBudget, AnalysisConfig, BudgetExceeded, JumpFunctionKind
+from repro.frontend.errors import FrontendError
+from repro.ipcp.driver import analyze_file, analyze_file_resilient
+from repro.ir.verify import VerificationError
+
+#: Exit codes (``analyze`` subcommand): 0 = clean analysis, 1 = source
+#: diagnostics were reported, 2 = internal failure (IR verification,
+#: budget escape with fault isolation off, unexpected crash).
+EXIT_OK = 0
+EXIT_DIAGNOSTICS = 1
+EXIT_INTERNAL = 2
 
 _KIND_ALIASES = {
     "literal": JumpFunctionKind.LITERAL,
@@ -87,6 +97,38 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write Graphviz files (call graph + one CFG per procedure)",
     )
+    analyze.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail fast: no frontend recovery, no fault isolation, and "
+        "any component demotion is an error",
+    )
+    analyze.add_argument(
+        "--verify-ir",
+        action="store_true",
+        help="run the structural IR/SSA verifier between pipeline stages",
+    )
+    analyze.add_argument(
+        "--solver-fuel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap interprocedural propagation at N procedure visits",
+    )
+    analyze.add_argument(
+        "--sccp-fuel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap each SCCP run at N instruction evaluations",
+    )
+    analyze.add_argument(
+        "--max-poly-terms",
+        type=int,
+        default=None,
+        metavar="N",
+        help="demote polynomial jump functions larger than N terms",
+    )
 
     compare = sub.add_parser("compare", help="compare all four jump functions")
     compare.add_argument("file", help="MiniFortran source file")
@@ -136,19 +178,39 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _config_from_args(args: argparse.Namespace) -> AnalysisConfig:
     if args.intra_only:
-        return AnalysisConfig.intraprocedural_only()
-    return AnalysisConfig(
-        jump_function=_KIND_ALIASES[args.jump],
-        use_return_functions=not args.no_returns,
-        use_mod=not args.no_mod,
-        complete=args.complete,
-        gsa_refinement=args.gsa,
+        config = AnalysisConfig.intraprocedural_only()
+    else:
+        config = AnalysisConfig(
+            jump_function=_KIND_ALIASES[args.jump],
+            use_return_functions=not args.no_returns,
+            use_mod=not args.no_mod,
+            complete=args.complete,
+            gsa_refinement=args.gsa,
+        )
+    budget = AnalysisBudget(
+        solver_visits=args.solver_fuel,
+        sccp_visits=args.sccp_fuel,
+        polynomial_terms=args.max_poly_terms,
+    )
+    return replace(
+        config,
+        budget=budget,
+        fault_isolation=not args.strict,
+        verify_ir=args.verify_ir,
     )
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
-    result = analyze_file(args.file, config)
+    if args.strict:
+        result = analyze_file(args.file, config)
+        diagnostics = None
+    else:
+        result, diagnostics = analyze_file_resilient(args.file, config)
+        if len(diagnostics):
+            print(diagnostics.format(), file=sys.stderr)
+        if result is None:
+            return EXIT_DIAGNOSTICS
     print(f"configuration: {config.describe()}")
     print(result.constants.format_report())
     print(f"substituted constant references: {result.substituted_constants}")
@@ -176,7 +238,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             result.program, result.callgraph, args.dot, result.constants
         )
         print(f"[{len(paths)} Graphviz files written to {args.dot}]")
-    return 0
+    if not result.resilience.ok:
+        print("\n--- degraded components ---", file=sys.stderr)
+        print(result.resilience.summary(), file=sys.stderr)
+        if args.strict:
+            return EXIT_INTERNAL
+    if diagnostics is not None and diagnostics.has_errors:
+        return EXIT_DIAGNOSTICS
+    return EXIT_OK
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -284,7 +353,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "suite": _cmd_suite,
         "tables": _cmd_tables,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except FrontendError as err:
+        location = f"{err.location}: " if err.location is not None else ""
+        print(f"{location}error: {err.message}", file=sys.stderr)
+        return EXIT_DIAGNOSTICS
+    except BudgetExceeded as err:
+        print(f"internal error: {err}", file=sys.stderr)
+        return EXIT_INTERNAL
+    except VerificationError as err:
+        print(f"internal error: {err}", file=sys.stderr)
+        return EXIT_INTERNAL
 
 
 if __name__ == "__main__":

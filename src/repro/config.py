@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
+from typing import Optional
 
 
 class JumpFunctionKind(enum.Enum):
@@ -33,6 +34,68 @@ _KIND_ORDER = {
     JumpFunctionKind.PASS_THROUGH: 2,
     JumpFunctionKind.POLYNOMIAL: 3,
 }
+
+
+class BudgetExceeded(Exception):
+    """An analysis component ran past its configured fuel.
+
+    Raised internally by budgeted loops (SCCP, jump-function size
+    checks); the resilience layer catches it and demotes the affected
+    component down the jump-function lattice instead of aborting — the
+    exception only escapes to callers who run with fault isolation
+    disabled and no demotion path.
+    """
+
+    def __init__(self, stage: str, limit: int, detail: str = ""):
+        self.stage = stage
+        self.limit = limit
+        self.detail = detail
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(f"{stage} exceeded its budget of {limit}{suffix}")
+
+
+@dataclass(frozen=True)
+class AnalysisBudget:
+    """Fuel limits for every unbounded-ish loop in the pipeline.
+
+    ``None`` means unlimited (the default — every loop in the system is
+    structurally terminating, so limits exist to bound *time*, not to
+    guarantee termination). When a limit is hit the affected component
+    is demoted deterministically (recorded in the run's
+    :class:`~repro.ipcp.resilience.ResilienceReport`) rather than
+    raising out of the pipeline:
+
+    - ``solver_visits``: interprocedural worklist procedure visits;
+      on exhaustion every non-main VAL cell drops to ⊥ (sound — ⊥
+      claims nothing);
+    - ``sccp_visits``: per-procedure SCCP instruction evaluations; an
+      exhausted SCCP oracle run is discarded (value numbering remains);
+    - ``polynomial_terms`` / ``polynomial_degree``: size cap on any
+      polynomial jump or return function; an oversized function is
+      demoted to the next weaker jump-function kind;
+    - ``gsa_rounds``: GSA-style refinement rounds (§4.2);
+    - ``dce_rounds``: propagate/DCE alternations under complete
+      propagation.
+    """
+
+    solver_visits: Optional[int] = None
+    sccp_visits: Optional[int] = None
+    polynomial_terms: Optional[int] = None
+    polynomial_degree: Optional[int] = None
+    gsa_rounds: int = 4
+    dce_rounds: int = 10
+
+    @classmethod
+    def tight(cls) -> "AnalysisBudget":
+        """A deliberately small budget for stress/degradation testing."""
+        return cls(
+            solver_visits=16,
+            sccp_visits=256,
+            polynomial_terms=1,
+            polynomial_degree=1,
+            gsa_rounds=1,
+            dce_rounds=1,
+        )
 
 
 @dataclass(frozen=True)
@@ -67,6 +130,21 @@ class AnalysisConfig:
     #: sites, then re-propagate — achieving complete-propagation
     #: results without any dead-code elimination.
     gsa_refinement: bool = False
+    #: Fuel limits for the pipeline's loops; defaults are unlimited
+    #: except the refinement/DCE round caps, which keep their historic
+    #: values.
+    budget: AnalysisBudget = AnalysisBudget()
+    #: Contain per-call-site/per-procedure faults during jump- and
+    #: return-function construction by demoting the affected site down
+    #: the :class:`JumpFunctionKind` lattice (recorded in the run's
+    #: ResilienceReport) instead of aborting the whole analysis. Turn
+    #: off to let construction exceptions propagate (debugging).
+    fault_isolation: bool = True
+    #: Run the structural IR/SSA verifier between pipeline stages and
+    #: after DCE rounds; a corrupt program raises
+    #: :class:`repro.ir.verify.VerificationError` at the stage that
+    #: caused it. Off by default (it is a debugging/hardening tool).
+    verify_ir: bool = False
 
     # -- the named configurations of the paper's tables ----------------
 

@@ -275,7 +275,14 @@ class ProcedureKind(enum.Enum):
 
 @dataclass
 class ProcedureUnit:
-    """One program unit: PROGRAM, SUBROUTINE, or INTEGER FUNCTION."""
+    """One program unit: PROGRAM, SUBROUTINE, or INTEGER FUNCTION.
+
+    ``is_stub`` marks a unit whose body could not be parsed during
+    error recovery: only the header survived. Lowering replaces a stub
+    body with a single maximally conservative statement (every scalar
+    the unit could touch is treated as assigned an unknown value), so
+    the rest of the module still analyzes soundly.
+    """
 
     kind: ProcedureKind
     name: str
@@ -283,6 +290,7 @@ class ProcedureUnit:
     decls: List[Decl]
     body: List[Stmt]
     location: SourceLocation
+    is_stub: bool = False
 
 
 @dataclass

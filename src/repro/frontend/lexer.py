@@ -16,11 +16,14 @@ their lower-cased spelling in ``value``.
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import Iterator, List, Optional, TYPE_CHECKING
 
 from repro.frontend.errors import LexError
 from repro.frontend.source import SourceFile, SourceLocation
 from repro.frontend.tokens import DOTTED_OPERATORS, KEYWORDS, Token, TokenKind
+
+if TYPE_CHECKING:
+    from repro.diagnostics import DiagnosticEngine
 
 _SINGLE_CHAR_TOKENS = {
     "(": TokenKind.LPAREN,
@@ -48,10 +51,31 @@ def _is_comment_line(line: str) -> bool:
 
 
 class Lexer:
-    """Tokenizes one :class:`SourceFile` into a stream of tokens."""
+    """Tokenizes one :class:`SourceFile` into a stream of tokens.
 
-    def __init__(self, source: SourceFile):
+    Without a :class:`~repro.diagnostics.DiagnosticEngine` the lexer
+    raises :class:`LexError` on the first bad character (the historic
+    contract). With one, it *recovers*: the error is recorded and the
+    offending character skipped (an unterminated string consumes the
+    rest of its line), so one typo no longer hides every later
+    diagnostic in the file.
+    """
+
+    def __init__(
+        self,
+        source: SourceFile,
+        diagnostics: Optional["DiagnosticEngine"] = None,
+    ):
         self.source = source
+        self.diagnostics = diagnostics
+
+    def _lex_error(self, message: str, location: SourceLocation) -> None:
+        """Raise or record, depending on recovery mode."""
+        if self.diagnostics is None:
+            raise LexError(message, location)
+        from repro.diagnostics import E_LEX
+
+        self.diagnostics.error(E_LEX, message, location)
 
     def tokens(self) -> List[Token]:
         """Tokenize the whole file, ending with a single EOF token."""
@@ -117,7 +141,12 @@ class Lexer:
             if char == "'":
                 end = line.find("'", pos + 1)
                 if end < 0:
-                    raise LexError("unterminated string literal", location)
+                    self._lex_error("unterminated string literal", location)
+                    # Recovery: treat the rest of the line as the string.
+                    yield Token(
+                        TokenKind.STRING, line[pos:], location, line[pos + 1 :]
+                    )
+                    return
                 yield Token(
                     TokenKind.STRING, line[pos : end + 1], location, line[pos + 1 : end]
                 )
@@ -127,7 +156,8 @@ class Lexer:
                 yield Token(_SINGLE_CHAR_TOKENS[char], char, location)
                 pos += 1
                 continue
-            raise LexError(f"unexpected character {char!r}", location)
+            self._lex_error(f"unexpected character {char!r}", location)
+            pos += 1  # recovery: skip the offending character
 
     @staticmethod
     def _looks_like_dotted_operator(line: str, pos: int) -> bool:

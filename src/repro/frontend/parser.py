@@ -17,13 +17,16 @@ logical-IF sugar.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple, Union
+from typing import List, Optional, Set, Tuple, Union, TYPE_CHECKING
 
 from repro.frontend import ast
 from repro.frontend.errors import ParseError
 from repro.frontend.lexer import Lexer
 from repro.frontend.source import SourceFile, SourceLocation
 from repro.frontend.tokens import Token, TokenKind
+
+if TYPE_CHECKING:
+    from repro.diagnostics import DiagnosticEngine
 
 _RELATIONAL = {
     TokenKind.EQ: "eq",
@@ -49,14 +52,32 @@ _SIMPLE_STMT_STARTERS = {
 
 
 class Parser:
-    """Parses a token stream into a :class:`repro.frontend.ast.Module`."""
+    """Parses a token stream into a :class:`repro.frontend.ast.Module`.
 
-    def __init__(self, tokens: List[Token], filename: str = "<string>"):
+    Without a :class:`~repro.diagnostics.DiagnosticEngine` the parser
+    raises on the first :class:`ParseError` (the historic contract).
+    With one, it performs **panic-mode recovery**: a bad statement is
+    reported and the parser synchronizes at the next statement boundary
+    to keep collecting diagnostics; a unit that contained any error is
+    degraded to a *stub* (header only, ``is_stub=True``) so downstream
+    analysis treats it maximally conservatively instead of trusting a
+    half-parsed body; a unit whose header is unreadable is skipped to
+    its closing ``END``.
+    """
+
+    def __init__(
+        self,
+        tokens: List[Token],
+        filename: str = "<string>",
+        diagnostics: Optional["DiagnosticEngine"] = None,
+    ):
         self._tokens = tokens
         self._pos = 0
         self._filename = filename
         self._array_names: Set[str] = set()
         self._parameter_names: Set[str] = set()
+        self.diagnostics = diagnostics
+        self._unit_errors = 0
 
     # -- token helpers ----------------------------------------------------
 
@@ -98,6 +119,58 @@ class Parser:
         self._expect(TokenKind.NEWLINE, "end of statement")
         self._skip_newlines()
 
+    # -- error recovery ----------------------------------------------------
+
+    def _report_parse_error(self, err: ParseError) -> None:
+        """Record a recovered :class:`ParseError` on the engine."""
+        from repro.diagnostics import E_PARSE
+
+        self._unit_errors += 1
+        self.diagnostics.error(E_PARSE, err.message, err.location)
+
+    def _at_statement_start(self) -> bool:
+        if self._pos == 0:
+            return True
+        return self._tokens[self._pos - 1].kind is TokenKind.NEWLINE
+
+    def _synchronize_to_statement_boundary(self, until: Set[TokenKind]) -> bool:
+        """Skip tokens to the next statement boundary.
+
+        Returns True when positioned at the start of the next statement
+        (or at a block terminator from ``until``), False at EOF. Always
+        consumes at least one token unless already at EOF or a
+        terminator, so recovery loops make progress.
+        """
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.EOF:
+                return False
+            if token.kind is TokenKind.NEWLINE:
+                self._advance()
+                self._skip_newlines()
+                return True
+            if token.kind in until and token.kind is not TokenKind.IDENT:
+                return True
+            self._advance()
+
+    def _synchronize_to_unit_end(self) -> None:
+        """Skip to just past the ``END`` that closes the current unit.
+
+        ``END`` only counts when it sits at a statement start and is
+        followed by NEWLINE/EOF (so ``END IF`` / ``END DO`` inside the
+        broken unit do not end the synchronization early).
+        """
+        while not self._at(TokenKind.EOF):
+            if (
+                self._at(TokenKind.END)
+                and self._at_statement_start()
+                and self._peek(1).kind in (TokenKind.NEWLINE, TokenKind.EOF)
+            ):
+                self._advance()
+                self._accept(TokenKind.NEWLINE)
+                return
+            self._advance()
+
     # -- entry point -------------------------------------------------------
 
     def parse_module(self) -> ast.Module:
@@ -105,26 +178,76 @@ class Parser:
         units: List[ast.ProcedureUnit] = []
         self._skip_newlines()
         while not self._at(TokenKind.EOF):
-            units.append(self._parse_unit())
+            unit = self._parse_unit()
+            if unit is not None:
+                units.append(unit)
             self._skip_newlines()
         if not units:
-            raise ParseError("empty source file", self._peek().location)
+            if self.diagnostics is None:
+                raise ParseError("empty source file", self._peek().location)
+            if not self.diagnostics.has_errors:
+                from repro.diagnostics import E_PARSE
+
+                self.diagnostics.error(
+                    E_PARSE, "empty source file", self._peek().location
+                )
+            return ast.Module([], self._filename)
         return ast.Module(units, self._filename)
 
     # -- program units -----------------------------------------------------
 
-    def _parse_unit(self) -> ast.ProcedureUnit:
+    def _parse_unit(self) -> Optional[ast.ProcedureUnit]:
         self._array_names = set()
         self._parameter_names = set()
+        self._unit_errors = 0
         location = self._peek().location
-        kind, name, params = self._parse_unit_header()
-        self._end_statement()
-        decls = self._parse_declarations()
-        body = self._parse_statement_list(until={TokenKind.END})
-        self._expect(TokenKind.END)
-        if not self._at(TokenKind.EOF):
+        try:
+            kind, name, params = self._parse_unit_header()
             self._end_statement()
+        except ParseError as err:
+            if self.diagnostics is None:
+                raise
+            # Header unreadable: nothing to stub, skip the whole unit.
+            self._report_parse_error(err)
+            self._synchronize_to_unit_end()
+            return None
+        try:
+            decls = self._parse_declarations()
+            body = self._parse_statement_list(until={TokenKind.END})
+            self._expect(TokenKind.END)
+            if not self._at(TokenKind.EOF):
+                self._end_statement()
+        except ParseError as err:
+            if self.diagnostics is None:
+                raise
+            self._report_parse_error(err)
+            self._synchronize_to_unit_end()
+            return self._degraded_unit(kind, name, params, [], location)
+        if self._unit_errors:
+            # Statement-level recovery succeeded, but a half-parsed body
+            # must not be analyzed as if it were the real program.
+            return self._degraded_unit(kind, name, params, decls, location)
         return ast.ProcedureUnit(kind, name, params, decls, body, location)
+
+    def _degraded_unit(
+        self,
+        kind: ast.ProcedureKind,
+        name: str,
+        params: List[str],
+        decls: List[ast.Decl],
+        location: SourceLocation,
+    ) -> ast.ProcedureUnit:
+        from repro.diagnostics import W_UNIT_DEGRADED
+
+        self.diagnostics.warning(
+            W_UNIT_DEGRADED,
+            f"unit {name!r} had {self._unit_errors} syntax error(s); "
+            "analyzed as an opaque stub",
+            location,
+        )
+        return ast.ProcedureUnit(
+            kind, name, params, decls, [], location, is_stub=True
+        )
 
     def _parse_unit_header(self):
         token = self._peek()
@@ -282,7 +405,15 @@ class Parser:
                 return body
             if token.kind in until and token.kind is not TokenKind.IDENT:
                 return body
-            stmt = self._parse_statement()
+            try:
+                stmt = self._parse_statement()
+            except ParseError as err:
+                if self.diagnostics is None:
+                    raise
+                self._report_parse_error(err)
+                if not self._synchronize_to_statement_boundary(until):
+                    return body  # hit EOF; the unit-level END check reports it
+                continue
             body.append(stmt)
             if stop_label is not None and stmt.label == stop_label:
                 return body
@@ -597,11 +728,20 @@ class Parser:
         )
 
 
-def parse_source(text: str, filename: str = "<string>") -> ast.Module:
-    """Parse MiniFortran source ``text`` into an AST module."""
+def parse_source(
+    text: str,
+    filename: str = "<string>",
+    diagnostics: Optional["DiagnosticEngine"] = None,
+) -> ast.Module:
+    """Parse MiniFortran source ``text`` into an AST module.
+
+    With a ``diagnostics`` engine, lexer and parser recover from errors
+    (recording them on the engine) instead of raising; check
+    ``diagnostics.has_errors`` and per-unit ``is_stub`` flags afterward.
+    """
     source = SourceFile(filename, text)
-    tokens = Lexer(source).tokens()
-    return Parser(tokens, filename).parse_module()
+    tokens = Lexer(source, diagnostics).tokens()
+    return Parser(tokens, filename, diagnostics).parse_module()
 
 
 def parse_file(path: str) -> ast.Module:

@@ -141,6 +141,10 @@ def clone_for_constants(
                 site.call.callee = clone_name
 
     new_callgraph = build_call_graph(program)
+    if config.verify_ir:
+        from repro.ir.verify import verify_program
+
+        verify_program(program, ssa=True, stage="procedure cloning")
     report.final = analyze_prepared(program, new_callgraph, modref, config)
     return report
 

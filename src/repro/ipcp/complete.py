@@ -31,8 +31,9 @@ from repro.config import AnalysisConfig
 from repro.ir.module import Program
 from repro.summary.modref import ModRefInfo
 
-#: Safety bound on propagate/DCE alternations; the paper needed 2 runs
-#: (one DCE round) on every program it measured.
+#: Legacy safety bound on propagate/DCE alternations, now the default of
+#: ``AnalysisBudget.dce_rounds``; the paper needed 2 runs (one DCE
+#: round) on every program it measured.
 MAX_ROUNDS = 10
 
 
@@ -41,20 +42,27 @@ def run_complete_propagation(
     callgraph: CallGraph,
     modref: Optional[ModRefInfo],
     config: AnalysisConfig,
+    resilience=None,
 ):
     """Iterate analyze -> DCE until no dead code appears.
 
     Returns the :class:`~repro.ipcp.driver.AnalysisResult` of the final
     propagation, with ``dce_rounds`` set to the number of DCE rounds
     that changed the program. The program IR is mutated (dead code
-    removed).
+    removed). The alternation is bounded by
+    ``config.budget.dce_rounds``; hitting the bound while the program is
+    still changing keeps the last (sound) propagation and records a
+    demotion on ``resilience``.
     """
     from repro.ipcp.driver import analyze_prepared  # circular-by-layering
 
+    max_rounds = config.budget.dce_rounds
     rounds = 0
+    exhausted = False
     while True:
-        result = analyze_prepared(program, callgraph, modref, config)
-        if rounds >= MAX_ROUNDS:
+        result = analyze_prepared(program, callgraph, modref, config, resilience)
+        if rounds >= max_rounds:
+            exhausted = rounds > 0 or max_rounds == 0
             break
         any_change = False
         for procedure in program:
@@ -71,6 +79,17 @@ def run_complete_propagation(
         # Propagation restarts from scratch on the next loop iteration:
         # analyze_prepared rebuilds every jump function and re-seeds
         # every VAL cell at T.
+    if exhausted and resilience is not None:
+        resilience.record(
+            "dce", "<complete propagation loop>", "fixpoint",
+            "last-round result",
+            f"propagate/DCE alternation exceeded its budget of "
+            f"{max_rounds} round(s)",
+        )
+    if config.verify_ir:
+        from repro.ir.verify import verify_program
+
+        verify_program(program, ssa=True, stage="dead-code elimination")
     result.dce_rounds = rounds
     result.callgraph = callgraph
     return result

@@ -15,19 +15,22 @@ substitute -> DCE -> re-propagate iterations
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.analysis.sccp import SCCPCallModel
 from repro.analysis.ssa import construct_ssa
 from repro.callgraph.callgraph import CallGraph, build_call_graph
 from repro.config import AnalysisConfig
+from repro.diagnostics import E_IO, E_SEMANTIC, DiagnosticEngine
+from repro.frontend.errors import FrontendError, SemanticError
 from repro.frontend.parser import parse_source
-from repro.frontend.source import SourceFile
+from repro.frontend.source import SourceFile, SourceLocation
 from repro.ipcp.constants import ConstantsResult, empty_constants
 from repro.ipcp.jump_functions import (
     JumpFunctionTable,
     build_forward_jump_functions,
 )
+from repro.ipcp.resilience import ResilienceReport
 from repro.ipcp.return_functions import (
     ReturnFunctionCallModel,
     ReturnFunctionMap,
@@ -58,6 +61,11 @@ class AnalysisResult:
     constants: ConstantsResult
     substitution: SubstitutionReport
     dce_rounds: int = 0
+    #: Every component demoted during this run (empty = full precision).
+    resilience: ResilienceReport = field(default_factory=ResilienceReport)
+    #: Frontend diagnostics, when the run came through a resilient entry
+    #: point (:func:`analyze_source_resilient`).
+    diagnostics: Optional[DiagnosticEngine] = None
 
     @property
     def substituted_constants(self) -> int:
@@ -90,14 +98,24 @@ def analyze_prepared(
     callgraph: CallGraph,
     modref: Optional[ModRefInfo],
     config: AnalysisConfig,
+    resilience: Optional[ResilienceReport] = None,
 ) -> AnalysisResult:
     """Back half of the pipeline, on an SSA-form annotated program.
 
     Factored out so complete propagation can re-run it after dead-code
-    elimination without reconstructing SSA.
+    elimination without reconstructing SSA. ``resilience`` collects
+    demotions (a fresh report is created when None); construction faults
+    and budget overruns degrade individual components instead of
+    aborting (see :mod:`repro.ipcp.resilience`).
     """
+    resilience = resilience if resilience is not None else ResilienceReport()
+    budget = config.budget
     if config.use_return_functions:
-        return_map = build_return_functions(program, callgraph, modref)
+        return_map = build_return_functions(
+            program, callgraph, modref,
+            budget=budget, resilience=resilience,
+            fault_isolation=config.fault_isolation,
+        )
     else:
         return_map = ReturnFunctionMap()
 
@@ -107,12 +125,18 @@ def analyze_prepared(
         jump_table = build_forward_jump_functions(
             program, callgraph, config.jump_function, return_map,
             gcp_oracle=config.gcp_oracle,
+            budget=budget, resilience=resilience,
+            fault_isolation=config.fault_isolation,
         )
-        propagation = propagate(program, callgraph, jump_table)
+        propagation = propagate(
+            program, callgraph, jump_table,
+            max_visits=budget.solver_visits, resilience=resilience,
+        )
         constants = propagation.constants
         if config.gsa_refinement:
             jump_table, propagation = _refine_gsa_style(
-                program, callgraph, config, return_map, constants
+                program, callgraph, config, return_map, constants,
+                jump_table, propagation, resilience,
             )
             constants = propagation.constants
     else:
@@ -122,7 +146,11 @@ def analyze_prepared(
         call_model: SCCPCallModel = ReturnFunctionCallModel(program, return_map)
     else:
         call_model = SCCPCallModel()
-    substitution = measure_substitution(program, constants, call_model)
+    substitution = measure_substitution(
+        program, constants, call_model,
+        budget=budget, resilience=resilience,
+        fault_isolation=config.fault_isolation,
+    )
 
     return AnalysisResult(
         config=config,
@@ -134,40 +162,74 @@ def analyze_prepared(
         propagation=propagation,
         constants=constants,
         substitution=substitution,
+        resilience=resilience,
     )
 
 
-#: Bound on GSA-style refinement rounds (the paper's suite converged
-#: after one extra round of complete propagation; ours does too).
+#: Historic bound on GSA-style refinement rounds, now the default of
+#: ``AnalysisBudget.gsa_rounds`` (the paper's suite converged after one
+#: extra round of complete propagation; ours does too).
 _GSA_MAX_ROUNDS = 4
 
 
-def _refine_gsa_style(program, callgraph, config, return_map, constants):
+def _refine_gsa_style(
+    program, callgraph, config, return_map, constants,
+    jump_table, propagation, resilience=None,
+):
     """§4.2's remark realized: regenerate jump functions with a
     branch-sensitive oracle seeded by the previous round's CONSTANTS,
     dropping never-executed call sites, until the result stabilizes.
     Every VAL cell restarts at ⊤ each round ("reset to T"), so this is
-    complete propagation without dead-code elimination."""
+    complete propagation without dead-code elimination.
+
+    ``jump_table`` / ``propagation`` are the unrefined results, returned
+    unchanged when the round budget is zero; hitting the round budget
+    before convergence keeps the last round's (sound) result and records
+    a demotion.
+    """
     from repro.ipcp.jump_functions import build_refined_jump_functions
 
-    jump_table = None
-    propagation = None
+    budget = config.budget
     previous_pairs = constants.total_pairs()
-    for _round in range(_GSA_MAX_ROUNDS):
+    converged = budget.gsa_rounds <= 0
+    for _round in range(budget.gsa_rounds):
         jump_table, excluded = build_refined_jump_functions(
-            program, callgraph, config.jump_function, return_map, constants
+            program, callgraph, config.jump_function, return_map, constants,
+            budget=budget, resilience=resilience,
+            fault_isolation=config.fault_isolation,
         )
         propagation = propagate(
-            program, callgraph, jump_table, excluded_calls=excluded
+            program, callgraph, jump_table, excluded_calls=excluded,
+            max_visits=budget.solver_visits, resilience=resilience,
         )
         constants = propagation.constants
         if constants.total_pairs() == previous_pairs:
+            converged = True
             break
         previous_pairs = constants.total_pairs()
+    if not converged and resilience is not None:
+        resilience.record(
+            "gsa_refinement", "<refinement loop>", "fixpoint",
+            "last-round result",
+            f"refinement exceeded its budget of {budget.gsa_rounds} round(s)",
+        )
     return jump_table, propagation
 
 
-def analyze_program(program: Program, config: Optional[AnalysisConfig] = None) -> AnalysisResult:
+def _maybe_verify(program: Program, config: AnalysisConfig, ssa: bool,
+                  stage: str) -> None:
+    if not config.verify_ir:
+        return
+    from repro.ir.verify import verify_program
+
+    verify_program(program, ssa=ssa, stage=stage)
+
+
+def analyze_program(
+    program: Program,
+    config: Optional[AnalysisConfig] = None,
+    resilience: Optional[ResilienceReport] = None,
+) -> AnalysisResult:
     """Analyze a freshly lowered (non-SSA) program under ``config``.
 
     The program is mutated (annotated, converted to SSA, and — under
@@ -175,13 +237,18 @@ def analyze_program(program: Program, config: Optional[AnalysisConfig] = None) -
     the same program under another configuration.
     """
     config = config or AnalysisConfig()
+    resilience = resilience if resilience is not None else ResilienceReport()
+    _maybe_verify(program, config, ssa=False, stage="lowering")
     callgraph, modref = prepare_program(program, config)
+    _maybe_verify(program, config, ssa=True, stage="SSA construction")
     if config.complete:
         # Imported here: complete.py uses analyze_prepared from this module.
         from repro.ipcp.complete import run_complete_propagation
 
-        return run_complete_propagation(program, callgraph, modref, config)
-    return analyze_prepared(program, callgraph, modref, config)
+        return run_complete_propagation(
+            program, callgraph, modref, config, resilience
+        )
+    return analyze_prepared(program, callgraph, modref, config, resilience)
 
 
 def analyze_source(
@@ -189,13 +256,82 @@ def analyze_source(
     config: Optional[AnalysisConfig] = None,
     filename: str = "<string>",
 ) -> AnalysisResult:
-    """Parse, lower, and analyze MiniFortran source text."""
+    """Parse, lower, and analyze MiniFortran source text.
+
+    Strict frontend contract: raises :class:`FrontendError` on the
+    first lex/parse/semantic problem. Use
+    :func:`analyze_source_resilient` for multi-error recovery.
+    """
     module = parse_source(text, filename)
     program = lower_module(module, SourceFile(filename, text))
     return analyze_program(program, config)
 
 
+def analyze_source_resilient(
+    text: str,
+    config: Optional[AnalysisConfig] = None,
+    filename: str = "<string>",
+    diagnostics: Optional[DiagnosticEngine] = None,
+) -> Tuple[Optional[AnalysisResult], DiagnosticEngine]:
+    """Analyze with frontend error recovery; never raises FrontendError.
+
+    Lexer and parser recover and record every diagnostic on the engine;
+    units whose bodies could not be parsed are analyzed as conservative
+    stubs, so ``CONSTANTS(p)`` is still produced for every healthy
+    procedure. Returns ``(result, diagnostics)`` where ``result`` is
+    None only when nothing could be analyzed at all (no parseable units,
+    or the recovered module fails semantic lowering).
+    """
+    engine = diagnostics if diagnostics is not None else DiagnosticEngine()
+    module = parse_source(text, filename, engine)
+    if not module.units:
+        return None, engine
+    try:
+        program = lower_module(module, SourceFile(filename, text))
+    except SemanticError as err:
+        engine.error(E_SEMANTIC, err.message, err.location)
+        return None, engine
+    result = analyze_program(program, config)
+    result.diagnostics = engine
+    return result, engine
+
+
+def _located_io_error(path: str, err: Exception) -> FrontendError:
+    location = SourceLocation(path, 0, 0)
+    if isinstance(err, UnicodeDecodeError):
+        message = f"cannot decode {path!r} as UTF-8 text: {err.reason}"
+    else:
+        message = f"cannot read {path!r}: {err.strerror or err}"
+    return FrontendError(message, location)
+
+
 def analyze_file(path: str, config: Optional[AnalysisConfig] = None) -> AnalysisResult:
-    """Analyze the MiniFortran program stored at ``path``."""
-    with open(path, "r", encoding="utf-8") as handle:
-        return analyze_source(handle.read(), config, filename=path)
+    """Analyze the MiniFortran program stored at ``path``.
+
+    I/O problems (missing file, permissions, non-UTF-8 bytes) surface
+    as a located :class:`FrontendError` rather than a raw OSError.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except (OSError, UnicodeDecodeError) as err:
+        raise _located_io_error(path, err) from err
+    return analyze_source(text, config, filename=path)
+
+
+def analyze_file_resilient(
+    path: str,
+    config: Optional[AnalysisConfig] = None,
+    diagnostics: Optional[DiagnosticEngine] = None,
+) -> Tuple[Optional[AnalysisResult], DiagnosticEngine]:
+    """Resilient variant of :func:`analyze_file`: I/O and frontend
+    problems land on the diagnostic engine instead of raising."""
+    engine = diagnostics if diagnostics is not None else DiagnosticEngine()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except (OSError, UnicodeDecodeError) as err:
+        located = _located_io_error(path, err)
+        engine.error(E_IO, located.message, located.location)
+        return None, engine
+    return analyze_source_resilient(text, config, filename=path, diagnostics=engine)

@@ -33,12 +33,13 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.analysis.expr import ConstExpr, EntryExpr, Expr
 from repro.analysis.value_numbering import ValueNumbering
 from repro.callgraph.callgraph import CallGraph
-from repro.config import JumpFunctionKind
+from repro.config import AnalysisBudget, BudgetExceeded, JumpFunctionKind
 from repro.ir.instructions import Call, Const, Operand, Use
 from repro.ir.module import Procedure, Program
 from repro.ir.symbols import Variable
 from repro.lattice import BOTTOM, LatticeValue, TOP, const
 from repro.poly.polynomial import Polynomial, expr_to_polynomial
+from repro.ipcp.resilience import BOTTOM_KIND, ResilienceReport
 from repro.ipcp.return_functions import ForwardCallSemantics, ReturnFunctionMap
 
 
@@ -161,12 +162,112 @@ class JumpFunctionTable:
         return counts
 
 
+#: Demotion chain for graceful degradation: each kind's next-weaker
+#: fallback; ``None`` past LITERAL means ⊥ (a payload-less function).
+WEAKER_KIND = {
+    JumpFunctionKind.POLYNOMIAL: JumpFunctionKind.PASS_THROUGH,
+    JumpFunctionKind.PASS_THROUGH: JumpFunctionKind.INTRAPROCEDURAL,
+    JumpFunctionKind.INTRAPROCEDURAL: JumpFunctionKind.LITERAL,
+    JumpFunctionKind.LITERAL: None,
+}
+
+
+def check_polynomial_budget(
+    polynomial: Optional[Polynomial], budget: Optional[AnalysisBudget]
+) -> None:
+    """Raise :class:`BudgetExceeded` for an oversized polynomial."""
+    if polynomial is None or budget is None:
+        return
+    if (
+        budget.polynomial_terms is not None
+        and len(polynomial.terms) > budget.polynomial_terms
+    ):
+        raise BudgetExceeded(
+            "polynomial size",
+            budget.polynomial_terms,
+            f"{len(polynomial.terms)} terms",
+        )
+    if (
+        budget.polynomial_degree is not None
+        and polynomial.degree() > budget.polynomial_degree
+    ):
+        raise BudgetExceeded(
+            "polynomial degree",
+            budget.polynomial_degree,
+            f"degree {polynomial.degree()}",
+        )
+
+
+def _call_site_label(procedure_name: str, call: Call, target: Variable) -> str:
+    where = f" @ {call.location}" if call.location is not None else ""
+    return f"{procedure_name}: call {call.callee}{where} / {target.name}"
+
+
+def _make_jump_function_guarded(
+    kind: JumpFunctionKind,
+    call: Call,
+    target: Variable,
+    operand: Operand,
+    numbering: ValueNumbering,
+    is_global: bool,
+    sccp_result,
+    budget: Optional[AnalysisBudget],
+    resilience: ResilienceReport,
+    fault_isolation: bool,
+    procedure_name: str,
+) -> ForwardJumpFunction:
+    """Build ``J_s^y``, demoting down :data:`WEAKER_KIND` on failure.
+
+    A :class:`BudgetExceeded` (oversized polynomial) always demotes;
+    any other exception demotes only under ``fault_isolation`` —
+    soundness holds because every weaker kind (ultimately ⊥) computes a
+    value ≤ the intended one in the lattice order.
+    """
+    current: Optional[JumpFunctionKind] = kind
+    last_reason = ""
+    while current is not None:
+        try:
+            function = _make_jump_function(
+                current, call, target, operand, numbering,
+                is_global=is_global, sccp_result=sccp_result,
+            )
+            check_polynomial_budget(function.polynomial, budget)
+        except BudgetExceeded as err:
+            last_reason = str(err)
+        except Exception as err:  # noqa: BLE001 — fault isolation boundary
+            if not fault_isolation:
+                raise
+            last_reason = f"{type(err).__name__}: {err}"
+        else:
+            if current is not kind:
+                resilience.record(
+                    "jump_function",
+                    _call_site_label(procedure_name, call, target),
+                    kind.value,
+                    current.value,
+                    last_reason,
+                )
+            return function
+        current = WEAKER_KIND[current]
+    resilience.record(
+        "jump_function",
+        _call_site_label(procedure_name, call, target),
+        kind.value,
+        BOTTOM_KIND,
+        last_reason,
+    )
+    return ForwardJumpFunction(kind, call, target)
+
+
 def build_forward_jump_functions(
     program: Program,
     callgraph: CallGraph,
     kind: JumpFunctionKind,
     return_map: Optional[ReturnFunctionMap] = None,
     gcp_oracle: str = "value_numbering",
+    budget: Optional[AnalysisBudget] = None,
+    resilience: Optional[ResilienceReport] = None,
+    fault_isolation: bool = True,
 ) -> JumpFunctionTable:
     """Generate forward jump functions in a top-down pass (§4.1).
 
@@ -185,6 +286,21 @@ def build_forward_jump_functions(
         raise ValueError(f"unknown gcp oracle {gcp_oracle!r}")
     table = JumpFunctionTable(kind)
     return_map = return_map or ReturnFunctionMap()
+
+    def make(call, target, operand, is_global, sccp_result, procedure):
+        if resilience is None:
+            return _make_jump_function(
+                kind, call, target, operand, numbering,
+                is_global=is_global, sccp_result=sccp_result,
+            )
+        return _make_jump_function_guarded(
+            kind, call, target, operand, numbering,
+            is_global=is_global, sccp_result=sccp_result,
+            budget=budget, resilience=resilience,
+            fault_isolation=fault_isolation,
+            procedure_name=procedure.name,
+        )
+
     for procedure in callgraph.top_down_order():
         numbering = ValueNumbering(
             procedure, ForwardCallSemantics(program, return_map)
@@ -194,28 +310,40 @@ def build_forward_jump_functions(
             from repro.analysis.sccp import run_sccp
             from repro.ipcp.return_functions import ReturnFunctionCallModel
 
-            sccp_result = run_sccp(
-                procedure,
-                entry_values=None,
-                call_model=ReturnFunctionCallModel(program, return_map),
-            )
+            try:
+                sccp_result = run_sccp(
+                    procedure,
+                    entry_values=None,
+                    call_model=ReturnFunctionCallModel(program, return_map),
+                    max_visits=budget.sccp_visits if budget else None,
+                )
+            except BudgetExceeded as err:
+                if resilience is None:
+                    raise
+                # Fall back to the plain value-numbering oracle for this
+                # one procedure (strictly weaker, hence sound).
+                resilience.record(
+                    "sccp_oracle", procedure.name, "sccp",
+                    "value_numbering", str(err),
+                )
+            except Exception as err:  # noqa: BLE001 — fault isolation
+                if resilience is None or not fault_isolation:
+                    raise
+                resilience.record(
+                    "sccp_oracle", procedure.name, "sccp",
+                    "value_numbering", f"{type(err).__name__}: {err}",
+                )
         for call in procedure.call_sites():
             callee = program.procedure(call.callee)
             for formal, arg in zip(callee.formals, call.args):
                 if not formal.is_scalar or arg.is_array:
                     continue
                 table.add(
-                    _make_jump_function(
-                        kind, call, formal, arg.value, numbering,
-                        is_global=False, sccp_result=sccp_result,
-                    )
+                    make(call, formal, arg.value, False, sccp_result, procedure)
                 )
             for use in call.entry_uses:
                 table.add(
-                    _make_jump_function(
-                        kind, call, use.var, use, numbering,
-                        is_global=True, sccp_result=sccp_result,
-                    )
+                    make(call, use.var, use, True, sccp_result, procedure)
                 )
     return table
 
@@ -226,6 +354,9 @@ def build_refined_jump_functions(
     kind: JumpFunctionKind,
     return_map: ReturnFunctionMap,
     constants,
+    budget: Optional[AnalysisBudget] = None,
+    resilience: Optional[ResilienceReport] = None,
+    fault_isolation: bool = True,
 ) -> "Tuple[JumpFunctionTable, set]":
     """Gated-single-assignment-style generation (the paper's §4.2
     remark: "the results that we obtained with complete propagation can
@@ -245,14 +376,51 @@ def build_refined_jump_functions(
     table = JumpFunctionTable(kind)
     excluded: set = set()
     call_model = ReturnFunctionCallModel(program, return_map)
+
+    def make(call, target, operand, is_global, sccp_result, procedure):
+        if resilience is None:
+            return _make_jump_function(
+                kind, call, target, operand, numbering,
+                is_global=is_global, sccp_result=sccp_result,
+            )
+        return _make_jump_function_guarded(
+            kind, call, target, operand, numbering,
+            is_global=is_global, sccp_result=sccp_result,
+            budget=budget, resilience=resilience,
+            fault_isolation=fault_isolation,
+            procedure_name=procedure.name,
+        )
+
     for procedure in callgraph.top_down_order():
         numbering = ValueNumbering(
             procedure, ForwardCallSemantics(program, return_map)
         )
-        sccp_result = run_sccp(
-            procedure, constants.entry_lattice(procedure), call_model
+        try:
+            sccp_result = run_sccp(
+                procedure, constants.entry_lattice(procedure), call_model,
+                max_visits=budget.sccp_visits if budget else None,
+            )
+        except BudgetExceeded as err:
+            if resilience is None:
+                raise
+            # No branch-sensitive refinement for this procedure: keep all
+            # of its call sites and fall back to the plain oracle.
+            resilience.record(
+                "sccp_oracle", procedure.name, "sccp",
+                "value_numbering", str(err),
+            )
+            sccp_result = None
+        except Exception as err:  # noqa: BLE001 — fault isolation
+            if resilience is None or not fault_isolation:
+                raise
+            resilience.record(
+                "sccp_oracle", procedure.name, "sccp",
+                "value_numbering", f"{type(err).__name__}: {err}",
+            )
+            sccp_result = None
+        dead_blocks = (
+            set(sccp_result.dead_blocks()) if sccp_result is not None else set()
         )
-        dead_blocks = set(sccp_result.dead_blocks())
         for call in procedure.call_sites():
             block = _block_of_call(procedure, call)
             if block in dead_blocks:
@@ -263,17 +431,11 @@ def build_refined_jump_functions(
                 if not formal.is_scalar or arg.is_array:
                     continue
                 table.add(
-                    _make_jump_function(
-                        kind, call, formal, arg.value, numbering,
-                        is_global=False, sccp_result=sccp_result,
-                    )
+                    make(call, formal, arg.value, False, sccp_result, procedure)
                 )
             for use in call.entry_uses:
                 table.add(
-                    _make_jump_function(
-                        kind, call, use.var, use, numbering,
-                        is_global=True, sccp_result=sccp_result,
-                    )
+                    make(call, use.var, use, True, sccp_result, procedure)
                 )
     return table, excluded
 

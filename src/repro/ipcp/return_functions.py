@@ -38,11 +38,13 @@ from repro.analysis.expr import ConstExpr, EntryExpr, Expr, substitute
 from repro.analysis.sccp import SCCPCallModel
 from repro.analysis.value_numbering import CallSemantics, ValueNumbering
 from repro.callgraph.callgraph import CallGraph
+from repro.config import AnalysisBudget, BudgetExceeded
 from repro.ir.instructions import Call, Operand, Return
 from repro.ir.module import Procedure, Program
 from repro.ir.symbols import Variable
 from repro.lattice import BOTTOM, LatticeValue, TOP, const
 from repro.poly.polynomial import Polynomial, expr_to_polynomial
+from repro.ipcp.resilience import BOTTOM_KIND, ResilienceReport
 from repro.summary.modref import ModRefInfo
 
 
@@ -269,6 +271,9 @@ def build_return_functions(
     program: Program,
     callgraph: CallGraph,
     modref: Optional[ModRefInfo] = None,
+    budget: Optional[AnalysisBudget] = None,
+    resilience: Optional[ResilienceReport] = None,
+    fault_isolation: bool = True,
 ) -> ReturnFunctionMap:
     """Generate return jump functions in one bottom-up pass (§4.1).
 
@@ -280,12 +285,30 @@ def build_return_functions(
 
     Procedures inside recursive SCCs see no return jump functions for
     their SCC siblings (conservative: those call effects stay unknown).
+
+    With a :class:`ResilienceReport`, a procedure whose construction
+    raises (under ``fault_isolation``) or whose polynomials exceed the
+    ``budget`` contributes no / fewer return jump functions instead of
+    aborting: a missing entry evaluates as ⊥ at every call site, which
+    is always sound.
     """
     return_map = ReturnFunctionMap()
     for procedure in callgraph.bottom_up_order():
         if procedure.is_main:
             continue
-        _build_for_procedure(program, procedure, return_map, modref)
+        try:
+            _build_for_procedure(
+                program, procedure, return_map, modref,
+                budget=budget, resilience=resilience,
+                fault_isolation=fault_isolation,
+            )
+        except Exception as err:  # noqa: BLE001 — fault isolation boundary
+            if resilience is None or not fault_isolation:
+                raise
+            resilience.record(
+                "return_function", procedure.name, "polynomial",
+                BOTTOM_KIND, f"{type(err).__name__}: {err}",
+            )
     return return_map
 
 
@@ -306,6 +329,9 @@ def _build_for_procedure(
     procedure: Procedure,
     return_map: ReturnFunctionMap,
     modref: Optional[ModRefInfo],
+    budget: Optional[AnalysisBudget] = None,
+    resilience: Optional[ResilienceReport] = None,
+    fault_isolation: bool = True,
 ) -> None:
     numbering = ValueNumbering(
         procedure, GenerationCallSemantics(program, return_map)
@@ -323,21 +349,42 @@ def _build_for_procedure(
         targets.append(procedure.result_var)
 
     for target in targets:
-        exprs: List[Expr] = []
-        for ret in returns:
-            if target is procedure.result_var:
-                exprs.append(numbering.operand_expr(ret.value))
-            else:
-                use = ret.exit_use_of(target)
-                if use is None:
-                    exprs = []
-                    break
-                exprs.append(numbering.operand_expr(use))
-        if not exprs or any(e != exprs[0] for e in exprs):
-            continue  # exits disagree: no single return jump function
-        polynomial = expr_to_polynomial(exprs[0])
-        if polynomial is None:
-            continue  # not representable (unknowns / non-polynomial ops)
+        try:
+            exprs: List[Expr] = []
+            for ret in returns:
+                if target is procedure.result_var:
+                    exprs.append(numbering.operand_expr(ret.value))
+                else:
+                    use = ret.exit_use_of(target)
+                    if use is None:
+                        exprs = []
+                        break
+                    exprs.append(numbering.operand_expr(use))
+            if not exprs or any(e != exprs[0] for e in exprs):
+                continue  # exits disagree: no single return jump function
+            polynomial = expr_to_polynomial(exprs[0])
+            if polynomial is None:
+                continue  # not representable (unknowns / non-polynomial ops)
+            if budget is not None:
+                from repro.ipcp.jump_functions import check_polynomial_budget
+
+                check_polynomial_budget(polynomial, budget)
+        except BudgetExceeded as err:
+            if resilience is None:
+                raise
+            resilience.record(
+                "return_function", f"{procedure.name} / {target.name}",
+                "polynomial", BOTTOM_KIND, str(err),
+            )
+            continue
+        except Exception as err:  # noqa: BLE001 — fault isolation boundary
+            if resilience is None or not fault_isolation:
+                raise
+            resilience.record(
+                "return_function", f"{procedure.name} / {target.name}",
+                "polynomial", BOTTOM_KIND, f"{type(err).__name__}: {err}",
+            )
+            continue
         return_map.add(
             ReturnJumpFunction(procedure.name, target, exprs[0], polynomial)
         )

@@ -78,6 +78,8 @@ def propagate(
     table: JumpFunctionTable,
     strategy: str = "fifo",
     excluded_calls: Optional[Set] = None,
+    max_visits: Optional[int] = None,
+    resilience=None,
 ) -> PropagationResult:
     """Run the iterative propagation to its fixpoint.
 
@@ -86,6 +88,12 @@ def propagate(
     benchmark measures the work difference). ``excluded_calls`` removes
     specific call sites from the meets — the GSA-style refinement marks
     never-executed calls this way (§4.2).
+
+    ``max_visits`` is the solver's fuel (``AnalysisBudget.
+    solver_visits``): when the worklist exceeds it, iteration stops and
+    every non-main VAL cell drops to ⊥ — a sound fixpoint-free answer
+    (⊥ claims nothing; main's cells are propagation *inputs*, not
+    iterated). The exhaustion is recorded on ``resilience`` when given.
     """
     if strategy not in ("fifo", "lifo"):
         raise ValueError(f"unknown worklist strategy {strategy!r}")
@@ -105,6 +113,16 @@ def propagate(
     excluded_calls = excluded_calls or set()
 
     while worklist:
+        if max_visits is not None and stats.procedure_visits >= max_visits:
+            _exhaust_to_bottom(program, val)
+            if resilience is not None:
+                resilience.record(
+                    "solver", "<interprocedural worklist>", "fixpoint",
+                    "bottom",
+                    f"propagation exceeded its budget of {max_visits} "
+                    f"procedure visits",
+                )
+            break
         procedure = worklist.popleft() if strategy == "fifo" else worklist.pop()
         queued.discard(procedure)
         stats.procedure_visits += 1
@@ -117,6 +135,20 @@ def propagate(
                     worklist.append(callee)
 
     return PropagationResult(ConstantsResult(val), stats)
+
+
+def _exhaust_to_bottom(
+    program: Program, val: Dict[str, Dict[Variable, LatticeValue]]
+) -> None:
+    """Drop every non-main VAL cell to ⊥ after fuel exhaustion. Partial
+    worklist results are not a fixpoint and therefore unsound to keep:
+    a cell still at ⊤/const might have lowered had iteration continued."""
+    for procedure in program:
+        if procedure.is_main:
+            continue
+        cells = val[procedure.name]
+        for var in cells:
+            cells[var] = BOTTOM
 
 
 def _recompute_val(

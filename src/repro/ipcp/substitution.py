@@ -67,14 +67,44 @@ def measure_substitution(
     program: Program,
     constants: ConstantsResult,
     call_model: Optional[SCCPCallModel] = None,
+    budget=None,
+    resilience=None,
+    fault_isolation: bool = True,
 ) -> SubstitutionReport:
     """Run the substitution SCCP per procedure and count constant
-    source references. Non-mutating."""
+    source references. Non-mutating.
+
+    With a ``resilience`` report, a procedure whose substitution SCCP
+    exceeds ``budget.sccp_visits`` (or raises, under
+    ``fault_isolation``) simply contributes zero substitutions — an
+    under-count, never a wrong count.
+    """
+    from repro.config import BudgetExceeded
+
     report = SubstitutionReport()
     call_model = call_model or SCCPCallModel()
+    max_visits = budget.sccp_visits if budget is not None else None
     for procedure in program:
         entry = constants.entry_lattice(procedure)
-        result = run_sccp(procedure, entry, call_model)
+        try:
+            result = run_sccp(procedure, entry, call_model, max_visits)
+        except BudgetExceeded as err:
+            if resilience is None:
+                raise
+            resilience.record(
+                "substitution", procedure.name, "sccp", "skipped", str(err)
+            )
+            report.per_procedure[procedure.name] = 0
+            continue
+        except Exception as err:  # noqa: BLE001 — fault isolation boundary
+            if resilience is None or not fault_isolation:
+                raise
+            resilience.record(
+                "substitution", procedure.name, "sccp", "skipped",
+                f"{type(err).__name__}: {err}",
+            )
+            report.per_procedure[procedure.name] = 0
+            continue
         report.sccp_results[procedure.name] = result
         uses = result.constant_source_references()
         report.per_procedure[procedure.name] = len(uses)

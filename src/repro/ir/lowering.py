@@ -193,8 +193,11 @@ class _ProcedureLowerer:
             self.result_var = Variable(self.unit.name, VarKind.RESULT)
             self.symbols.declare(self.result_var)
         self._process_declarations()
-        self._collect_labels(self.unit.body)
-        self._lower_body(self.unit.body)
+        if self.unit.is_stub:
+            self._lower_stub_body()
+        else:
+            self._collect_labels(self.unit.body)
+            self._lower_body(self.unit.body)
         self._finish_procedure()
         procedure = Procedure(
             self.unit.name,
@@ -352,6 +355,29 @@ class _ProcedureLowerer:
                 self.label_blocks[stmt.label] = self.cfg.new_block(
                     f"L{stmt.label}"
                 )
+
+    def _lower_stub_body(self) -> None:
+        """Lower a recovery stub (a unit whose body failed to parse).
+
+        The body becomes one ``Read`` that assigns an unknowable value
+        to every scalar the unit could observably write — its scalar
+        formals (call-by-reference!), every scalar COMMON member it
+        declares, and its result variable — so MOD/REF summaries, jump
+        functions, and return functions for this unit are all maximally
+        conservative without any special-casing downstream.
+        """
+        clobbered: List[Def] = []
+        for name in self.unit.params:
+            variable = self.symbols.lookup(name)
+            if variable is not None and not variable.is_array:
+                clobbered.append(Def(variable))
+        for variable in self.visible_globals:
+            if not variable.is_array:
+                clobbered.append(Def(variable))
+        if self.result_var is not None:
+            clobbered.append(Def(self.result_var))
+        if clobbered:
+            self._emit(Read(clobbered, self.unit.location))
 
     # -- statements ------------------------------------------------------------
 

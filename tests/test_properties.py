@@ -215,6 +215,103 @@ def test_binding_graph_matches_worklist_solver(seed):
         ) == worklist.constants.constants_of(procedure.name)
 
 
+#: Characters chosen to break tokens in interesting ways: operators,
+#: brackets, characters no MiniFortran token contains, and quotes (which
+#: open unterminated strings).
+MUTATION_CHARS = "()*+-=,.$%&!\"'#@;:?^~|<>"
+
+
+def mutate(source, mutations):
+    """Apply (position-fraction, char) character substitutions."""
+    text = list(source)
+    for fraction, char in mutations:
+        if not text:
+            break
+        text[int(fraction * (len(text) - 1))] = char
+    return "".join(text)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 10_000),
+    mutations=st.lists(
+        st.tuples(
+            st.floats(0.0, 1.0, allow_nan=False),
+            st.sampled_from(MUTATION_CHARS),
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+)
+def test_resilient_frontend_survives_token_mutation(seed, mutations):
+    """Fuzz invariant: randomly corrupted source either analyzes or is
+    rejected with located diagnostics — never an AttributeError,
+    RecursionError, IndexError, or hang out of the pipeline."""
+    from repro.ipcp.driver import analyze_source_resilient
+
+    source = mutate(generate_program(seed, FAST), mutations)
+    result, diagnostics = analyze_source_resilient(source)
+    for diagnostic in diagnostics:
+        assert diagnostic.location is None or diagnostic.location.line >= 0
+    if result is None:
+        assert diagnostics.has_errors
+    else:
+        result.constants.format_report()  # reportable without crashing
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 10_000),
+    solver_fuel=st.integers(0, 40),
+    poly_terms=st.integers(1, 3),
+)
+def test_degraded_runs_find_subset_of_full_constants(seed, solver_fuel, poly_terms):
+    """Graceful degradation never *invents* constants: every
+    (procedure, parameter) -> value pair a budget-starved run reports is
+    reported identically by the unrestricted run (it may only rise to ⊤,
+    mirroring ``test_constant_sets_nest_by_kind``)."""
+    from repro.config import AnalysisBudget
+
+    source = generate_program(seed, FAST)
+    full = analyze_source(source)
+    starved = analyze_source(
+        source,
+        AnalysisConfig(
+            budget=AnalysisBudget(
+                solver_visits=solver_fuel,
+                polynomial_terms=poly_terms,
+                polynomial_degree=1,
+            )
+        ),
+    )
+    full_pairs = {}
+    for procedure in full.program:
+        for var, value in full.constants.constants_of(procedure.name).items():
+            full_pairs[(procedure.name, var.name)] = value
+    for procedure in starved.program:
+        for var, value in starved.constants.constants_of(procedure.name).items():
+            key = (procedure.name, var.name)
+            if key in full_pairs:
+                assert full_pairs[key] == value, (seed, key)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_verifier_accepts_every_pipeline_stage(seed):
+    """The structural verifier never flags a program the pipeline
+    itself produced — before SSA, after SSA, and after complete
+    propagation's DCE rounds."""
+    from repro.ir.verify import verify_program
+
+    source = generate_program(seed, FAST)
+    program = fresh_program(source)
+    verify_program(program, ssa=False, stage="lowering")
+    result = analyze_program(
+        program, AnalysisConfig.complete_propagation()
+    )
+    verify_program(result.program, ssa=True, stage="complete propagation")
+
+
 @settings(max_examples=15, deadline=None)
 @given(seed=st.integers(0, 10_000))
 def test_constant_sets_nest_by_kind(seed):

@@ -1,0 +1,370 @@
+"""Fault isolation, graceful degradation, and analysis budgets.
+
+The contract under test: one broken procedure (or one failing/oversized
+jump function) must never take down the whole analysis — the affected
+component is demoted down the jump-function lattice, the demotion is
+recorded in the run's :class:`ResilienceReport`, and every *other*
+result is exactly what a healthy run produces.
+"""
+
+import pytest
+
+from repro.config import AnalysisBudget, AnalysisConfig, BudgetExceeded
+from repro.diagnostics import DiagnosticEngine
+from repro.frontend.errors import FrontendError
+from repro.ipcp.driver import (
+    analyze_file,
+    analyze_file_resilient,
+    analyze_source,
+    analyze_source_resilient,
+)
+
+#: MAIN and a healthy callee plus one procedure with two syntax errors.
+BROKEN_SUITE = (
+    "      PROGRAM MAIN\n"
+    "      N = 6\n"
+    "      CALL S(N)\n"
+    "      CALL B(N)\n"
+    "      END\n"
+    "      SUBROUTINE S(K)\n"
+    "      A = K + 1\n"
+    "      RETURN\n"
+    "      END\n"
+    "      SUBROUTINE B(K)\n"
+    "      A = + * K\n"
+    "      B = )) 3\n"
+    "      RETURN\n"
+    "      END\n"
+)
+
+#: Forwarded-formal chain: J^k at the inner call is the two-term
+#: polynomial x + y, J^j the literal 5.
+POLY_CHAIN = (
+    "      PROGRAM MAIN\n"
+    "      CALL A(3, 4)\n"
+    "      END\n"
+    "      SUBROUTINE A(X, Y)\n"
+    "      CALL S(X + Y, 5)\n"
+    "      END\n"
+    "      SUBROUTINE S(K, J)\n"
+    "      B = K + J\n"
+    "      RETURN\n"
+    "      END\n"
+)
+
+
+def pairs(result):
+    out = {}
+    for procedure in result.program:
+        for var, value in result.constants.constants_of(procedure.name).items():
+            out[(procedure.name, var.name)] = value
+    return out
+
+
+class TestBrokenProcedureIsolation:
+    def test_other_procedures_still_get_constants(self):
+        result, diags = analyze_source_resilient(BROKEN_SUITE)
+        assert result is not None
+        assert diags.error_count >= 2, diags.format()
+        constants = pairs(result)
+        assert constants[("s", "k")] == 6
+        # Even the broken unit's *entry* is analyzable: the stub still
+        # receives k=6 from its (healthy) call site.
+        assert constants[("b", "k")] == 6
+
+    def test_diagnostics_name_the_broken_unit(self):
+        _, diags = analyze_source_resilient(BROKEN_SUITE)
+        rendered = diags.format()
+        assert "E002" in rendered
+        assert ":11:" in rendered and ":12:" in rendered
+        assert "analyzed as an opaque stub" in rendered
+
+    def test_healthy_source_has_no_diagnostics(self):
+        result, diags = analyze_source_resilient(POLY_CHAIN)
+        assert result is not None
+        assert len(diags) == 0
+        assert result.resilience.ok
+
+    def test_results_match_strict_run_on_healthy_source(self):
+        strict = analyze_source(POLY_CHAIN)
+        resilient, _ = analyze_source_resilient(POLY_CHAIN)
+        assert pairs(strict) == pairs(resilient)
+        assert strict.substituted_constants == resilient.substituted_constants
+
+    def test_nothing_parseable_returns_none(self):
+        result, diags = analyze_source_resilient("      $$$$\n")
+        assert result is None
+        assert diags.has_errors
+
+    def test_strict_entry_point_still_raises(self):
+        with pytest.raises(FrontendError):
+            analyze_source(BROKEN_SUITE)
+
+
+class TestJumpFunctionDemotion:
+    def test_construction_fault_demotes_single_site(self, monkeypatch):
+        baseline = analyze_source(POLY_CHAIN)
+        assert pairs(baseline)[("s", "k")] == 7
+
+        import repro.ipcp.jump_functions as jf
+
+        original = jf.expr_to_polynomial
+
+        def exploding(expr):
+            polynomial = original(expr)
+            if polynomial is not None and len(polynomial.terms) > 1:
+                raise RuntimeError("injected construction fault")
+            return polynomial
+
+        monkeypatch.setattr(jf, "expr_to_polynomial", exploding)
+        result, _ = analyze_source_resilient(POLY_CHAIN)
+
+        demotions = list(result.resilience)
+        assert [d.component for d in demotions] == ["jump_function"]
+        assert "call s" in demotions[0].site and "/ k" in demotions[0].site
+        assert demotions[0].from_kind == "polynomial"
+        assert "injected construction fault" in demotions[0].reason
+
+        degraded = pairs(result)
+        expected = dict(pairs(baseline))
+        del expected[("s", "k")]  # the demoted site loses exactly this pair
+        assert degraded == expected
+
+    def test_fault_isolation_off_propagates(self, monkeypatch):
+        import repro.ipcp.jump_functions as jf
+
+        def exploding(expr):
+            raise RuntimeError("injected construction fault")
+
+        monkeypatch.setattr(jf, "expr_to_polynomial", exploding)
+        config = AnalysisConfig(fault_isolation=False)
+        with pytest.raises(RuntimeError, match="injected"):
+            analyze_source_resilient(POLY_CHAIN, config)
+
+    def test_polynomial_term_budget_demotes(self):
+        config = AnalysisConfig(budget=AnalysisBudget(polynomial_terms=1))
+        result, _ = analyze_source_resilient(POLY_CHAIN, config)
+        demotions = list(result.resilience)
+        assert len(demotions) == 1
+        assert demotions[0].component == "jump_function"
+        assert demotions[0].to_kind == "pass_through"
+        assert "polynomial size" in demotions[0].reason
+        assert pairs(result)[("s", "j")] == 5  # untouched site keeps its value
+
+    def test_polynomial_degree_budget_demotes(self):
+        source = POLY_CHAIN.replace("X + Y", "X * X")
+        config = AnalysisConfig(budget=AnalysisBudget(polynomial_degree=1))
+        result, _ = analyze_source_resilient(source, config)
+        assert any(
+            "polynomial degree" in d.reason for d in result.resilience
+        )
+
+    def test_demotion_is_deterministic(self):
+        config = AnalysisConfig(budget=AnalysisBudget(polynomial_terms=1))
+        first, _ = analyze_source_resilient(POLY_CHAIN, config)
+        second, _ = analyze_source_resilient(POLY_CHAIN, config)
+        assert [d.render() for d in first.resilience] == [
+            d.render() for d in second.resilience
+        ]
+        assert pairs(first) == pairs(second)
+
+
+class TestAnalysisBudgets:
+    def test_solver_fuel_bottoms_out_val(self):
+        config = AnalysisConfig(budget=AnalysisBudget(solver_visits=0))
+        result, _ = analyze_source_resilient(POLY_CHAIN, config)
+        assert pairs(result) == {}
+        assert result.resilience.count("solver") == 1
+
+    def test_solver_fuel_sufficient_is_silent(self):
+        config = AnalysisConfig(budget=AnalysisBudget(solver_visits=10_000))
+        result, _ = analyze_source_resilient(POLY_CHAIN, config)
+        assert result.resilience.count("solver") == 0
+        assert pairs(result) == pairs(analyze_source(POLY_CHAIN))
+
+    def test_sccp_fuel_skips_substitution_per_procedure(self):
+        config = AnalysisConfig(budget=AnalysisBudget(sccp_visits=0))
+        result, _ = analyze_source_resilient(POLY_CHAIN, config)
+        assert result.substituted_constants == 0
+        assert result.resilience.count("substitution") == len(
+            list(result.program)
+        )
+
+    def test_sccp_fuel_raises_without_resilience(self):
+        from repro.ipcp.driver import prepare_program
+        from repro.ipcp.substitution import measure_substitution
+
+        strict = analyze_source(POLY_CHAIN)
+        with pytest.raises(BudgetExceeded):
+            measure_substitution(
+                strict.program,
+                strict.constants,
+                budget=AnalysisBudget(sccp_visits=0),
+            )
+
+    def test_gsa_round_budget_records_demotion(self):
+        config = AnalysisConfig(
+            gsa_refinement=True, budget=AnalysisBudget(gsa_rounds=0)
+        )
+        result, _ = analyze_source_resilient(POLY_CHAIN, config)
+        # Zero rounds: refinement returns the unrefined result untouched.
+        assert result.resilience.count("gsa_refinement") == 0
+        assert pairs(result) == pairs(analyze_source(POLY_CHAIN))
+
+    def test_dce_round_budget_terminates_complete_propagation(self):
+        config = AnalysisConfig(
+            complete=True, budget=AnalysisBudget(dce_rounds=0)
+        )
+        result, _ = analyze_source_resilient(POLY_CHAIN, config)
+        assert result.dce_rounds == 0
+        assert pairs(result) == pairs(analyze_source(POLY_CHAIN))
+
+    def test_tight_budget_terminates_and_stays_sound(self):
+        """The acceptance check: a starved pipeline still terminates and
+        finds a subset of the full run's constant pairs."""
+        config = AnalysisConfig(budget=AnalysisBudget.tight())
+        full = analyze_source(POLY_CHAIN)
+        starved, _ = analyze_source_resilient(POLY_CHAIN, config)
+        full_pairs = pairs(full)
+        for key, value in pairs(starved).items():
+            assert full_pairs[key] == value
+
+
+class TestFileEntryPoints:
+    def test_missing_file_raises_located_frontend_error(self, tmp_path):
+        missing = str(tmp_path / "nope.f")
+        with pytest.raises(FrontendError) as exc:
+            analyze_file(missing)
+        assert exc.value.location is not None
+        assert exc.value.location.filename == missing
+        assert "cannot read" in exc.value.message
+
+    def test_undecodable_file_raises_located_frontend_error(self, tmp_path):
+        path = tmp_path / "latin.f"
+        path.write_bytes(b"      PROGRAM MAIN\n      \xff\xfe\n      END\n")
+        with pytest.raises(FrontendError) as exc:
+            analyze_file(str(path))
+        assert "cannot decode" in exc.value.message
+
+    def test_resilient_file_entry_reports_io_as_diagnostic(self, tmp_path):
+        missing = str(tmp_path / "nope.f")
+        result, diags = analyze_file_resilient(missing)
+        assert result is None
+        assert diags.has_errors
+        assert "E004" in diags.format()
+
+    def test_resilient_file_entry_analyzes_good_file(self, tmp_path):
+        path = tmp_path / "good.f"
+        path.write_text(POLY_CHAIN)
+        result, diags = analyze_file_resilient(str(path))
+        assert result is not None
+        assert len(diags) == 0
+        assert result.substituted_constants > 0
+
+
+class TestDiagnosticEngine:
+    def test_error_cap_suppresses_but_counts(self):
+        engine = DiagnosticEngine(max_errors=3)
+        from repro.diagnostics import E_PARSE
+
+        for i in range(10):
+            engine.error(E_PARSE, f"problem {i}")
+        assert engine.error_count == 10
+        assert len(engine.errors()) == 3
+        assert "7 further error(s) suppressed" in engine.format()
+
+    def test_engine_is_always_truthy(self):
+        engine = DiagnosticEngine()
+        assert engine  # `engine or default` must never drop the engine
+        assert len(engine) == 0
+
+
+class TestCliExitCodes:
+    def test_clean_analysis_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "ok.f"
+        path.write_text(POLY_CHAIN)
+        assert main(["analyze", str(path)]) == 0
+        assert "CONSTANTS(s)" in capsys.readouterr().out
+
+    def test_diagnostics_exit_one_but_still_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "broken.f"
+        path.write_text(BROKEN_SUITE)
+        assert main(["analyze", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert "E002" in captured.err
+        assert "CONSTANTS(s)" in captured.out  # analysis still ran
+
+    def test_missing_file_exits_one(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["analyze", str(tmp_path / "nope.f")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_strict_flag_fails_fast_on_diagnostics(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "broken.f"
+        path.write_text(BROKEN_SUITE)
+        assert main(["analyze", str(path), "--strict"]) == 1
+        captured = capsys.readouterr()
+        assert "CONSTANTS" not in captured.out  # no recovery under strict
+
+    def test_strict_flag_turns_demotion_into_failure(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "poly.f"
+        path.write_text(POLY_CHAIN)
+        assert (
+            main(["analyze", str(path), "--strict", "--max-poly-terms", "1"])
+            == 2
+        )
+        assert "degraded components" in capsys.readouterr().err
+
+    def test_budget_flags_reach_the_pipeline(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "poly.f"
+        path.write_text(POLY_CHAIN)
+        assert main(["analyze", str(path), "--solver-fuel", "0"]) == 0
+        captured = capsys.readouterr()
+        assert "no interprocedural constants" in captured.out
+        assert "degraded components" in captured.err
+
+    def test_verify_ir_flag_accepted(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "ok.f"
+        path.write_text(POLY_CHAIN)
+        assert main(["analyze", str(path), "--verify-ir"]) == 0
+
+
+class TestVerifierIntegration:
+    def test_verify_ir_config_runs_clean_on_pipeline(self):
+        config = AnalysisConfig(verify_ir=True, complete=True)
+        result, _ = analyze_source_resilient(POLY_CHAIN, config)
+        assert result is not None
+
+    def test_verify_ir_runs_clean_on_stubbed_program(self):
+        config = AnalysisConfig(verify_ir=True)
+        result, diags = analyze_source_resilient(BROKEN_SUITE, config)
+        assert result is not None
+        assert diags.has_errors
+
+    def test_verify_ir_runs_clean_after_cloning(self):
+        from repro.frontend.parser import parse_source
+        from repro.frontend.source import SourceFile
+        from repro.ipcp.cloning import clone_for_constants
+        from repro.ir.lowering import lower_module
+
+        source = (
+            "      PROGRAM MAIN\n"
+            "      CALL C(4)\n      CALL C(8)\n      END\n"
+            "      SUBROUTINE C(S)\n      A = S + 1\n      END\n"
+        )
+        program = lower_module(parse_source(source), SourceFile("c.f", source))
+        report = clone_for_constants(program, AnalysisConfig(verify_ir=True))
+        assert report.clones
