@@ -2,23 +2,20 @@
 
 Every benchmark module both *times* its pipeline stage (pytest-benchmark)
 and *prints* the regenerated table so the run's output contains the same
-rows the paper reports. Printing uses ``capfd.disabled()`` so the tables
-appear even though pytest captures test output.
+rows the paper reports. The printing helper (and the parse-and-lower
+helpers the modules use) live in :mod:`repro.testkit`, shared with the
+test suite; this conftest re-exports them and applies the ``bench``
+marker to everything collected here.
 """
 
 from __future__ import annotations
 
 import pytest
 
-_printed = set()
+from repro.testkit import emit_once, lower  # noqa: F401 — re-exports
 
 
-def emit_once(capfd, key: str, text: str) -> None:
-    """Print ``text`` to the real terminal, once per session per key."""
-    if key in _printed:
-        return
-    _printed.add(key)
-    with capfd.disabled():
-        print()
-        print(text)
-        print()
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if "/benchmarks/" in str(item.fspath):
+            item.add_marker(pytest.mark.bench)

@@ -6,10 +6,8 @@ import pytest
 
 from benchmarks.conftest import emit_once
 from repro.config import AnalysisConfig
-from repro.frontend.parser import parse_source
-from repro.frontend.source import SourceFile
 from repro.ipcp.cloning import clone_for_constants
-from repro.ir.lowering import lower_module
+from repro.testkit import lower
 from repro.suite.builder import SuiteProgramBuilder
 
 
@@ -25,7 +23,7 @@ def _conflict_workload() -> str:
 
 
 def _fresh_program(source):
-    return lower_module(parse_source(source), SourceFile("clone.f", source))
+    return lower(source, "clone.f")
 
 
 def test_cloning_recovers_conflicting_constants(benchmark, capfd):

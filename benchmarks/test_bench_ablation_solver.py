@@ -10,14 +10,12 @@ import pytest
 
 from benchmarks.conftest import emit_once
 from repro.config import AnalysisConfig
-from repro.frontend.parser import parse_source
-from repro.frontend.source import SourceFile
 from repro.ipcp.driver import prepare_program
 from repro.ipcp.jump_functions import build_forward_jump_functions
 from repro.ipcp.return_functions import build_return_functions
 from repro.ipcp.solver import propagate
-from repro.ir.lowering import lower_module
 from repro.suite.programs import SUITE_PROGRAM_NAMES, program_source
+from repro.testkit import lower
 
 
 @pytest.fixture(scope="module")
@@ -28,9 +26,7 @@ def prepared_suite():
     config = AnalysisConfig()
     for name in SUITE_PROGRAM_NAMES:
         source = program_source(name)
-        program = lower_module(
-            parse_source(source, f"{name}.f"), SourceFile(f"{name}.f", source)
-        )
+        program = lower(source, f"{name}.f")
         callgraph, modref = prepare_program(program, config)
         return_map = build_return_functions(program, callgraph, modref)
         table = build_forward_jump_functions(

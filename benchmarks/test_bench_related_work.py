@@ -13,13 +13,11 @@ import pytest
 
 from benchmarks.conftest import emit_once
 from repro.config import AnalysisConfig
-from repro.frontend.parser import parse_source
-from repro.frontend.source import SourceFile
 from repro.ipcp.cloning import clone_for_constants
 from repro.ipcp.driver import analyze_program
 from repro.ipcp.inlining import integrate_and_propagate
-from repro.ir.lowering import lower_module
 from repro.suite.programs import program_source
+from repro.testkit import lower
 
 #: Small, conflict-bearing subset (integration duplicates code; keep the
 #: bench quick).
@@ -28,9 +26,7 @@ PROGRAMS = ["trfd", "mdg", "fpppp", "spec77"]
 
 def _fresh(name):
     source = program_source(name)
-    return lower_module(
-        parse_source(source, f"{name}.f"), SourceFile(f"{name}.f", source)
-    )
+    return lower(source, f"{name}.f")
 
 
 @pytest.fixture(scope="module")

@@ -14,14 +14,12 @@ import pytest
 
 from benchmarks.conftest import emit_once
 from repro.config import AnalysisConfig
-from repro.frontend.parser import parse_source
-from repro.frontend.source import SourceFile
 from repro.ipcp.driver import prepare_program
 from repro.ipcp.jump_functions import build_forward_jump_functions
 from repro.ipcp.return_functions import build_return_functions
 from repro.ipcp.solver import propagate
-from repro.ir.lowering import lower_module
 from repro.suite.generator import GeneratorConfig, generate_program
+from repro.testkit import lower
 
 SIZES = [4, 8, 16, 32]
 
@@ -36,7 +34,7 @@ def _source_for(procedures: int) -> str:
 
 
 def _fresh(source):
-    return lower_module(parse_source(source), SourceFile("scale.f", source))
+    return lower(source, "scale.f")
 
 
 @pytest.mark.parametrize("procedures", SIZES)

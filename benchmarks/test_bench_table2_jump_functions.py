@@ -12,10 +12,8 @@ from repro.config import AnalysisConfig, JumpFunctionKind
 from repro.ipcp.driver import prepare_program
 from repro.ipcp.jump_functions import build_forward_jump_functions
 from repro.ipcp.return_functions import build_return_functions
-from repro.frontend.parser import parse_source
-from repro.frontend.source import SourceFile
-from repro.ir.lowering import lower_module
 from repro.suite.programs import SUITE_PROGRAM_NAMES, program_source
+from repro.testkit import lower
 from repro.suite.tables import compute_table2, format_table2, run_configuration
 
 
@@ -54,9 +52,7 @@ def test_table2_jump_function_construction_cost(benchmark, capfd, table2_rows):
     prepared = []
     for name in SUITE_PROGRAM_NAMES:
         source = program_source(name)
-        program = lower_module(
-            parse_source(source, f"{name}.f"), SourceFile(f"{name}.f", source)
-        )
+        program = lower(source, f"{name}.f")
         callgraph, modref = prepare_program(program, AnalysisConfig())
         prepared.append((program, callgraph, modref))
 

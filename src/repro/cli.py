@@ -11,7 +11,11 @@ Subcommands:
 - ``integrate FILE`` — Wegman-Zadeck procedure integration, before/after;
 - ``suite`` — write the 12 benchmark programs to disk as .f files;
 - ``tables`` — regenerate the study's Tables 1-3 on the bundled
-  benchmark suite.
+  benchmark suite;
+- ``oracle`` — differential-testing campaign: N seeded random programs
+  executed through the reference interpreter and cross-checked against
+  the analysis (soundness, semantic preservation, budget monotonicity),
+  with failing cases minimized and written to a corpus directory.
 """
 
 from __future__ import annotations
@@ -172,6 +176,41 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=(1, 2, 3),
         default=None,
         help="which table (default: all)",
+    )
+
+    oracle = sub.add_parser(
+        "oracle", help="run the interpreter-backed differential oracle"
+    )
+    oracle.add_argument(
+        "--trials", type=int, default=50, metavar="N",
+        help="number of seeded trials (default: 50)",
+    )
+    oracle.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="first seed; trials use S..S+N-1 (default: 0)",
+    )
+    oracle.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="directory for minimized counterexamples (only written on failure)",
+    )
+    oracle.add_argument(
+        "--procedures", type=int, default=None, metavar="K",
+        help="procedures per generated program",
+    )
+    oracle.add_argument(
+        "--max-statements", type=int, default=None, metavar="M",
+        help="statement budget per generated procedure",
+    )
+    oracle.add_argument(
+        "--property",
+        action="append",
+        choices=("soundness", "preservation", "monotonicity"),
+        default=None,
+        help="check only these properties (repeatable; default: all)",
+    )
+    oracle.add_argument(
+        "--no-minimize", action="store_true",
+        help="skip counterexample shrinking on failure",
     )
     return parser
 
@@ -342,6 +381,51 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_oracle(args: argparse.Namespace) -> int:
+    from dataclasses import replace as dc_replace
+
+    from repro.oracle.harness import (
+        DEFAULT_ORACLE_CONFIG,
+        PROPERTIES,
+        run_oracle,
+    )
+
+    generator_config = DEFAULT_ORACLE_CONFIG
+    if args.procedures is not None:
+        generator_config = dc_replace(generator_config, procedures=args.procedures)
+    if args.max_statements is not None:
+        generator_config = dc_replace(
+            generator_config, max_statements_per_procedure=args.max_statements
+        )
+    properties = tuple(args.property) if args.property else PROPERTIES
+
+    dots = {"count": 0}
+
+    def progress(trial) -> None:
+        sys.stderr.write("s" if trial.skipped else "." if trial.ok else "F")
+        dots["count"] += 1
+        if dots["count"] % 50 == 0:
+            sys.stderr.write(f" {dots['count']}/{args.trials}\n")
+        sys.stderr.flush()
+
+    report = run_oracle(
+        trials=args.trials,
+        seed=args.seed,
+        generator_config=generator_config,
+        properties=properties,
+        corpus_dir=args.corpus,
+        minimize=not args.no_minimize,
+        progress=progress,
+    )
+    sys.stderr.write("\n")
+    print(report.summary())
+    if not report.ok:
+        if args.corpus:
+            print(f"minimized counterexamples written to {args.corpus}/")
+        return EXIT_DIAGNOSTICS
+    return EXIT_OK
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -352,6 +436,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "integrate": _cmd_integrate,
         "suite": _cmd_suite,
         "tables": _cmd_tables,
+        "oracle": _cmd_oracle,
     }
     try:
         return handlers[args.command](args)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.expr import fold_operator
 from repro.ir.cfg import BasicBlock
@@ -50,6 +50,13 @@ class InterpreterError(Exception):
     """Raised for runtime errors (division by zero, step overrun)."""
 
 
+#: Signature of the procedure-entry tracing hook: called once per
+#: invocation with the procedure name and the entry snapshot (formal and
+#: scalar-global bindings). The dict is the caller's own copy; mutating
+#: it does not affect execution or the recorded trace.
+EntryHook = Callable[[str, Dict["Variable", int]], None]
+
+
 class _Halt(Exception):
     """Internal: unwinds the call stack on STOP."""
 
@@ -74,11 +81,19 @@ class Trace:
         self, procedure_name: str, claimed: Dict[Variable, int]
     ) -> List[str]:
         """Check claimed CONSTANTS(p) pairs against every recorded
-        invocation; returns human-readable violations (empty = sound)."""
+        invocation; returns human-readable violations (empty = sound).
+
+        Matching is by *name*: Variables have identity semantics, and
+        the claims usually come from a separately lowered copy of the
+        program (the analysis mutates its input, so oracles execute a
+        fresh lowering). Within one procedure a name resolves to exactly
+        one variable, so the name is a faithful key.
+        """
         problems = []
         for index, snapshot in enumerate(self.entries.get(procedure_name, ())):
+            by_name = {var.name: value for var, value in snapshot.items()}
             for var, value in claimed.items():
-                seen = snapshot.get(var)
+                seen = by_name.get(var.name)
                 if seen is not None and seen != value:
                     problems.append(
                         f"{procedure_name} invocation {index}: {var.name} was "
@@ -126,10 +141,12 @@ class Interpreter:
         program: Program,
         inputs: Optional[Sequence[int]] = None,
         fuel: int = 1_000_000,
+        on_entry: Optional[EntryHook] = None,
     ):
         self.program = program
         self._input_iter: Iterator[int] = iter(inputs or ())
         self.fuel = fuel
+        self.on_entry = on_entry
         self.trace = Trace()
         self._globals = _Frame()
         for variable, value in program.global_initial_values.items():
@@ -171,6 +188,8 @@ class Interpreter:
         for variable in self.program.scalar_globals():
             snapshot[variable] = self._globals.cell(variable)[0]
         self.trace.entries[procedure.name].append(snapshot)
+        if self.on_entry is not None:
+            self.on_entry(procedure.name, dict(snapshot))
 
         block: Optional[BasicBlock] = procedure.cfg.entry
         while block is not None:
@@ -288,13 +307,17 @@ def run_program(
     program: Program,
     inputs: Optional[Sequence[int]] = None,
     fuel: int = 1_000_000,
+    on_entry: Optional[EntryHook] = None,
 ) -> Trace:
     """Execute ``program`` (freshly lowered, not in SSA form)."""
-    return Interpreter(program, inputs, fuel).run()
+    return Interpreter(program, inputs, fuel, on_entry).run()
 
 
 def run_source(
-    text: str, inputs: Optional[Sequence[int]] = None, fuel: int = 1_000_000
+    text: str,
+    inputs: Optional[Sequence[int]] = None,
+    fuel: int = 1_000_000,
+    on_entry: Optional[EntryHook] = None,
 ) -> Trace:
     """Parse, lower, and execute MiniFortran source text."""
     from repro.frontend.parser import parse_source
@@ -303,4 +326,4 @@ def run_source(
 
     module = parse_source(text)
     program = lower_module(module, SourceFile("<string>", text))
-    return run_program(program, inputs, fuel)
+    return run_program(program, inputs, fuel, on_entry)

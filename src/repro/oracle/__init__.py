@@ -1,0 +1,44 @@
+"""Differential-testing oracle: the interpreter as ground truth.
+
+CCKT86's central claim is soundness — every ``(name, value)`` pair in
+``CONSTANTS(p)`` must hold on *every* invocation of ``p`` — and its
+transformations (substitution, cloning) must preserve semantics. This
+package checks both claims, plus graceful-degradation monotonicity,
+against actual execution:
+
+- :mod:`repro.oracle.harness` — one seeded trial: generate a program
+  with concrete driver inputs, execute it through the reference
+  interpreter, and cross-check three properties against the analysis;
+- :mod:`repro.oracle.minimize` — greedy counterexample shrinking
+  (whole procedures first, then individual statements);
+- :mod:`repro.oracle.corpus` — persisting minimized failures;
+- :mod:`repro.oracle.golden` — the golden-snapshot regression corpus.
+
+The CLI front door is ``repro-ipcp oracle``.
+"""
+
+from repro.oracle.harness import (
+    DEFAULT_ORACLE_CONFIG,
+    Discrepancy,
+    OracleReport,
+    TrialResult,
+    check_source,
+    run_oracle,
+    run_trial,
+)
+from repro.oracle.minimize import minimize_source
+from repro.oracle.corpus import CorpusEntry, load_corpus, write_failure
+
+__all__ = [
+    "DEFAULT_ORACLE_CONFIG",
+    "Discrepancy",
+    "OracleReport",
+    "TrialResult",
+    "check_source",
+    "run_oracle",
+    "run_trial",
+    "minimize_source",
+    "CorpusEntry",
+    "load_corpus",
+    "write_failure",
+]

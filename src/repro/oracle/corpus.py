@@ -1,0 +1,77 @@
+"""Persisting minimized oracle failures.
+
+Each failure becomes two files in the corpus directory:
+
+- ``seed<N>_<property>.f`` — the (minimized) MiniFortran program;
+- ``seed<N>_<property>.json`` — metadata: seed, property, driver
+  inputs, and the first discrepancy's human-readable detail.
+
+The ``.f`` file re-runs directly through ``repro-ipcp analyze`` /
+``run`` during triage; the JSON sidecar carries everything needed to
+reproduce the failing check (see docs/TESTING.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One persisted counterexample."""
+
+    seed: int
+    property: str
+    source: str
+    inputs: Tuple[int, ...]
+    detail: str
+
+    @property
+    def stem(self) -> str:
+        return f"seed{self.seed}_{self.property}"
+
+
+def write_failure(directory: str, entry: CorpusEntry) -> Tuple[str, str]:
+    """Write one entry; returns the (program, metadata) paths."""
+    os.makedirs(directory, exist_ok=True)
+    program_path = os.path.join(directory, entry.stem + ".f")
+    meta_path = os.path.join(directory, entry.stem + ".json")
+    with open(program_path, "w", encoding="utf-8") as handle:
+        handle.write(entry.source)
+    metadata = asdict(entry)
+    metadata.pop("source")
+    metadata["inputs"] = list(entry.inputs)
+    metadata["program"] = os.path.basename(program_path)
+    with open(meta_path, "w", encoding="utf-8") as handle:
+        json.dump(metadata, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return program_path, meta_path
+
+
+def load_corpus(directory: str) -> List[CorpusEntry]:
+    """Read every persisted entry back (sorted by filename)."""
+    entries: List[CorpusEntry] = []
+    if not os.path.isdir(directory):
+        return entries
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        meta_path = os.path.join(directory, name)
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            metadata = json.load(handle)
+        program_path = os.path.join(directory, metadata["program"])
+        with open(program_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        entries.append(
+            CorpusEntry(
+                seed=metadata["seed"],
+                property=metadata["property"],
+                source=source,
+                inputs=tuple(metadata["inputs"]),
+                detail=metadata["detail"],
+            )
+        )
+    return entries

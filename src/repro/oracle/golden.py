@@ -1,0 +1,287 @@
+"""Golden-snapshot regression corpus.
+
+~20 representative programs — the paper-suite replicas plus targeted
+edge cases (cloning conflicts, GSA refinement, polynomial jump
+functions, recursion, generated programs) — each snapshotted as a
+plain-text file capturing the analysis surface a perf PR must not
+silently change: the full CONSTANTS sets, the jump-function payload
+classes, per-procedure substitution counts, and the transformed source.
+
+Snapshots live in ``tests/golden/snapshots/`` and are compared verbatim
+by ``tests/golden/test_golden.py``; regenerate with
+
+    pytest tests/golden --update-goldens
+
+after an *intentional* precision change, and review the diff like any
+other code change (see docs/TESTING.md).
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.config import AnalysisConfig, JumpFunctionKind
+
+
+@dataclass(frozen=True)
+class GoldenProgram:
+    """One corpus member: a program and the configuration to snapshot."""
+
+    name: str
+    source: str
+    config: AnalysisConfig = field(default_factory=AnalysisConfig)
+    note: str = ""
+
+
+_REGISTRY: Optional[Dict[str, GoldenProgram]] = None
+
+
+def _edge_case_programs() -> Dict[str, GoldenProgram]:
+    from repro.suite.builder import SuiteProgramBuilder
+    from repro.suite.generator import GeneratorConfig, generate_program
+
+    programs: Dict[str, GoldenProgram] = {}
+
+    def add(name: str, source: str, config: AnalysisConfig = None, note: str = ""):
+        programs[name] = GoldenProgram(
+            name, source, config or AnalysisConfig(), note
+        )
+
+    builder = SuiteProgramBuilder("clone")
+    builder.conflict_calls((2, 9), n_refs=3)
+    add(
+        "edge_clone_conflict", builder.build(),
+        note="conflicting call sites: the meet washes the formal to "
+        "bottom — the program cloning recovers constants from",
+    )
+
+    builder = SuiteProgramBuilder("gsa")
+    builder.dead_branch_reveal(4, 1, 2)
+    add(
+        "edge_gsa_refinement", builder.build(),
+        AnalysisConfig(gsa_refinement=True),
+        note="constant-guarded dead branch: GSA-style refinement drops "
+        "the never-executed call site",
+    )
+    add(
+        "edge_complete_propagation", builder.build(),
+        AnalysisConfig.complete_propagation(),
+        note="same dead branch through propagate/DCE iteration",
+    )
+
+    builder = SuiteProgramBuilder("chain")
+    builder.formal_chain(3, 2, 5)
+    add(
+        "edge_formal_chain", builder.build(),
+        note="three-deep formal forwarding: needs pass-through jump "
+        "functions",
+    )
+
+    builder = SuiteProgramBuilder("ginit")
+    builder.global_via_init((10,), 2, 3)
+    add(
+        "edge_global_via_init", builder.build(),
+        note="global set through an INIT call: needs return jump "
+        "functions",
+    )
+
+    builder = SuiteProgramBuilder("fret")
+    builder.function_returns(3, 8)
+    add(
+        "edge_function_returns", builder.build(),
+        note="function-result constant: return jump function of a "
+        "FUNCTION unit",
+    )
+
+    builder = SuiteProgramBuilder("local")
+    builder.local_constants(5, 3, sink=True)
+    add(
+        "edge_intraprocedural_only", builder.build(),
+        AnalysisConfig.intraprocedural_only(),
+        note="intraprocedural baseline with a MOD-killing sink call",
+    )
+
+    add(
+        "edge_polynomial_jump",
+        (
+            "      PROGRAM MAIN\n"
+            "      X = 4\n"
+            "      Y = 3\n"
+            "      CALL P(X + 2 * Y, X * Y)\n"
+            "      END\n"
+            "\n"
+            "      SUBROUTINE P(A, B)\n"
+            "      C = A + B\n"
+            "      PRINT *, C\n"
+            "      RETURN\n"
+            "      END\n"
+        ),
+        note="actuals are polynomials over caller entry values: only "
+        "polynomial jump functions carry them",
+    )
+
+    add(
+        "edge_recursion",
+        (
+            "      PROGRAM MAIN\n"
+            "      K = 5\n"
+            "      CALL DOWN(K)\n"
+            "      END\n"
+            "\n"
+            "      SUBROUTINE DOWN(N)\n"
+            "      COMMON /S/ G\n"
+            "      G = 2\n"
+            "      IF (N .GT. 0) THEN\n"
+            "        CALL DOWN(N - 1)\n"
+            "      ENDIF\n"
+            "      PRINT *, G + N\n"
+            "      RETURN\n"
+            "      END\n"
+        ),
+        note="self-recursive call-graph SCC handled conservatively",
+    )
+
+    generator_config = GeneratorConfig(procedures=4, max_statements_per_procedure=8)
+    for seed in (7, 13):
+        add(
+            f"edge_generated_seed{seed}",
+            generate_program(seed, generator_config),
+            note=f"random generator output, seed {seed} (pins generator "
+            "and analysis together)",
+        )
+
+    add(
+        "edge_literal_kind",
+        (
+            "      PROGRAM MAIN\n"
+            "      CALL Q(11)\n"
+            "      CALL Q(11)\n"
+            "      END\n"
+            "\n"
+            "      SUBROUTINE Q(V)\n"
+            "      W = V - 1\n"
+            "      PRINT *, W\n"
+            "      RETURN\n"
+            "      END\n"
+        ),
+        AnalysisConfig(jump_function=JumpFunctionKind.LITERAL),
+        note="agreeing literal actuals: visible even to the weakest "
+        "jump function",
+    )
+
+    return programs
+
+
+def golden_programs() -> Dict[str, GoldenProgram]:
+    """The full corpus, name -> program (built once, cached)."""
+    global _REGISTRY
+    if _REGISTRY is None:
+        from repro.suite.programs import suite_sources
+        from repro.testkit import TRI_PROGRAM
+
+        registry: Dict[str, GoldenProgram] = {}
+        for name, source in suite_sources().items():
+            registry[f"suite_{name}"] = GoldenProgram(
+                f"suite_{name}", source,
+                note="paper benchmark-suite replica",
+            )
+        registry["tri_program"] = GoldenProgram(
+            "tri_program", TRI_PROGRAM,
+            note="the test suite's three-procedure example",
+        )
+        registry.update(_edge_case_programs())
+        _REGISTRY = registry
+    return _REGISTRY
+
+
+# -- snapshot rendering ------------------------------------------------------
+
+
+def render_snapshot(program: GoldenProgram) -> str:
+    """The canonical snapshot text for one corpus member.
+
+    Everything printed is deterministic: CONSTANTS lines are sorted,
+    payload classes have a fixed order, substitution counts are sorted
+    by procedure name.
+    """
+    from repro.ipcp.driver import analyze_source
+
+    result = analyze_source(program.source, program.config, f"{program.name}.f")
+    lines = [
+        f"golden: {program.name}",
+        f"configuration: {program.config.describe()}",
+    ]
+    if program.note:
+        lines.append(f"note: {program.note}")
+    lines.append("--- CONSTANTS ---")
+    lines.append(result.constants.format_report())
+    lines.append("--- jump functions ---")
+    if result.jump_table is None:
+        lines.append("(no interprocedural propagation)")
+    else:
+        counts = result.jump_table.payload_counts()
+        lines.append(
+            " ".join(f"{kind}={counts[kind]}" for kind in sorted(counts))
+        )
+    lines.append("--- substitution ---")
+    lines.append(f"total: {result.substituted_constants}")
+    for name in sorted(result.substitution.per_procedure):
+        count = result.substitution.per_procedure[name]
+        if count:
+            lines.append(f"  {name}: {count}")
+    lines.append("--- transformed source ---")
+    lines.append(result.transformed_source().rstrip("\n"))
+    return "\n".join(lines) + "\n"
+
+
+def snapshot_path(directory: str, name: str) -> str:
+    return os.path.join(directory, f"{name}.golden")
+
+
+def check_golden(directory: str, program: GoldenProgram) -> Optional[str]:
+    """None when the stored snapshot matches; otherwise a diff-style
+    message (also for a missing snapshot)."""
+    path = snapshot_path(directory, program.name)
+    current = render_snapshot(program)
+    if not os.path.exists(path):
+        return (
+            f"missing golden snapshot {path!r} — run "
+            f"`pytest tests/golden --update-goldens` and commit the file"
+        )
+    with open(path, "r", encoding="utf-8") as handle:
+        stored = handle.read()
+    if stored == current:
+        return None
+    diff = "\n".join(
+        difflib.unified_diff(
+            stored.splitlines(),
+            current.splitlines(),
+            fromfile=f"{program.name}.golden (stored)",
+            tofile=f"{program.name}.golden (current)",
+            lineterm="",
+        )
+    )
+    return (
+        f"golden snapshot mismatch for {program.name} — if the change is "
+        f"intentional, run `pytest tests/golden --update-goldens`:\n{diff}"
+    )
+
+
+def update_golden(directory: str, program: GoldenProgram) -> str:
+    """(Re)write the stored snapshot; returns its path."""
+    os.makedirs(directory, exist_ok=True)
+    path = snapshot_path(directory, program.name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_snapshot(program))
+    return path
+
+
+def update_all(directory: str) -> Dict[str, str]:
+    """Regenerate every snapshot; returns name -> path."""
+    return {
+        name: update_golden(directory, program)
+        for name, program in sorted(golden_programs().items())
+    }

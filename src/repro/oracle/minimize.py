@@ -1,0 +1,198 @@
+"""Greedy counterexample shrinking for oracle failures.
+
+A failing program is shrunk at two granularities, coarse first:
+
+1. **procedure removal** — drop one whole non-PROGRAM unit together
+   with every line elsewhere that references it (call sites, function
+   uses), so the remainder still resolves;
+2. **statement removal** — drop one body line at a time (headers,
+   COMMON declarations, and END lines are kept; structural lines like
+   ``IF .. THEN`` whose removal breaks the parse are rejected by the
+   predicate itself, which treats unparseable candidates as
+   non-reproducing).
+
+Both passes repeat until a full sweep removes nothing. The predicate —
+"does the discrepancy still reproduce?" — comes from the harness and is
+the only thing that decides whether a candidate is kept, so the
+minimizer never needs to understand *why* the program fails.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, List, Sequence
+
+Predicate = Callable[[str], bool]
+
+#: Safety bound on full sweeps; each sweep strictly shrinks the program,
+#: so this is only reached on pathological predicates.
+MAX_ROUNDS = 32
+
+_HEADER = re.compile(
+    r"^\s*(PROGRAM|SUBROUTINE|(INTEGER\s+)?FUNCTION)\b", re.IGNORECASE
+)
+_KEEP = re.compile(
+    r"^\s*(PROGRAM|SUBROUTINE|FUNCTION|INTEGER\s+FUNCTION|COMMON|INTEGER\b|RETURN\s*$|END\s*$)",
+    re.IGNORECASE,
+)
+
+
+def split_units(source: str) -> List[List[str]]:
+    """Split program text into units (line lists). A unit ends at its
+    ``END`` line (exactly ``END`` — not ENDIF/ENDDO)."""
+    units: List[List[str]] = []
+    current: List[str] = []
+    for line in source.splitlines():
+        if not line.strip() and not current:
+            continue
+        current.append(line)
+        if line.strip().upper() == "END":
+            units.append(current)
+            current = []
+    if current:
+        units.append(current)
+    return units
+
+
+def join_units(units: Sequence[Sequence[str]]) -> str:
+    return "\n\n".join("\n".join(unit) for unit in units) + "\n"
+
+
+def unit_name(unit: Sequence[str]) -> str:
+    """The PROGRAM/SUBROUTINE/FUNCTION name of a unit ('' if unknown)."""
+    for line in unit:
+        if _HEADER.match(line):
+            tokens = re.findall(r"[A-Za-z][A-Za-z0-9]*", line)
+            keywords = {"program", "subroutine", "function", "integer"}
+            for token in tokens:
+                if token.lower() not in keywords:
+                    return token
+    return ""
+
+
+def _is_program_unit(unit: Sequence[str]) -> bool:
+    return any(
+        re.match(r"^\s*PROGRAM\b", line, re.IGNORECASE) for line in unit
+    )
+
+
+def _drop_references(units: List[List[str]], name: str) -> List[List[str]]:
+    """Remove every line mentioning ``name`` as a word (call sites,
+    function-result assignments) from every unit."""
+    pattern = re.compile(rf"\b{re.escape(name)}\b", re.IGNORECASE)
+    return [
+        [line for line in unit if not pattern.search(line)] for unit in units
+    ]
+
+
+def _procedure_pass(units: List[List[str]], failing: Predicate) -> List[List[str]]:
+    index = 0
+    while index < len(units):
+        unit = units[index]
+        if _is_program_unit(unit):
+            index += 1
+            continue
+        name = unit_name(unit)
+        candidate = units[:index] + units[index + 1 :]
+        if name:
+            candidate = _drop_references(candidate, name)
+        if candidate and failing(join_units(candidate)):
+            units = candidate
+            continue  # same index now holds the next unit
+        index += 1
+    return units
+
+
+_OPENER = re.compile(r"^\s*(IF\s*\(.*\)\s*THEN|DO\b)", re.IGNORECASE)
+_CLOSER = re.compile(r"^\s*(ENDIF|ENDDO)\s*$", re.IGNORECASE)
+_ELSE = re.compile(r"^\s*ELSE\s*$", re.IGNORECASE)
+
+
+def _match_closer(unit: Sequence[str], start: int) -> int:
+    """Index of the ENDIF/ENDDO closing the opener at ``start`` (or -1)."""
+    depth = 0
+    for index in range(start, len(unit)):
+        line = unit[index]
+        if _OPENER.match(line):
+            depth += 1
+        elif _CLOSER.match(line):
+            depth -= 1
+            if depth == 0:
+                return index
+    return -1
+
+
+def _has_toplevel_else(unit: Sequence[str], start: int, closer: int) -> bool:
+    """Is there an ELSE belonging directly to the IF opened at ``start``?"""
+    depth = 1
+    for index in range(start + 1, closer):
+        line = unit[index]
+        if _OPENER.match(line):
+            depth += 1
+        elif _CLOSER.match(line):
+            depth -= 1
+        elif depth == 1 and _ELSE.match(line):
+            return True
+    return False
+
+
+def _statement_pass(units: List[List[str]], failing: Predicate) -> List[List[str]]:
+    for unit_index in range(len(units)):
+        line_index = 0
+        while line_index < len(units[unit_index]):
+            unit = units[unit_index]
+            line = unit[line_index]
+            if _KEEP.match(line):
+                line_index += 1
+                continue
+            removed = False
+            if _OPENER.match(line):
+                closer = _match_closer(unit, line_index)
+                if closer > line_index:
+                    # Whole block first, then unwrapping the guard/loop
+                    # (unwrap only when no top-level ELSE would dangle).
+                    candidate = [list(u) for u in units]
+                    del candidate[unit_index][line_index : closer + 1]
+                    if failing(join_units(candidate)):
+                        units = candidate
+                        removed = True
+                    elif not _has_toplevel_else(unit, line_index, closer):
+                        candidate = [list(u) for u in units]
+                        del candidate[unit_index][closer]
+                        del candidate[unit_index][line_index]
+                        if failing(join_units(candidate)):
+                            units = candidate
+                            removed = True
+            else:
+                candidate = [list(u) for u in units]
+                del candidate[unit_index][line_index]
+                if failing(join_units(candidate)):
+                    units = candidate
+                    removed = True
+            if not removed:
+                line_index += 1
+    return units
+
+
+def minimize_source(source: str, failing: Predicate) -> str:
+    """Shrink ``source`` while ``failing`` stays True.
+
+    ``failing`` must already be True for ``source`` itself; if it is
+    not (a flaky or mis-specified predicate) the input is returned
+    unchanged.
+    """
+    if not failing(source):
+        return source
+    units = split_units(source)
+    for _ in range(MAX_ROUNDS):
+        before = sum(len(unit) for unit in units)
+        units = _procedure_pass(units, failing)
+        units = _statement_pass(units, failing)
+        if sum(len(unit) for unit in units) == before:
+            break
+    return join_units(units)
+
+
+def procedure_count(source: str) -> int:
+    """Number of program units (PROGRAM + subprograms) in the text."""
+    return len(split_units(source))

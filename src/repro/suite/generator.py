@@ -15,8 +15,8 @@ step.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 
 @dataclass
@@ -32,6 +32,26 @@ class GeneratorConfig:
     branch_probability: float = 0.25
     loop_probability: float = 0.15
     goto_probability: float = 0.05
+    #: Bounds on the concrete input vector of :func:`generate_case`
+    #: (values fed to READ statements when the program is executed).
+    max_inputs: int = 20
+    input_range: Tuple[int, int] = (-9, 9)
+
+
+@dataclass(frozen=True)
+class GeneratedCase:
+    """One differential-testing case: a program plus the concrete
+    inputs its driver ``MAIN`` consumes through READ statements.
+
+    Both parts are a pure function of ``seed``: the source is exactly
+    ``generate_program(seed, config)`` and the input vector is drawn
+    from an independent RNG stream, so adding inputs did not perturb
+    any historically generated program text.
+    """
+
+    seed: int
+    source: str
+    inputs: Tuple[int, ...] = field(default=())
 
 
 class _ProcedureShape:
@@ -247,3 +267,31 @@ class _Generator:
 def generate_program(seed: int, config: Optional[GeneratorConfig] = None) -> str:
     """Generate a deterministic random MiniFortran program for ``seed``."""
     return _Generator(seed, config or GeneratorConfig()).generate()
+
+
+#: Stream separator for the input-vector RNG: generated *text* for a
+#: given seed must stay byte-identical to what `generate_program` has
+#: always produced, so inputs come from a distinct seeded stream.
+_INPUT_STREAM_SALT = 0x9E3779B9
+
+
+def generate_inputs(seed: int, config: Optional[GeneratorConfig] = None) -> Tuple[int, ...]:
+    """The deterministic concrete input vector for ``seed`` — integers
+    fed to the program's READ statements during differential runs."""
+    config = config or GeneratorConfig()
+    rng = random.Random(seed ^ _INPUT_STREAM_SALT)
+    count = rng.randint(0, config.max_inputs)
+    low, high = config.input_range
+    return tuple(rng.randint(low, high) for _ in range(count))
+
+
+def generate_case(seed: int, config: Optional[GeneratorConfig] = None) -> GeneratedCase:
+    """Generate a full differential-testing case (program + driver
+    inputs) for ``seed``. Byte-identical across runs for a fixed seed
+    and config."""
+    config = config or GeneratorConfig()
+    return GeneratedCase(
+        seed=seed,
+        source=generate_program(seed, config),
+        inputs=generate_inputs(seed, config),
+    )

@@ -1,0 +1,88 @@
+"""Shared helpers for the test and benchmark suites.
+
+Historically ``tests/conftest.py`` and the benchmark modules each
+carried their own copy of the parse-and-lower helper; this module is
+the single home for those utilities so fixtures are defined once and
+imported everywhere (tests, benchmarks, the differential oracle's own
+tests).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def lower(text: str, filename: str = "test.f"):
+    """Parse and lower MiniFortran text into a Program (not yet SSA)."""
+    from repro.frontend.parser import parse_source
+    from repro.frontend.source import SourceFile
+    from repro.ir.lowering import lower_module
+
+    module = parse_source(text, filename)
+    return lower_module(module, SourceFile(filename, text))
+
+
+def prepared(text: str, config=None):
+    """Lower + annotate + SSA, returning (program, callgraph, modref)."""
+    from repro.config import AnalysisConfig
+    from repro.ipcp.driver import prepare_program
+
+    program = lower(text)
+    callgraph, modref = prepare_program(program, config or AnalysisConfig())
+    return program, callgraph, modref
+
+
+#: A small three-procedure program exercising formals, globals, calls,
+#: branches, and a loop — used by many structural tests.
+TRI_PROGRAM = """
+      PROGRAM MAIN
+      INTEGER N
+      COMMON /BLK/ G1, G2
+      N = 100
+      G1 = 7
+      CALL FOO(N, 5)
+      PRINT *, G2
+      END
+
+      SUBROUTINE FOO(X, Y)
+      INTEGER X, Y, Z
+      COMMON /BLK/ G1, G2
+      Z = X + Y
+      IF (Z .GT. 10) THEN
+        G2 = Z
+      ELSE
+        G2 = 0
+      ENDIF
+      DO I = 1, Y
+        Z = Z + 1
+      ENDDO
+      CALL BAR(Z)
+      RETURN
+      END
+
+      SUBROUTINE BAR(A)
+      INTEGER A
+      COMMON /BLK/ G1, G2
+      PRINT *, A + G1
+      RETURN
+      END
+"""
+
+
+_printed: set = set()
+
+
+def emit_once(capfd, key: str, text: str, _printed: Optional[set] = None) -> None:
+    """Print ``text`` to the real terminal, once per session per key.
+
+    Benchmark modules use this to surface regenerated tables even though
+    pytest captures test output (``capfd.disabled()``).
+    """
+    seen = _printed if _printed is not None else globals()["_printed"]
+    if key in seen:
+        return
+    seen.add(key)
+    with capfd.disabled():
+        print()
+        print(text)
+        print()

@@ -1,65 +1,47 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and pytest wiring for the test suite.
+
+The helpers themselves (``lower``, ``prepared``, ``TRI_PROGRAM``) live
+in :mod:`repro.testkit` so the benchmark suite and the oracle tests
+share one copy; they are re-exported here because many test modules
+import them from ``tests.conftest``.
+
+This file also registers the ``--update-goldens`` flag (regenerates the
+golden-snapshot corpus instead of comparing against it) and auto-marks
+tests by directory: ``tests/golden`` -> ``golden``, ``tests/oracle`` ->
+``oracle``, everything else -> ``tier1`` (the fast gate:
+``pytest -m tier1``).
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.frontend.parser import parse_source
-from repro.frontend.source import SourceFile
-from repro.ir.lowering import lower_module
+from repro.testkit import TRI_PROGRAM, lower, prepared  # noqa: F401 — re-exports
 
 
-def lower(text: str, filename: str = "test.f"):
-    """Parse and lower MiniFortran text into a Program (not yet SSA)."""
-    module = parse_source(text, filename)
-    return lower_module(module, SourceFile(filename, text))
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="regenerate golden snapshots instead of asserting against them",
+    )
 
 
-def prepared(text: str, config=None):
-    """Lower + annotate + SSA, returning (program, callgraph, modref)."""
-    from repro.config import AnalysisConfig
-    from repro.ipcp.driver import prepare_program
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        path = str(item.fspath)
+        if "/tests/golden/" in path or path.endswith("tests/golden"):
+            item.add_marker(pytest.mark.golden)
+        elif "/tests/oracle/" in path:
+            item.add_marker(pytest.mark.oracle)
+        else:
+            item.add_marker(pytest.mark.tier1)
 
-    program = lower(text)
-    callgraph, modref = prepare_program(program, config or AnalysisConfig())
-    return program, callgraph, modref
 
-
-#: A small three-procedure program exercising formals, globals, calls,
-#: branches, and a loop — used by many structural tests.
-TRI_PROGRAM = """
-      PROGRAM MAIN
-      INTEGER N
-      COMMON /BLK/ G1, G2
-      N = 100
-      G1 = 7
-      CALL FOO(N, 5)
-      PRINT *, G2
-      END
-
-      SUBROUTINE FOO(X, Y)
-      INTEGER X, Y, Z
-      COMMON /BLK/ G1, G2
-      Z = X + Y
-      IF (Z .GT. 10) THEN
-        G2 = Z
-      ELSE
-        G2 = 0
-      ENDIF
-      DO I = 1, Y
-        Z = Z + 1
-      ENDDO
-      CALL BAR(Z)
-      RETURN
-      END
-
-      SUBROUTINE BAR(A)
-      INTEGER A
-      COMMON /BLK/ G1, G2
-      PRINT *, A + G1
-      RETURN
-      END
-"""
+@pytest.fixture
+def update_goldens(request) -> bool:
+    return request.config.getoption("--update-goldens")
 
 
 @pytest.fixture

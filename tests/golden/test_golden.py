@@ -1,0 +1,86 @@
+"""Golden-snapshot regression tests.
+
+Each corpus program's full analysis surface (CONSTANTS, jump-function
+payload classes, substitution counts, transformed source) is compared
+verbatim against its committed snapshot. A mismatch means the analysis
+changed behaviour: either fix the regression, or — for an intentional
+precision change — regenerate with ``pytest tests/golden
+--update-goldens`` and review the snapshot diff.
+"""
+
+import os
+
+import pytest
+
+from repro.oracle.golden import (
+    check_golden,
+    golden_programs,
+    render_snapshot,
+    snapshot_path,
+    update_golden,
+)
+
+SNAPSHOT_DIR = os.path.join(os.path.dirname(__file__), "snapshots")
+
+PROGRAM_NAMES = sorted(golden_programs())
+
+
+def test_corpus_is_large_enough():
+    assert len(PROGRAM_NAMES) >= 20
+
+
+@pytest.mark.parametrize("name", PROGRAM_NAMES)
+def test_snapshot_matches(name, update_goldens):
+    program = golden_programs()[name]
+    if update_goldens:
+        update_golden(SNAPSHOT_DIR, program)
+        return
+    problem = check_golden(SNAPSHOT_DIR, program)
+    assert problem is None, problem
+
+
+def test_every_snapshot_file_has_a_program():
+    """No orphaned snapshot files (a renamed program must take its
+    snapshot along)."""
+    stored = {
+        name[: -len(".golden")]
+        for name in os.listdir(SNAPSHOT_DIR)
+        if name.endswith(".golden")
+    }
+    assert stored == set(PROGRAM_NAMES)
+
+
+class TestUpdateRoundTrip:
+    """The failing-then-passing --update-goldens workflow, demonstrated
+    against a temporary snapshot directory."""
+
+    def test_missing_then_updated_then_passing(self, tmp_path):
+        program = golden_programs()["tri_program"]
+        directory = str(tmp_path)
+        # 1. No snapshot yet: the check fails and says how to fix it.
+        problem = check_golden(directory, program)
+        assert problem is not None
+        assert "--update-goldens" in problem
+        # 2. Regenerate: the stored file is exactly the rendered text.
+        path = update_golden(directory, program)
+        assert path == snapshot_path(directory, program.name)
+        # 3. Now the check passes.
+        assert check_golden(directory, program) is None
+
+    def test_drifted_snapshot_fails_with_diff_then_update_heals(self, tmp_path):
+        program = golden_programs()["tri_program"]
+        directory = str(tmp_path)
+        update_golden(directory, program)
+        # Simulate an analysis behaviour change by corrupting the store.
+        path = snapshot_path(directory, program.name)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("CONSTANTS(ghost) = {x=1}\n")
+        problem = check_golden(directory, program)
+        assert problem is not None
+        assert "ghost" in problem  # the diff shows the drift
+        update_golden(directory, program)
+        assert check_golden(directory, program) is None
+
+    def test_snapshot_is_deterministic(self):
+        program = golden_programs()["suite_trfd"]
+        assert render_snapshot(program) == render_snapshot(program)

@@ -177,3 +177,61 @@ class TestCalls:
             "      END\n"
         )
         assert trace.output == ["1 9 2 4"]
+
+
+class TestEntryHook:
+    """The on_entry tracing hook the differential oracle relies on."""
+
+    SOURCE = (
+        "      PROGRAM MAIN\n"
+        "      COMMON /B/ G\n"
+        "      G = 5\n"
+        "      CALL S(3)\n"
+        "      CALL S(4)\n"
+        "      END\n"
+        "      SUBROUTINE S(K)\n"
+        "      COMMON /B/ G\n"
+        "      X = K + G\n"
+        "      END\n"
+    )
+
+    def test_hook_called_per_invocation_with_bindings(self):
+        calls = []
+
+        def hook(name, snapshot):
+            calls.append((name, {var.name: v for var, v in snapshot.items()}))
+
+        run_source(self.SOURCE, on_entry=hook)
+        names = [name for name, _ in calls]
+        assert names == ["main", "s", "s"]
+        s_first, s_second = calls[1][1], calls[2][1]
+        assert s_first["k"] == 3 and s_second["k"] == 4
+        assert s_first["g"] == 5 and s_second["g"] == 5
+
+    def test_hook_receives_a_copy(self):
+        """Mutating the hook's dict must not corrupt the trace."""
+
+        def vandal(name, snapshot):
+            snapshot.clear()
+
+        trace = run_source(self.SOURCE, on_entry=vandal)
+        assert trace.invocations("s") == 2
+        assert all(trace.entries["s"]), "trace snapshots were clobbered"
+
+    def test_no_hook_is_default(self):
+        trace = run_source(self.SOURCE)
+        assert trace.invocations("s") == 2
+
+    def test_violations_match_by_name_across_lowerings(self):
+        """constant_violations must work when the claims come from a
+        *different* lowering of the same source (Variables have identity
+        semantics, so matching is by name)."""
+        from repro.testkit import lower
+
+        trace = run_source(self.SOURCE)
+        other = lower(self.SOURCE)  # independent lowering, fresh Variables
+        formal = other.procedure("s").formals[0]
+        assert trace.constant_violations("s", {formal: 3}) == [
+            "s invocation 1: k was 4, analyzer claimed 3"
+        ]
+        assert trace.constant_violations("s", {formal: 99}) != []

@@ -1,0 +1,46 @@
+"""Corpus persistence round-trips."""
+
+import json
+import os
+
+from repro.oracle.corpus import CorpusEntry, load_corpus, write_failure
+
+ENTRY = CorpusEntry(
+    seed=42,
+    property="soundness",
+    source="      PROGRAM MAIN\n      END\n",
+    inputs=(1, -2, 3),
+    detail="p invocation 1: x was 8, analyzer claimed 4",
+)
+
+
+def test_write_creates_program_and_metadata(tmp_path):
+    program_path, meta_path = write_failure(str(tmp_path), ENTRY)
+    assert os.path.basename(program_path) == "seed42_soundness.f"
+    with open(program_path) as handle:
+        assert handle.read() == ENTRY.source
+    with open(meta_path) as handle:
+        metadata = json.load(handle)
+    assert metadata["seed"] == 42
+    assert metadata["inputs"] == [1, -2, 3]
+    assert metadata["program"] == "seed42_soundness.f"
+    assert "source" not in metadata  # program text lives in the .f file
+
+
+def test_round_trip(tmp_path):
+    write_failure(str(tmp_path), ENTRY)
+    entries = load_corpus(str(tmp_path))
+    assert entries == [ENTRY]
+
+
+def test_load_missing_directory_is_empty():
+    assert load_corpus("/nonexistent/oracle/corpus") == []
+
+
+def test_multiple_entries_sorted(tmp_path):
+    from dataclasses import replace
+
+    write_failure(str(tmp_path), replace(ENTRY, seed=9))
+    write_failure(str(tmp_path), replace(ENTRY, seed=10))
+    entries = load_corpus(str(tmp_path))
+    assert [entry.seed for entry in entries] == [10, 9]  # filename order

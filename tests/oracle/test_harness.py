@@ -1,0 +1,118 @@
+"""Differential-harness tests: trials, properties, reports."""
+
+import pytest
+
+from repro.oracle.harness import (
+    MONOTONICITY,
+    PRESERVATION,
+    SOUNDNESS,
+    check_source,
+    run_oracle,
+    run_trial,
+)
+from repro.suite.generator import generate_case
+
+CLEAN = (
+    "      PROGRAM MAIN\n"
+    "      N = 6\n"
+    "      CALL S(N)\n"
+    "      CALL S(N)\n"
+    "      END\n"
+    "\n"
+    "      SUBROUTINE S(K)\n"
+    "      A = K + 1\n"
+    "      PRINT *, A\n"
+    "      RETURN\n"
+    "      END\n"
+)
+
+
+class TestCheckSource:
+    def test_clean_program_has_no_discrepancies(self):
+        assert check_source(CLEAN, []) == []
+
+    def test_property_selection(self):
+        assert check_source(CLEAN, [], properties=(SOUNDNESS,)) == []
+        assert check_source(CLEAN, [], properties=(PRESERVATION,)) == []
+        assert check_source(CLEAN, [], properties=(MONOTONICITY,)) == []
+
+    def test_unsound_claim_is_reported(self):
+        """Force a false CONSTANTS claim by faking the analysis: the
+        trace side alone must expose the conflict."""
+        from repro.ir.interp import run_source
+        from repro.testkit import lower
+
+        conflict = (
+            "      PROGRAM MAIN\n"
+            "      CALL C(4)\n"
+            "      CALL C(8)\n"
+            "      END\n"
+            "      SUBROUTINE C(S)\n"
+            "      A = S + 1\n"
+            "      RETURN\n"
+            "      END\n"
+        )
+        trace = run_source(conflict)
+        program = lower(conflict)
+        claim_var = next(
+            formal for formal in program.procedure("c").formals
+        )
+        violations = trace.constant_violations("c", {claim_var: 4})
+        assert len(violations) == 1
+        assert "was 8" in violations[0]
+
+
+class TestRunTrial:
+    def test_trial_is_deterministic(self):
+        first = run_trial(3)
+        second = run_trial(3)
+        assert first.source == second.source
+        assert first.inputs == second.inputs
+        assert first.discrepancies == second.discrepancies
+
+    def test_trial_inputs_come_from_generated_case(self):
+        from repro.oracle.harness import DEFAULT_ORACLE_CONFIG
+
+        case = generate_case(3, DEFAULT_ORACLE_CONFIG)
+        trial = run_trial(3)
+        assert trial.inputs == case.inputs
+        assert trial.source == case.source
+
+
+class TestRunOracle:
+    def test_small_campaign_passes_on_current_analysis(self):
+        report = run_oracle(12, seed=0)
+        assert report.ok, report.summary()
+        assert report.trials == 12
+        assert "12 trial(s)" in report.summary()
+
+    def test_progress_callback_sees_every_trial(self):
+        seen = []
+        run_oracle(5, seed=100, progress=seen.append)
+        assert [t.seed for t in seen] == [100, 101, 102, 103, 104]
+
+    def test_failures_written_to_corpus(self, tmp_path, monkeypatch):
+        """With a sabotaged analysis, the campaign fails, minimizes,
+        and persists the counterexample."""
+        from repro.lattice import LatticeValue
+        from repro.oracle.corpus import load_corpus
+
+        original = LatticeValue.meet
+
+        def broken(self, other):
+            if (
+                self.is_constant
+                and other.is_constant
+                and self.value != other.value
+            ):
+                return self
+            return original(self, other)
+
+        monkeypatch.setattr(LatticeValue, "meet", broken)
+        corpus_dir = str(tmp_path / "corpus")
+        report = run_oracle(8, seed=0, corpus_dir=corpus_dir)
+        assert not report.ok
+        entries = load_corpus(corpus_dir)
+        assert entries
+        assert entries[0].property == "soundness"
+        assert "PROGRAM" in entries[0].source

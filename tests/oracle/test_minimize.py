@@ -1,0 +1,126 @@
+"""Counterexample-minimizer tests (no analysis involved: predicates are
+plain text properties, so the shrinking machinery is tested in
+isolation)."""
+
+from repro.oracle.minimize import (
+    minimize_source,
+    procedure_count,
+    split_units,
+    unit_name,
+)
+
+THREE_UNITS = (
+    "      PROGRAM MAIN\n"
+    "      X = 1\n"
+    "      CALL A(X)\n"
+    "      CALL B(X)\n"
+    "      END\n"
+    "\n"
+    "      SUBROUTINE A(P)\n"
+    "      Q = P + 1\n"
+    "      RETURN\n"
+    "      END\n"
+    "\n"
+    "      SUBROUTINE B(P)\n"
+    "      R = P + 2\n"
+    "      RETURN\n"
+    "      END\n"
+)
+
+
+class TestSplitting:
+    def test_split_units_counts_program_units(self):
+        units = split_units(THREE_UNITS)
+        assert len(units) == 3
+        assert procedure_count(THREE_UNITS) == 3
+
+    def test_endif_enddo_do_not_terminate_units(self):
+        source = (
+            "      PROGRAM MAIN\n"
+            "      IF (1 .EQ. 1) THEN\n"
+            "      ENDIF\n"
+            "      DO I = 1, 2\n"
+            "      ENDDO\n"
+            "      END\n"
+        )
+        assert len(split_units(source)) == 1
+
+    def test_unit_name(self):
+        units = split_units(THREE_UNITS)
+        assert unit_name(units[0]) == "MAIN"
+        assert unit_name(units[1]) == "A"
+        assert unit_name(units[2]) == "B"
+
+    def test_function_unit_name(self):
+        unit = ["      INTEGER FUNCTION FVAL(X)", "      FVAL = X", "      END"]
+        assert unit_name(unit) == "FVAL"
+
+
+class TestMinimize:
+    def test_drops_unreferenced_procedure(self):
+        # The discrepancy "mentions B" survives without A; A (and the
+        # call to it) must be removed.
+        failing = lambda text: "SUBROUTINE B" in text and "PROGRAM" in text
+        minimized = minimize_source(THREE_UNITS, failing)
+        assert "SUBROUTINE A" not in minimized
+        assert "CALL A" not in minimized
+        assert procedure_count(minimized) == 2
+
+    def test_drops_irrelevant_statements(self):
+        failing = lambda text: "CALL B" in text and "PROGRAM" in text
+        minimized = minimize_source(THREE_UNITS, failing)
+        assert "X = 1" not in minimized
+        assert "Q = P + 1" not in minimized
+
+    def test_removes_empty_block_shells(self):
+        source = (
+            "      PROGRAM MAIN\n"
+            "      IF (1 .EQ. 1) THEN\n"
+            "        Y = 2\n"
+            "      ENDIF\n"
+            "      PRINT *, 3\n"
+            "      END\n"
+        )
+        failing = lambda text: "PRINT" in text and "PROGRAM" in text
+        minimized = minimize_source(source, failing)
+        assert "IF" not in minimized
+        assert "ENDIF" not in minimized
+
+    def test_unwraps_block_keeping_needed_body(self):
+        source = (
+            "      PROGRAM MAIN\n"
+            "      IF (1 .EQ. 1) THEN\n"
+            "        PRINT *, 3\n"
+            "      ENDIF\n"
+            "      END\n"
+        )
+        failing = lambda text: "PRINT" in text and "PROGRAM" in text
+        minimized = minimize_source(source, failing)
+        assert "PRINT" in minimized
+        assert "IF" not in minimized
+
+    def test_never_returns_non_failing_program(self):
+        failing = lambda text: "CALL B" in text
+        minimized = minimize_source(THREE_UNITS, failing)
+        assert failing(minimized)
+
+    def test_non_reproducing_input_returned_unchanged(self):
+        assert minimize_source(THREE_UNITS, lambda text: False) == THREE_UNITS
+
+    def test_minimized_program_still_parses(self):
+        """Shrinking against a real predicate (program analyzes and
+        still calls B) yields a valid program."""
+        from repro.ipcp.driver import analyze_source
+
+        def failing(text):
+            if "CALL B" not in text:
+                return False
+            try:
+                analyze_source(text)
+            except Exception:
+                return False
+            return True
+
+        minimized = minimize_source(THREE_UNITS, failing)
+        assert failing(minimized)
+        assert procedure_count(minimized) == 2

@@ -1,0 +1,46 @@
+"""The acceptance-level mutation check: deliberately breaking the
+lattice ``meet()`` must make the oracle produce a small, minimized
+counterexample — proof that the harness detects the class of bug it was
+built for, and that the shrinker compresses random failures to
+reviewable size."""
+
+import pytest
+
+from repro.lattice import LatticeValue
+from repro.oracle.harness import run_oracle
+from repro.oracle.minimize import procedure_count
+
+
+@pytest.fixture
+def broken_meet(monkeypatch):
+    """ci ∧ cj (i ≠ j) wrongly keeps the first constant instead of
+    dropping to ⊥ — the canonical unsound meet."""
+    original = LatticeValue.meet
+
+    def broken(self, other):
+        if self.is_constant and other.is_constant and self.value != other.value:
+            return self
+        return original(self, other)
+
+    monkeypatch.setattr(LatticeValue, "meet", broken)
+
+
+def test_broken_meet_is_caught_and_minimized(broken_meet):
+    report = run_oracle(10, seed=0)
+    assert not report.ok, "oracle failed to catch an unsound meet()"
+    # At least one failure is a soundness violation...
+    assert any(
+        d.property == "soundness"
+        for failure in report.failures
+        for d in failure.discrepancies
+    )
+    # ...and its minimized witness is tiny: at most MAIN + two callees.
+    assert report.minimized, "failures were not minimized"
+    smallest = min(procedure_count(text) for text in report.minimized.values())
+    assert smallest <= 3, report.minimized
+
+
+def test_oracle_passes_on_unbroken_analysis():
+    """Control for the mutation check: same seeds, healthy meet()."""
+    report = run_oracle(10, seed=0)
+    assert report.ok, report.summary()

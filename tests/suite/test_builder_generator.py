@@ -5,7 +5,7 @@ import pytest
 from repro.config import AnalysisConfig
 from repro.ipcp.driver import analyze_source
 from repro.suite.builder import SuiteProgramBuilder
-from repro.suite.generator import GeneratorConfig, generate_program
+from repro.suite.generator import GeneratorConfig, generate_case, generate_program
 
 from tests.conftest import lower
 
@@ -130,6 +130,41 @@ class TestBuilderPatterns:
 class TestGenerator:
     def test_deterministic(self):
         assert generate_program(7) == generate_program(7)
+
+    def test_same_seed_byte_identical(self):
+        """Two runs with the same seed produce byte-identical programs
+        and input vectors — the whole oracle rests on this."""
+        for seed in (0, 1, 99, 4096):
+            first = generate_case(seed)
+            second = generate_case(seed)
+            assert first.source.encode() == second.source.encode(), seed
+            assert first.inputs == second.inputs, seed
+
+    def test_no_module_level_rng_state_consumed(self):
+        """Generation must go through the explicit seeded Random only:
+        the module-level random state is untouched, and polluting it
+        does not change the generated program."""
+        import random
+
+        state = random.getstate()
+        baseline = generate_case(11)
+        assert random.getstate() == state
+        random.seed(987654321)
+        assert generate_case(11) == baseline
+
+    def test_inputs_are_independent_of_program_stream(self):
+        """The input vector draws from its own RNG stream, so the
+        program text for a seed is exactly what generate_program has
+        always produced."""
+        case = generate_case(7)
+        assert case.source == generate_program(7)
+
+    def test_input_vector_respects_config_bounds(self):
+        config = GeneratorConfig(max_inputs=4, input_range=(-2, 2))
+        for seed in range(20):
+            inputs = generate_case(seed, config).inputs
+            assert len(inputs) <= 4
+            assert all(-2 <= value <= 2 for value in inputs)
 
     def test_different_seeds_differ(self):
         assert generate_program(1) != generate_program(2)

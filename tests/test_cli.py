@@ -169,3 +169,146 @@ class TestDotAndGsaFlags:
     def test_gsa_flag(self, program_file, capsys):
         assert main(["analyze", program_file, "--gsa"]) == 0
         assert "gsa" in capsys.readouterr().out
+
+
+BROKEN_PROGRAM = (
+    "      PROGRAM MAIN\n"
+    "      N = 6 +\n"
+    "      CALL S(N\n"
+    "      END\n"
+)
+
+MIXED_PROGRAM = (
+    "      PROGRAM MAIN\n"
+    "      CALL GOOD(2)\n"
+    "      END\n"
+    "      SUBROUTINE GOOD(K)\n"
+    "      A = K + 1\n"
+    "      RETURN\n"
+    "      END\n"
+    "      SUBROUTINE BAD(X)\n"
+    "      Y = ((X\n"
+    "      RETURN\n"
+    "      END\n"
+)
+
+
+@pytest.fixture
+def broken_file(tmp_path):
+    path = tmp_path / "broken.f"
+    path.write_text(BROKEN_PROGRAM)
+    return str(path)
+
+
+@pytest.fixture
+def mixed_file(tmp_path):
+    path = tmp_path / "mixed.f"
+    path.write_text(MIXED_PROGRAM)
+    return str(path)
+
+
+class TestAnalyzeExitCodes:
+    """The documented 0/1/2 contract across --strict and budget flags."""
+
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            [],
+            ["--strict"],
+            ["--verify-ir"],
+            ["--strict", "--verify-ir"],
+            ["--solver-fuel", "1000"],
+            ["--sccp-fuel", "100000"],
+            ["--strict", "--solver-fuel", "1000"],
+        ],
+        ids=lambda extra: " ".join(extra) or "default",
+    )
+    def test_exit_0_clean(self, program_file, extra, capsys):
+        assert main(["analyze", program_file, *extra]) == 0
+
+    @pytest.mark.parametrize(
+        "extra",
+        [[], ["--strict"], ["--solver-fuel", "1000"]],
+        ids=lambda extra: " ".join(extra) or "default",
+    )
+    def test_exit_1_diagnostics(self, broken_file, extra, capsys):
+        assert main(["analyze", broken_file, *extra]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_exit_1_mixed_still_reports_healthy_procedures(
+        self, mixed_file, capsys
+    ):
+        """Resilient mode: diagnostics exit, but CONSTANTS of the
+        parseable procedures are still printed."""
+        assert main(["analyze", mixed_file]) == 1
+        captured = capsys.readouterr()
+        assert "CONSTANTS(good)" in captured.out
+        assert "error" in captured.err
+
+    def test_exit_2_strict_budget_demotion(self, program_file, capsys):
+        """--strict turns a budget demotion into an internal failure."""
+        assert main(["analyze", program_file, "--strict", "--solver-fuel", "0"]) == 2
+        assert "degraded" in capsys.readouterr().err
+
+    def test_exit_0_resilient_budget_demotion(self, program_file, capsys):
+        """Without --strict the same starved budget only degrades."""
+        assert main(["analyze", program_file, "--solver-fuel", "0"]) == 0
+        assert "degraded" in capsys.readouterr().err
+
+    def test_exit_2_strict_tight_budget_matrix(self, program_file, capsys):
+        """Every strict budget-exhaustion combination lands on 2, never
+        an unhandled exception."""
+        for flags in (
+            ["--solver-fuel", "0"],
+            ["--solver-fuel", "0", "--max-poly-terms", "0"],
+        ):
+            code = main(["analyze", program_file, "--strict", *flags])
+            assert code == 2, flags
+            capsys.readouterr()
+
+    def test_exit_1_missing_file(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "absent.f")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestOracleCommand:
+    def test_clean_campaign_exits_zero(self, capsys):
+        assert main(["oracle", "--trials", "3", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "3 trial(s)" in out
+        assert "0 failed" in out
+
+    def test_property_filter_and_size_flags(self, capsys):
+        code = main(
+            [
+                "oracle", "--trials", "2", "--seed", "5",
+                "--procedures", "2", "--max-statements", "4",
+                "--property", "soundness",
+            ]
+        )
+        assert code == 0
+
+    def test_failing_campaign_writes_corpus_and_exits_one(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.lattice import LatticeValue
+
+        original = LatticeValue.meet
+
+        def broken(self, other):
+            if (
+                self.is_constant
+                and other.is_constant
+                and self.value != other.value
+            ):
+                return self
+            return original(self, other)
+
+        monkeypatch.setattr(LatticeValue, "meet", broken)
+        corpus = tmp_path / "corpus"
+        code = main(
+            ["oracle", "--trials", "4", "--seed", "0", "--corpus", str(corpus)]
+        )
+        assert code == 1
+        assert list(corpus.glob("seed*_soundness.f"))
+        assert "failed" in capsys.readouterr().out
