@@ -2,8 +2,9 @@
 
 The paper uses "a simple worklist iterative scheme" and notes the
 fixpoint is cheap because the lattice has depth 2. This bench compares
-FIFO and LIFO worklists on the suite: same fixpoint, different amounts
-of work (procedure visits / jump-function evaluations).
+FIFO, LIFO, and priority (reverse-postorder wavefront) worklists on the
+suite: same fixpoint, different amounts of work (procedure visits /
+jump-function evaluations).
 """
 
 import pytest
@@ -52,7 +53,7 @@ def _work_report(prepared, strategy):
     return "\n".join(lines)
 
 
-@pytest.mark.parametrize("strategy", ["fifo", "lifo"])
+@pytest.mark.parametrize("strategy", ["fifo", "lifo", "priority"])
 def test_solver_strategy(benchmark, prepared_suite, strategy, capfd):
     def run():
         pairs = 0

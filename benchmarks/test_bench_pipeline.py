@@ -1,0 +1,176 @@
+"""Pipeline throughput: parallel fan-out and the persistent cache.
+
+Unlike the paper-table benches this module measures the *engine* (PR 3):
+serial vs SCC-parallel jump-function generation, and cold vs warm
+summary-cache runs. Results land in ``BENCH_PIPELINE.json`` at the repo
+root so CI can archive them and gate on the cache hit-rate.
+
+Tiers (``BENCH_PIPELINE_TIER``):
+
+* ``tiny``  — 12 procedures, one repetition; smoke-test the harness.
+* ``small`` — 50 and 500 procedures (the default; what CI runs).
+* ``full``  — 50, 200, and 500 procedures.
+
+The ≥1.5× parallel-speedup assertion only fires on hosts with at least
+four CPUs: the growth container has one, where a process pool can only
+lose. Byte-identity of parallel vs serial output is asserted everywhere.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import emit_once
+from repro.config import AnalysisConfig
+from repro.engine import Engine
+from repro.engine.memo import clear_memos
+from repro.ipcp.driver import analyze_source
+from repro.suite.generator import GeneratorConfig, generate_program
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+REPORT_PATH = REPO_ROOT / "BENCH_PIPELINE.json"
+
+TIERS = {
+    "tiny": [12],
+    "small": [50, 500],
+    "full": [50, 200, 500],
+}
+TIER = os.environ.get("BENCH_PIPELINE_TIER", "small")
+SIZES = TIERS.get(TIER, TIERS["small"])
+
+PARALLEL_JOBS = 4
+MANY_CPUS = (os.cpu_count() or 1) >= PARALLEL_JOBS
+
+
+def source_for(procedures):
+    return generate_program(
+        seed=procedures,
+        config=GeneratorConfig(
+            procedures=procedures, max_statements_per_procedure=10
+        ),
+    )
+
+
+def fingerprint(result):
+    return (
+        result.constants.format_report(),
+        dict(result.substitution.per_procedure),
+        result.transformed_source(),
+    )
+
+
+def timed(fn):
+    clear_memos()
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value
+
+
+@pytest.fixture(scope="module")
+def report():
+    data = {
+        "tier": TIER,
+        "cpu_count": os.cpu_count(),
+        "jobs": PARALLEL_JOBS,
+        "parallel": [],
+        "cache": [],
+    }
+    yield data
+    REPORT_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
+@pytest.mark.parametrize("procedures", SIZES)
+def test_parallel_speedup(procedures, report, capfd):
+    text = source_for(procedures)
+    config = AnalysisConfig()
+
+    serial_seconds, serial = timed(
+        lambda: fingerprint(analyze_source(text, config))
+    )
+
+    def parallel_run():
+        with Engine(jobs=PARALLEL_JOBS, executor="process") as engine:
+            return fingerprint(analyze_source(text, config, engine=engine))
+
+    parallel_seconds, parallel = timed(parallel_run)
+
+    assert parallel == serial, "parallel output must be byte-identical"
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    row = {
+        "procedures": procedures,
+        "serial_seconds": round(serial_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+        "speedup": round(speedup, 3),
+    }
+    report["parallel"].append(row)
+    emit_once(
+        capfd,
+        f"pipeline-parallel-{procedures}",
+        f"pipeline {procedures} procs: serial {serial_seconds:.2f}s, "
+        f"jobs={PARALLEL_JOBS} {parallel_seconds:.2f}s "
+        f"(speedup {speedup:.2f}x, cpus={os.cpu_count()})",
+    )
+    if MANY_CPUS and procedures >= 500:
+        assert speedup >= 1.5, (
+            f"expected >=1.5x at {procedures} procedures on a "
+            f"{os.cpu_count()}-cpu host, got {speedup:.2f}x"
+        )
+
+
+@pytest.mark.parametrize("procedures", SIZES)
+def test_cache_cold_vs_warm(procedures, report, tmp_path_factory, capfd):
+    text = source_for(procedures)
+    config = AnalysisConfig()
+    cache_dir = str(tmp_path_factory.mktemp(f"cache{procedures}"))
+
+    def cold_run():
+        with Engine(cache_dir=cache_dir) as engine:
+            result = analyze_source(text, config, engine=engine)
+            engine.record_run(text, config, result)
+            return fingerprint(result)
+
+    cold_seconds, cold = timed(cold_run)
+
+    # Warm summary path: every per-procedure summary comes off disk.
+    def warm_run():
+        with Engine(cache_dir=cache_dir) as engine:
+            value = fingerprint(analyze_source(text, config, engine=engine))
+            return value, engine.cache.stats.hit_rate
+
+    warm_seconds, (warm, hit_rate) = timed(warm_run)
+    assert warm == cold
+    assert hit_rate >= 0.95, f"warm hit-rate {hit_rate:.2f} below 0.95"
+
+    # Warm run-level path: what `repro analyze --cache` replays.
+    def replay_run():
+        with Engine(cache_dir=cache_dir) as engine:
+            payload = engine.cached_run(text, config)
+            assert payload is not None, "clean run must have been recorded"
+            return payload["constants_report"]
+
+    replay_seconds, constants_report = timed(replay_run)
+    assert constants_report == cold[0]
+    replay_speedup = cold_seconds / replay_seconds if replay_seconds else 0.0
+    assert replay_speedup >= 5.0, (
+        f"warm replay only {replay_speedup:.1f}x faster than cold"
+    )
+
+    row = {
+        "procedures": procedures,
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "replay_seconds": round(replay_seconds, 4),
+        "hit_rate": round(hit_rate, 4),
+        "replay_speedup": round(replay_speedup, 1),
+    }
+    report["cache"].append(row)
+    emit_once(
+        capfd,
+        f"pipeline-cache-{procedures}",
+        f"cache {procedures} procs: cold {cold_seconds:.2f}s, warm "
+        f"{warm_seconds:.2f}s (hit-rate {hit_rate:.0%}), replay "
+        f"{replay_seconds*1000:.1f}ms ({replay_speedup:.0f}x)",
+    )

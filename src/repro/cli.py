@@ -133,6 +133,44 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="demote polynomial jump functions larger than N terms",
     )
+    analyze.add_argument(
+        "--solver",
+        default="fifo",
+        choices=("fifo", "lifo", "priority"),
+        help="interprocedural worklist discipline (default: fifo; the "
+        "fixpoint is identical, only the work differs)",
+    )
+    analyze.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="generate procedure summaries on N parallel workers "
+        "(default: 1 = serial; results are byte-identical)",
+    )
+    analyze.add_argument(
+        "--cache",
+        action="store_true",
+        help="reuse procedure summaries across runs via the persistent "
+        "cache (default location; see --cache-dir)",
+    )
+    analyze.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent summary cache directory (implies --cache; "
+        "default: $REPRO_CACHE_DIR, $XDG_CACHE_HOME/repro, or "
+        "~/.cache/repro)",
+    )
+    analyze.add_argument(
+        "--profile",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="emit per-stage timings and counters as JSON to FILE "
+        "(default: stdout)",
+    )
 
     compare = sub.add_parser("compare", help="compare all four jump functions")
     compare.add_argument("file", help="MiniFortran source file")
@@ -234,18 +272,105 @@ def _config_from_args(args: argparse.Namespace) -> AnalysisConfig:
     return replace(
         config,
         budget=budget,
+        solver_strategy=getattr(args, "solver", "fifo"),
         fault_isolation=not args.strict,
         verify_ir=args.verify_ir,
     )
 
 
+def _engine_from_args(args: argparse.Namespace):
+    """Build an :class:`repro.engine.Engine` when any engine feature is
+    requested; plain serial analysis (None) otherwise, so the default
+    CLI path stays exactly the pre-engine pipeline."""
+    wants_cache = args.cache or args.cache_dir is not None
+    if args.jobs <= 1 and not wants_cache and args.profile is None:
+        return None
+    from repro.engine import Engine, default_cache_root
+    from repro.profiling import PipelineProfile
+
+    cache_dir = None
+    if wants_cache:
+        cache_dir = args.cache_dir or default_cache_root()
+    profile = PipelineProfile() if args.profile is not None else None
+    return Engine(jobs=args.jobs, cache_dir=cache_dir, profile=profile)
+
+
+def _render_substitution_counts(per_procedure) -> None:
+    for name in sorted(per_procedure):
+        count = per_procedure[name]
+        if count:
+            print(f"  {name}: {count}")
+
+
+def _emit_profile(engine, destination: str) -> None:
+    engine.finish_profile()
+    from repro import profiling
+
+    engine.profile.merge_counters(profiling.GLOBAL_COUNTERS)
+    text = engine.profile.to_json()
+    if destination == "-":
+        print("\n--- profile ---")
+        print(text)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"[profile written to {destination}]")
+
+
+def _replay_cached_run(payload: dict, args: argparse.Namespace) -> int:
+    """Render a cached whole-run outcome — only clean runs are ever
+    recorded, so this is always a diagnostics-free EXIT_OK replay."""
+    print(f"configuration: {payload['config']}")
+    print(payload["constants_report"])
+    print(f"substituted constant references: {payload['substituted']}")
+    _render_substitution_counts(payload["per_procedure"])
+    if args.transform and payload.get("transformed_source") is not None:
+        print("\n--- transformed source ---")
+        print(payload["transformed_source"])
+    return EXIT_OK
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
+    engine = _engine_from_args(args)
+    try:
+        return _run_analyze(args, config, engine)
+    finally:
+        if engine is not None:
+            if engine.profile is not None:
+                _emit_profile(engine, args.profile)
+            engine.close()
+
+
+def _run_analyze(args: argparse.Namespace, config, engine) -> int:
+    # Whole-run fast path: an unchanged (source, config) pair whose
+    # previous run was clean replays its recorded output without
+    # parsing. Modes that need the analyzed program object (IR dump,
+    # dot files, statistics), strict mode, and the IR verifier all
+    # bypass it.
+    replayable = not (
+        args.dump_ir or args.dot or args.stats or args.strict
+        or args.verify_ir
+    )
+    text = None
+    if engine is not None and engine.cache is not None:
+        try:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except (OSError, UnicodeDecodeError):
+            text = None  # let the normal path produce the located error
+        if text is not None and replayable:
+            payload = engine.cached_run(text, config)
+            if payload is not None:
+                return _replay_cached_run(payload, args)
+
     if args.strict:
-        result = analyze_file(args.file, config)
+        result = analyze_file(args.file, config, engine=engine)
         diagnostics = None
     else:
-        result, diagnostics = analyze_file_resilient(args.file, config)
+        result, diagnostics = analyze_file_resilient(
+            args.file, config, engine=engine
+        )
         if len(diagnostics):
             print(diagnostics.format(), file=sys.stderr)
         if result is None:
@@ -253,10 +378,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     print(f"configuration: {config.describe()}")
     print(result.constants.format_report())
     print(f"substituted constant references: {result.substituted_constants}")
-    for name in sorted(result.substitution.per_procedure):
-        count = result.substitution.per_procedure[name]
-        if count:
-            print(f"  {name}: {count}")
+    _render_substitution_counts(result.substitution.per_procedure)
     if args.transform:
         print("\n--- transformed source ---")
         print(result.transformed_source())
@@ -277,6 +399,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             result.program, result.callgraph, args.dot, result.constants
         )
         print(f"[{len(paths)} Graphviz files written to {args.dot}]")
+    if engine is not None and text is not None and replayable:
+        engine.record_run(text, config, result)
     if not result.resilience.ok:
         print("\n--- degraded components ---", file=sys.stderr)
         print(result.resilience.summary(), file=sys.stderr)

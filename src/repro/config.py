@@ -124,6 +124,11 @@ class AnalysisConfig:
     complete: bool = False
     interprocedural: bool = True
     gcp_oracle: str = "value_numbering"
+    #: Worklist discipline of the interprocedural solver: ``"fifo"``,
+    #: ``"lifo"``, or ``"priority"`` (reverse-postorder rank — an
+    #: SCC-level topological wavefront). The fixpoint is identical for
+    #: every strategy; only the amount of work differs.
+    solver_strategy: str = "fifo"
     #: GSA-style refinement (§4.2's closing remark): after a first
     #: propagation, regenerate jump functions with branch-sensitive
     #: oracles seeded by CONSTANTS and exclude never-executed call

@@ -1,0 +1,34 @@
+"""The analysis engine: SCC-scheduled parallel summary generation, a
+persistent content-addressed summary cache, and per-run profiling.
+
+:class:`~repro.engine.core.Engine` is the only object callers touch; it
+plugs into :func:`repro.ipcp.driver.analyze_prepared` (and the
+``analyze_*`` entry points above it) and replaces the serial
+return-function / forward-function / substitution stages with
+scheduled, cached, optionally parallel equivalents whose outputs are
+byte-identical to the serial pipeline's. See ``docs/PERFORMANCE.md``.
+"""
+
+from repro.engine.cache import CacheStats, SummaryCache, default_cache_root
+from repro.engine.core import Engine
+from repro.engine.fingerprint import (
+    ENGINE_CACHE_VERSION,
+    config_fingerprint,
+    procedure_digest,
+    source_digest,
+    summary_keys,
+)
+from repro.engine.scheduler import condensation_levels
+
+__all__ = [
+    "CacheStats",
+    "Engine",
+    "ENGINE_CACHE_VERSION",
+    "SummaryCache",
+    "condensation_levels",
+    "config_fingerprint",
+    "default_cache_root",
+    "procedure_digest",
+    "source_digest",
+    "summary_keys",
+]

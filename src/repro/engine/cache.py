@@ -1,0 +1,109 @@
+"""Persistent on-disk summary cache.
+
+Layout: ``<root>/v<ENGINE_CACHE_VERSION>/<namespace>/<k[:2]>/<k>.json``
+— one JSON file per entry, written atomically (temp file + rename), so
+concurrent readers/writers (parallel workers, simultaneous CLI runs)
+can never observe a torn entry. A version bump simply orphans the old
+``v<N>`` directory; corrupt or unreadable entries count as misses.
+
+Namespaces in use: ``ret`` (return jump functions per procedure),
+``fwd`` (forward jump functions per procedure), ``sub`` (substitution
+measurements per procedure), ``run`` (whole-run outcomes keyed on
+source digest + config fingerprint — the ``repro analyze`` fast path).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.engine import fingerprint
+
+
+def default_cache_root() -> str:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
+    ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return override
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    if xdg:
+        return os.path.join(xdg, "repro")
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+@dataclass
+class CacheStats:
+    """Lookup/store accounting for one cache handle."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class SummaryCache:
+    """Content-addressed JSON object store with hit/miss accounting."""
+
+    root: str
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def _path(self, namespace: str, key: str) -> str:
+        return os.path.join(
+            self.root,
+            f"v{fingerprint.ENGINE_CACHE_VERSION}",
+            namespace,
+            key[:2],
+            f"{key}.json",
+        )
+
+    def get(self, namespace: str, key: str) -> Optional[dict]:
+        path = self._path(namespace, key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, namespace: str, key: str, payload: dict) -> None:
+        path = self._path(namespace, key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(
+            dir=directory, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(temp_path, path)
+        except OSError:
+            # A full/read-only cache disk degrades to a smaller cache,
+            # never to a failed analysis.
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            return
+        self.stats.stores += 1

@@ -1,0 +1,454 @@
+"""The analysis engine: scheduled, cached, optionally parallel summary
+generation with byte-identical results.
+
+An :class:`Engine` slots into :func:`repro.ipcp.driver.analyze_prepared`
+and replaces the three per-procedure pipeline stages — return jump
+functions, forward jump functions, substitution measurement — with
+versions that
+
+1. schedule the work over the call graph's SCC condensation
+   (:mod:`repro.engine.scheduler`) and fan each wave out over a worker
+   pool (``--jobs N``);
+2. consult a persistent content-addressed summary cache
+   (:mod:`repro.engine.cache`) keyed by Merkle fingerprints
+   (:mod:`repro.engine.fingerprint`), so unchanged procedures are never
+   re-analyzed across runs;
+3. time and count everything into a
+   :class:`~repro.profiling.PipelineProfile` (``--profile``).
+
+Determinism is the design invariant: cached, parallel, and serial
+results are byte-identical because every path merges the same
+identity-free payloads (:mod:`repro.engine.summaries`) in the same
+serial order — the worker/cache layer only changes *where* a summary
+came from, never what is merged or when.
+
+The interprocedural solver itself stays in the parent (it is a tiny
+fraction of the pipeline and inherently sequential), as does the
+GSA-refinement loop and complete propagation (the driver passes
+``engine=None`` under ``config.complete``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.config import AnalysisConfig
+from repro.engine import fingerprint, parallel, summaries
+from repro.engine.cache import SummaryCache
+from repro.engine.fingerprint import _sha
+from repro.engine.scheduler import condensation_levels, partition
+from repro.ir.module import Program
+from repro.profiling import PipelineProfile
+
+
+class Engine:
+    """One engine instance drives one or more analysis runs.
+
+    ``jobs=1`` with no cache and no profile degenerates to the plain
+    serial builders. ``executor`` selects the pool flavor: ``"process"``
+    (fork when available, else spawn; real parallelism) or ``"thread"``
+    (GIL-bound — useful for determinism testing and on single-CPU
+    machines, not for speed).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        cache: Optional[SummaryCache] = None,
+        profile: Optional[PipelineProfile] = None,
+        executor: str = "process",
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if executor not in ("process", "thread"):
+            raise ValueError(f"unknown executor {executor!r}")
+        self.jobs = jobs
+        if cache is None and cache_dir is not None:
+            cache = SummaryCache(cache_dir)
+        self.cache = cache
+        self.profile = profile
+        self.executor_kind = executor
+        self._pool = None
+        self._pool_kind: Optional[str] = None
+        self._program: Optional[Program] = None
+        self._config: Optional[AnalysisConfig] = None
+        self._attached: Optional[Program] = None
+        self._keys: Optional[Dict[str, str]] = None
+        self._returns_payload: List[dict] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self, program: Program, config: AnalysisConfig) -> None:
+        """Bind the engine to one analysis run. Per-run state resets
+        here (and again whenever :meth:`_attach` sees a new program),
+        so one engine can serve many runs, sharing its cache, pool
+        policy, and profile."""
+        self._program = program
+        self._config = config
+        self._reset_run()
+
+    def _reset_run(self) -> None:
+        self._attached = None
+        self._keys = None
+        self._returns_payload = []
+        if self._pool is not None:
+            # Worker state is per-run; a surviving pool holds stale
+            # programs. Recycle it (cheap relative to a full analysis).
+            self._shutdown_pool()
+        parallel._set_state(None)
+
+    def close(self) -> None:
+        self._shutdown_pool()
+        parallel._set_state(None)
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _shutdown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self._pool_kind = None
+
+    # -- attachment (first stage call) ---------------------------------------
+
+    def _attach(self, program: Program, callgraph, config: AnalysisConfig):
+        """Late binding at the first stage call: the program is prepared
+        (SSA form) by now, so summary keys can be computed and worker
+        state installed. A program the engine has not seen resets all
+        per-run state, so reuse without :meth:`start` is safe."""
+        if self._attached is not program:
+            self._reset_run()
+            self._attached = program
+        self._program = program
+        self._config = config
+        if self._keys is None:
+            with self.maybe_stage("fingerprint"):
+                self._keys = (
+                    fingerprint.summary_keys(program, callgraph, config)
+                    if self.cache is not None
+                    else {}
+                )
+        if parallel._STATE is None or parallel._STATE.program is not program:
+            # Thread/inline tasks run against the parent's own prepared
+            # objects; a process pool's forked children inherit this
+            # very state copy-on-write at submit time.
+            parallel._set_state(
+                parallel._WorkerState(
+                    program, config, prepared=True,
+                    callgraph=callgraph, modref=None,
+                )
+            )
+        # modref only matters to return-function generation:
+        return parallel._STATE
+
+    def _ensure_pool(self):
+        if self.jobs <= 1 or self._pool is not None:
+            return self._pool
+        import concurrent.futures as cf
+
+        if self.executor_kind == "thread":
+            self._pool = cf.ThreadPoolExecutor(max_workers=self.jobs)
+            self._pool_kind = "thread"
+            return self._pool
+        import multiprocessing as mp
+
+        methods = mp.get_all_start_methods()
+        if "fork" in methods:
+            # Workers fork during the submit calls below and inherit the
+            # already-installed prepared state copy-on-write.
+            self._pool = cf.ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=mp.get_context("fork")
+            )
+            self._pool_kind = "fork"
+        else:
+            source = self._program.source if self._program is not None else None
+            if source is None:
+                # Spawn workers cannot rebuild the program without its
+                # source text; fall back to threads.
+                self._pool = cf.ThreadPoolExecutor(max_workers=self.jobs)
+                self._pool_kind = "thread"
+                return self._pool
+            self._pool = cf.ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=mp.get_context("spawn"),
+                initializer=parallel._init_spawn,
+                initargs=(source.text, source.filename, self._config),
+            )
+            self._pool_kind = "spawn"
+        for _ in range(self.jobs):
+            self._pool.submit(parallel._prime)
+        return self._pool
+
+    def _dispatch(self, task, arg_tuples: List[tuple]) -> List[dict]:
+        """Run ``task(*args)`` for each tuple — across the pool when
+        ``jobs > 1``, inline otherwise. Results keep submission order
+        (which per-chunk results are merged in is irrelevant anyway:
+        chunks are disjoint and merging is key-ordered by the caller)."""
+        pool = self._ensure_pool()
+        if pool is None:
+            return [task(*args) for args in arg_tuples]
+        futures = [pool.submit(task, *args) for args in arg_tuples]
+        return [future.result() for future in futures]
+
+    def _chunks(self, items: List) -> List[List]:
+        return partition(items, self.jobs)
+
+    # -- profiling helpers ---------------------------------------------------
+
+    def maybe_stage(self, name: str):
+        from repro.profiling import maybe_stage
+
+        return maybe_stage(self.profile, name)
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.profile is not None:
+            self.profile.count(name, amount)
+
+    # -- stage: return jump functions ----------------------------------------
+
+    def return_functions(self, program, callgraph, modref, config, resilience):
+        """Engine version of :func:`repro.ipcp.return_functions.
+        build_return_functions`: level-scheduled, cached, parallel."""
+        from repro.ipcp.return_functions import ReturnFunctionMap
+
+        state = self._attach(program, callgraph, config)
+        state.modref = modref
+        levels = condensation_levels(callgraph)
+        member_data: Dict[str, dict] = {}
+        payload = self._returns_payload = []
+
+        for level in levels:
+            pending: List[List[str]] = []
+            for component in level:
+                names = [p.name for p in component]
+                cached = self._lookup_members("ret", names)
+                if cached is not None:
+                    member_data.update(cached)
+                    for name in names:
+                        payload.extend(cached[name]["fns"])
+                else:
+                    pending.append(names)
+            if not pending:
+                continue
+            # Chunk whole SCCs across workers; every task of this wave
+            # receives an identical payload snapshot.
+            snapshot = list(payload)
+            computed: Dict[str, dict] = {}
+            for result in self._dispatch(
+                parallel._task_returns,
+                [(chunk, snapshot) for chunk in self._chunks(pending)],
+            ):
+                computed.update(result)
+            for names in pending:
+                for name in names:
+                    data = computed[name]
+                    member_data[name] = data
+                    payload.extend(data["fns"])
+                    self._store_member("ret", name, data)
+
+        # Merge in the serial pipeline's order — the full Tarjan
+        # bottom-up order, not level order — so the parent's map and the
+        # demotion log are indistinguishable from a serial run's.
+        return_map = ReturnFunctionMap()
+        for component in callgraph.sccs():
+            for member in component:
+                data = member_data.get(member.name)
+                if data is None:
+                    continue  # the main program: no return functions
+                for encoded in data["fns"]:
+                    return_map.add(
+                        summaries.decode_return_function(encoded, program)
+                    )
+                summaries.apply_demotions(data["dem"], resilience)
+        return return_map
+
+    # -- stage: forward jump functions ---------------------------------------
+
+    def forward_functions(self, program, callgraph, config, return_map,
+                          resilience):
+        """Engine version of :func:`repro.ipcp.jump_functions.
+        build_forward_jump_functions`: flat fan-out (independent per
+        procedure given the final return map)."""
+        from repro.ipcp.jump_functions import JumpFunctionTable
+
+        self._attach(program, callgraph, config)
+        order = [p.name for p in callgraph.top_down_order()]
+        member_data: Dict[str, dict] = {}
+        pending: List[str] = []
+        for name in order:
+            cached = self._lookup_member("fwd", name)
+            if cached is not None:
+                member_data[name] = cached
+            else:
+                pending.append(name)
+        if pending:
+            snapshot = list(self._returns_payload)
+            for result in self._dispatch(
+                parallel._task_forwards,
+                [(chunk, snapshot) for chunk in self._chunks(pending)],
+            ):
+                member_data.update(result)
+            for name in pending:
+                self._store_member("fwd", name, member_data[name])
+
+        table = JumpFunctionTable(config.jump_function)
+        for name in order:
+            data = member_data[name]
+            for encoded in data["fns"]:
+                table.add(summaries.decode_forward_function(encoded, program))
+            summaries.apply_demotions(data["dem"], resilience)
+        return table
+
+    # -- stage: substitution measurement -------------------------------------
+
+    def substitution(self, program, callgraph, constants, config, resilience):
+        """Engine version of :func:`repro.ipcp.substitution.
+        measure_substitution`: flat fan-out. The report carries no
+        ``sccp_results`` (only complete propagation reads those, and the
+        driver never routes complete propagation through the engine)."""
+        from repro.ipcp.substitution import SubstitutionReport
+
+        self._attach(program, callgraph, config)
+        constants_payload = summaries.encode_constants(constants, program)
+        order = [p.name for p in program]
+        member_data: Dict[str, dict] = {}
+        pending: List[str] = []
+        for name in order:
+            key = self._substitution_key(name, constants_payload)
+            cached = (
+                self.cache.get("sub", key) if key is not None else None
+            )
+            if cached is not None:
+                self._count("summary_cache_hits")
+                member_data[name] = cached
+            else:
+                if key is not None:
+                    self._count("summary_cache_misses")
+                pending.append(name)
+        if pending:
+            snapshot = list(self._returns_payload)
+            for result in self._dispatch(
+                parallel._task_substitution,
+                [
+                    (chunk, snapshot, constants_payload)
+                    for chunk in self._chunks(pending)
+                ],
+            ):
+                member_data.update(result)
+            for name in pending:
+                key = self._substitution_key(name, constants_payload)
+                if key is not None:
+                    self.cache.put("sub", key, member_data[name])
+                    self._count("summary_cache_stores")
+
+        report = SubstitutionReport()
+        for name in order:
+            data = member_data[name]
+            summaries.decode_substitution_into(
+                data["sub"], program.procedure(name), report
+            )
+            summaries.apply_demotions(data["dem"], resilience)
+        return report
+
+    # -- cache plumbing ------------------------------------------------------
+
+    def _lookup_member(self, namespace: str, name: str) -> Optional[dict]:
+        if self.cache is None:
+            return None
+        data = self.cache.get(namespace, self._keys[name])
+        if data is not None:
+            self._count("summary_cache_hits")
+        else:
+            self._count("summary_cache_misses")
+        return data
+
+    def _lookup_members(
+        self, namespace: str, names: List[str]
+    ) -> Optional[Dict[str, dict]]:
+        """All-or-nothing lookup of one SCC: a component's members are
+        built together, so a partial hit is recomputed whole."""
+        if self.cache is None:
+            return None
+        found: Dict[str, dict] = {}
+        for name in names:
+            data = self._lookup_member(namespace, name)
+            if data is None:
+                return None
+            found[name] = data
+        return found
+
+    def _store_member(self, namespace: str, name: str, data: dict) -> None:
+        if self.cache is not None:
+            self.cache.put(namespace, self._keys[name], data)
+            self._count("summary_cache_stores")
+
+    def _substitution_key(
+        self, name: str, constants_payload: dict
+    ) -> Optional[str]:
+        """Substitution depends on the callee summaries (the member key)
+        *and* on the procedure's CONSTANTS cells — which reflect the
+        whole program, callers included — so the key salts the member
+        key with the encoded VAL cells."""
+        if self.cache is None:
+            return None
+        return _sha(
+            ["sub", self._keys[name],
+             json.dumps(constants_payload.get(name, []))]
+        )
+
+    # -- whole-run result cache ----------------------------------------------
+
+    def cached_run(self, text: str, config: AnalysisConfig) -> Optional[dict]:
+        """Look up a whole (source, config) outcome — the CLI fast path
+        that skips parsing entirely on an unchanged input."""
+        if self.cache is None:
+            return None
+        payload = self.cache.get("run", fingerprint.run_key(text, config))
+        if payload is not None:
+            self._count("run_cache_hits")
+        else:
+            self._count("run_cache_misses")
+        return payload
+
+    def record_run(self, text: str, config: AnalysisConfig, result) -> None:
+        """Record a *clean* run's render-ready outcome. Runs with
+        demotions or diagnostics are never recorded: their output
+        depends on more than (source, config) content."""
+        if self.cache is None:
+            return
+        if result.resilience.demotions:
+            return
+        if result.diagnostics is not None and result.diagnostics.diagnostics:
+            return
+        payload = {
+            "config": config.describe(),
+            "constants_report": result.constants.format_report(),
+            "total_pairs": result.constants.total_pairs(),
+            "substituted": result.substitution.total,
+            "per_procedure": dict(result.substitution.per_procedure),
+            "transformed_source": (
+                result.transformed_source()
+                if result.program.source is not None
+                else None
+            ),
+        }
+        self.cache.put("run", fingerprint.run_key(text, config), payload)
+        self._count("run_cache_stores")
+
+    # -- reporting -----------------------------------------------------------
+
+    def finish_profile(self) -> None:
+        """Fold cache statistics into the profile's counters."""
+        if self.profile is None or self.cache is None:
+            return
+        stats = self.cache.stats
+        self.profile.set_counter("cache_lookups", stats.lookups)
+        self.profile.set_counter("cache_hits", stats.hits)
+        self.profile.set_counter("cache_misses", stats.misses)
+        self.profile.set_counter("cache_stores", stats.stores)

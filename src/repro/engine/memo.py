@@ -1,0 +1,94 @@
+"""In-process memoization of lowering and whole analyses.
+
+The oracle and golden harnesses analyze the *same* source text under
+several configurations (and execute it besides), re-parsing and
+re-lowering each time. Parsing never depends on configuration, and
+:func:`~repro.ir.lowering.lower_module` does not mutate the parsed
+module, so one AST per source text serves every lowering; whole
+analysis results are likewise reusable per (source, config) pair —
+``AnalysisResult`` consumers treat them as read-only.
+
+Both memos are process-local LRU maps keyed by content digests (never
+by object identity), bounded so long generator sweeps cannot grow
+memory without bound, and observable through the profiling counters
+``parse_memo_hits`` / ``analysis_memo_hits`` (plus the raw ``parses`` /
+``lowerings`` counters bumped by the frontend itself).
+
+Only the strict no-diagnostics paths memoize: error recovery threads a
+caller-owned :class:`~repro.diagnostics.DiagnosticEngine` through
+parsing, which is a side effect a cache hit would silently skip.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro import profiling
+from repro.engine.fingerprint import config_fingerprint, source_digest
+
+_PARSE_CAPACITY = 128
+_ANALYSIS_CAPACITY = 64
+
+_parse_memo: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
+_analysis_memo: "OrderedDict[Tuple[str, str, str], object]" = OrderedDict()
+
+
+def clear_memos() -> None:
+    _parse_memo.clear()
+    _analysis_memo.clear()
+
+
+def _remember(memo: OrderedDict, key, value, capacity: int) -> None:
+    memo[key] = value
+    memo.move_to_end(key)
+    while len(memo) > capacity:
+        memo.popitem(last=False)
+
+
+def parsed_module(text: str, filename: str = "<string>"):
+    """The parsed (never-mutated) AST of ``text`` — one parse per
+    distinct source, however many times it is lowered."""
+    key = (source_digest(text), filename)
+    if key in _parse_memo:
+        _parse_memo.move_to_end(key)
+        profiling.bump("parse_memo_hits")
+        return _parse_memo[key]
+    from repro.frontend.parser import parse_source
+
+    module = parse_source(text, filename)
+    _remember(_parse_memo, key, module, _PARSE_CAPACITY)
+    return module
+
+
+def fresh_program(text: str, filename: str = "<string>"):
+    """A freshly lowered (mutable, pre-SSA) program for ``text``,
+    re-lowered from the memoized AST."""
+    from repro.frontend.source import SourceFile
+    from repro.ir.lowering import lower_module
+
+    return lower_module(parsed_module(text, filename), SourceFile(filename, text))
+
+
+def memoized_analysis(text: str, config=None, filename: str = "<string>"):
+    """Analyze ``text`` under ``config``, reusing a previous result for
+    the identical (source, config) pair.
+
+    The returned :class:`~repro.ipcp.driver.AnalysisResult` is shared
+    between callers and must be treated as read-only — which every
+    in-tree consumer (the oracle comparisons, the golden checks, the
+    report renderers) already does.
+    """
+    from repro.config import AnalysisConfig
+
+    config = config or AnalysisConfig()
+    key = (source_digest(text), config_fingerprint(config), filename)
+    if key in _analysis_memo:
+        _analysis_memo.move_to_end(key)
+        profiling.bump("analysis_memo_hits")
+        return _analysis_memo[key]
+    from repro.ipcp.driver import analyze_program
+
+    result = analyze_program(fresh_program(text, filename), config)
+    _remember(_analysis_memo, key, result, _ANALYSIS_CAPACITY)
+    return result

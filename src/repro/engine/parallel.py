@@ -1,0 +1,227 @@
+"""Worker-side state and task functions for the engine's pool.
+
+One module-level :data:`_STATE` per worker process (or, for the thread
+executor and the inline jobs=1 path, per *host* process) holds the
+worker's own isomorphic copy of the program plus the return-function
+map it has reconstructed so far. Three executor bootstraps feed it:
+
+- **fork** (the default on POSIX): the parent sets :data:`_STATE` and
+  then creates the pool — ``ProcessPoolExecutor`` forks workers during
+  the first ``submit`` calls, so every child inherits the fully
+  prepared program (and its variable identities) copy-on-write, with
+  zero serialization;
+- **spawn** (fallback when fork is unavailable): workers receive the
+  original source text and rebuild their program with
+  :func:`_init_spawn` — parse, lower, and prepare are deterministic,
+  so the rebuilt program is isomorphic to the parent's and the
+  name/position-based summary encoding lines up exactly;
+- **thread / inline**: the parent installs its own prepared state
+  directly; tasks share the parent's objects (all stage work is
+  read-only on the IR, and the shared return map is guarded).
+
+Return-function summaries flow between waves as an *append-only
+canonical payload*: the parent appends every generated/cached entry in
+a fixed order, and each task call carries the full payload. A worker
+applies only the tail it has not seen (``applied_returns``), so results
+are identical no matter which worker a task lands on.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.config import AnalysisConfig
+from repro.ir.module import Program
+from repro.engine import summaries
+
+
+class _WorkerState:
+    """Everything one worker needs across task invocations."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: AnalysisConfig,
+        prepared: bool = False,
+        callgraph=None,
+        modref=None,
+    ):
+        self.program = program
+        self.config = config
+        self.prepared = prepared
+        self.callgraph = callgraph
+        self.modref = modref
+        from repro.ipcp.return_functions import ReturnFunctionMap
+
+        self.return_map = ReturnFunctionMap()
+        self.applied_returns = 0
+        self.lock = threading.Lock()
+
+
+#: The current worker's state; installed by one of the bootstraps below.
+_STATE: Optional[_WorkerState] = None
+
+
+def _set_state(state: Optional[_WorkerState]) -> None:
+    global _STATE
+    _STATE = state
+
+
+def _init_spawn(text: str, filename: str, config: AnalysisConfig) -> None:
+    """Spawn-context initializer: rebuild the program from source."""
+    from repro.frontend.parser import parse_source
+    from repro.frontend.source import SourceFile
+    from repro.ir.lowering import lower_module
+
+    module = parse_source(text, filename)
+    program = lower_module(module, SourceFile(filename, text))
+    _set_state(_WorkerState(program, config))
+
+
+def _ensure_prepared() -> _WorkerState:
+    state = _STATE
+    if state is None:
+        raise RuntimeError("engine worker state was never installed")
+    if not state.prepared:
+        with state.lock:
+            if not state.prepared:
+                from repro.ipcp.driver import prepare_program
+
+                state.callgraph, state.modref = prepare_program(
+                    state.program, state.config
+                )
+                state.prepared = True
+    return state
+
+
+def _prime() -> bool:
+    """No-op task submitted at pool start so fork-context workers fork
+    (and, in spawn mode, prepare) before the first real wave."""
+    _ensure_prepared()
+    return True
+
+
+def _apply_returns(state: _WorkerState, payload: List[dict]) -> None:
+    """Fold the unseen tail of the canonical return-function payload
+    into this worker's map. Entries are keyed (procedure, target), so
+    re-applying one the worker built itself is an idempotent overwrite
+    with an equal-valued function."""
+    if state.applied_returns >= len(payload):
+        return
+    with state.lock:
+        for data in payload[state.applied_returns:]:
+            state.return_map.add(
+                summaries.decode_return_function(data, state.program)
+            )
+        state.applied_returns = len(payload)
+
+
+def _demotions_guard(config: AnalysisConfig):
+    """Per-task resilience sink, so each procedure's demotions can be
+    shipped back (and cached) with exact attribution."""
+    from repro.ipcp.resilience import ResilienceReport
+
+    return ResilienceReport()
+
+
+def _task_returns(
+    component_names: List[List[str]], returns_payload: List[dict]
+) -> Dict[str, dict]:
+    """Build the return jump functions of the given SCCs (each a member
+    name list in Tarjan order). All their callees' functions are in
+    ``returns_payload`` — same-level components never call each other."""
+    state = _ensure_prepared()
+    _apply_returns(state, returns_payload)
+    from repro.ipcp.return_functions import build_return_functions_for
+
+    results: Dict[str, dict] = {}
+    for names in component_names:
+        for name in names:
+            procedure = state.program.procedure(name)
+            report = _demotions_guard(state.config)
+            build_return_functions_for(
+                state.program, [procedure], state.return_map, state.modref,
+                budget=state.config.budget, resilience=report,
+                fault_isolation=state.config.fault_isolation,
+            )
+            results[name] = {
+                "fns": summaries.encode_return_functions_of(
+                    state.return_map, name, state.program
+                ),
+                "dem": summaries.encode_demotions(report),
+            }
+    return results
+
+
+def _task_forwards(
+    procedure_names: List[str], returns_payload: List[dict]
+) -> Dict[str, dict]:
+    """Build the forward jump functions of each named procedure's call
+    sites. Independent per procedure: the return map is read-only."""
+    state = _ensure_prepared()
+    _apply_returns(state, returns_payload)
+    from repro.ipcp.jump_functions import (
+        JumpFunctionTable,
+        build_forward_jump_functions_for,
+    )
+
+    results: Dict[str, dict] = {}
+    for name in procedure_names:
+        procedure = state.program.procedure(name)
+        table = JumpFunctionTable(state.config.jump_function)
+        report = _demotions_guard(state.config)
+        build_forward_jump_functions_for(
+            state.program, procedure, state.config.jump_function, table,
+            state.return_map, gcp_oracle=state.config.gcp_oracle,
+            budget=state.config.budget, resilience=report,
+            fault_isolation=state.config.fault_isolation,
+        )
+        results[name] = {
+            "fns": summaries.encode_forward_functions_of(
+                table, procedure, state.program
+            ),
+            "dem": summaries.encode_demotions(report),
+        }
+    return results
+
+
+def _task_substitution(
+    procedure_names: List[str],
+    returns_payload: List[dict],
+    constants_payload: dict,
+) -> Dict[str, dict]:
+    """Measure each named procedure's substitutions against the final
+    CONSTANTS sets. Independent per procedure."""
+    state = _ensure_prepared()
+    _apply_returns(state, returns_payload)
+    from repro.analysis.sccp import SCCPCallModel
+    from repro.ipcp.return_functions import ReturnFunctionCallModel
+    from repro.ipcp.substitution import (
+        SubstitutionReport,
+        measure_substitution_for,
+    )
+
+    constants = summaries.decode_constants(constants_payload, state.program)
+    if state.config.use_return_functions:
+        call_model: SCCPCallModel = ReturnFunctionCallModel(
+            state.program, state.return_map
+        )
+    else:
+        call_model = SCCPCallModel()
+
+    results: Dict[str, dict] = {}
+    for name in procedure_names:
+        procedure = state.program.procedure(name)
+        report = SubstitutionReport()
+        demotions = _demotions_guard(state.config)
+        measure_substitution_for(
+            procedure, constants, call_model, report,
+            budget=state.config.budget, resilience=demotions,
+            fault_isolation=state.config.fault_isolation,
+        )
+        results[name] = {
+            "sub": summaries.encode_substitution_of(report, name),
+            "dem": summaries.encode_demotions(demotions),
+        }
+    return results

@@ -739,6 +739,9 @@ def parse_source(
     (recording them on the engine) instead of raising; check
     ``diagnostics.has_errors`` and per-unit ``is_stub`` flags afterward.
     """
+    from repro import profiling
+
+    profiling.bump("parses")
     source = SourceFile(filename, text)
     tokens = Lexer(source, diagnostics).tokens()
     return Parser(tokens, filename, diagnostics).parse_module()

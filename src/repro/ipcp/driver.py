@@ -44,7 +44,14 @@ from repro.ipcp.substitution import (
 )
 from repro.ir.lowering import lower_module
 from repro.ir.module import Program
+from repro.profiling import maybe_stage
 from repro.summary.modref import ModRefInfo, annotate_call_effects, compute_modref
+
+
+def _stage(engine, name: str):
+    """Profile stage context: times the block on the engine's profile
+    when an engine with profiling is attached, else a no-op."""
+    return maybe_stage(engine.profile if engine is not None else None, name)
 
 
 @dataclass
@@ -99,6 +106,7 @@ def analyze_prepared(
     modref: Optional[ModRefInfo],
     config: AnalysisConfig,
     resilience: Optional[ResilienceReport] = None,
+    engine=None,
 ) -> AnalysisResult:
     """Back half of the pipeline, on an SSA-form annotated program.
 
@@ -107,31 +115,49 @@ def analyze_prepared(
     demotions (a fresh report is created when None); construction faults
     and budget overruns degrade individual components instead of
     aborting (see :mod:`repro.ipcp.resilience`).
+
+    With an ``engine`` (:class:`repro.engine.Engine`), the three
+    per-procedure stages — return functions, forward functions,
+    substitution — run through its scheduled/cached/parallel
+    equivalents; the results are byte-identical to the serial builders.
     """
     resilience = resilience if resilience is not None else ResilienceReport()
     budget = config.budget
-    if config.use_return_functions:
-        return_map = build_return_functions(
-            program, callgraph, modref,
-            budget=budget, resilience=resilience,
-            fault_isolation=config.fault_isolation,
-        )
-    else:
-        return_map = ReturnFunctionMap()
+    with _stage(engine, "return_functions"):
+        if not config.use_return_functions:
+            return_map = ReturnFunctionMap()
+        elif engine is not None:
+            return_map = engine.return_functions(
+                program, callgraph, modref, config, resilience
+            )
+        else:
+            return_map = build_return_functions(
+                program, callgraph, modref,
+                budget=budget, resilience=resilience,
+                fault_isolation=config.fault_isolation,
+            )
 
     jump_table: Optional[JumpFunctionTable] = None
     propagation: Optional[PropagationResult] = None
     if config.interprocedural:
-        jump_table = build_forward_jump_functions(
-            program, callgraph, config.jump_function, return_map,
-            gcp_oracle=config.gcp_oracle,
-            budget=budget, resilience=resilience,
-            fault_isolation=config.fault_isolation,
-        )
-        propagation = propagate(
-            program, callgraph, jump_table,
-            max_visits=budget.solver_visits, resilience=resilience,
-        )
+        with _stage(engine, "forward_functions"):
+            if engine is not None:
+                jump_table = engine.forward_functions(
+                    program, callgraph, config, return_map, resilience
+                )
+            else:
+                jump_table = build_forward_jump_functions(
+                    program, callgraph, config.jump_function, return_map,
+                    gcp_oracle=config.gcp_oracle,
+                    budget=budget, resilience=resilience,
+                    fault_isolation=config.fault_isolation,
+                )
+        with _stage(engine, "propagate"):
+            propagation = propagate(
+                program, callgraph, jump_table,
+                strategy=config.solver_strategy,
+                max_visits=budget.solver_visits, resilience=resilience,
+            )
         constants = propagation.constants
         if config.gsa_refinement:
             jump_table, propagation = _refine_gsa_style(
@@ -142,15 +168,23 @@ def analyze_prepared(
     else:
         constants = empty_constants(program)
 
-    if config.use_return_functions:
-        call_model: SCCPCallModel = ReturnFunctionCallModel(program, return_map)
-    else:
-        call_model = SCCPCallModel()
-    substitution = measure_substitution(
-        program, constants, call_model,
-        budget=budget, resilience=resilience,
-        fault_isolation=config.fault_isolation,
-    )
+    with _stage(engine, "substitution"):
+        if engine is not None:
+            substitution = engine.substitution(
+                program, callgraph, constants, config, resilience
+            )
+        else:
+            if config.use_return_functions:
+                call_model: SCCPCallModel = ReturnFunctionCallModel(
+                    program, return_map
+                )
+            else:
+                call_model = SCCPCallModel()
+            substitution = measure_substitution(
+                program, constants, call_model,
+                budget=budget, resilience=resilience,
+                fault_isolation=config.fault_isolation,
+            )
 
     return AnalysisResult(
         config=config,
@@ -200,6 +234,7 @@ def _refine_gsa_style(
         )
         propagation = propagate(
             program, callgraph, jump_table, excluded_calls=excluded,
+            strategy=config.solver_strategy,
             max_visits=budget.solver_visits, resilience=resilience,
         )
         constants = propagation.constants
@@ -229,17 +264,26 @@ def analyze_program(
     program: Program,
     config: Optional[AnalysisConfig] = None,
     resilience: Optional[ResilienceReport] = None,
+    engine=None,
 ) -> AnalysisResult:
     """Analyze a freshly lowered (non-SSA) program under ``config``.
 
     The program is mutated (annotated, converted to SSA, and — under
     complete propagation — transformed); re-lower from source to analyze
     the same program under another configuration.
+
+    ``engine`` accelerates the per-procedure stages (see
+    :func:`analyze_prepared`). Complete propagation re-runs the pipeline
+    on programs it mutates between rounds, which would defeat every
+    content-keyed cache — it always runs serial.
     """
     config = config or AnalysisConfig()
     resilience = resilience if resilience is not None else ResilienceReport()
+    if engine is not None and not config.complete:
+        engine.start(program, config)
     _maybe_verify(program, config, ssa=False, stage="lowering")
-    callgraph, modref = prepare_program(program, config)
+    with _stage(engine, "prepare"):
+        callgraph, modref = prepare_program(program, config)
     _maybe_verify(program, config, ssa=True, stage="SSA construction")
     if config.complete:
         # Imported here: complete.py uses analyze_prepared from this module.
@@ -248,13 +292,16 @@ def analyze_program(
         return run_complete_propagation(
             program, callgraph, modref, config, resilience
         )
-    return analyze_prepared(program, callgraph, modref, config, resilience)
+    return analyze_prepared(
+        program, callgraph, modref, config, resilience, engine=engine
+    )
 
 
 def analyze_source(
     text: str,
     config: Optional[AnalysisConfig] = None,
     filename: str = "<string>",
+    engine=None,
 ) -> AnalysisResult:
     """Parse, lower, and analyze MiniFortran source text.
 
@@ -262,9 +309,11 @@ def analyze_source(
     first lex/parse/semantic problem. Use
     :func:`analyze_source_resilient` for multi-error recovery.
     """
-    module = parse_source(text, filename)
-    program = lower_module(module, SourceFile(filename, text))
-    return analyze_program(program, config)
+    with _stage(engine, "parse"):
+        module = parse_source(text, filename)
+    with _stage(engine, "lower"):
+        program = lower_module(module, SourceFile(filename, text))
+    return analyze_program(program, config, engine=engine)
 
 
 def analyze_source_resilient(
@@ -272,6 +321,7 @@ def analyze_source_resilient(
     config: Optional[AnalysisConfig] = None,
     filename: str = "<string>",
     diagnostics: Optional[DiagnosticEngine] = None,
+    engine=None,
 ) -> Tuple[Optional[AnalysisResult], DiagnosticEngine]:
     """Analyze with frontend error recovery; never raises FrontendError.
 
@@ -282,18 +332,20 @@ def analyze_source_resilient(
     None only when nothing could be analyzed at all (no parseable units,
     or the recovered module fails semantic lowering).
     """
-    engine = diagnostics if diagnostics is not None else DiagnosticEngine()
-    module = parse_source(text, filename, engine)
+    diag = diagnostics if diagnostics is not None else DiagnosticEngine()
+    with _stage(engine, "parse"):
+        module = parse_source(text, filename, diag)
     if not module.units:
-        return None, engine
+        return None, diag
     try:
-        program = lower_module(module, SourceFile(filename, text))
+        with _stage(engine, "lower"):
+            program = lower_module(module, SourceFile(filename, text))
     except SemanticError as err:
-        engine.error(E_SEMANTIC, err.message, err.location)
-        return None, engine
-    result = analyze_program(program, config)
-    result.diagnostics = engine
-    return result, engine
+        diag.error(E_SEMANTIC, err.message, err.location)
+        return None, diag
+    result = analyze_program(program, config, engine=engine)
+    result.diagnostics = diag
+    return result, diag
 
 
 def _located_io_error(path: str, err: Exception) -> FrontendError:
@@ -305,7 +357,9 @@ def _located_io_error(path: str, err: Exception) -> FrontendError:
     return FrontendError(message, location)
 
 
-def analyze_file(path: str, config: Optional[AnalysisConfig] = None) -> AnalysisResult:
+def analyze_file(
+    path: str, config: Optional[AnalysisConfig] = None, engine=None
+) -> AnalysisResult:
     """Analyze the MiniFortran program stored at ``path``.
 
     I/O problems (missing file, permissions, non-UTF-8 bytes) surface
@@ -316,22 +370,25 @@ def analyze_file(path: str, config: Optional[AnalysisConfig] = None) -> Analysis
             text = handle.read()
     except (OSError, UnicodeDecodeError) as err:
         raise _located_io_error(path, err) from err
-    return analyze_source(text, config, filename=path)
+    return analyze_source(text, config, filename=path, engine=engine)
 
 
 def analyze_file_resilient(
     path: str,
     config: Optional[AnalysisConfig] = None,
     diagnostics: Optional[DiagnosticEngine] = None,
+    engine=None,
 ) -> Tuple[Optional[AnalysisResult], DiagnosticEngine]:
     """Resilient variant of :func:`analyze_file`: I/O and frontend
     problems land on the diagnostic engine instead of raising."""
-    engine = diagnostics if diagnostics is not None else DiagnosticEngine()
+    diag = diagnostics if diagnostics is not None else DiagnosticEngine()
     try:
         with open(path, "r", encoding="utf-8") as handle:
             text = handle.read()
     except (OSError, UnicodeDecodeError) as err:
         located = _located_io_error(path, err)
-        engine.error(E_IO, located.message, located.location)
-        return None, engine
-    return analyze_source_resilient(text, config, filename=path, diagnostics=engine)
+        diag.error(E_IO, located.message, located.location)
+        return None, diag
+    return analyze_source_resilient(
+        text, config, filename=path, diagnostics=diag, engine=engine
+    )

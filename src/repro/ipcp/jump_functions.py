@@ -286,8 +286,35 @@ def build_forward_jump_functions(
         raise ValueError(f"unknown gcp oracle {gcp_oracle!r}")
     table = JumpFunctionTable(kind)
     return_map = return_map or ReturnFunctionMap()
+    for procedure in callgraph.top_down_order():
+        build_forward_jump_functions_for(
+            program, procedure, kind, table, return_map,
+            gcp_oracle=gcp_oracle, budget=budget, resilience=resilience,
+            fault_isolation=fault_isolation,
+        )
+    return table
 
-    def make(call, target, operand, is_global, sccp_result, procedure):
+
+def build_forward_jump_functions_for(
+    program: Program,
+    procedure: Procedure,
+    kind: JumpFunctionKind,
+    table: JumpFunctionTable,
+    return_map: ReturnFunctionMap,
+    gcp_oracle: str = "value_numbering",
+    budget: Optional[AnalysisBudget] = None,
+    resilience: Optional[ResilienceReport] = None,
+    fault_isolation: bool = True,
+) -> None:
+    """Build the forward jump functions of every call site *in*
+    ``procedure`` into ``table``. Independent across procedures (the
+    return map is read-only here), which is what lets the engine fan
+    this out per procedure."""
+    numbering = ValueNumbering(
+        procedure, ForwardCallSemantics(program, return_map)
+    )
+
+    def make(call, target, operand, is_global, sccp_result):
         if resilience is None:
             return _make_jump_function(
                 kind, call, target, operand, numbering,
@@ -301,51 +328,42 @@ def build_forward_jump_functions(
             procedure_name=procedure.name,
         )
 
-    for procedure in callgraph.top_down_order():
-        numbering = ValueNumbering(
-            procedure, ForwardCallSemantics(program, return_map)
-        )
-        sccp_result = None
-        if gcp_oracle == "sccp":
-            from repro.analysis.sccp import run_sccp
-            from repro.ipcp.return_functions import ReturnFunctionCallModel
+    sccp_result = None
+    if gcp_oracle == "sccp":
+        from repro.analysis.sccp import run_sccp
+        from repro.ipcp.return_functions import ReturnFunctionCallModel
 
-            try:
-                sccp_result = run_sccp(
-                    procedure,
-                    entry_values=None,
-                    call_model=ReturnFunctionCallModel(program, return_map),
-                    max_visits=budget.sccp_visits if budget else None,
-                )
-            except BudgetExceeded as err:
-                if resilience is None:
-                    raise
-                # Fall back to the plain value-numbering oracle for this
-                # one procedure (strictly weaker, hence sound).
-                resilience.record(
-                    "sccp_oracle", procedure.name, "sccp",
-                    "value_numbering", str(err),
-                )
-            except Exception as err:  # noqa: BLE001 — fault isolation
-                if resilience is None or not fault_isolation:
-                    raise
-                resilience.record(
-                    "sccp_oracle", procedure.name, "sccp",
-                    "value_numbering", f"{type(err).__name__}: {err}",
-                )
-        for call in procedure.call_sites():
-            callee = program.procedure(call.callee)
-            for formal, arg in zip(callee.formals, call.args):
-                if not formal.is_scalar or arg.is_array:
-                    continue
-                table.add(
-                    make(call, formal, arg.value, False, sccp_result, procedure)
-                )
-            for use in call.entry_uses:
-                table.add(
-                    make(call, use.var, use, True, sccp_result, procedure)
-                )
-    return table
+        try:
+            sccp_result = run_sccp(
+                procedure,
+                entry_values=None,
+                call_model=ReturnFunctionCallModel(program, return_map),
+                max_visits=budget.sccp_visits if budget else None,
+            )
+        except BudgetExceeded as err:
+            if resilience is None:
+                raise
+            # Fall back to the plain value-numbering oracle for this
+            # one procedure (strictly weaker, hence sound).
+            resilience.record(
+                "sccp_oracle", procedure.name, "sccp",
+                "value_numbering", str(err),
+            )
+        except Exception as err:  # noqa: BLE001 — fault isolation
+            if resilience is None or not fault_isolation:
+                raise
+            resilience.record(
+                "sccp_oracle", procedure.name, "sccp",
+                "value_numbering", f"{type(err).__name__}: {err}",
+            )
+    for call in procedure.call_sites():
+        callee = program.procedure(call.callee)
+        for formal, arg in zip(callee.formals, call.args):
+            if not formal.is_scalar or arg.is_array:
+                continue
+            table.add(make(call, formal, arg.value, False, sccp_result))
+        for use in call.entry_uses:
+            table.add(make(call, use.var, use, True, sccp_result))
 
 
 def build_refined_jump_functions(

@@ -293,7 +293,29 @@ def build_return_functions(
     is always sound.
     """
     return_map = ReturnFunctionMap()
-    for procedure in callgraph.bottom_up_order():
+    build_return_functions_for(
+        program, callgraph.bottom_up_order(), return_map, modref,
+        budget=budget, resilience=resilience,
+        fault_isolation=fault_isolation,
+    )
+    return return_map
+
+
+def build_return_functions_for(
+    program: Program,
+    procedures,
+    return_map: ReturnFunctionMap,
+    modref: Optional[ModRefInfo] = None,
+    budget: Optional[AnalysisBudget] = None,
+    resilience: Optional[ResilienceReport] = None,
+    fault_isolation: bool = True,
+) -> None:
+    """Build return jump functions for ``procedures`` (in the given
+    order) into ``return_map``, which must already hold the functions of
+    every callee outside the given set. The engine's SCC scheduler calls
+    this per component; :func:`build_return_functions` calls it once
+    over the whole bottom-up order."""
+    for procedure in procedures:
         if procedure.is_main:
             continue
         try:
@@ -309,7 +331,6 @@ def build_return_functions(
                 "return_function", procedure.name, "polynomial",
                 BOTTOM_KIND, f"{type(err).__name__}: {err}",
             )
-    return return_map
 
 
 def _return_targets(procedure: Procedure, modref: Optional[ModRefInfo],

@@ -32,6 +32,10 @@ from repro.ir.symbols import Variable
 from repro.lattice import BOTTOM, LatticeValue, TOP, meet_all
 
 
+#: Worklist disciplines understood by :func:`propagate`.
+STRATEGIES = ("fifo", "lifo", "priority")
+
+
 @dataclass
 class PropagationStats:
     """Work counters for the complexity ablations."""
@@ -40,6 +44,63 @@ class PropagationStats:
     jump_function_evaluations: int = 0
     meets: int = 0
     lowerings: int = 0
+    strategy: str = "fifo"
+
+
+class _Worklist:
+    """Worklist with explicit duplicate-enqueue bookkeeping.
+
+    ``_pending`` tracks exact membership: a push of an already-pending
+    procedure is dropped (one entry per procedure, ever), and every pop
+    — on *every* strategy — prunes the popped procedure from
+    ``_pending`` so it can be re-queued by a later lowering. Keeping
+    the set and the container behind one interface makes it impossible
+    for a strategy to update one without the other (the failure mode a
+    bare ``deque`` + ``set`` pair invites).
+
+    Strategies: ``"fifo"`` (queue), ``"lifo"`` (stack), ``"priority"``
+    (always the procedure earliest in reverse postorder — an SCC-level
+    topological wavefront from main toward the leaves).
+    """
+
+    def __init__(self, strategy: str, rank: Dict[Procedure, int]):
+        self._strategy = strategy
+        self._rank = rank
+        self._pending: Set[Procedure] = set()
+        self._queue: deque = deque()
+        self._heap: List[tuple] = []
+
+    def push(self, procedure: Procedure) -> bool:
+        if procedure in self._pending:
+            return False
+        self._pending.add(procedure)
+        if self._strategy == "priority":
+            import heapq
+
+            heapq.heappush(
+                self._heap, (self._rank[procedure], procedure.name, procedure)
+            )
+        else:
+            self._queue.append(procedure)
+        return True
+
+    def pop(self) -> Procedure:
+        if self._strategy == "priority":
+            import heapq
+
+            procedure = heapq.heappop(self._heap)[2]
+        elif self._strategy == "lifo":
+            procedure = self._queue.pop()
+        else:
+            procedure = self._queue.popleft()
+        self._pending.discard(procedure)
+        return procedure
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __bool__(self) -> bool:
+        return bool(self._pending)
 
 
 @dataclass
@@ -83,11 +144,15 @@ def propagate(
 ) -> PropagationResult:
     """Run the iterative propagation to its fixpoint.
 
-    ``strategy`` selects the worklist discipline (``"fifo"`` or
-    ``"lifo"``) — the fixpoint is identical either way (the ablation
-    benchmark measures the work difference). ``excluded_calls`` removes
-    specific call sites from the meets — the GSA-style refinement marks
-    never-executed calls this way (§4.2).
+    ``strategy`` selects the worklist discipline (``"fifo"``,
+    ``"lifo"``, or ``"priority"`` — reverse-postorder rank, an
+    SCC-level topological wavefront) — the fixpoint is identical in
+    every case (the lattice is finite and the meets are monotone; the
+    ablation benchmark measures the work difference). The worklist is
+    seeded in reverse postorder over the call graph, so values flow
+    from main toward the leaves on the first sweep. ``excluded_calls``
+    removes specific call sites from the meets — the GSA-style
+    refinement marks never-executed calls this way (§4.2).
 
     ``max_visits`` is the solver's fuel (``AnalysisBudget.
     solver_visits``): when the worklist exceeds it, iteration stops and
@@ -95,10 +160,10 @@ def propagate(
     (⊥ claims nothing; main's cells are propagation *inputs*, not
     iterated). The exhaustion is recorded on ``resilience`` when given.
     """
-    if strategy not in ("fifo", "lifo"):
+    if strategy not in STRATEGIES:
         raise ValueError(f"unknown worklist strategy {strategy!r}")
 
-    stats = PropagationStats()
+    stats = PropagationStats(strategy=strategy)
     val: Dict[str, Dict[Variable, LatticeValue]] = {}
     for procedure in program:
         val[procedure.name] = {
@@ -106,10 +171,11 @@ def propagate(
             for var in entry_domain(procedure, program)
         }
 
-    worklist = deque(
-        p for p in callgraph.top_down_order() if not p.is_main
-    )
-    queued: Set[Procedure] = set(worklist)
+    seed_order = [p for p in callgraph.reverse_postorder() if not p.is_main]
+    rank = {p: index for index, p in enumerate(seed_order)}
+    worklist = _Worklist(strategy, rank)
+    for procedure in seed_order:
+        worklist.push(procedure)
     excluded_calls = excluded_calls or set()
 
     while worklist:
@@ -123,16 +189,14 @@ def propagate(
                     f"procedure visits",
                 )
             break
-        procedure = worklist.popleft() if strategy == "fifo" else worklist.pop()
-        queued.discard(procedure)
+        procedure = worklist.pop()
         stats.procedure_visits += 1
         if _recompute_val(
             program, callgraph, table, procedure, val, stats, excluded_calls
         ):
             for callee in callgraph.callees(procedure):
-                if not callee.is_main and callee not in queued:
-                    queued.add(callee)
-                    worklist.append(callee)
+                if not callee.is_main:
+                    worklist.push(callee)
 
     return PropagationResult(ConstantsResult(val), stats)
 

@@ -79,41 +79,63 @@ def measure_substitution(
     ``fault_isolation``) simply contributes zero substitutions — an
     under-count, never a wrong count.
     """
-    from repro.config import BudgetExceeded
-
     report = SubstitutionReport()
     call_model = call_model or SCCPCallModel()
-    max_visits = budget.sccp_visits if budget is not None else None
     for procedure in program:
-        entry = constants.entry_lattice(procedure)
-        try:
-            result = run_sccp(procedure, entry, call_model, max_visits)
-        except BudgetExceeded as err:
-            if resilience is None:
-                raise
-            resilience.record(
-                "substitution", procedure.name, "sccp", "skipped", str(err)
-            )
-            report.per_procedure[procedure.name] = 0
-            continue
-        except Exception as err:  # noqa: BLE001 — fault isolation boundary
-            if resilience is None or not fault_isolation:
-                raise
-            resilience.record(
-                "substitution", procedure.name, "sccp", "skipped",
-                f"{type(err).__name__}: {err}",
-            )
-            report.per_procedure[procedure.name] = 0
-            continue
-        report.sccp_results[procedure.name] = result
-        uses = result.constant_source_references()
-        report.per_procedure[procedure.name] = len(uses)
-        for use in uses:
-            value = result.operand_value(use)
-            report.sites.append(
-                SubstitutionSite(procedure.name, use, value.value)
-            )
+        measure_substitution_for(
+            procedure, constants, call_model, report,
+            budget=budget, resilience=resilience,
+            fault_isolation=fault_isolation,
+        )
     return report
+
+
+def measure_substitution_for(
+    procedure: Procedure,
+    constants: ConstantsResult,
+    call_model: SCCPCallModel,
+    report: SubstitutionReport,
+    budget=None,
+    resilience=None,
+    fault_isolation: bool = True,
+) -> None:
+    """Measure one procedure's substitutions into ``report``.
+
+    Independent across procedures (SCCP is per-procedure with entry
+    values from CONSTANTS), which is what lets the engine fan the
+    measurement out.
+    """
+    from repro.config import BudgetExceeded
+
+    max_visits = budget.sccp_visits if budget is not None else None
+    entry = constants.entry_lattice(procedure)
+    try:
+        result = run_sccp(procedure, entry, call_model, max_visits)
+    except BudgetExceeded as err:
+        if resilience is None:
+            raise
+        resilience.record(
+            "substitution", procedure.name, "sccp", "skipped", str(err)
+        )
+        report.per_procedure[procedure.name] = 0
+        return
+    except Exception as err:  # noqa: BLE001 — fault isolation boundary
+        if resilience is None or not fault_isolation:
+            raise
+        resilience.record(
+            "substitution", procedure.name, "sccp", "skipped",
+            f"{type(err).__name__}: {err}",
+        )
+        report.per_procedure[procedure.name] = 0
+        return
+    report.sccp_results[procedure.name] = result
+    uses = result.constant_source_references()
+    report.per_procedure[procedure.name] = len(uses)
+    for use in uses:
+        value = result.operand_value(use)
+        report.sites.append(
+            SubstitutionSite(procedure.name, use, value.value)
+        )
 
 
 def apply_substitution(program: Program, report: SubstitutionReport) -> int:

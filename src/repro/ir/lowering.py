@@ -66,6 +66,9 @@ def lower_module(module: ast.Module, source: Optional[SourceFile] = None) -> Pro
     callees, argument count/shape mismatches, COMMON layout conflicts,
     assignments to PARAMETER constants, non-literal DO steps).
     """
+    from repro import profiling
+
+    profiling.bump("lowerings")
     program = Program(source)
     unit_kinds = {unit.name: unit.kind for unit in module.units}
     if len(unit_kinds) != len(module.units):

@@ -134,11 +134,13 @@ class OracleReport:
 
 
 def _fresh_program(source: str):
-    from repro.frontend.parser import parse_source
-    from repro.frontend.source import SourceFile
-    from repro.ir.lowering import lower_module
+    """A fresh mutable lowering of ``source``. The parse is memoized
+    (:mod:`repro.engine.memo`): one trial lowers the same text several
+    times — execution, each analysis config, cloning — but parses it
+    once."""
+    from repro.engine.memo import fresh_program
 
-    return lower_module(parse_source(source), SourceFile("gen.f", source))
+    return fresh_program(source, "gen.f")
 
 
 def _execute(source: str, inputs: Sequence[int], fuel: int):
@@ -148,9 +150,13 @@ def _execute(source: str, inputs: Sequence[int], fuel: int):
 
 
 def _analyze(source: str, config: AnalysisConfig):
-    from repro.ipcp.driver import analyze_program
+    """Analyze ``source`` under ``config``, deduplicated per (source,
+    config) pair: the soundness, preservation, and monotonicity checks
+    all need the default-config result and now share one run. Callers
+    treat the shared :class:`AnalysisResult` as read-only."""
+    from repro.engine.memo import memoized_analysis
 
-    return analyze_program(_fresh_program(source), config)
+    return memoized_analysis(source, config, "gen.f")
 
 
 def _constant_pairs(result) -> Dict[Tuple[str, str], int]:

@@ -1,0 +1,134 @@
+"""Pipeline profiling: stage wall-clock timers and work counters.
+
+The analysis pipeline has a handful of well-defined stages (parse,
+lower, prepare/SSA, jump-function generation, propagation,
+substitution); :class:`PipelineProfile` accumulates per-stage wall time
+and arbitrary named counters for one run and renders them as JSON (the
+CLI's ``--profile``) or as a table. The engine
+(:mod:`repro.engine`) attaches one profile per run; the benchmark
+``benchmarks/test_bench_pipeline.py`` reads the same numbers into
+``BENCH_PIPELINE.json``.
+
+Module-level :data:`GLOBAL_COUNTERS` are process-wide counters used by
+instrumentation points that have no profile object in reach (the
+frontend counts parses, the lowerer counts lowerings); tests read them
+to assert work was *not* repeated (the memoization guarantees).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Mapping, Optional
+
+
+class PipelineProfile:
+    """Wall-clock stage timers plus named counters for one analysis run.
+
+    Stages may be entered repeatedly (complete propagation re-runs the
+    back half); times accumulate and the call count is kept alongside.
+    """
+
+    def __init__(self) -> None:
+        self._seconds: Dict[str, float] = {}
+        self._calls: Dict[str, int] = {}
+        self._counters: Dict[str, int] = {}
+        self._order: list = []
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a ``with``-scoped pipeline stage."""
+        begin = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - begin)
+
+    def add_time(self, name: str, seconds: float) -> None:
+        if name not in self._seconds:
+            self._order.append(name)
+            self._seconds[name] = 0.0
+            self._calls[name] = 0
+        self._seconds[name] += seconds
+        self._calls[name] += 1
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_counter(self, name: str, value: int) -> None:
+        self._counters[name] = value
+
+    def merge_counters(self, counters: Mapping[str, int]) -> None:
+        for name, value in counters.items():
+            self.count(name, value)
+
+    def seconds(self, name: str) -> float:
+        return self._seconds.get(name, 0.0)
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self._seconds.values())
+
+    def to_dict(self) -> dict:
+        """JSON-ready report: per-stage seconds/calls plus counters."""
+        return {
+            "stages": {
+                name: {
+                    "seconds": round(self._seconds[name], 6),
+                    "calls": self._calls[name],
+                }
+                for name in self._order
+            },
+            "counters": dict(sorted(self._counters.items())),
+            "total_seconds": round(self.total_seconds, 6),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def format(self) -> str:
+        """Fixed-width table for terminal output."""
+        lines = [f"{'stage':<20} {'seconds':>10} {'calls':>6}"]
+        for name in self._order:
+            lines.append(
+                f"{name:<20} {self._seconds[name]:>10.4f} {self._calls[name]:>6}"
+            )
+        lines.append(f"{'total':<20} {self.total_seconds:>10.4f}")
+        if self._counters:
+            lines.append("counters:")
+            for name in sorted(self._counters):
+                lines.append(f"  {name:<20} {self._counters[name]}")
+        return "\n".join(lines)
+
+
+#: Process-wide counters for instrumentation points without a profile in
+#: reach. Keys in use: ``"parses"`` (frontend parse_source calls),
+#: ``"lowerings"`` (ir.lowering lower_module calls), ``"parse_memo_hits"``
+#: and ``"analysis_memo_hits"`` (repro.engine.memo).
+GLOBAL_COUNTERS: Dict[str, int] = {}
+
+
+def bump(name: str, amount: int = 1) -> None:
+    GLOBAL_COUNTERS[name] = GLOBAL_COUNTERS.get(name, 0) + amount
+
+
+def counter(name: str) -> int:
+    return GLOBAL_COUNTERS.get(name, 0)
+
+
+def reset_counters() -> None:
+    GLOBAL_COUNTERS.clear()
+
+
+@contextmanager
+def maybe_stage(profile: Optional[PipelineProfile], name: str) -> Iterator[None]:
+    """``profile.stage(name)`` when a profile is attached, no-op otherwise."""
+    if profile is None:
+        yield
+    else:
+        with profile.stage(name):
+            yield

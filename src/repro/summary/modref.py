@@ -21,7 +21,7 @@ global and every bindable actual.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Dict, List, Optional, Set
 
 from repro.callgraph.callgraph import CallGraph
 from repro.ir.instructions import Call, Def, Return, Use
@@ -42,12 +42,20 @@ class ModRefInfo:
     def may_reference(self, procedure_name: str, var: Variable) -> bool:
         return var in self.ref.get(procedure_name, ())
 
-    def modified_globals(self, procedure_name: str) -> Set[Variable]:
-        return {v for v in self.mod.get(procedure_name, ()) if v.is_global}
+    def modified_globals(self, procedure_name: str) -> List[Variable]:
+        # MOD sets hash by identity, so raw iteration order varies from
+        # run to run. Everything downstream of this order is persisted
+        # (phi placement via may_define, return-function targets, cache
+        # keys over printed IR), so return a deterministically sorted
+        # list instead of the set.
+        return sorted(
+            (v for v in self.mod.get(procedure_name, ()) if v.is_global),
+            key=lambda v: (v.common_block or "", v.name),
+        )
 
-    def modified_formals(self, procedure: Procedure) -> Set[Variable]:
+    def modified_formals(self, procedure: Procedure) -> List[Variable]:
         mod = self.mod.get(procedure.name, set())
-        return {v for v in procedure.formals if v in mod}
+        return [v for v in procedure.formals if v in mod]
 
 
 def compute_modref(program: Program, callgraph: CallGraph) -> ModRefInfo:

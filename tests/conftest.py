@@ -19,6 +19,20 @@ import pytest
 from repro.testkit import TRI_PROGRAM, lower, prepared  # noqa: F401 — re-exports
 
 
+@pytest.fixture(autouse=True)
+def _fresh_memos():
+    """Keep the engine's in-process memo caches test-local.
+
+    A memoized ``AnalysisResult`` outliving one test would let a later
+    test that monkeypatches analysis internals replay a result computed
+    under the unpatched code (and vice versa)."""
+    from repro.engine.memo import clear_memos
+
+    clear_memos()
+    yield
+    clear_memos()
+
+
 def pytest_addoption(parser):
     parser.addoption(
         "--update-goldens",

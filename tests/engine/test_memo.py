@@ -1,0 +1,106 @@
+"""Parse/analysis memoization: hit counters, LRU eviction, and the
+oracle-trial redundancy bound the memo layer was built to enforce."""
+
+from repro import profiling
+from repro.config import AnalysisConfig
+from repro.engine import memo
+
+PROGRAM = "      PROGRAM MAIN\n      X = 1\n      END\n"
+
+
+def make_program(index):
+    return f"      PROGRAM MAIN\n      X = {index}\n      END\n"
+
+
+class TestParseMemo:
+    def test_repeat_parse_hits(self):
+        memo.clear_memos()
+        profiling.reset_counters()
+        first = memo.parsed_module(PROGRAM, "a.f")
+        second = memo.parsed_module(PROGRAM, "a.f")
+        assert second is first
+        assert profiling.counter("parses") == 1
+        assert profiling.counter("parse_memo_hits") == 1
+
+    def test_filename_is_part_of_the_key(self):
+        memo.clear_memos()
+        profiling.reset_counters()
+        memo.parsed_module(PROGRAM, "a.f")
+        memo.parsed_module(PROGRAM, "b.f")
+        assert profiling.counter("parses") == 2
+
+    def test_fresh_program_lowers_each_call(self):
+        memo.clear_memos()
+        profiling.reset_counters()
+        one = memo.fresh_program(PROGRAM, "a.f")
+        two = memo.fresh_program(PROGRAM, "a.f")
+        assert one is not two  # distinct lowered programs...
+        assert profiling.counter("parses") == 1  # ...from one parse
+        assert profiling.counter("lowerings") == 2
+
+    def test_lru_eviction(self):
+        memo.clear_memos()
+        profiling.reset_counters()
+        for index in range(memo._PARSE_CAPACITY + 1):
+            memo.parsed_module(make_program(index), "a.f")
+        assert len(memo._parse_memo) == memo._PARSE_CAPACITY
+        # Entry 0 was the least recently used, so it was evicted.
+        memo.parsed_module(make_program(0), "a.f")
+        assert profiling.counter("parse_memo_hits") == 0
+
+
+class TestAnalysisMemo:
+    def test_repeat_analysis_hits(self):
+        memo.clear_memos()
+        profiling.reset_counters()
+        first = memo.memoized_analysis(PROGRAM, AnalysisConfig(), "a.f")
+        second = memo.memoized_analysis(PROGRAM, AnalysisConfig(), "a.f")
+        assert second is first
+        assert profiling.counter("analysis_memo_hits") == 1
+        assert profiling.counter("lowerings") == 1
+
+    def test_config_is_part_of_the_key(self):
+        from dataclasses import replace
+
+        memo.clear_memos()
+        profiling.reset_counters()
+        memo.memoized_analysis(PROGRAM, AnalysisConfig(), "a.f")
+        memo.memoized_analysis(
+            PROGRAM, replace(AnalysisConfig(), use_mod=False), "a.f"
+        )
+        assert profiling.counter("analysis_memo_hits") == 0
+        assert profiling.counter("lowerings") == 2
+
+    def test_clear_memos(self):
+        memo.clear_memos()
+        profiling.reset_counters()
+        memo.memoized_analysis(PROGRAM, AnalysisConfig(), "a.f")
+        memo.clear_memos()
+        memo.memoized_analysis(PROGRAM, AnalysisConfig(), "a.f")
+        assert profiling.counter("analysis_memo_hits") == 0
+
+
+class TestOracleTrialRedundancy:
+    def test_one_trial_lowers_each_variant_at_most_once(self):
+        """One differential-oracle trial cross-checks several properties
+        over the same generated program.  Before memoization each
+        property re-parsed and re-analyzed the program from scratch;
+        now each distinct (source, config) variant is analyzed exactly
+        once and re-checks hit the memo instead."""
+        from repro.oracle.harness import run_trial
+
+        memo.clear_memos()
+        profiling.reset_counters()
+        result = run_trial(7)
+        assert not result.discrepancies
+
+        parses = profiling.counter("parses")
+        lowerings = profiling.counter("lowerings")
+        # Two texts ever hit the parser: the generated program and its
+        # transformed output (checked for idempotence/executability).
+        assert parses == 2
+        # Each needed (source, config) variant lowers at most once; the
+        # trial touches at most 7 variants of the two texts.
+        assert lowerings <= 7
+        assert profiling.counter("parse_memo_hits") >= 1
+        assert profiling.counter("analysis_memo_hits") >= 1

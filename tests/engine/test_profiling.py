@@ -1,0 +1,78 @@
+"""Profiling layer: stage timers, counters, JSON shape."""
+
+import json
+
+from repro import profiling
+from repro.profiling import PipelineProfile, maybe_stage
+
+
+class TestPipelineProfile:
+    def test_stage_accumulates_time_and_calls(self):
+        profile = PipelineProfile()
+        with profile.stage("parse"):
+            pass
+        with profile.stage("parse"):
+            pass
+        assert profile.seconds("parse") >= 0.0
+        assert profile.to_dict()["stages"]["parse"]["calls"] == 2
+
+    def test_counters(self):
+        profile = PipelineProfile()
+        profile.count("widgets")
+        profile.count("widgets", 4)
+        profile.set_counter("gadgets", 7)
+        assert profile.counter("widgets") == 5
+        assert profile.counter("gadgets") == 7
+
+    def test_merge_counters(self):
+        profile = PipelineProfile()
+        profile.count("parses", 2)
+        profile.merge_counters({"parses": 3, "lowerings": 1})
+        assert profile.counter("parses") == 5
+        assert profile.counter("lowerings") == 1
+
+    def test_json_round_trips(self):
+        profile = PipelineProfile()
+        with profile.stage("solve"):
+            pass
+        profile.count("hits", 3)
+        data = json.loads(profile.to_json())
+        assert data["counters"]["hits"] == 3
+        assert "solve" in data["stages"]
+        assert data["total_seconds"] >= 0.0
+
+    def test_format_mentions_stages(self):
+        profile = PipelineProfile()
+        with profile.stage("substitution"):
+            pass
+        assert "substitution" in profile.format()
+
+    def test_maybe_stage_none_is_noop(self):
+        with maybe_stage(None, "anything"):
+            pass  # must not raise
+
+    def test_maybe_stage_records(self):
+        profile = PipelineProfile()
+        with maybe_stage(profile, "lower"):
+            pass
+        assert profile.to_dict()["stages"]["lower"]["calls"] == 1
+
+
+class TestGlobalCounters:
+    def test_bump_and_reset(self):
+        profiling.reset_counters()
+        profiling.bump("parses")
+        profiling.bump("parses", 2)
+        assert profiling.counter("parses") == 3
+        profiling.reset_counters()
+        assert profiling.counter("parses") == 0
+
+    def test_frontend_instruments_parse_and_lower(self):
+        from tests.conftest import lower
+
+        profiling.reset_counters()
+        lower(
+            "      PROGRAM MAIN\n      X = 1\n      END\n"
+        )
+        assert profiling.counter("parses") == 1
+        assert profiling.counter("lowerings") == 1

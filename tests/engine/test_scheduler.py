@@ -1,0 +1,118 @@
+"""SCC condensation levels and the reverse-postorder walk."""
+
+from repro.callgraph.callgraph import build_call_graph
+from repro.engine.scheduler import condensation_levels, partition
+from repro.ipcp.driver import prepare_program
+from repro.config import AnalysisConfig
+
+from tests.conftest import lower
+
+DIAMOND = (
+    "      PROGRAM MAIN\n      CALL L(1)\n      CALL R(2)\n      END\n"
+    "      SUBROUTINE L(X)\n      CALL B(X)\n      END\n"
+    "      SUBROUTINE R(X)\n      CALL B(X)\n      END\n"
+    "      SUBROUTINE B(X)\n      Y = X\n      END\n"
+)
+
+MUTUAL = (
+    "      PROGRAM MAIN\n      CALL A(5)\n      END\n"
+    "      SUBROUTINE A(N)\n"
+    "      IF (N .GT. 0) THEN\n      CALL B(N - 1)\n      ENDIF\n      END\n"
+    "      SUBROUTINE B(N)\n"
+    "      IF (N .GT. 0) THEN\n      CALL A(N - 1)\n      ENDIF\n      END\n"
+)
+
+
+def graph_of(text):
+    program = lower(text)
+    return program, build_call_graph(program)
+
+
+def flatten(levels):
+    return [p.name for level in levels for scc in level for p in scc]
+
+
+class TestCondensationLevels:
+    def test_partitions_every_procedure_once(self):
+        program, callgraph = graph_of(DIAMOND)
+        names = flatten(condensation_levels(callgraph))
+        assert sorted(names) == sorted(p.name for p in program)
+
+    def test_callees_on_strictly_lower_levels(self):
+        _, callgraph = graph_of(DIAMOND)
+        levels = condensation_levels(callgraph)
+        level_of = {}
+        for depth, level in enumerate(levels):
+            for scc in level:
+                for proc in scc:
+                    level_of[proc] = depth
+        for depth, level in enumerate(levels):
+            for scc in level:
+                members = set(scc)
+                for proc in scc:
+                    for callee in callgraph.callees(proc):
+                        if callee not in members:
+                            assert level_of[callee] < depth
+
+    def test_diamond_shape(self):
+        _, callgraph = graph_of(DIAMOND)
+        levels = condensation_levels(callgraph)
+        assert [sorted(p.name for scc in level for p in scc)
+                for level in levels] == [["b"], ["l", "r"], ["main"]]
+
+    def test_mutual_recursion_is_one_component(self):
+        _, callgraph = graph_of(MUTUAL)
+        levels = condensation_levels(callgraph)
+        sizes = sorted(len(scc) for level in levels for scc in level)
+        assert sizes == [1, 2]  # {a,b} together, main alone
+
+    def test_same_level_components_never_call_each_other(self):
+        _, callgraph = graph_of(DIAMOND)
+        for level in condensation_levels(callgraph):
+            for scc in level:
+                for other in level:
+                    if scc is other:
+                        continue
+                    others = set(other)
+                    for proc in scc:
+                        assert not (set(callgraph.callees(proc)) & others)
+
+
+class TestReversePostorder:
+    def test_covers_all_and_starts_at_main(self):
+        program, callgraph = graph_of(DIAMOND)
+        order = callgraph.reverse_postorder()
+        assert order[0].is_main
+        assert sorted(p.name for p in order) == sorted(p.name for p in program)
+
+    def test_callers_precede_callees_on_dag(self):
+        _, callgraph = graph_of(DIAMOND)
+        order = callgraph.reverse_postorder()
+        rank = {p: i for i, p in enumerate(order)}
+        for proc in order:
+            for callee in callgraph.callees(proc):
+                if callee is not proc:
+                    assert rank[callee] > rank[proc]
+
+    def test_includes_unreached_procedures(self):
+        program, callgraph = graph_of(
+            "      PROGRAM MAIN\n      X = 1\n      END\n"
+            "      SUBROUTINE ORPHAN(K)\n      Y = K\n      END\n"
+        )
+        order = callgraph.reverse_postorder()
+        assert sorted(p.name for p in order) == sorted(p.name for p in program)
+
+
+class TestPartition:
+    def test_empty(self):
+        assert partition([], 4) == []
+
+    def test_fewer_items_than_chunks(self):
+        assert partition([1, 2], 8) == [[1], [2]]
+
+    def test_order_preserving_and_complete(self):
+        items = list(range(11))
+        chunks = partition(items, 3)
+        assert [x for chunk in chunks for x in chunk] == items
+        assert len(chunks) == 3
+        assert max(len(c) for c in chunks) - min(len(c) for c in chunks) <= 1

@@ -1,0 +1,151 @@
+"""Codec round-trips: summaries must decode into structurally equal
+objects against an isomorphic (freshly re-lowered) program."""
+
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.engine import summaries
+from repro.ipcp.driver import analyze_source, prepare_program
+from repro.ipcp.jump_functions import build_forward_jump_functions
+from repro.ipcp.return_functions import build_return_functions
+
+from tests.conftest import lower
+
+SOURCE = (
+    "      PROGRAM MAIN\n      COMMON /C/ G\n      G = 4\n"
+    "      CALL S(3, 10)\n      X = F(2)\n      END\n"
+    "      SUBROUTINE S(A, B)\n      COMMON /C/ G\n"
+    "      A = 2 * B + G\n      END\n"
+    "      INTEGER FUNCTION F(N)\n      F = N * N + 1\n      END\n"
+)
+
+
+def built(text=SOURCE):
+    program = lower(text)
+    config = AnalysisConfig()
+    callgraph, modref = prepare_program(program, config)
+    return_map = build_return_functions(program, callgraph, modref)
+    table = build_forward_jump_functions(
+        program, callgraph, config.jump_function, return_map
+    )
+    return program, callgraph, return_map, table
+
+
+class TestVarrefs:
+    def test_formal_roundtrip(self):
+        program, *_ = built()
+        s = program.procedure("s")
+        ref = summaries.encode_varref(s.formals[1], s)
+        assert summaries.resolve_varref(ref, program) is s.formals[1]
+
+    def test_global_roundtrip(self):
+        program, *_ = built()
+        g = program.scalar_globals()[0]
+        ref = summaries.encode_varref(g, program.procedure("s"))
+        assert summaries.resolve_varref(ref, program) is g
+
+    def test_result_roundtrip(self):
+        program, *_ = built()
+        f = program.procedure("f")
+        ref = summaries.encode_varref(f.result_var, f)
+        assert summaries.resolve_varref(ref, program) is f.result_var
+
+    def test_local_rejected(self):
+        program, *_ = built()
+        main = program.procedure("main")
+        local = main.symbols.lookup("x")
+        assert local is not None and not local.is_global
+        with pytest.raises(ValueError):
+            summaries.encode_varref(local, main)
+
+    def test_roundtrip_across_fresh_lowering(self):
+        program, *_ = built()
+        s = program.procedure("s")
+        ref = summaries.encode_varref(s.formals[0], s)
+        other = lower(SOURCE)
+        resolved = summaries.resolve_varref(ref, other)
+        assert resolved is other.procedure("s").formals[0]
+        assert resolved is not s.formals[0]
+
+
+class TestReturnFunctionCodec:
+    def test_roundtrip_structural_equality(self):
+        program, _, return_map, _ = built()
+        for fn in return_map:
+            data = summaries.encode_return_function(fn, program)
+            back = summaries.decode_return_function(data, program)
+            assert back.procedure_name == fn.procedure_name
+            assert back.target is fn.target
+            assert back.expr == fn.expr
+            assert back.polynomial == fn.polynomial
+
+    def test_roundtrip_is_json_safe(self):
+        import json
+
+        program, _, return_map, _ = built()
+        for fn in return_map:
+            data = summaries.encode_return_function(fn, program)
+            rehydrated = json.loads(json.dumps(data))
+            back = summaries.decode_return_function(rehydrated, program)
+            assert back.polynomial == fn.polynomial
+
+    def test_encoding_is_deterministic(self):
+        program, _, return_map, _ = built()
+        a = lower(SOURCE)
+        config = AnalysisConfig()
+        cg, mr = prepare_program(a, config)
+        other_map = build_return_functions(a, cg, mr)
+        ours = sorted(
+            str(summaries.encode_return_function(fn, program))
+            for fn in return_map
+        )
+        theirs = sorted(
+            str(summaries.encode_return_function(fn, a)) for fn in other_map
+        )
+        assert ours == theirs
+
+
+class TestForwardFunctionCodec:
+    def test_roundtrip(self):
+        program, callgraph, _, table = built()
+        for procedure in program:
+            for encoded in summaries.encode_forward_functions_of(
+                table, procedure, program
+            ):
+                fn = summaries.decode_forward_function(encoded, program)
+                original = table.lookup(fn.call, fn.target)
+                assert original is not None
+                assert fn.kind == original.kind
+                assert fn.constant == original.constant
+                assert fn.source_var is original.source_var
+                assert fn.polynomial == original.polynomial
+
+
+class TestConstantsCodec:
+    def test_roundtrip(self):
+        result = analyze_source(SOURCE)
+        payload = summaries.encode_constants(result.constants, result.program)
+        back = summaries.decode_constants(payload, result.program)
+        assert back.format_report() == result.constants.format_report()
+        for procedure in result.program:
+            assert back.val_set(procedure.name) == result.constants.val_set(
+                procedure.name
+            )
+
+
+class TestSubstitutionCodec:
+    def test_roundtrip(self):
+        from repro.ipcp.substitution import SubstitutionReport
+
+        result = analyze_source(SOURCE)
+        rebuilt = SubstitutionReport()
+        for procedure in result.program:
+            data = summaries.encode_substitution_of(
+                result.substitution, procedure.name
+            )
+            summaries.decode_substitution_into(data, procedure, rebuilt)
+        assert rebuilt.per_procedure == result.substitution.per_procedure
+        assert rebuilt.total == result.substitution.total
+        original = result.transformed_source()
+        result.substitution = rebuilt
+        assert result.transformed_source() == original

@@ -132,7 +132,7 @@ class TestDomain:
 
 
 class TestStrategies:
-    @pytest.mark.parametrize("strategy", ["fifo", "lifo"])
+    @pytest.mark.parametrize("strategy", ["fifo", "lifo", "priority"])
     def test_same_fixpoint(self, strategy):
         program, result = solve(DEEP_CHAIN, strategy=strategy)
         assert result.constants.constants_of("c3")
@@ -146,3 +146,131 @@ class TestStrategies:
         assert result.stats.procedure_visits > 0
         assert result.stats.jump_function_evaluations > 0
         assert result.stats.lowerings > 0
+
+    @pytest.mark.parametrize("strategy", ["lifo", "priority"])
+    def test_fixpoint_parity_with_fifo_on_suite(self, strategy):
+        from repro.suite.programs import SUITE_PROGRAM_NAMES, program_source
+
+        def rendered(result, procedure_name):
+            return {
+                var.name: str(value)
+                for var, value in result.constants.val_set(
+                    procedure_name
+                ).items()
+            }
+
+        for name in SUITE_PROGRAM_NAMES:
+            text = program_source(name)
+            program, fifo = solve(text)
+            _, other = solve(text, strategy=strategy)
+            for procedure in program:
+                assert rendered(other, procedure.name) == (
+                    rendered(fifo, procedure.name)
+                ), f"{strategy} diverged from fifo on {name}/{procedure.name}"
+
+    def test_priority_never_does_more_work_on_suite(self):
+        """The topological wavefront (reverse postorder rank) visits
+        callers before callees, so by the time a callee is popped its
+        callers' VAL sets have usually settled — fewer re-visits than
+        an arrival-order queue on every suite program."""
+        from repro.suite.programs import SUITE_PROGRAM_NAMES, program_source
+
+        for name in SUITE_PROGRAM_NAMES:
+            text = program_source(name)
+            _, fifo = solve(text)
+            _, priority = solve(text, strategy="priority")
+            assert priority.stats.procedure_visits <= (
+                fifo.stats.procedure_visits
+            ), f"priority regressed on {name}"
+
+    def test_stats_record_strategy(self):
+        _, result = solve(DEEP_CHAIN, strategy="priority")
+        assert result.stats.strategy == "priority"
+
+
+DIAMOND = (
+    "      PROGRAM MAIN\n      CALL L(1)\n      CALL R(2)\n      END\n"
+    "      SUBROUTINE L(X)\n      CALL B(X)\n      END\n"
+    "      SUBROUTINE R(X)\n      CALL B(X)\n      END\n"
+    "      SUBROUTINE B(X)\n      Y = X\n      END\n"
+)
+
+
+class TestDiamondRequeue:
+    """Regression guard for the worklist's pending-set pruning.
+
+    In a diamond (main -> l, r -> b) the shared callee b is pushed while
+    already pending when both parents lower in the same wave.  If a pop
+    ever failed to prune the pending set (the hazard the ``_Worklist``
+    class exists to prevent), a later lowering of l or r could not
+    re-queue b and b would keep a stale, unsoundly-constant VAL set."""
+
+    @pytest.mark.parametrize("strategy", ["fifo", "lifo", "priority"])
+    def test_shared_callee_sees_both_parents(self, strategy):
+        program, result = solve(DIAMOND, strategy=strategy)
+        b = program.procedure("b")
+        # l passes 1 and r passes 2: b's formal must meet to bottom.
+        assert result.constants.constants_of("b") == {}
+        from repro.lattice import BOTTOM
+
+        assert result.constants.val_set("b")[b.formals[0]] is BOTTOM
+
+    @pytest.mark.parametrize("strategy", ["fifo", "lifo", "priority"])
+    def test_agreeing_parents_stay_constant(self, strategy):
+        agreeing = DIAMOND.replace("CALL R(2)", "CALL R(1)")
+        program, result = solve(agreeing, strategy=strategy)
+        b = program.procedure("b")
+        assert result.constants.constants_of("b") == {b.formals[0]: 1}
+
+
+class TestWorklist:
+    class FakeProc:
+        def __init__(self, name):
+            self.name = name
+
+    def make(self, strategy="fifo", names=("a", "b", "c")):
+        from repro.ipcp.solver import _Worklist
+
+        procs = [self.FakeProc(n) for n in names]
+        rank = {p: i for i, p in enumerate(procs)}
+        return _Worklist(strategy, rank), procs
+
+    def test_duplicate_push_dropped(self):
+        wl, (a, _, _) = self.make()
+        assert wl.push(a) is True
+        assert wl.push(a) is False
+        assert len(wl) == 1
+
+    @pytest.mark.parametrize("strategy", ["fifo", "lifo", "priority"])
+    def test_pop_prunes_pending(self, strategy):
+        wl, (a, b, _) = self.make(strategy)
+        wl.push(a)
+        wl.push(b)
+        popped = wl.pop()
+        assert wl.push(popped) is True, "popped item must be re-queueable"
+
+    def test_fifo_order(self):
+        wl, (a, b, c) = self.make("fifo")
+        for p in (a, b, c):
+            wl.push(p)
+        assert [wl.pop(), wl.pop(), wl.pop()] == [a, b, c]
+
+    def test_lifo_order(self):
+        wl, (a, b, c) = self.make("lifo")
+        for p in (a, b, c):
+            wl.push(p)
+        assert [wl.pop(), wl.pop(), wl.pop()] == [c, b, a]
+
+    def test_priority_pops_lowest_rank(self):
+        wl, (a, b, c) = self.make("priority")
+        for p in (c, a, b):  # arrival order must not matter
+            wl.push(p)
+        assert [wl.pop(), wl.pop(), wl.pop()] == [a, b, c]
+
+    def test_empty_is_falsy(self):
+        wl, (a, _, _) = self.make()
+        assert not wl
+        wl.push(a)
+        assert wl
+        wl.pop()
+        assert not wl

@@ -62,6 +62,55 @@ class TestAnalyze:
         assert "subroutine s" in out
 
 
+class TestEngineFlags:
+    def test_solver_flag(self, program_file, capsys):
+        assert main(
+            ["analyze", program_file, "--solver", "priority", "--stats"]
+        ) == 0
+        assert "priority" in capsys.readouterr().out
+
+    def test_unknown_solver_rejected(self, program_file):
+        with pytest.raises(SystemExit):
+            main(["analyze", program_file, "--solver", "chaos"])
+
+    def test_jobs_output_matches_serial(self, program_file, capsys):
+        assert main(["analyze", program_file, "--transform"]) == 0
+        serial = capsys.readouterr().out
+        assert main(
+            ["analyze", program_file, "--transform", "--jobs", "4"]
+        ) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_cache_dir_output_matches_serial(
+        self, program_file, tmp_path, capsys
+    ):
+        assert main(["analyze", program_file, "--transform"]) == 0
+        serial = capsys.readouterr().out
+        cache = str(tmp_path / "cache")
+        for _ in range(2):  # cold, then warm (run-cache replay path)
+            assert main(
+                ["analyze", program_file, "--transform", "--cache-dir", cache]
+            ) == 0
+            assert capsys.readouterr().out == serial
+
+    def test_profile_to_stdout(self, program_file, capsys):
+        assert main(["analyze", program_file, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "--- profile ---" in out
+        assert '"stages"' in out
+
+    def test_profile_to_file(self, program_file, tmp_path, capsys):
+        import json
+
+        destination = tmp_path / "profile.json"
+        assert main(
+            ["analyze", program_file, "--profile", str(destination)]
+        ) == 0
+        assert "profile written" in capsys.readouterr().out
+        data = json.loads(destination.read_text())
+        assert "stages" in data and "counters" in data
+
+
 class TestCompare:
     def test_compare_lists_all_kinds(self, program_file, capsys):
         assert main(["compare", program_file]) == 0
