@@ -14,10 +14,22 @@ Tiers (``BENCH_PIPELINE_TIER``):
 The ≥1.5× parallel-speedup assertion only fires on hosts with at least
 four CPUs: the growth container has one, where a process pool can only
 lose. Byte-identity of parallel vs serial output is asserted everywhere.
+
+The *batch* section measures what ``repro batch`` exists for: one
+interpreter start-up and import pass amortized over N files, instead of
+N separate ``repro analyze`` invocations. That win is CPU-count
+independent (it is fixed-cost amortization, not parallelism), so its
+≥1.5× gate asserts on every host — including this 1-CPU container.
+The *incremental* section edits one procedure of a cached program and
+gates on the dirty-set guarantee: only the edited procedure and its
+transitive callers are recomputed.
 """
 
 import json
 import os
+import re
+import subprocess
+import sys
 import time
 from pathlib import Path
 
@@ -40,6 +52,9 @@ TIERS = {
 }
 TIER = os.environ.get("BENCH_PIPELINE_TIER", "small")
 SIZES = TIERS.get(TIER, TIERS["small"])
+
+#: How many files the batch bench feeds through one driver invocation.
+BATCH_FILES = {"tiny": 3, "small": 8, "full": 12}.get(TIER, 8)
 
 PARALLEL_JOBS = 4
 MANY_CPUS = (os.cpu_count() or 1) >= PARALLEL_JOBS
@@ -77,6 +92,8 @@ def report():
         "jobs": PARALLEL_JOBS,
         "parallel": [],
         "cache": [],
+        "batch": [],
+        "incremental": [],
     }
     yield data
     REPORT_PATH.write_text(json.dumps(data, indent=2) + "\n")
@@ -173,4 +190,146 @@ def test_cache_cold_vs_warm(procedures, report, tmp_path_factory, capfd):
         f"cache {procedures} procs: cold {cold_seconds:.2f}s, warm "
         f"{warm_seconds:.2f}s (hit-rate {hit_rate:.0%}), replay "
         f"{replay_seconds*1000:.1f}ms ({replay_speedup:.0f}x)",
+    )
+
+
+def _cli_environment():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part
+        for part in (str(REPO_ROOT / "src"), env.get("PYTHONPATH"))
+        if part
+    )
+    return env
+
+
+def _run_cli(arguments, env):
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", *arguments],
+        env=env,
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+def test_batch_vs_serial_invocations(report, tmp_path_factory, capfd):
+    """One ``repro batch`` invocation vs N separate ``repro analyze``
+    subprocesses over the same files. The batch driver pays interpreter
+    start-up and imports once, so it must win by ≥1.5× on *any* CPU
+    count — this gate is the 1-CPU-host replacement for the pool
+    speedup gate above."""
+    directory = tmp_path_factory.mktemp("batchfiles")
+    paths = []
+    for index in range(BATCH_FILES):
+        path = directory / f"unit{index}.f"
+        path.write_text(
+            generate_program(
+                seed=index,
+                config=GeneratorConfig(
+                    procedures=10, max_statements_per_procedure=8
+                ),
+            )
+        )
+        paths.append(str(path))
+    env = _cli_environment()
+
+    def serial_invocations():
+        return [_run_cli(["analyze", path], env) for path in paths]
+
+    serial_seconds, _ = timed(serial_invocations)
+    batch_seconds, batch_out = timed(
+        lambda: _run_cli(["batch", *paths], env)
+    )
+    for path in paths:
+        assert f"{path}:" in batch_out, "every file must be reported"
+    speedup = serial_seconds / batch_seconds if batch_seconds else 0.0
+    row = {
+        "files": len(paths),
+        "serial_invocations_seconds": round(serial_seconds, 4),
+        "batch_seconds": round(batch_seconds, 4),
+        "speedup": round(speedup, 3),
+    }
+    report["batch"].append(row)
+    emit_once(
+        capfd,
+        "pipeline-batch",
+        f"batch {len(paths)} files: {len(paths)} x analyze "
+        f"{serial_seconds:.2f}s, one batch {batch_seconds:.2f}s "
+        f"(speedup {speedup:.2f}x, cpus={os.cpu_count()})",
+    )
+    assert speedup >= 1.5, (
+        f"batch only {speedup:.2f}x faster than {len(paths)} serial "
+        f"invocations — start-up amortization is CPU-count independent"
+    )
+
+
+def _edit_first_literal(text):
+    """Bump the first integer literal assignment in the program — a
+    semantic edit confined to the first unit (MAIN, the call-graph
+    root), so the dirty set stays minimal: Merkle keys fold callee into
+    caller, and nothing calls MAIN."""
+    matches = list(re.finditer(r"(?m)= (-?\d+)$", text))
+    assert matches, "generated program has no literal assignment"
+    target = matches[0]
+    bumped = str(int(target.group(1)) + 1)
+    return text[: target.start(1)] + bumped + text[target.end(1):]
+
+
+@pytest.mark.parametrize("procedures", SIZES)
+def test_incremental_dirty_set(procedures, report, tmp_path_factory, capfd):
+    """Edit one procedure of a cached program: the re-analysis must
+    recompute only the dirty set (edited + transitive callers) and
+    leave every other summary to the cache."""
+    from repro.engine.batch import analyze_one
+
+    directory = tmp_path_factory.mktemp(f"incr{procedures}")
+    path = directory / "program.f"
+    path.write_text(source_for(procedures))
+    config = AnalysisConfig()
+    cache_dir = str(directory / "cache")
+
+    cold_seconds, cold = timed(
+        lambda: analyze_one(str(path), config, cache_dir, want_profile=True)
+    )
+    assert cold.ok and not cold.replayed
+    # A cold run has no previous manifest: everything counts dirty, so
+    # this is the program's total unit count (procedures plus MAIN).
+    total = cold.profile["counters"]["incremental_dirty"]
+
+    path.write_text(_edit_first_literal(path.read_text()))
+    incremental_seconds, warm = timed(
+        lambda: analyze_one(str(path), config, cache_dir, want_profile=True)
+    )
+    assert warm.ok and not warm.replayed
+
+    counters = warm.profile["counters"]
+    dirty = counters.get("incremental_dirty", 0)
+    clean = counters.get("incremental_clean", 0)
+    assert dirty + clean == total
+    assert 0 < dirty < total, (
+        f"dirty set is {dirty}/{total} — an edit to one root "
+        f"procedure must not invalidate the whole program"
+    )
+    assert counters.get("recomputed_ret", 0) == dirty, (
+        "jump functions recomputed outside the dirty set"
+    )
+    speedup = cold_seconds / incremental_seconds if incremental_seconds else 0.0
+    row = {
+        "procedures": procedures,
+        "cold_seconds": round(cold_seconds, 4),
+        "incremental_seconds": round(incremental_seconds, 4),
+        "dirty": dirty,
+        "clean": clean,
+        "speedup": round(speedup, 3),
+    }
+    report["incremental"].append(row)
+    emit_once(
+        capfd,
+        f"pipeline-incremental-{procedures}",
+        f"incremental {procedures} procs: cold {cold_seconds:.2f}s, "
+        f"edit-one re-analysis {incremental_seconds:.2f}s "
+        f"(dirty {dirty}, clean {clean}, speedup {speedup:.2f}x)",
     )

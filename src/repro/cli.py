@@ -48,6 +48,99 @@ _KIND_ALIASES = {
 }
 
 
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    """The analysis-configuration flags ``analyze`` and ``batch`` share
+    (everything :func:`_config_from_args` reads except the per-run
+    ``--strict``/``--verify-ir`` pair, which stays analyze-only)."""
+    parser.add_argument(
+        "--jump",
+        default="poly",
+        choices=sorted(_KIND_ALIASES),
+        help="forward jump function implementation (default: poly)",
+    )
+    parser.add_argument(
+        "--no-returns", action="store_true", help="disable return jump functions"
+    )
+    parser.add_argument(
+        "--no-mod", action="store_true", help="disable MOD side-effect information"
+    )
+    parser.add_argument(
+        "--complete",
+        action="store_true",
+        help="iterate propagation with dead-code elimination",
+    )
+    parser.add_argument(
+        "--intra-only",
+        action="store_true",
+        help="purely intraprocedural propagation (with MOD)",
+    )
+    parser.add_argument(
+        "--gsa",
+        action="store_true",
+        help="GSA-style refinement (complete-propagation results, no DCE)",
+    )
+    parser.add_argument(
+        "--solver-fuel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap interprocedural propagation at N procedure visits",
+    )
+    parser.add_argument(
+        "--sccp-fuel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap each SCCP run at N instruction evaluations",
+    )
+    parser.add_argument(
+        "--max-poly-terms",
+        type=int,
+        default=None,
+        metavar="N",
+        help="demote polynomial jump functions larger than N terms",
+    )
+    parser.add_argument(
+        "--solver",
+        default="fifo",
+        choices=("fifo", "lifo", "priority"),
+        help="interprocedural worklist discipline (default: fifo; the "
+        "fixpoint is identical, only the work differs)",
+    )
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="reuse procedure summaries across runs via the persistent "
+        "cache (default location; see --cache-dir)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent summary cache directory (implies --cache; "
+        "default: $REPRO_CACHE_DIR, $XDG_CACHE_HOME/repro, or "
+        "~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="emit per-stage timings and counters as JSON to FILE "
+        "(default: stdout)",
+    )
+    parser.add_argument(
+        "--explain-invalidation",
+        action="store_true",
+        help="with --cache: report which procedures were recomputed "
+        "since the previous run of each file, and why",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-ipcp",
@@ -57,33 +150,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser("analyze", help="analyze one program")
     analyze.add_argument("file", help="MiniFortran source file")
-    analyze.add_argument(
-        "--jump",
-        default="poly",
-        choices=sorted(_KIND_ALIASES),
-        help="forward jump function implementation (default: poly)",
-    )
-    analyze.add_argument(
-        "--no-returns", action="store_true", help="disable return jump functions"
-    )
-    analyze.add_argument(
-        "--no-mod", action="store_true", help="disable MOD side-effect information"
-    )
-    analyze.add_argument(
-        "--complete",
-        action="store_true",
-        help="iterate propagation with dead-code elimination",
-    )
-    analyze.add_argument(
-        "--intra-only",
-        action="store_true",
-        help="purely intraprocedural propagation (with MOD)",
-    )
-    analyze.add_argument(
-        "--gsa",
-        action="store_true",
-        help="GSA-style refinement (complete-propagation results, no DCE)",
-    )
+    _add_config_arguments(analyze)
     analyze.add_argument(
         "--transform",
         action="store_true",
@@ -113,34 +180,6 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the structural IR/SSA verifier between pipeline stages",
     )
     analyze.add_argument(
-        "--solver-fuel",
-        type=int,
-        default=None,
-        metavar="N",
-        help="cap interprocedural propagation at N procedure visits",
-    )
-    analyze.add_argument(
-        "--sccp-fuel",
-        type=int,
-        default=None,
-        metavar="N",
-        help="cap each SCCP run at N instruction evaluations",
-    )
-    analyze.add_argument(
-        "--max-poly-terms",
-        type=int,
-        default=None,
-        metavar="N",
-        help="demote polynomial jump functions larger than N terms",
-    )
-    analyze.add_argument(
-        "--solver",
-        default="fifo",
-        choices=("fifo", "lifo", "priority"),
-        help="interprocedural worklist discipline (default: fifo; the "
-        "fixpoint is identical, only the work differs)",
-    )
-    analyze.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -148,28 +187,36 @@ def _build_parser() -> argparse.ArgumentParser:
         help="generate procedure summaries on N parallel workers "
         "(default: 1 = serial; results are byte-identical)",
     )
-    analyze.add_argument(
-        "--cache",
+    _add_cache_arguments(analyze)
+
+    batch = sub.add_parser(
+        "batch", help="analyze many programs against one worker pool"
+    )
+    batch.add_argument(
+        "files", nargs="*", metavar="FILE",
+        help="MiniFortran source files",
+    )
+    batch.add_argument(
+        "--stdin-list",
         action="store_true",
-        help="reuse procedure summaries across runs via the persistent "
-        "cache (default location; see --cache-dir)",
+        help="read additional file paths from stdin, one per line "
+        "('#' lines are comments)",
     )
-    analyze.add_argument(
-        "--cache-dir",
-        default=None,
-        metavar="DIR",
-        help="persistent summary cache directory (implies --cache; "
-        "default: $REPRO_CACHE_DIR, $XDG_CACHE_HOME/repro, or "
-        "~/.cache/repro)",
+    _add_config_arguments(batch)
+    batch.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analyze files on N persistent pool workers (default: 1; "
+        "per-file results are byte-identical at any N)",
     )
-    analyze.add_argument(
-        "--profile",
-        nargs="?",
-        const="-",
-        default=None,
-        metavar="FILE",
-        help="emit per-stage timings and counters as JSON to FILE "
-        "(default: stdout)",
+    _add_cache_arguments(batch)
+    batch.add_argument(
+        "--report",
+        action="store_true",
+        help="print each file's full CONSTANTS report, not just the "
+        "one-line summary",
     )
 
     compare = sub.add_parser("compare", help="compare all four jump functions")
@@ -273,8 +320,8 @@ def _config_from_args(args: argparse.Namespace) -> AnalysisConfig:
         config,
         budget=budget,
         solver_strategy=getattr(args, "solver", "fifo"),
-        fault_isolation=not args.strict,
-        verify_ir=args.verify_ir,
+        fault_isolation=not getattr(args, "strict", False),
+        verify_ir=getattr(args, "verify_ir", False),
     )
 
 
@@ -282,7 +329,11 @@ def _engine_from_args(args: argparse.Namespace):
     """Build an :class:`repro.engine.Engine` when any engine feature is
     requested; plain serial analysis (None) otherwise, so the default
     CLI path stays exactly the pre-engine pipeline."""
-    wants_cache = args.cache or args.cache_dir is not None
+    wants_cache = (
+        args.cache
+        or args.cache_dir is not None
+        or getattr(args, "explain_invalidation", False)
+    )
     if args.jobs <= 1 and not wants_cache and args.profile is None:
         return None
     from repro.engine import Engine, default_cache_root
@@ -317,9 +368,22 @@ def _emit_profile(engine, destination: str) -> None:
         print(f"[profile written to {destination}]")
 
 
-def _replay_cached_run(payload: dict, args: argparse.Namespace) -> int:
+def _payload_serves(payload: dict, args: argparse.Namespace) -> bool:
+    """Whether a cached run payload carries every rendering this
+    invocation needs. Payloads record ``stats``/``ir`` as None when
+    their rendering failed at store time; such runs fall through to a
+    live analysis rather than silently dropping a section."""
+    if args.dump_ir and payload.get("ir") is None:
+        return False
+    if args.stats and payload.get("stats") is None:
+        return False
+    return True
+
+
+def _replay_cached_run(payload: dict, args: argparse.Namespace, engine) -> int:
     """Render a cached whole-run outcome — only clean runs are ever
-    recorded, so this is always a diagnostics-free EXIT_OK replay."""
+    recorded, so this is always a diagnostics-free EXIT_OK replay.
+    Sections print in the live path's order (transform, IR, stats)."""
     print(f"configuration: {payload['config']}")
     print(payload["constants_report"])
     print(f"substituted constant references: {payload['substituted']}")
@@ -327,6 +391,15 @@ def _replay_cached_run(payload: dict, args: argparse.Namespace) -> int:
     if args.transform and payload.get("transformed_source") is not None:
         print("\n--- transformed source ---")
         print(payload["transformed_source"])
+    if args.dump_ir:
+        print("\n--- SSA IR ---")
+        print(payload["ir"])
+    if args.stats:
+        print("\n--- statistics ---")
+        print(payload["stats"])
+    if args.explain_invalidation:
+        print("\n--- invalidation ---")
+        print(engine.replayed_report(args.file).format())
     return EXIT_OK
 
 
@@ -345,13 +418,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _run_analyze(args: argparse.Namespace, config, engine) -> int:
     # Whole-run fast path: an unchanged (source, config) pair whose
     # previous run was clean replays its recorded output without
-    # parsing. Modes that need the analyzed program object (IR dump,
-    # dot files, statistics), strict mode, and the IR verifier all
-    # bypass it.
-    replayable = not (
-        args.dump_ir or args.dot or args.stats or args.strict
-        or args.verify_ir
-    )
+    # parsing — including the --stats and --dump-ir renderings, which
+    # the payload carries. Modes that need the live program object
+    # (dot files), strict mode, and the IR verifier bypass it.
+    replayable = not (args.dot or args.strict or args.verify_ir)
     text = None
     if engine is not None and engine.cache is not None:
         try:
@@ -361,8 +431,8 @@ def _run_analyze(args: argparse.Namespace, config, engine) -> int:
             text = None  # let the normal path produce the located error
         if text is not None and replayable:
             payload = engine.cached_run(text, config)
-            if payload is not None:
-                return _replay_cached_run(payload, args)
+            if payload is not None and _payload_serves(payload, args):
+                return _replay_cached_run(payload, args, engine)
 
     if args.strict:
         result = analyze_file(args.file, config, engine=engine)
@@ -401,6 +471,11 @@ def _run_analyze(args: argparse.Namespace, config, engine) -> int:
         print(f"[{len(paths)} Graphviz files written to {args.dot}]")
     if engine is not None and text is not None and replayable:
         engine.record_run(text, config, result)
+    if engine is not None and engine.cache is not None:
+        report = engine.finish_incremental(args.file)
+        if report is not None and args.explain_invalidation:
+            print("\n--- invalidation ---")
+            print(report.format())
     if not result.resilience.ok:
         print("\n--- degraded components ---", file=sys.stderr)
         print(result.resilience.summary(), file=sys.stderr)
@@ -409,6 +484,62 @@ def _run_analyze(args: argparse.Namespace, config, engine) -> int:
     if diagnostics is not None and diagnostics.has_errors:
         return EXIT_DIAGNOSTICS
     return EXIT_OK
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.engine import default_cache_root
+    from repro.engine.batch import read_stdin_list, run_batch
+    from repro.engine.incremental import format_invalidation
+
+    config = _config_from_args(args)
+    paths = list(args.files)
+    if args.stdin_list:
+        paths.extend(read_stdin_list(sys.stdin))
+    if not paths:
+        print("batch: no input files", file=sys.stderr)
+        return EXIT_DIAGNOSTICS
+    wants_cache = (
+        args.cache or args.cache_dir is not None or args.explain_invalidation
+    )
+    cache_dir = (
+        (args.cache_dir or default_cache_root()) if wants_cache else None
+    )
+    result = run_batch(
+        paths,
+        config,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        want_profile=args.profile is not None,
+        explain=args.explain_invalidation,
+    )
+    for outcome in result.files:
+        print(outcome.summary_line())
+        if args.report and outcome.constants_report is not None:
+            print(outcome.constants_report)
+        if outcome.diagnostics:
+            print(outcome.diagnostics, file=sys.stderr)
+        if args.explain_invalidation and outcome.invalidation is not None:
+            print(format_invalidation(outcome.invalidation))
+    totals = result.totals()
+    print(
+        f"[{totals['files']} file(s), jobs={totals['jobs']}: "
+        f"{totals['by_status'].get('ok', 0)} ok, "
+        f"{totals['by_status'].get('diagnostics', 0)} with diagnostics, "
+        f"{totals['by_status'].get('error', 0)} failed, "
+        f"{totals['replayed']} replayed]"
+    )
+    if args.profile is not None:
+        text = json.dumps(result.profile_report(), indent=2)
+        if args.profile == "-":
+            print("\n--- profile ---")
+            print(text)
+        else:
+            with open(args.profile, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"[profile written to {args.profile}]")
+    return EXIT_OK if result.ok else EXIT_DIAGNOSTICS
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -554,6 +685,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "analyze": _cmd_analyze,
+        "batch": _cmd_batch,
         "compare": _cmd_compare,
         "run": _cmd_run,
         "clone": _cmd_clone,

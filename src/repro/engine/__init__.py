@@ -9,6 +9,7 @@ scheduled, cached, optionally parallel equivalents whose outputs are
 byte-identical to the serial pipeline's. See ``docs/PERFORMANCE.md``.
 """
 
+from repro.engine.batch import BatchResult, FileOutcome, run_batch
 from repro.engine.cache import CacheStats, SummaryCache, default_cache_root
 from repro.engine.core import Engine
 from repro.engine.fingerprint import (
@@ -16,19 +17,27 @@ from repro.engine.fingerprint import (
     config_fingerprint,
     procedure_digest,
     source_digest,
+    summary_index,
     summary_keys,
 )
+from repro.engine.incremental import InvalidationReport, diff_manifest
 from repro.engine.scheduler import condensation_levels
 
 __all__ = [
+    "BatchResult",
     "CacheStats",
     "Engine",
     "ENGINE_CACHE_VERSION",
+    "FileOutcome",
+    "InvalidationReport",
     "SummaryCache",
     "condensation_levels",
     "config_fingerprint",
     "default_cache_root",
+    "diff_manifest",
     "procedure_digest",
+    "run_batch",
     "source_digest",
+    "summary_index",
     "summary_keys",
 ]

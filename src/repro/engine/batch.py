@@ -1,0 +1,314 @@
+"""Batch analysis: many programs, one persistent worker pool.
+
+A single ``repro`` invocation pays interpreter start-up, imports, and
+(under ``--jobs``) pool spin-up once *per file*. :func:`run_batch`
+amortizes all of that: the batch driver prepares every input against
+one long-lived pool of workers, each of which analyzes whole files
+serially (file-level parallelism composes better than per-file SCC
+parallelism when there are many small inputs) and shares the persistent
+summary cache on disk.
+
+Scheduling is **big-first**: files are submitted in decreasing size
+order so small files fill the slots left idle while a worker chews on a
+large one — classic LPT list scheduling. Results are reported in the
+caller's input order regardless.
+
+Every file flows through the same per-file pipeline the ``analyze``
+subcommand uses — run-level replay cache first, then resilient
+analysis, then :meth:`~repro.engine.core.Engine.record_run` and the
+incremental manifest update — so a batch run leaves the cache exactly
+as N sequential ``analyze --cache`` runs would, and a later incremental
+batch recomputes only the dirty procedures of edited files.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import AnalysisConfig
+
+#: Outcome statuses, in severity order.
+OK = "ok"
+DIAGNOSTICS = "diagnostics"
+ERROR = "error"
+
+
+@dataclass
+class FileOutcome:
+    """One file's result, JSON-able end to end (it crosses the pool)."""
+
+    path: str
+    status: str = OK
+    config: Optional[str] = None
+    constants_report: Optional[str] = None
+    total_pairs: int = 0
+    substituted: int = 0
+    per_procedure: Dict[str, int] = field(default_factory=dict)
+    diagnostics: Optional[str] = None
+    error: Optional[str] = None
+    #: Served wholesale from the run-level replay cache.
+    replayed: bool = False
+    #: ``InvalidationReport.to_dict()`` (cache-enabled runs only).
+    invalidation: Optional[dict] = None
+    #: ``PipelineProfile.to_dict()`` (profiled runs only).
+    profile: Optional[dict] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "status": self.status,
+            "total_pairs": self.total_pairs,
+            "substituted": self.substituted,
+            "replayed": self.replayed,
+            "error": self.error,
+            "invalidation": self.invalidation,
+            "profile": self.profile,
+        }
+
+    def summary_line(self) -> str:
+        if self.status == ERROR:
+            return f"{self.path}: error: {self.error}"
+        if self.status == DIAGNOSTICS:
+            return f"{self.path}: diagnostics reported (no result)"
+        suffix = "  [replayed]" if self.replayed else ""
+        return (
+            f"{self.path}: {self.total_pairs} constant(s), "
+            f"{self.substituted} substituted{suffix}"
+        )
+
+
+@dataclass
+class BatchResult:
+    """Every file's outcome (input order) plus batch-level aggregates."""
+
+    files: List[FileOutcome]
+    jobs: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.files)
+
+    def outcome(self, path: str) -> FileOutcome:
+        for candidate in self.files:
+            if candidate.path == path:
+                return candidate
+        raise KeyError(path)
+
+    def totals(self) -> dict:
+        by_status: Dict[str, int] = {}
+        for outcome in self.files:
+            by_status[outcome.status] = by_status.get(outcome.status, 0) + 1
+        return {
+            "files": len(self.files),
+            "jobs": self.jobs,
+            "by_status": by_status,
+            "replayed": sum(1 for o in self.files if o.replayed),
+            "total_pairs": sum(o.total_pairs for o in self.files),
+            "substituted": sum(o.substituted for o in self.files),
+        }
+
+    def profile_report(self) -> dict:
+        """Per-file profiles plus their aggregation — ``--profile``'s
+        batch shape, where fixed-cost amortization is visible in one
+        JSON (N files, one set of pool/import costs)."""
+        from repro.profiling import aggregate_profiles
+
+        per_file = {
+            outcome.path: outcome.profile
+            for outcome in self.files
+            if outcome.profile is not None
+        }
+        report = self.totals()
+        report["per_file"] = per_file
+        report["aggregate"] = aggregate_profiles(list(per_file.values()))
+        return report
+
+
+def analyze_one(
+    path: str,
+    config: AnalysisConfig,
+    cache_dir: Optional[str] = None,
+    want_profile: bool = False,
+    explain: bool = False,
+) -> FileOutcome:
+    """The per-file unit of batch work: replay-or-analyze ``path``.
+
+    Runs inline (``jobs=1``) or inside a pool worker; everything it
+    touches and returns is picklable. Each call uses a private serial
+    :class:`~repro.engine.core.Engine` over the shared on-disk cache —
+    workers coordinate through the cache's atomic file writes, never
+    through shared memory.
+    """
+    from repro import profiling
+    from repro.engine.core import Engine
+    from repro.frontend.errors import FrontendError
+    from repro.ipcp.driver import analyze_file_resilient
+
+    profile = profiling.PipelineProfile() if want_profile else None
+    if want_profile:
+        profiling.reset_counters()
+    engine = Engine(jobs=1, cache_dir=cache_dir, profile=profile)
+    outcome = FileOutcome(path=path)
+    try:
+        text: Optional[str] = None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except (OSError, UnicodeDecodeError) as err:
+            outcome.status = ERROR
+            outcome.error = str(err)
+            return outcome
+
+        if engine.cache is not None:
+            payload = engine.cached_run(text, config)
+            if payload is not None:
+                outcome.config = payload["config"]
+                outcome.constants_report = payload["constants_report"]
+                outcome.total_pairs = payload["total_pairs"]
+                outcome.substituted = payload["substituted"]
+                outcome.per_procedure = dict(payload["per_procedure"])
+                outcome.replayed = True
+                if explain:
+                    outcome.invalidation = (
+                        engine.replayed_report(path).to_dict()
+                    )
+                return outcome
+
+        try:
+            result, diagnostics = analyze_file_resilient(
+                path, config, engine=engine
+            )
+        except FrontendError as err:
+            outcome.status = ERROR
+            outcome.error = str(err)
+            return outcome
+        if result is None:
+            outcome.status = DIAGNOSTICS
+            outcome.diagnostics = diagnostics.format()
+            return outcome
+        outcome.config = config.describe()
+        outcome.constants_report = result.constants.format_report()
+        outcome.total_pairs = result.constants.total_pairs()
+        outcome.substituted = result.substituted_constants
+        outcome.per_procedure = dict(result.substitution.per_procedure)
+        if len(diagnostics):
+            outcome.diagnostics = diagnostics.format()
+        engine.record_run(text, config, result)
+        report = engine.finish_incremental(path)
+        if report is not None:
+            outcome.invalidation = report.to_dict()
+        return outcome
+    except Exception as err:  # noqa: BLE001 — a worker must not die on
+        outcome.status = ERROR  # one bad input; the batch reports it
+        outcome.error = f"{type(err).__name__}: {err}"
+        return outcome
+    finally:
+        if profile is not None:
+            engine.finish_profile()
+            profile.merge_counters(profiling.GLOBAL_COUNTERS)
+            outcome.profile = profile.to_dict()
+        engine.close()
+
+
+def _schedule(paths: Sequence[str]) -> List[str]:
+    """Big-first (LPT) submission order, sizes from the filesystem.
+
+    Unreadable paths sort last (size 0) — they fail fast in a worker.
+    Ties keep input order, so scheduling is deterministic.
+    """
+
+    def size(path: str) -> int:
+        try:
+            return os.path.getsize(path)
+        except OSError:
+            return 0
+
+    indexed = list(enumerate(paths))
+    indexed.sort(key=lambda pair: (-size(pair[1]), pair[0]))
+    return [path for _, path in indexed]
+
+
+def run_batch(
+    paths: Sequence[str],
+    config: Optional[AnalysisConfig] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    want_profile: bool = False,
+    explain: bool = False,
+    executor: str = "process",
+) -> BatchResult:
+    """Analyze every file in ``paths`` against one persistent pool.
+
+    ``jobs=1`` runs everything inline (still amortizing imports and the
+    cache handle). ``executor`` mirrors :class:`~repro.engine.core.
+    Engine`: ``"process"`` for real parallelism, ``"thread"`` for
+    GIL-bound determinism testing.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if executor not in ("process", "thread"):
+        raise ValueError(f"unknown executor {executor!r}")
+    config = config or AnalysisConfig()
+    paths = list(paths)
+    if jobs == 1 or len(paths) <= 1:
+        outcomes = {
+            path: analyze_one(path, config, cache_dir, want_profile, explain)
+            for path in _schedule(paths)
+        }
+        return BatchResult(
+            files=[outcomes[path] for path in paths], jobs=jobs
+        )
+
+    import concurrent.futures as cf
+
+    task = analyze_one
+    if executor == "thread":
+        # The engine's worker state is process-global, so two engines
+        # must never analyze concurrently inside one process: thread
+        # mode serializes the per-file work behind a lock. (It is
+        # GIL-bound regardless — this mode exercises the pool plumbing
+        # deterministically, it was never a speed path.)
+        import threading
+
+        guard = threading.Lock()
+
+        def task(*args):
+            with guard:
+                return analyze_one(*args)
+
+        pool = cf.ThreadPoolExecutor(max_workers=jobs)
+    else:
+        import multiprocessing as mp
+
+        methods = mp.get_all_start_methods()
+        context = mp.get_context("fork" if "fork" in methods else "spawn")
+        pool = cf.ProcessPoolExecutor(max_workers=jobs, mp_context=context)
+    try:
+        futures = {
+            path: pool.submit(
+                task, path, config, cache_dir, want_profile, explain
+            )
+            for path in _schedule(paths)
+        }
+        return BatchResult(
+            files=[futures[path].result() for path in paths], jobs=jobs
+        )
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def read_stdin_list(stream) -> List[str]:
+    """File paths from ``stream``, one per line; blanks and ``#``
+    comment lines are skipped (so lists can be annotated)."""
+    paths: List[str] = []
+    for line in stream:
+        stripped = line.strip()
+        if stripped and not stripped.startswith("#"):
+            paths.append(stripped)
+    return paths

@@ -76,7 +76,14 @@ class Engine:
         self._config: Optional[AnalysisConfig] = None
         self._attached: Optional[Program] = None
         self._keys: Optional[Dict[str, str]] = None
+        self._index: Optional[Dict[str, Dict[str, str]]] = None
+        self._loc_digests: Dict[str, str] = {}
+        self._callgraph = None
         self._returns_payload: List[dict] = []
+        #: Procedure names whose summaries were actually (re)computed
+        #: this run, per stage namespace — the incremental layer's
+        #: ground truth that recomputation stayed inside the dirty set.
+        self.recomputed: Dict[str, List[str]] = {"ret": [], "fwd": [], "sub": []}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -92,7 +99,11 @@ class Engine:
     def _reset_run(self) -> None:
         self._attached = None
         self._keys = None
+        self._index = None
+        self._loc_digests = {}
+        self._callgraph = None
         self._returns_payload = []
+        self.recomputed = {"ret": [], "fwd": [], "sub": []}
         if self._pool is not None:
             # Worker state is per-run; a surviving pool holds stale
             # programs. Recycle it (cheap relative to a full analysis).
@@ -127,13 +138,20 @@ class Engine:
             self._attached = program
         self._program = program
         self._config = config
+        self._callgraph = callgraph
         if self._keys is None:
             with self.maybe_stage("fingerprint"):
-                self._keys = (
-                    fingerprint.summary_keys(program, callgraph, config)
-                    if self.cache is not None
-                    else {}
-                )
+                if self.cache is not None:
+                    self._index = fingerprint.summary_index(
+                        program, callgraph, config
+                    )
+                    self._keys = {
+                        name: entry["key"]
+                        for name, entry in self._index.items()
+                    }
+                else:
+                    self._index = None
+                    self._keys = {}
         if parallel._STATE is None or parallel._STATE.program is not program:
             # Thread/inline tasks run against the parent's own prepared
             # objects; a process pool's forked children inherit this
@@ -251,6 +269,7 @@ class Engine:
                     member_data[name] = data
                     payload.extend(data["fns"])
                     self._store_member("ret", name, data)
+                    self._note_recomputed("ret", name)
 
         # Merge in the serial pipeline's order — the full Tarjan
         # bottom-up order, not level order — so the parent's map and the
@@ -296,6 +315,7 @@ class Engine:
                 member_data.update(result)
             for name in pending:
                 self._store_member("fwd", name, member_data[name])
+                self._note_recomputed("fwd", name)
 
         table = JumpFunctionTable(config.jump_function)
         for name in order:
@@ -342,6 +362,7 @@ class Engine:
             ):
                 member_data.update(result)
             for name in pending:
+                self._note_recomputed("sub", name)
                 key = self._substitution_key(name, constants_payload)
                 if key is not None:
                     self.cache.put("sub", key, member_data[name])
@@ -357,6 +378,10 @@ class Engine:
         return report
 
     # -- cache plumbing ------------------------------------------------------
+
+    def _note_recomputed(self, namespace: str, name: str) -> None:
+        self.recomputed[namespace].append(name)
+        self._count(f"recomputed_{namespace}")
 
     def _lookup_member(self, namespace: str, name: str) -> Optional[dict]:
         if self.cache is None:
@@ -394,13 +419,60 @@ class Engine:
         """Substitution depends on the callee summaries (the member key)
         *and* on the procedure's CONSTANTS cells — which reflect the
         whole program, callers included — so the key salts the member
-        key with the encoded VAL cells."""
+        key with the encoded VAL cells. It also folds in the
+        procedure's source-location digest: substitution payloads carry
+        absolute coordinates for the transformed-source renderer, which
+        a line-shifting edit elsewhere in the file silently invalidates
+        even though the procedure's semantics (and semantic key) are
+        untouched."""
         if self.cache is None:
             return None
+        location = self._loc_digests.get(name)
+        if location is None:
+            location = fingerprint.location_digest(
+                self._program.procedure(name)
+            )
+            self._loc_digests[name] = location
         return _sha(
-            ["sub", self._keys[name],
+            ["sub", self._keys[name], location,
              json.dumps(constants_payload.get(name, []))]
         )
+
+    # -- incremental manifests -----------------------------------------------
+
+    def finish_incremental(self, path: str):
+        """Diff this run's summary index against the previous manifest
+        for ``path`` and persist the new manifest. Returns an
+        :class:`~repro.engine.incremental.InvalidationReport`, or None
+        when no cache (and hence no manifest history) is attached.
+
+        Call after the analysis completed, while the engine is still
+        attached to the run's program.
+        """
+        if self.cache is None or self._index is None:
+            return None
+        from repro.engine import incremental
+
+        key = incremental.manifest_key(path, self._config)
+        previous = self.cache.get(incremental.MANIFEST_NAMESPACE, key)
+        report = incremental.diff_manifest(
+            path, previous, self._index, self._callgraph
+        )
+        self.cache.put(
+            incremental.MANIFEST_NAMESPACE,
+            key,
+            incremental.build_manifest(self._index),
+        )
+        self._count("incremental_dirty", len(report.dirty))
+        self._count("incremental_clean", len(report.clean))
+        return report
+
+    def replayed_report(self, path: str):
+        """The invalidation report for a run served entirely from the
+        run-level cache: the source is unchanged, nothing recomputed."""
+        from repro.engine.incremental import InvalidationReport
+
+        return InvalidationReport(path=path, replayed=True)
 
     # -- whole-run result cache ----------------------------------------------
 
@@ -419,7 +491,13 @@ class Engine:
     def record_run(self, text: str, config: AnalysisConfig, result) -> None:
         """Record a *clean* run's render-ready outcome. Runs with
         demotions or diagnostics are never recorded: their output
-        depends on more than (source, config) content."""
+        depends on more than (source, config) content.
+
+        Besides the constants report, the payload carries the renderings
+        every replayable CLI mode needs — the transformed source, the
+        ``--stats`` table, and the ``--dump-ir`` text — so a warm replay
+        can serve those flags without re-analyzing.
+        """
         if self.cache is None:
             return
         if result.resilience.demotions:
@@ -437,9 +515,29 @@ class Engine:
                 if result.program.source is not None
                 else None
             ),
+            "stats": self._render_stats(result),
+            "ir": self._render_ir(result),
         }
         self.cache.put("run", fingerprint.run_key(text, config), payload)
         self._count("run_cache_stores")
+
+    @staticmethod
+    def _render_stats(result) -> Optional[str]:
+        from repro.ipcp.stats import collect_statistics
+
+        try:
+            return collect_statistics(result).format()
+        except Exception:  # noqa: BLE001 — a failed rendering only
+            return None  # narrows what the replay can serve
+
+    @staticmethod
+    def _render_ir(result) -> Optional[str]:
+        from repro.ir.printer import format_program
+
+        try:
+            return format_program(result.program)
+        except Exception:  # noqa: BLE001
+            return None
 
     # -- reporting -----------------------------------------------------------
 

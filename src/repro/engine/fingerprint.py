@@ -34,7 +34,9 @@ from repro.ir.printer import format_procedure
 
 #: Bump to invalidate every existing cache entry (payload schema changes,
 #: semantics-affecting fixes in summary construction).
-ENGINE_CACHE_VERSION = 1
+#: v2: run-level payloads grew ``stats``/``ir`` renderings, and the
+#: ``man`` namespace (incremental manifests) joined the layout.
+ENGINE_CACHE_VERSION = 2
 
 
 def _sha(parts: List[str]) -> str:
@@ -98,14 +100,42 @@ def procedure_digest(procedure: Procedure, program: Program) -> str:
     return _sha(parts)
 
 
-def summary_keys(
-    program: Program, callgraph, config: AnalysisConfig
-) -> Dict[str, str]:
-    """One cache key per procedure, Merkle-folded over the condensation.
+def location_digest(procedure: Procedure) -> str:
+    """Hash of every source coordinate the procedure's IR carries.
 
+    Summary *semantics* are location-free — :func:`procedure_digest`
+    excludes locations on purpose, so editing one procedure does not
+    dirty the jump/return functions of procedures whose text merely
+    moved down the file. But the substitution payload records absolute
+    source coordinates for the transformed-source renderer, which go
+    stale under exactly such shifts. The substitution cache key
+    therefore salts the semantic key with this digest: a procedure
+    whose text moved re-records its sites at the new coordinates while
+    its ret/fwd summaries keep hitting.
+    """
+    parts: List[str] = []
+    for block in procedure.cfg.blocks:
+        for instruction in block.instructions:
+            parts.append(str(instruction.location))
+            for use in instruction.uses():
+                parts.append(str(use.location))
+    return _sha(parts)
+
+
+def summary_index(
+    program: Program, callgraph, config: AnalysisConfig
+) -> Dict[str, Dict[str, str]]:
+    """Per-procedure ``{"digest": ..., "key": ...}``, Merkle-folded.
+
+    The ``digest`` is the procedure's own post-SSA content hash; the
+    ``key`` folds the cache version, the config fingerprint, the SCC's
+    member digests, and the keys of the child components it calls into.
     Every member of one SCC shares the component hash (their summaries
     are built together and depend on each other); the member key salts
-    it with the member's name.
+    it with the member's name. The incremental layer diffs two indexes
+    of the same file to separate *edited* procedures (digest changed)
+    from procedures that are merely *downstream* of an edit (key changed
+    via a callee's key).
     """
     config_fp = config_fingerprint(config)
     components = callgraph.sccs()  # reverse topological: callees first
@@ -114,7 +144,7 @@ def summary_keys(
         for member in component:
             component_of[member] = index
     component_keys: List[str] = []
-    keys: Dict[str, str] = {}
+    index_out: Dict[str, Dict[str, str]] = {}
     for index, component in enumerate(components):
         child_keys = sorted(
             {
@@ -124,15 +154,27 @@ def summary_keys(
                 if component_of[callee] != index
             }
         )
+        digests = [procedure_digest(member, program) for member in component]
         component_key = _sha(
-            [f"v{ENGINE_CACHE_VERSION}", config_fp]
-            + [procedure_digest(member, program) for member in component]
-            + child_keys
+            [f"v{ENGINE_CACHE_VERSION}", config_fp] + digests + child_keys
         )
         component_keys.append(component_key)
-        for member in component:
-            keys[member.name] = _sha([component_key, member.name])
-    return keys
+        for member, digest in zip(component, digests):
+            index_out[member.name] = {
+                "digest": digest,
+                "key": _sha([component_key, member.name]),
+            }
+    return index_out
+
+
+def summary_keys(
+    program: Program, callgraph, config: AnalysisConfig
+) -> Dict[str, str]:
+    """One cache key per procedure (see :func:`summary_index`)."""
+    return {
+        name: entry["key"]
+        for name, entry in summary_index(program, callgraph, config).items()
+    }
 
 
 def run_key(text: str, config: AnalysisConfig) -> str:

@@ -29,14 +29,17 @@ from repro.engine.fingerprint import config_fingerprint, source_digest
 
 _PARSE_CAPACITY = 128
 _ANALYSIS_CAPACITY = 64
+_INTERP_CAPACITY = 256
 
 _parse_memo: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
 _analysis_memo: "OrderedDict[Tuple[str, str, str], object]" = OrderedDict()
+_interp_memo: "OrderedDict[Tuple[str, Tuple[int, ...]], object]" = OrderedDict()
 
 
 def clear_memos() -> None:
     _parse_memo.clear()
     _analysis_memo.clear()
+    _interp_memo.clear()
 
 
 def _remember(memo: OrderedDict, key, value, capacity: int) -> None:
@@ -92,3 +95,33 @@ def memoized_analysis(text: str, config=None, filename: str = "<string>"):
     result = analyze_program(fresh_program(text, filename), config)
     _remember(_analysis_memo, key, result, _ANALYSIS_CAPACITY)
     return result
+
+
+def memoized_run(text: str, inputs, fuel: int, filename: str = "<string>"):
+    """Execute ``text`` through the reference interpreter, reusing the
+    recorded :class:`~repro.ir.interp.Trace` for an identical
+    (source digest, input vector) pair.
+
+    Execution is deterministic given (program, inputs); fuel only cuts
+    it short. A recorded trace therefore satisfies any request whose
+    budget covers the steps it actually took (``steps <= fuel``), while
+    a smaller budget re-runs live so fuel exhaustion raises exactly as
+    it would uncached. Only completed runs are stored — an
+    InterpreterError propagates and leaves no entry. The shared Trace
+    is read-only to callers; its entry snapshots are matched by
+    variable *name* downstream, so reuse across independent lowerings
+    of the same text is sound. Hits bump ``interp_memo_hits``.
+    """
+    key = (source_digest(text), tuple(inputs))
+    cached = _interp_memo.get(key)
+    if cached is not None and cached.steps <= fuel:
+        _interp_memo.move_to_end(key)
+        profiling.bump("interp_memo_hits")
+        return cached
+    from repro.ir.interp import run_program
+
+    trace = run_program(
+        fresh_program(text, filename), inputs=list(inputs), fuel=fuel
+    )
+    _remember(_interp_memo, key, trace, _INTERP_CAPACITY)
+    return trace

@@ -10,9 +10,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SourceLocation:
-    """A position in a source file (1-based line and column)."""
+    """A position in a source file (1-based line and column).
+
+    ``slots=True``: every token and instruction carries one, so these
+    outnumber even Variables.
+    """
 
     filename: str
     line: int

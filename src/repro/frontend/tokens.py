@@ -118,7 +118,7 @@ DOTTED_OPERATORS = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Token:
     """A single lexical token.
 

@@ -14,6 +14,8 @@ class BasicBlock:
     Phi nodes, when present, sit at the front of ``instructions``.
     """
 
+    __slots__ = ("uid", "name", "instructions")
+
     _ids = itertools.count()
 
     def __init__(self, name: Optional[str] = None):
@@ -77,6 +79,8 @@ class ControlFlowGraph:
     passes that restructure the graph call :meth:`remove_unreachable` to
     drop dead blocks and fix phi inputs.
     """
+
+    __slots__ = ("entry", "blocks")
 
     def __init__(self, entry: BasicBlock):
         self.entry = entry

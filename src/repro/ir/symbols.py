@@ -25,16 +25,21 @@ class VarKind(enum.Enum):
     RESULT = "result"  # the function-name variable holding the result
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Variable:
     """A named storage location. Identity semantics: two Variables are the
-    same variable iff they are the same object."""
+    same variable iff they are the same object.
+
+    ``slots=True``: programs allocate one Variable per SSA version, so
+    the per-instance ``__dict__`` would dominate IR memory.
+    """
 
     name: str
     kind: VarKind
     is_array: bool = False
     dims: Optional[Tuple[int, ...]] = None
     common_block: Optional[str] = None
+    uid: int = field(init=False, repr=False)
 
     _ids = itertools.count()
 

@@ -22,17 +22,19 @@ propagation (§2).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Dict, Iterable, Optional
 
 
 class LatticeValue:
     """An element of the constant-propagation lattice. Immutable.
 
     Use the module constants :data:`TOP` and :data:`BOTTOM` and the
-    factory :func:`const`; equality and hashing are value-based.
+    factory :func:`const` (which interns the common small constants, so
+    repeated lattice elements are usually the *same* object); equality
+    and hashing are value-based either way.
     """
 
-    __slots__ = ("kind", "value")
+    __slots__ = ("kind", "value", "_hash")
 
     _TOP_KIND = "top"
     _CONST_KIND = "const"
@@ -41,6 +43,9 @@ class LatticeValue:
     def __init__(self, kind: str, value: Optional[int] = None):
         object.__setattr__(self, "kind", kind)
         object.__setattr__(self, "value", value)
+        # Hashing is hot (CONSTANTS sets, VAL maps, memo keys); interned
+        # instances make construction rare, so precompute once here.
+        object.__setattr__(self, "_hash", hash((kind, value)))
 
     def __setattr__(self, name: str, value) -> None:
         raise AttributeError("LatticeValue is immutable")
@@ -58,18 +63,30 @@ class LatticeValue:
         return self.kind == self._CONST_KIND
 
     def meet(self, other: "LatticeValue") -> "LatticeValue":
-        """Figure 1's ∧ operation."""
-        if self.is_top:
-            return other
-        if other.is_top:
+        """Figure 1's ∧ operation.
+
+        This is the propagation inner loop, so it is allocation-free
+        (every result is ``self``, ``other``, or the :data:`BOTTOM`
+        singleton) and reads ``kind`` slots directly rather than going
+        through the ``is_*`` property descriptors.
+        """
+        if self is other:
             return self
-        if self.is_bottom or other.is_bottom:
+        kind = self.kind
+        if kind == "top":
+            return other
+        other_kind = other.kind
+        if other_kind == "top":
+            return self
+        if kind == "bottom" or other_kind == "bottom":
             return BOTTOM
         if self.value == other.value:
             return self
         return BOTTOM
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return (
             isinstance(other, LatticeValue)
             and other.kind == self.kind
@@ -77,7 +94,7 @@ class LatticeValue:
         )
 
     def __hash__(self) -> int:
-        return hash((self.kind, self.value))
+        return self._hash
 
     def __repr__(self) -> str:
         if self.is_top:
@@ -99,9 +116,30 @@ TOP = LatticeValue(LatticeValue._TOP_KIND)
 BOTTOM = LatticeValue(LatticeValue._BOTTOM_KIND)
 
 
+#: Interning window for :func:`const` — wide enough to cover loop
+#: bounds, array dimensions, and the literals real programs traffic in,
+#: bounded so pathological constant streams cannot grow it without
+#: limit. Values outside the window get fresh (still value-equal)
+#: objects.
+_INTERN_MIN, _INTERN_MAX = -128, 4096
+_CONST_INTERN: Dict[int, LatticeValue] = {}
+
+
 def const(value: int) -> LatticeValue:
-    """The lattice element for the integer constant ``value``."""
-    return LatticeValue(LatticeValue._CONST_KIND, value)
+    """The lattice element for the integer constant ``value``.
+
+    Common values are interned: ``const(c) is const(c)`` within the
+    window, which makes the ``self is other`` fast path in :meth:`~
+    LatticeValue.meet` (and dict/set hits on CONSTANTS cells) the usual
+    case instead of the lucky one.
+    """
+    cached = _CONST_INTERN.get(value)
+    if cached is not None:
+        return cached
+    element = LatticeValue(LatticeValue._CONST_KIND, value)
+    if _INTERN_MIN <= value <= _INTERN_MAX:
+        _CONST_INTERN[value] = element
+    return element
 
 
 def meet_all(values: Iterable[LatticeValue]) -> LatticeValue:

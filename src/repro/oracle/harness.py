@@ -144,9 +144,13 @@ def _fresh_program(source: str):
 
 
 def _execute(source: str, inputs: Sequence[int], fuel: int):
-    from repro.ir.interp import run_program
+    """Reference-interpreter execution, memoized per (source digest,
+    input vector): a campaign re-executes the same program whenever
+    checks overlap (preservation runs the transformed source the next
+    trial may regenerate verbatim) and on every minimizer probe."""
+    from repro.engine.memo import memoized_run
 
-    return run_program(_fresh_program(source), inputs=inputs, fuel=fuel)
+    return memoized_run(source, inputs, fuel, "gen.f")
 
 
 def _analyze(source: str, config: AnalysisConfig):

@@ -105,10 +105,39 @@ class PipelineProfile:
         return "\n".join(lines)
 
 
+def aggregate_profiles(profiles) -> dict:
+    """Fold many :meth:`PipelineProfile.to_dict` payloads into one.
+
+    Stage seconds/calls and counters sum; the result has the same shape
+    as a single profile dict, so renderers need not care whether they
+    are looking at one run or a whole batch. Stage order follows first
+    appearance across the inputs.
+    """
+    stages: Dict[str, dict] = {}
+    counters: Dict[str, int] = {}
+    total = 0.0
+    for payload in profiles:
+        if payload is None:
+            continue
+        for name, entry in payload.get("stages", {}).items():
+            slot = stages.setdefault(name, {"seconds": 0.0, "calls": 0})
+            slot["seconds"] = round(slot["seconds"] + entry["seconds"], 6)
+            slot["calls"] += entry["calls"]
+        for name, value in payload.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        total += payload.get("total_seconds", 0.0)
+    return {
+        "stages": stages,
+        "counters": dict(sorted(counters.items())),
+        "total_seconds": round(total, 6),
+    }
+
+
 #: Process-wide counters for instrumentation points without a profile in
 #: reach. Keys in use: ``"parses"`` (frontend parse_source calls),
-#: ``"lowerings"`` (ir.lowering lower_module calls), ``"parse_memo_hits"``
-#: and ``"analysis_memo_hits"`` (repro.engine.memo).
+#: ``"lowerings"`` (ir.lowering lower_module calls), and
+#: ``"parse_memo_hits"`` / ``"analysis_memo_hits"`` /
+#: ``"interp_memo_hits"`` (repro.engine.memo).
 GLOBAL_COUNTERS: Dict[str, int] = {}
 
 

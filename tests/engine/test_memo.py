@@ -80,6 +80,76 @@ class TestAnalysisMemo:
         assert profiling.counter("analysis_memo_hits") == 0
 
 
+RUN_PROGRAM = """\
+      PROGRAM MAIN
+      INTEGER X
+      X = 2
+      X = X + 3
+      PRINT *, X
+      END
+"""
+
+
+class TestInterpMemo:
+    def test_repeat_execution_hits(self):
+        memo.clear_memos()
+        profiling.reset_counters()
+        first = memo.memoized_run(RUN_PROGRAM, (), 1000, "a.f")
+        second = memo.memoized_run(RUN_PROGRAM, (), 1000, "a.f")
+        assert second is first
+        assert first.output == ["5"]
+        assert profiling.counter("interp_memo_hits") == 1
+
+    def test_larger_fuel_still_hits(self):
+        """A recorded trace satisfies any budget covering its steps."""
+        memo.clear_memos()
+        profiling.reset_counters()
+        trace = memo.memoized_run(RUN_PROGRAM, (), 1000, "a.f")
+        again = memo.memoized_run(RUN_PROGRAM, (), trace.steps, "a.f")
+        assert again is trace
+        assert profiling.counter("interp_memo_hits") == 1
+
+    def test_smaller_fuel_reruns_and_exhausts(self):
+        """A budget below the recorded cost must raise exactly as a
+        live run would — the memo never masks fuel exhaustion."""
+        import pytest
+
+        from repro.ir.interp import InterpreterError
+
+        memo.clear_memos()
+        profiling.reset_counters()
+        trace = memo.memoized_run(RUN_PROGRAM, (), 1000, "a.f")
+        with pytest.raises(InterpreterError):
+            memo.memoized_run(RUN_PROGRAM, (), trace.steps - 1, "a.f")
+        assert profiling.counter("interp_memo_hits") == 0
+
+    def test_inputs_are_part_of_the_key(self):
+        program = (
+            "      PROGRAM MAIN\n"
+            "      INTEGER X\n"
+            "      READ *, X\n"
+            "      PRINT *, X\n"
+            "      END\n"
+        )
+        memo.clear_memos()
+        profiling.reset_counters()
+        one = memo.memoized_run(program, (1,), 1000, "a.f")
+        two = memo.memoized_run(program, (2,), 1000, "a.f")
+        assert one.output == ["1"] and two.output == ["2"]
+        assert profiling.counter("interp_memo_hits") == 0
+
+    def test_oracle_campaign_reexecution_hits(self):
+        """Two identical trials: the second serves every execution from
+        the memo — the CI oracle job gates on this counter being > 0."""
+        from repro.oracle.harness import run_trial
+
+        memo.clear_memos()
+        profiling.reset_counters()
+        assert not run_trial(11).discrepancies
+        assert not run_trial(11).discrepancies
+        assert profiling.counter("interp_memo_hits") > 0
+
+
 class TestOracleTrialRedundancy:
     def test_one_trial_lowers_each_variant_at_most_once(self):
         """One differential-oracle trial cross-checks several properties

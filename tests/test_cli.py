@@ -93,6 +93,72 @@ class TestEngineFlags:
             ) == 0
             assert capsys.readouterr().out == serial
 
+    def test_replay_serves_stats_and_ir(self, program_file, tmp_path, capsys):
+        """A warm run-cache replay renders --stats and --dump-ir from
+        the recorded payload, byte-identical to the cold run."""
+        cache = str(tmp_path / "cache")
+        flags = ["--stats", "--dump-ir", "--transform", "--cache-dir", cache]
+        assert main(["analyze", program_file] + flags) == 0
+        cold = capsys.readouterr().out
+        assert main(["analyze", program_file] + flags) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+        assert "--- statistics ---" in warm
+        assert "--- SSA IR ---" in warm
+
+    def test_replay_skipped_when_stats_not_recorded(
+        self, program_file, tmp_path, capsys
+    ):
+        """A payload recorded by a plain run (v2 always records the
+        renderings, so simulate a degraded one) falls through to a live
+        analysis instead of dropping the section."""
+        from repro.cli import _payload_serves
+
+        class Args:
+            dump_ir = True
+            stats = False
+
+        assert not _payload_serves({"ir": None}, Args)
+        assert _payload_serves({"ir": "text", "stats": None}, Args)
+
+    def test_explain_invalidation_cold_warm_edited(
+        self, program_file, tmp_path, capsys
+    ):
+        cache = str(tmp_path / "cache")
+        flags = ["--cache-dir", cache, "--explain-invalidation"]
+        assert main(["analyze", program_file] + flags) == 0
+        assert "cold run" in capsys.readouterr().out
+        assert main(["analyze", program_file] + flags) == 0
+        assert "replayed from the run cache" in capsys.readouterr().out
+        with open(program_file, "w") as handle:
+            handle.write(PROGRAM.replace("K + 1", "K + 2"))
+        assert main(["analyze", program_file] + flags) == 0
+        out = capsys.readouterr().out
+        assert "edited      s: post-SSA IR changed" in out
+        assert "downstream  main: calls dirty procedure(s): s" in out
+
+    def test_explain_invalidation_implies_cache(self, program_file, capsys):
+        import os
+
+        from repro.engine.cache import default_cache_root
+
+        # No --cache/--cache-dir: the flag alone must still produce a
+        # report (using the default cache root).
+        env = os.environ.get("REPRO_CACHE_DIR")
+        try:
+            os.environ["REPRO_CACHE_DIR"] = os.path.join(
+                os.path.dirname(program_file), "implied-cache"
+            )
+            assert main(
+                ["analyze", program_file, "--explain-invalidation"]
+            ) == 0
+            assert "--- invalidation ---" in capsys.readouterr().out
+        finally:
+            if env is None:
+                os.environ.pop("REPRO_CACHE_DIR", None)
+            else:
+                os.environ["REPRO_CACHE_DIR"] = env
+
     def test_profile_to_stdout(self, program_file, capsys):
         assert main(["analyze", program_file, "--profile"]) == 0
         out = capsys.readouterr().out
