@@ -94,6 +94,7 @@ def report():
         "cache": [],
         "batch": [],
         "incremental": [],
+        "observability": [],
     }
     yield data
     REPORT_PATH.write_text(json.dumps(data, indent=2) + "\n")
@@ -332,4 +333,92 @@ def test_incremental_dirty_set(procedures, report, tmp_path_factory, capfd):
         f"incremental {procedures} procs: cold {cold_seconds:.2f}s, "
         f"edit-one re-analysis {incremental_seconds:.2f}s "
         f"(dirty {dirty}, clean {clean}, speedup {speedup:.2f}x)",
+    )
+
+
+def test_observability_overhead(report, capfd):
+    """Gate the tracing layer's zero-cost-when-disabled contract.
+
+    A direct disabled-vs-pre-PR wall-time diff is noise-bound on this
+    1-CPU container (run-to-run variance alone exceeds the 3% budget),
+    so the gate is structural plus microbenchmark: verify the disabled
+    path allocates nothing, measure what one disabled guard/null-span
+    actually costs, count how many instrumented sites a real traced run
+    of this program hits, and assert that worst-case product stays
+    under 3% of the disabled run's wall time.
+    """
+    from repro.obs import trace
+    from repro.obs.trace import _NULL_SPAN, validate_chrome_trace
+
+    text = source_for(SIZES[0])
+    config = AnalysisConfig()
+
+    # Structural zero-allocation contract: no tracer object exists, and
+    # span() hands back one shared singleton instead of allocating.
+    assert trace.ENABLED is False and trace.active() is None
+    assert trace.span("a") is _NULL_SPAN and trace.span("b", k=1) is _NULL_SPAN
+
+    disabled_seconds, baseline = timed(
+        lambda: fingerprint(analyze_source(text, config))
+    )
+
+    clear_memos()
+    tracer = trace.enable()
+    try:
+        enabled_seconds, traced = timed(
+            lambda: fingerprint(analyze_source(text, config))
+        )
+    finally:
+        trace.disable()
+    assert traced == baseline, "tracing must not change analysis output"
+    assert validate_chrome_trace(tracer.to_chrome()) == []
+    events = len(tracer.events)
+    assert events > 0, "a traced run must record events"
+
+    # Per-site disabled cost: the `if trace.ENABLED:` guard instants
+    # hide behind, and the null span stages go through.
+    iterations = 200_000
+    begin = time.perf_counter()
+    for _ in range(iterations):
+        if trace.ENABLED:
+            trace.instant("never")
+    guard_seconds = (time.perf_counter() - begin) / iterations
+    begin = time.perf_counter()
+    for _ in range(iterations):
+        with trace.span("never"):
+            pass
+    null_span_seconds = (time.perf_counter() - begin) / iterations
+
+    # Every event of the traced run maps to at most one disabled-path
+    # site, so this bounds the instrumentation's disabled cost.
+    worst_case_seconds = events * max(guard_seconds, null_span_seconds)
+    budget_seconds = 0.03 * disabled_seconds
+    assert worst_case_seconds <= budget_seconds, (
+        f"disabled-tracing overhead bound {worst_case_seconds * 1e3:.3f}ms "
+        f"exceeds 3% of the {disabled_seconds * 1e3:.0f}ms disabled run "
+        f"({events} instrumented sites x "
+        f"{max(guard_seconds, null_span_seconds) * 1e9:.0f}ns)"
+    )
+
+    row = {
+        "procedures": SIZES[0],
+        "disabled_seconds": round(disabled_seconds, 4),
+        "enabled_seconds": round(enabled_seconds, 4),
+        "events": events,
+        "guard_nanoseconds": round(guard_seconds * 1e9, 1),
+        "null_span_nanoseconds": round(null_span_seconds * 1e9, 1),
+        "worst_case_overhead_pct": round(
+            100.0 * worst_case_seconds / disabled_seconds, 4
+        )
+        if disabled_seconds
+        else 0.0,
+    }
+    report["observability"].append(row)
+    emit_once(
+        capfd,
+        "pipeline-observability",
+        f"observability {SIZES[0]} procs: disabled {disabled_seconds:.2f}s, "
+        f"traced {enabled_seconds:.2f}s ({events} events); disabled-path "
+        f"bound {row['worst_case_overhead_pct']:.3f}% of wall time "
+        f"(budget 3%)",
     )

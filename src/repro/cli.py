@@ -139,6 +139,21 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
         help="with --cache: report which procedures were recomputed "
         "since the previous run of each file, and why",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record structured trace events and write Chrome "
+        "trace-event JSON to FILE (loadable in Perfetto / "
+        "chrome://tracing)",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="write Prometheus text-format metrics to FILE "
+        "('-' = stdout)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -161,6 +176,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument(
         "--stats", action="store_true", help="print analysis statistics"
+    )
+    analyze.add_argument(
+        "--explain",
+        default=None,
+        metavar="NAME@PROC",
+        help="print the derivation tree of one VAL cell: how the value "
+        "of NAME at PROC's entry was established (or which call-site "
+        "meet killed it)",
     )
     analyze.add_argument(
         "--dot",
@@ -297,6 +320,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-minimize", action="store_true",
         help="skip counterexample shrinking on failure",
     )
+    oracle.add_argument(
+        "--profile",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="emit campaign stage timings and counters (memo hits, "
+        "parses) as JSON to FILE (default: stdout)",
+    )
     return parser
 
 
@@ -357,7 +389,7 @@ def _emit_profile(engine, destination: str) -> None:
     engine.finish_profile()
     from repro import profiling
 
-    engine.profile.merge_counters(profiling.GLOBAL_COUNTERS)
+    engine.profile.merge_counters(profiling.global_counters())
     text = engine.profile.to_json()
     if destination == "-":
         print("\n--- profile ---")
@@ -366,6 +398,60 @@ def _emit_profile(engine, destination: str) -> None:
         with open(destination, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
         print(f"[profile written to {destination}]")
+
+
+def _start_trace(args: argparse.Namespace):
+    """Install the process tracer when ``--trace`` was given."""
+    if getattr(args, "trace", None) is None:
+        return None
+    from repro.obs import trace
+
+    return trace.enable()
+
+
+def _write_trace(args: argparse.Namespace, tracer) -> None:
+    if tracer is None:
+        return
+    import json
+
+    from repro.obs import trace
+
+    trace.disable()
+    payload = tracer.to_chrome()
+    with open(args.trace, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+        handle.write("\n")
+    print(
+        f"[trace written to {args.trace} "
+        f"({len(payload['traceEvents'])} events)]",
+        file=sys.stderr,
+    )
+
+
+def _write_metrics(args: argparse.Namespace, registry=None) -> None:
+    if getattr(args, "metrics", None) is None:
+        return
+    from repro.obs import metrics
+
+    text = (registry or metrics.default_registry()).to_prometheus()
+    if args.metrics == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"[metrics written to {args.metrics}]", file=sys.stderr)
+
+
+def _print_explain(provenance, query: str) -> int:
+    """Render one ``--explain`` section; EXIT_OK or EXIT_DIAGNOSTICS
+    (unknown/malformed cell query)."""
+    print(f"\n--- explain {query} ---")
+    try:
+        sys.stdout.write(provenance.explain(query))
+    except ValueError as err:
+        print(f"explain: {err}", file=sys.stderr)
+        return EXIT_DIAGNOSTICS
+    return EXIT_OK
 
 
 def _payload_serves(payload: dict, args: argparse.Namespace) -> bool:
@@ -377,6 +463,11 @@ def _payload_serves(payload: dict, args: argparse.Namespace) -> bool:
         return False
     if args.stats and payload.get("stats") is None:
         return False
+    if getattr(args, "explain", None):
+        from repro.obs.provenance import ConstantProvenance
+
+        if ConstantProvenance.from_payload(payload.get("provenance")) is None:
+            return False
     return True
 
 
@@ -388,6 +479,12 @@ def _replay_cached_run(payload: dict, args: argparse.Namespace, engine) -> int:
     print(payload["constants_report"])
     print(f"substituted constant references: {payload['substituted']}")
     _render_substitution_counts(payload["per_procedure"])
+    exit_code = EXIT_OK
+    if getattr(args, "explain", None):
+        from repro.obs.provenance import ConstantProvenance
+
+        provenance = ConstantProvenance.from_payload(payload["provenance"])
+        exit_code = _print_explain(provenance, args.explain)
     if args.transform and payload.get("transformed_source") is not None:
         print("\n--- transformed source ---")
         print(payload["transformed_source"])
@@ -400,19 +497,25 @@ def _replay_cached_run(payload: dict, args: argparse.Namespace, engine) -> int:
     if args.explain_invalidation:
         print("\n--- invalidation ---")
         print(engine.replayed_report(args.file).format())
-    return EXIT_OK
+    return exit_code
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     engine = _engine_from_args(args)
+    tracer = _start_trace(args)
     try:
-        return _run_analyze(args, config, engine)
+        from repro.obs import trace
+
+        with trace.span("analyze", file=args.file):
+            return _run_analyze(args, config, engine)
     finally:
         if engine is not None:
             if engine.profile is not None:
                 _emit_profile(engine, args.profile)
             engine.close()
+        _write_trace(args, tracer)
+        _write_metrics(args)
 
 
 def _run_analyze(args: argparse.Namespace, config, engine) -> int:
@@ -449,6 +552,11 @@ def _run_analyze(args: argparse.Namespace, config, engine) -> int:
     print(result.constants.format_report())
     print(f"substituted constant references: {result.substituted_constants}")
     _render_substitution_counts(result.substitution.per_procedure)
+    explain_code = EXIT_OK
+    if getattr(args, "explain", None):
+        from repro.obs.provenance import build_provenance
+
+        explain_code = _print_explain(build_provenance(result), args.explain)
     if args.transform:
         print("\n--- transformed source ---")
         print(result.transformed_source())
@@ -483,7 +591,7 @@ def _run_analyze(args: argparse.Namespace, config, engine) -> int:
             return EXIT_INTERNAL
     if diagnostics is not None and diagnostics.has_errors:
         return EXIT_DIAGNOSTICS
-    return EXIT_OK
+    return explain_code
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
@@ -506,14 +614,20 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     cache_dir = (
         (args.cache_dir or default_cache_root()) if wants_cache else None
     )
-    result = run_batch(
-        paths,
-        config,
-        jobs=args.jobs,
-        cache_dir=cache_dir,
-        want_profile=args.profile is not None,
-        explain=args.explain_invalidation,
-    )
+    tracer = _start_trace(args)
+    try:
+        result = run_batch(
+            paths,
+            config,
+            jobs=args.jobs,
+            cache_dir=cache_dir,
+            want_profile=args.profile is not None,
+            explain=args.explain_invalidation,
+            want_metrics=args.metrics is not None or args.report,
+            want_trace=tracer is not None,
+        )
+    finally:
+        _write_trace(args, tracer)
     for outcome in result.files:
         print(outcome.summary_line())
         if args.report and outcome.constants_report is not None:
@@ -530,6 +644,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"{totals['by_status'].get('error', 0)} failed, "
         f"{totals['replayed']} replayed]"
     )
+    merged = result.merged_metrics()
+    if args.report and merged is not None:
+        print("\n--- metrics (aggregated) ---")
+        for name, value in merged.counters().items():
+            print(f"  {name} {value}")
+    _write_metrics(args, registry=merged)
     if args.profile is not None:
         text = json.dumps(result.profile_report(), indent=2)
         if args.profile == "-":
@@ -654,6 +774,12 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
         )
     properties = tuple(args.property) if args.property else PROPERTIES
 
+    profile = None
+    if args.profile is not None:
+        from repro.profiling import PipelineProfile
+
+        profile = PipelineProfile()
+
     dots = {"count": 0}
 
     def progress(trial) -> None:
@@ -671,9 +797,19 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
         corpus_dir=args.corpus,
         minimize=not args.no_minimize,
         progress=progress,
+        profile=profile,
     )
     sys.stderr.write("\n")
     print(report.summary())
+    if profile is not None:
+        text = profile.to_json()
+        if args.profile == "-":
+            print("\n--- profile ---")
+            print(text)
+        else:
+            with open(args.profile, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"[profile written to {args.profile}]")
     if not report.ok:
         if args.corpus:
             print(f"minimized counterexamples written to {args.corpus}/")

@@ -54,6 +54,13 @@ class FileOutcome:
     invalidation: Optional[dict] = None
     #: ``PipelineProfile.to_dict()`` (profiled runs only).
     profile: Optional[dict] = None
+    #: Per-file :class:`~repro.obs.metrics.MetricsRegistry` delta
+    #: (metrics-enabled runs only) — counters this file caused, isolated
+    #: from everything the process did before it.
+    metrics: Optional[dict] = None
+    #: Chrome trace events recorded by a pool worker, shipped back for
+    #: the parent tracer to adopt (cleared once adopted).
+    trace_events: Optional[list] = None
 
     @property
     def ok(self) -> bool:
@@ -69,6 +76,7 @@ class FileOutcome:
             "error": self.error,
             "invalidation": self.invalidation,
             "profile": self.profile,
+            "metrics": self.metrics,
         }
 
     def summary_line(self) -> str:
@@ -127,7 +135,23 @@ class BatchResult:
         report = self.totals()
         report["per_file"] = per_file
         report["aggregate"] = aggregate_profiles(list(per_file.values()))
+        metrics = self.merged_metrics()
+        if metrics is not None:
+            report["metrics"] = metrics.snapshot()
         return report
+
+    def merged_metrics(self):
+        """All per-file metrics deltas folded into one registry (None
+        when the batch ran without metrics collection)."""
+        from repro.obs.metrics import MetricsRegistry
+
+        collected = [o.metrics for o in self.files if o.metrics is not None]
+        if not collected:
+            return None
+        registry = MetricsRegistry()
+        for delta in collected:
+            registry.merge(delta)
+        return registry
 
 
 def analyze_one(
@@ -136,6 +160,8 @@ def analyze_one(
     cache_dir: Optional[str] = None,
     want_profile: bool = False,
     explain: bool = False,
+    want_metrics: bool = False,
+    want_trace: bool = False,
 ) -> FileOutcome:
     """The per-file unit of batch work: replay-or-analyze ``path``.
 
@@ -144,17 +170,42 @@ def analyze_one(
     :class:`~repro.engine.core.Engine` over the shared on-disk cache —
     workers coordinate through the cache's atomic file writes, never
     through shared memory.
+
+    Per-file counter isolation: process-wide counters are *snapshotted*
+    at entry and only the delta is attributed to this file — never
+    reset, so neither a caller's accounting nor a concurrent thread's
+    is clobbered, and the Nth file of a batch reports the same numbers
+    it would report analyzed alone.
     """
+    import time
+
     from repro import profiling
     from repro.engine.core import Engine
     from repro.frontend.errors import FrontendError
     from repro.ipcp.driver import analyze_file_resilient
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace
 
     profile = profiling.PipelineProfile() if want_profile else None
-    if want_profile:
-        profiling.reset_counters()
+    registry = obs_metrics.default_registry()
+    counters_base = (
+        registry.snapshot() if (want_profile or want_metrics) else None
+    )
+    # A pool worker (fresh spawn process, or fork child holding the
+    # parent's tracer) records into its own tracer and ships the events
+    # back; inline and thread-mode calls write straight into the live
+    # tracer (per-thread tids keep tracks apart).
+    owns_tracer = False
+    if want_trace:
+        tracer = trace.active()
+        if tracer is None or tracer.owner_pid != os.getpid():
+            trace.enable()
+            owns_tracer = True
+    began = time.perf_counter()
     engine = Engine(jobs=1, cache_dir=cache_dir, profile=profile)
     outcome = FileOutcome(path=path)
+    file_span = trace.span("batch.file", path=path)
+    file_span.__enter__()
     try:
         text: Optional[str] = None
         try:
@@ -209,10 +260,27 @@ def analyze_one(
         outcome.error = f"{type(err).__name__}: {err}"
         return outcome
     finally:
+        file_span.__exit__(None, None, None)
         if profile is not None:
             engine.finish_profile()
-            profile.merge_counters(profiling.GLOBAL_COUNTERS)
+        if counters_base is not None:
+            if want_metrics:
+                registry.observe(
+                    "batch_file_seconds", time.perf_counter() - began
+                )
+                registry.inc("batch_files")
+            delta = registry.delta_since(counters_base)
+            if profile is not None:
+                profile.merge_counters(delta["counters"])
+                outcome.profile = profile.to_dict()
+            if want_metrics:
+                outcome.metrics = delta
+        elif profile is not None:
             outcome.profile = profile.to_dict()
+        if owns_tracer:
+            worker_tracer = trace.disable()
+            if worker_tracer is not None:
+                outcome.trace_events = worker_tracer.events
         engine.close()
 
 
@@ -242,13 +310,17 @@ def run_batch(
     want_profile: bool = False,
     explain: bool = False,
     executor: str = "process",
+    want_metrics: bool = False,
+    want_trace: bool = False,
 ) -> BatchResult:
     """Analyze every file in ``paths`` against one persistent pool.
 
     ``jobs=1`` runs everything inline (still amortizing imports and the
     cache handle). ``executor`` mirrors :class:`~repro.engine.core.
     Engine`: ``"process"`` for real parallelism, ``"thread"`` for
-    GIL-bound determinism testing.
+    GIL-bound determinism testing. ``want_metrics`` attaches a per-file
+    metrics delta to each outcome; ``want_trace`` records trace events
+    in the workers and folds them into the caller's live tracer.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -258,11 +330,14 @@ def run_batch(
     paths = list(paths)
     if jobs == 1 or len(paths) <= 1:
         outcomes = {
-            path: analyze_one(path, config, cache_dir, want_profile, explain)
+            path: analyze_one(
+                path, config, cache_dir, want_profile, explain,
+                want_metrics, want_trace,
+            )
             for path in _schedule(paths)
         }
-        return BatchResult(
-            files=[outcomes[path] for path in paths], jobs=jobs
+        return _collect(
+            [outcomes[path] for path in paths], jobs
         )
 
     import concurrent.futures as cf
@@ -292,15 +367,31 @@ def run_batch(
     try:
         futures = {
             path: pool.submit(
-                task, path, config, cache_dir, want_profile, explain
+                task, path, config, cache_dir, want_profile, explain,
+                want_metrics, want_trace,
             )
             for path in _schedule(paths)
         }
-        return BatchResult(
-            files=[futures[path].result() for path in paths], jobs=jobs
+        return _collect(
+            [futures[path].result() for path in paths], jobs
         )
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _collect(outcomes: List[FileOutcome], jobs: int) -> BatchResult:
+    """Assemble the batch result, folding worker-shipped trace events
+    into the live tracer (each keeps its worker pid, so Perfetto shows
+    one track per worker)."""
+    from repro.obs import trace
+
+    tracer = trace.active()
+    for outcome in outcomes:
+        if outcome.trace_events:
+            if tracer is not None:
+                tracer.adopt(outcome.trace_events)
+            outcome.trace_events = None
+    return BatchResult(files=outcomes, jobs=jobs)
 
 
 def read_stdin_list(stream) -> List[str]:

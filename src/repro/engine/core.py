@@ -39,6 +39,8 @@ from repro.engine.cache import SummaryCache
 from repro.engine.fingerprint import _sha
 from repro.engine.scheduler import condensation_levels, partition
 from repro.ir.module import Program
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace
 from repro.profiling import PipelineProfile
 
 
@@ -211,6 +213,28 @@ class Engine:
         pool = self._ensure_pool()
         if pool is None:
             return [task(*args) for args in arg_tuples]
+        if trace.ENABLED:
+            trace.instant(
+                "engine.dispatch", tasks=len(arg_tuples),
+                pool=self._pool_kind or "inline", jobs=self.jobs,
+            )
+            if self._pool_kind in ("fork", "spawn"):
+                # Process workers record into their own tracer and ship
+                # the new events back with each result; the parent
+                # adopts them (worker pids become separate trace
+                # tracks). Thread workers share the live tracer.
+                tracer = trace.active()
+                futures = [
+                    pool.submit(parallel._traced_call, task, *args)
+                    for args in arg_tuples
+                ]
+                results = []
+                for future in futures:
+                    wrapped = future.result()
+                    if tracer is not None and wrapped["events"]:
+                        tracer.adopt(wrapped["events"])
+                    results.append(wrapped["result"])
+                return results
         futures = [pool.submit(task, *args) for args in arg_tuples]
         return [future.result() for future in futures]
 
@@ -225,8 +249,12 @@ class Engine:
         return maybe_stage(self.profile, name)
 
     def _count(self, name: str, amount: int = 1) -> None:
-        if self.profile is not None:
-            self.profile.count(name, amount)
+        # The process-wide metrics registry is the single sink
+        # (``--metrics`` works without ``--profile``); profiles absorb
+        # these counts once, via a registry delta (batch) or a
+        # global-counters merge at emission time (CLI analyze) —
+        # counting into the profile here as well would double them.
+        obs_metrics.inc(name, amount)
 
     # -- stage: return jump functions ----------------------------------------
 
@@ -391,6 +419,11 @@ class Engine:
             self._count("summary_cache_hits")
         else:
             self._count("summary_cache_misses")
+        if trace.ENABLED:
+            trace.instant(
+                "cache.hit" if data is not None else "cache.miss",
+                namespace=namespace, procedure=name,
+            )
         return data
 
     def _lookup_members(
@@ -465,6 +498,11 @@ class Engine:
         )
         self._count("incremental_dirty", len(report.dirty))
         self._count("incremental_clean", len(report.clean))
+        if trace.ENABLED and report.dirty:
+            trace.instant(
+                "cache.stale", path=path,
+                dirty=len(report.dirty), clean=len(report.clean),
+            )
         return report
 
     def replayed_report(self, path: str):
@@ -486,6 +524,10 @@ class Engine:
             self._count("run_cache_hits")
         else:
             self._count("run_cache_misses")
+        if trace.ENABLED:
+            trace.instant(
+                "run_cache.hit" if payload is not None else "run_cache.miss"
+            )
         return payload
 
     def record_run(self, text: str, config: AnalysisConfig, result) -> None:
@@ -517,6 +559,7 @@ class Engine:
             ),
             "stats": self._render_stats(result),
             "ir": self._render_ir(result),
+            "provenance": self._render_provenance(result),
         }
         self.cache.put("run", fingerprint.run_key(text, config), payload)
         self._count("run_cache_stores")
@@ -538,6 +581,15 @@ class Engine:
             return format_program(result.program)
         except Exception:  # noqa: BLE001
             return None
+
+    @staticmethod
+    def _render_provenance(result) -> Optional[dict]:
+        from repro.obs.provenance import build_provenance
+
+        try:
+            return build_provenance(result).to_payload()
+        except Exception:  # noqa: BLE001 — narrows what --explain can
+            return None  # serve from a replay, same as stats/ir
 
     # -- reporting -----------------------------------------------------------
 

@@ -68,6 +68,29 @@ def _set_state(state: Optional[_WorkerState]) -> None:
     _STATE = state
 
 
+def _traced_call(task, *args):
+    """Run ``task`` under a worker-local tracer and ship the events it
+    recorded back with the result (Chrome-format dicts pickle fine).
+
+    A fork child inherits the parent's tracer object — detected via
+    ``owner_pid`` and replaced with a fresh one so the parent's events
+    are not re-shipped; a spawn worker simply has none yet. Either way
+    the worker's pid tags its events, giving it its own trace track.
+    The tracer persists across tasks in the same worker, so later calls
+    ship only the events recorded since the previous one.
+    """
+    import os
+
+    from repro.obs import trace
+
+    tracer = trace.active()
+    if tracer is None or tracer.owner_pid != os.getpid():
+        tracer = trace.enable()
+    marker = tracer.event_count()
+    result = task(*args)
+    return {"result": result, "events": tracer.events_since(marker)}
+
+
 def _init_spawn(text: str, filename: str, config: AnalysisConfig) -> None:
     """Spawn-context initializer: rebuild the program from source."""
     from repro.frontend.parser import parse_source

@@ -67,6 +67,14 @@ class ResilienceReport:
     ) -> Demotion:
         demotion = Demotion(component, site, from_kind, to_kind, reason)
         self.demotions.append(demotion)
+        from repro.obs import metrics, trace
+
+        metrics.inc(f"demotions_{component}")
+        if trace.ENABLED:
+            trace.instant(
+                "demotion", component=component, site=site,
+                from_kind=from_kind, to_kind=to_kind,
+            )
         return demotion
 
     # -- queries -----------------------------------------------------------

@@ -30,6 +30,7 @@ from repro.ipcp.jump_functions import JumpFunctionTable
 from repro.ir.module import Procedure, Program
 from repro.ir.symbols import Variable
 from repro.lattice import BOTTOM, LatticeValue, TOP, meet_all
+from repro.obs import trace
 
 
 #: Worklist disciplines understood by :func:`propagate`.
@@ -105,10 +106,16 @@ class _Worklist:
 
 @dataclass
 class PropagationResult:
-    """VAL sets at fixpoint plus work statistics."""
+    """VAL sets at fixpoint plus work statistics.
+
+    ``excluded`` carries the call sites removed from the meets (GSA
+    refinement) — provenance reconstruction needs them to explain why
+    a site does not appear in a cell's derivation.
+    """
 
     constants: ConstantsResult
     stats: PropagationStats
+    excluded: frozenset = frozenset()
 
 
 def entry_domain(procedure: Procedure, program: Program) -> List[Variable]:
@@ -188,9 +195,18 @@ def propagate(
                     f"propagation exceeded its budget of {max_visits} "
                     f"procedure visits",
                 )
+            if trace.ENABLED:
+                trace.instant(
+                    "solver.exhausted", budget=max_visits, strategy=strategy
+                )
             break
         procedure = worklist.pop()
         stats.procedure_visits += 1
+        if trace.ENABLED:
+            trace.instant(
+                "solver.visit", procedure=procedure.name,
+                pending=len(worklist), visit=stats.procedure_visits,
+            )
         if _recompute_val(
             program, callgraph, table, procedure, val, stats, excluded_calls
         ):
@@ -198,7 +214,9 @@ def propagate(
                 if not callee.is_main:
                     worklist.push(callee)
 
-    return PropagationResult(ConstantsResult(val), stats)
+    return PropagationResult(
+        ConstantsResult(val), stats, frozenset(excluded_calls)
+    )
 
 
 def _exhaust_to_bottom(
@@ -252,6 +270,11 @@ def _recompute_val(
         stats.meets += max(0, len(incoming))
         new_value = current[var].meet(meet_all(incoming))
         if new_value != current[var]:
+            if trace.ENABLED and new_value.is_bottom:
+                trace.instant(
+                    "solver.meet_bottom", procedure=procedure.name,
+                    name=var.name, sites=len(sites),
+                )
             current[var] = new_value
             stats.lowerings += 1
             changed = True

@@ -1,0 +1,34 @@
+"""Observability layer: structured tracing, metrics, and constant
+provenance.
+
+Three pillars, each usable on its own and all wired through the
+pipeline (frontend -> solver -> engine -> batch -> CLI):
+
+- :mod:`repro.obs.trace` — nested spans and typed instant events,
+  exported as Chrome trace-event JSON (``--trace FILE``; loads in
+  Perfetto / ``chrome://tracing``). Zero-cost when disabled: hot call
+  sites guard on the module flag ``trace.ENABLED`` and allocate
+  nothing.
+- :mod:`repro.obs.metrics` — a registry of named counters, gauges, and
+  histograms replacing the old ``profiling.GLOBAL_COUNTERS`` dict;
+  snapshot/delta/merge across batch workers and Prometheus text export
+  (``--metrics FILE``).
+- :mod:`repro.obs.provenance` — per-cell derivation trees for the
+  CONSTANTS sets: which jump-function applications along which
+  call-graph edges produced each value, which call-site meet killed a
+  would-be constant, and which demotions coarsened it
+  (``repro analyze --explain NAME@PROC``).
+
+See ``docs/OBSERVABILITY.md`` for the event taxonomy and output
+formats.
+"""
+
+from repro.obs import metrics, trace
+from repro.obs.provenance import ConstantProvenance, build_provenance
+
+__all__ = [
+    "ConstantProvenance",
+    "build_provenance",
+    "metrics",
+    "trace",
+]

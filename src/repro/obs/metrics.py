@@ -1,0 +1,316 @@
+"""Metrics registry: named counters, gauges, and histograms.
+
+This replaces the old ``repro.profiling.GLOBAL_COUNTERS`` module dict.
+Instrumentation points that used to ``profiling.bump("parses")`` now
+increment a :class:`Counter` in the process-wide default registry (the
+``profiling`` shims still exist and forward here, so call sites and
+tests did not have to move at once).
+
+What the registry adds over a bare dict:
+
+- **typed instruments** — counters only go up; gauges hold a level;
+  histograms record a distribution into fixed buckets;
+- **snapshot / delta / merge** — a batch worker snapshots the registry
+  before each file and ships the per-file *delta* back, so per-file
+  reports never over-report process-lifetime totals (the old
+  ``GLOBAL_COUNTERS`` leak), and the parent merges worker deltas into
+  one batch aggregate;
+- **Prometheus text export** — ``repro analyze/batch --metrics FILE``
+  writes the standard exposition format, scrapable as-is.
+
+Counter updates are plain ``+=`` under the GIL, same tolerance the old
+dict had; cross-file isolation comes from snapshot/delta, not from
+locking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Default histogram buckets (seconds-flavored, but histograms are
+#: unit-agnostic): powers-of-ten ladder wide enough for per-file wall
+#: times and per-run solver visit counts alike.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0,
+    500.0, 1000.0, 5000.0,
+)
+
+
+class Counter:
+    """Monotonically increasing named value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A level that can move both ways (pool size, queue depth)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket distribution (non-cumulative storage; the
+    Prometheus renderer accumulates)."""
+
+    __slots__ = ("name", "buckets", "counts", "sum", "count")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)  # +1 = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+
+class MetricsRegistry:
+    """All instruments of one scope (process, or one test's sandbox)."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access (get-or-create) -----------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, buckets)
+        return instrument
+
+    # -- conveniences --------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def value(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        instrument = self._counters.get(name)
+        return instrument.value if instrument is not None else 0
+
+    def counters(self) -> Dict[str, int]:
+        """Counter name -> value map (non-zero entries only, sorted)."""
+        return {
+            name: c.value
+            for name, c in sorted(self._counters.items())
+            if c.value
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- snapshot / delta / merge (the batch-worker protocol) ----------------
+
+    def snapshot(self) -> dict:
+        """JSON-able full state; pairs with :meth:`delta_since` and
+        :meth:`merge`."""
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": {
+                n: {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for n, h in self._histograms.items()
+            },
+        }
+
+    def delta_since(self, snapshot: Mapping) -> dict:
+        """What changed since ``snapshot`` — the per-file isolation
+        primitive: counters and histograms subtract, gauges report
+        their current level. Zero-delta entries are dropped."""
+        base_counters = snapshot.get("counters", {})
+        counters = {
+            name: counter.value - base_counters.get(name, 0)
+            for name, counter in self._counters.items()
+            if counter.value - base_counters.get(name, 0)
+        }
+        base_hists = snapshot.get("histograms", {})
+        histograms = {}
+        for name, hist in self._histograms.items():
+            base = base_hists.get(name)
+            if base is not None and list(base.get("buckets", [])) == list(
+                hist.buckets
+            ):
+                counts = [
+                    current - previous
+                    for current, previous in zip(hist.counts, base["counts"])
+                ]
+                total = hist.count - base.get("count", 0)
+                weight = hist.sum - base.get("sum", 0.0)
+            else:
+                counts = list(hist.counts)
+                total = hist.count
+                weight = hist.sum
+            if total:
+                histograms[name] = {
+                    "buckets": list(hist.buckets),
+                    "counts": counts,
+                    "sum": weight,
+                    "count": total,
+                }
+        return {
+            "counters": counters,
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": histograms,
+        }
+
+    def merge(self, snapshot: Mapping) -> None:
+        """Fold a snapshot/delta into this registry: counters and
+        histograms add; gauges keep the maximum level (the useful
+        cross-worker semantics for peaks like pool size)."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            if name not in self._gauges or value > gauge.value:
+                gauge.set(value)
+        for name, payload in snapshot.get("histograms", {}).items():
+            hist = self.histogram(name, payload.get("buckets", DEFAULT_BUCKETS))
+            if list(hist.buckets) == list(payload.get("buckets", [])):
+                for index, count in enumerate(payload.get("counts", [])):
+                    if index < len(hist.counts):
+                        hist.counts[index] += count
+            hist.sum += payload.get("sum", 0.0)
+            hist.count += payload.get("count", 0)
+
+    # -- Prometheus text exposition ------------------------------------------
+
+    def to_prometheus(self, prefix: str = "repro_") -> str:
+        """Standard text exposition format (one HELP/TYPE pair per
+        metric), ready for ``--metrics FILE``."""
+        lines: List[str] = []
+        for name in sorted(self._counters):
+            metric = _sanitize(prefix + name)
+            lines.append(f"# HELP {metric} repro counter {name}")
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {self._counters[name].value}")
+        for name in sorted(self._gauges):
+            metric = _sanitize(prefix + name)
+            lines.append(f"# HELP {metric} repro gauge {name}")
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_format_float(self._gauges[name].value)}")
+        for name in sorted(self._histograms):
+            hist = self._histograms[name]
+            metric = _sanitize(prefix + name)
+            lines.append(f"# HELP {metric} repro histogram {name}")
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for bound, count in zip(hist.buckets, hist.counts):
+                cumulative += count
+                lines.append(
+                    f'{metric}_bucket{{le="{_format_float(bound)}"}} '
+                    f"{cumulative}"
+                )
+            cumulative += hist.counts[-1]
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{metric}_sum {_format_float(hist.sum)}")
+            lines.append(f"{metric}_count {hist.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _sanitize(name: str) -> str:
+    """Prometheus metric names admit ``[a-zA-Z_:][a-zA-Z0-9_:]*``."""
+    cleaned = "".join(
+        ch if ch.isalnum() or ch in "_:" else "_" for ch in name
+    )
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned or "_"
+
+
+def _format_float(value: float) -> str:
+    """Render without a trailing ``.0`` for integral values (keeps the
+    exposition stable and diff-friendly)."""
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+#: The process-wide registry every instrumentation point shares —
+#: what ``repro.profiling.bump`` now writes to and ``--metrics``
+#: exports.
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    return _DEFAULT
+
+
+def inc(name: str, amount: int = 1) -> None:
+    _DEFAULT.inc(name, amount)
+
+
+def observe(name: str, value: float) -> None:
+    _DEFAULT.observe(name, value)
+
+
+def value(name: str) -> int:
+    return _DEFAULT.value(name)
+
+
+def snapshot() -> dict:
+    return _DEFAULT.snapshot()
+
+
+def delta_since(snap: Mapping) -> dict:
+    return _DEFAULT.delta_since(snap)
+
+
+def reset() -> None:
+    _DEFAULT.reset()

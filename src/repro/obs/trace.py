@@ -1,0 +1,280 @@
+"""Structured tracing: nested spans and typed instant events.
+
+Events are stored directly in Chrome trace-event form (plain dicts, so
+they pickle across process-pool boundaries) and export via
+:func:`to_chrome` as a JSON object Perfetto / ``chrome://tracing``
+loads as-is. Spans become ``"ph": "X"`` complete events (``ts`` +
+``dur``); point events (a meet reaching bottom, a cache miss, a
+demotion) become ``"ph": "i"`` instants. Timestamps are microseconds
+from ``time.perf_counter_ns() // 1000``, the unit the trace-event
+format specifies.
+
+Zero-cost-when-disabled contract (bench-gated in
+``benchmarks/test_bench_pipeline.py``):
+
+- hot call sites guard on the module flag ``trace.ENABLED`` before
+  building any attribute dict — ``if trace.ENABLED:
+  trace.instant(...)`` costs one global load and a branch;
+- ``span()`` returns the shared :data:`_NULL_SPAN` singleton when
+  disabled — no object allocation per call;
+- there is no tracer instance at all until :func:`enable` runs.
+
+Track layout: each OS thread gets its own ``tid`` track; each worker
+process gets its own ``pid`` track (the parent adopts child events
+verbatim via :meth:`Tracer.adopt`, keeping the child's pid), so
+parallel runs render as parallel tracks in Perfetto.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+#: Hot-path guard. Call sites check this module attribute before doing
+#: any event-building work; it is only ever True while a tracer is
+#: installed.
+ENABLED: bool = False
+
+_TRACER: Optional["Tracer"] = None
+
+
+def _now_us() -> int:
+    return time.perf_counter_ns() // 1000
+
+
+def _tid() -> int:
+    get_native = getattr(threading, "get_native_id", None)
+    return get_native() if get_native is not None else threading.get_ident()
+
+
+class Tracer:
+    """Accumulates Chrome trace events for one enable()..disable()
+    window (plus any worker events adopted into it)."""
+
+    def __init__(self) -> None:
+        self.owner_pid = os.getpid()
+        self.events: List[Dict[str, Any]] = []
+
+    # -- emission ------------------------------------------------------------
+
+    def instant(self, event_name: str, **attrs: Any) -> None:
+        event: Dict[str, Any] = {
+            "name": event_name,
+            "ph": "i",
+            "s": "t",
+            "ts": _now_us(),
+            "pid": os.getpid(),
+            "tid": _tid(),
+        }
+        if attrs:
+            event["args"] = attrs
+        self.events.append(event)
+
+    def complete(
+        self,
+        event_name: str,
+        start_us: int,
+        duration_us: int,
+        attrs: Optional[dict],
+    ) -> None:
+        event: Dict[str, Any] = {
+            "name": event_name,
+            "ph": "X",
+            "ts": start_us,
+            "dur": duration_us,
+            "pid": os.getpid(),
+            "tid": _tid(),
+        }
+        if attrs:
+            event["args"] = attrs
+        self.events.append(event)
+
+    # -- worker shipping -----------------------------------------------------
+
+    def event_count(self) -> int:
+        return len(self.events)
+
+    def events_since(self, marker: int) -> List[Dict[str, Any]]:
+        """Events appended after ``marker`` (a prior
+        :meth:`event_count`) — what a pool worker ships back."""
+        return self.events[marker:]
+
+    def adopt(self, events: List[Dict[str, Any]]) -> None:
+        """Fold worker events in verbatim: the child's pid/tid are kept
+        so each worker renders as its own Perfetto track."""
+        self.events.extend(events)
+
+    # -- export --------------------------------------------------------------
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """The ``{"traceEvents": [...]}`` object Perfetto loads. Adds
+        process_name metadata for every pid seen so tracks are
+        labelled."""
+        pids = sorted({event["pid"] for event in self.events})
+        metadata = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": 0,
+                "args": {
+                    "name": "repro"
+                    if pid == self.owner_pid
+                    else f"repro worker {pid}"
+                },
+            }
+            for pid in pids
+        ]
+        return {
+            "traceEvents": metadata + self.events,
+            "displayTimeUnit": "ms",
+        }
+
+
+class _Span:
+    """Live span: records entry time, appends one "X" event on exit."""
+
+    __slots__ = ("_name", "_attrs", "_start")
+
+    def __init__(self, name: str, attrs: Optional[dict]):
+        self._name = name
+        self._attrs = attrs
+        self._start = 0
+
+    def __enter__(self) -> "_Span":
+        self._start = _now_us()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        tracer = _TRACER
+        if tracer is not None:
+            tracer.complete(
+                self._name, self._start, _now_us() - self._start, self._attrs
+            )
+
+
+class _NullSpan:
+    """Shared no-op span for the disabled path (never allocated per
+    call)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+# -- module-level API ---------------------------------------------------------
+
+
+def enable() -> Tracer:
+    """Install a fresh tracer and flip :data:`ENABLED`. Returns it."""
+    global _TRACER, ENABLED
+    _TRACER = Tracer()
+    ENABLED = True
+    return _TRACER
+
+
+def disable() -> Optional[Tracer]:
+    """Remove the tracer (returning it, so callers can still export)."""
+    global _TRACER, ENABLED
+    tracer = _TRACER
+    _TRACER = None
+    ENABLED = False
+    return tracer
+
+
+def active() -> Optional[Tracer]:
+    return _TRACER
+
+
+def span(event_name: str, **attrs: Any):
+    """Context manager timing a region. Returns the no-op singleton
+    when tracing is disabled. (The first argument is positional-only in
+    spirit — attributes named ``name`` are welcome in ``attrs``.)"""
+    if not ENABLED:
+        return _NULL_SPAN
+    return _Span(event_name, attrs or None)
+
+
+def instant(event_name: str, **attrs: Any) -> None:
+    """Point event. Callers on hot paths should guard with
+    ``if trace.ENABLED:`` so attribute dicts are never built when
+    disabled."""
+    tracer = _TRACER
+    if tracer is not None:
+        tracer.instant(event_name, **attrs)
+
+
+@contextmanager
+def session() -> Iterator[Tracer]:
+    """enable()/disable() bracket for tests and CLI entry points."""
+    tracer = enable()
+    try:
+        yield tracer
+    finally:
+        disable()
+
+
+# -- schema validation (shared by tests and the CI smoke job) -----------------
+
+
+def validate_chrome_trace(payload: Any) -> List[str]:
+    """Validate a Chrome trace-event JSON object; returns a list of
+    problems (empty means Perfetto-loadable). Checks the fields the
+    format requires (ts/pid/tid everywhere, dur on "X" events) and
+    that complete events nest properly per (pid, tid) track."""
+    problems: List[str] = []
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        return ["top-level object must be a dict with a 'traceEvents' key"]
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be a list"]
+    spans_by_track: Dict[tuple, List[tuple]] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event #{index} is not an object")
+            continue
+        where = f"event #{index} ({event.get('name', '?')!r})"
+        for field in ("name", "ph", "ts", "pid", "tid"):
+            if field not in event:
+                problems.append(f"{where}: missing {field!r}")
+        phase = event.get("ph")
+        if phase == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                problems.append(f"{where}: 'X' event needs dur >= 0")
+            else:
+                track = (event.get("pid"), event.get("tid"))
+                spans_by_track.setdefault(track, []).append(
+                    (event.get("ts", 0), duration, event.get("name"))
+                )
+        elif phase not in ("i", "I", "M", "C", "B", "E"):
+            problems.append(f"{where}: unknown phase {phase!r}")
+    for track, spans in spans_by_track.items():
+        # Sorting by (start, -duration) puts each enclosing span before
+        # the spans it contains; proper nesting then means every span
+        # either fits inside the open span or starts after it ends.
+        spans.sort(key=lambda item: (item[0], -item[1]))
+        stack: List[tuple] = []
+        for start, duration, name in spans:
+            end = start + duration
+            while stack and start >= stack[-1][0]:
+                stack.pop()
+            if stack and end > stack[-1][0]:
+                problems.append(
+                    f"track {track}: span {name!r} [{start}, {end}] "
+                    f"overlaps its enclosing span without nesting"
+                )
+                continue
+            stack.append((end, name))
+    return problems

@@ -347,31 +347,47 @@ def run_oracle(
     minimize: bool = True,
     fuel: int = TRIAL_FUEL,
     progress: Optional[Callable[[TrialResult], None]] = None,
+    profile=None,
 ) -> OracleReport:
     """Run ``trials`` seeded trials (seeds ``seed .. seed+trials-1``).
 
     Failing programs are minimized (unless ``minimize`` is False) and —
     when ``corpus_dir`` is given — written there together with their
     metadata. Deterministic for a fixed (trials, seed, config) triple.
+
+    ``profile`` (a :class:`repro.profiling.PipelineProfile`) times the
+    trial and minimization stages and, on completion, absorbs the
+    campaign's delta of the process-wide metrics registry (memo hits,
+    parse counts) — only this campaign's work, not whatever the process
+    counted before.
     """
     from repro.oracle.corpus import CorpusEntry, write_failure
     from repro.oracle.minimize import minimize_source
+    from repro.profiling import maybe_stage
+
+    counters_base = None
+    if profile is not None:
+        from repro.obs import metrics as obs_metrics
+
+        counters_base = obs_metrics.snapshot()
 
     report = OracleReport()
     for index in range(trials):
-        trial = run_trial(seed + index, generator_config, properties, fuel)
+        with maybe_stage(profile, "trial"):
+            trial = run_trial(seed + index, generator_config, properties, fuel)
         report.trials += 1
         if trial.skipped:
             report.skipped += 1
         elif not trial.ok:
             if minimize:
                 first = trial.discrepancies[0]
-                report.minimized[trial.seed] = minimize_source(
-                    trial.source,
-                    lambda text: reproduces(
-                        text, trial.inputs, first.property, fuel
-                    ),
-                )
+                with maybe_stage(profile, "minimize"):
+                    report.minimized[trial.seed] = minimize_source(
+                        trial.source,
+                        lambda text: reproduces(
+                            text, trial.inputs, first.property, fuel
+                        ),
+                    )
             if corpus_dir is not None:
                 write_failure(
                     corpus_dir,
@@ -386,4 +402,10 @@ def run_oracle(
             report.failures.append(trial)
         if progress is not None:
             progress(trial)
+    if counters_base is not None:
+        from repro.obs import metrics as obs_metrics
+
+        profile.merge_counters(
+            obs_metrics.delta_since(counters_base)["counters"]
+        )
     return report

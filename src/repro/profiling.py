@@ -9,10 +9,14 @@ CLI's ``--profile``) or as a table. The engine
 ``benchmarks/test_bench_pipeline.py`` reads the same numbers into
 ``BENCH_PIPELINE.json``.
 
-Module-level :data:`GLOBAL_COUNTERS` are process-wide counters used by
-instrumentation points that have no profile object in reach (the
-frontend counts parses, the lowerer counts lowerings); tests read them
-to assert work was *not* repeated (the memoization guarantees).
+Process-wide counters for instrumentation points with no profile object
+in reach (the frontend counts parses, the lowerer counts lowerings)
+live in the :mod:`repro.obs.metrics` default registry; the
+:func:`bump` / :func:`counter` / :func:`reset_counters` functions here
+are thin shims over it, kept so existing call sites and tests read the
+same way. The old ``GLOBAL_COUNTERS`` module dict is gone — consumers
+that need isolation snapshot the registry and take deltas instead of
+resetting it (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -20,7 +24,14 @@ from __future__ import annotations
 import json
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, Mapping, Optional
+from typing import Dict, Iterator, List, Mapping, Optional
+
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+#: Version tag of the ``--profile`` JSON shape. 2 = added this field;
+#: every version-1 key (stages / counters / total_seconds) is unchanged.
+PROFILE_SCHEMA_VERSION = 2
 
 
 class PipelineProfile:
@@ -34,7 +45,7 @@ class PipelineProfile:
         self._seconds: Dict[str, float] = {}
         self._calls: Dict[str, int] = {}
         self._counters: Dict[str, int] = {}
-        self._order: list = []
+        self._order: List[str] = []
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
@@ -76,6 +87,7 @@ class PipelineProfile:
     def to_dict(self) -> dict:
         """JSON-ready report: per-stage seconds/calls plus counters."""
         return {
+            "schema_version": PROFILE_SCHEMA_VERSION,
             "stages": {
                 name: {
                     "seconds": round(self._seconds[name], 6),
@@ -127,35 +139,53 @@ def aggregate_profiles(profiles) -> dict:
             counters[name] = counters.get(name, 0) + value
         total += payload.get("total_seconds", 0.0)
     return {
+        "schema_version": PROFILE_SCHEMA_VERSION,
         "stages": stages,
         "counters": dict(sorted(counters.items())),
         "total_seconds": round(total, 6),
     }
 
 
-#: Process-wide counters for instrumentation points without a profile in
-#: reach. Keys in use: ``"parses"`` (frontend parse_source calls),
-#: ``"lowerings"`` (ir.lowering lower_module calls), and
-#: ``"parse_memo_hits"`` / ``"analysis_memo_hits"`` /
-#: ``"interp_memo_hits"`` (repro.engine.memo).
-GLOBAL_COUNTERS: Dict[str, int] = {}
+# -- process-wide counter shims (over repro.obs.metrics) ----------------------
+#
+# Keys in use: "parses" (frontend parse_source calls), "lowerings"
+# (ir.lowering lower_module calls), and "parse_memo_hits" /
+# "analysis_memo_hits" / "interp_memo_hits" (repro.engine.memo).
 
 
 def bump(name: str, amount: int = 1) -> None:
-    GLOBAL_COUNTERS[name] = GLOBAL_COUNTERS.get(name, 0) + amount
+    _metrics.inc(name, amount)
 
 
 def counter(name: str) -> int:
-    return GLOBAL_COUNTERS.get(name, 0)
+    return _metrics.value(name)
+
+
+def global_counters() -> Dict[str, int]:
+    """Non-zero process-wide counters, as a plain sorted dict."""
+    return _metrics.default_registry().counters()
 
 
 def reset_counters() -> None:
-    GLOBAL_COUNTERS.clear()
+    _metrics.reset()
 
 
 @contextmanager
 def maybe_stage(profile: Optional[PipelineProfile], name: str) -> Iterator[None]:
-    """``profile.stage(name)`` when a profile is attached, no-op otherwise."""
+    """``profile.stage(name)`` when a profile is attached, no-op
+    otherwise; either way the stage becomes a trace span when tracing
+    is enabled, so ``--trace`` works without ``--profile``."""
+    if _trace.ENABLED:
+        with _trace.span(f"stage.{name}"):
+            with _stage_inner(profile, name):
+                yield
+    else:
+        with _stage_inner(profile, name):
+            yield
+
+
+@contextmanager
+def _stage_inner(profile: Optional[PipelineProfile], name: str) -> Iterator[None]:
     if profile is None:
         yield
     else:

@@ -280,3 +280,61 @@ class TestBatchResultShape:
         assert replayed.summary_line().endswith("[replayed]")
         failed = FileOutcome(path="b.f", status="error", error="boom")
         assert failed.summary_line() == "b.f: error: boom"
+
+
+class TestCounterIsolation:
+    """The old driver reset the process-wide counters around every file
+    (destroying concurrent state and leaking partial counts into
+    per-file profiles); isolation now comes from registry snapshots and
+    deltas."""
+
+    def test_per_file_counters_do_not_leak_across_files(self, programs):
+        big, small = programs
+        result = run_batch(
+            [str(big), str(small)], want_profile=True, want_metrics=True
+        )
+        for outcome in result.files:
+            # Each file parses and lowers exactly once — a leak from the
+            # other file (or from earlier tests in this process) would
+            # inflate these beyond 1.
+            assert outcome.metrics["counters"]["parses"] == 1, outcome.path
+            assert outcome.metrics["counters"]["lowerings"] == 1
+            assert outcome.profile["counters"]["parses"] == 1
+
+    def test_batch_does_not_reset_the_process_registry(self, programs):
+        from repro.obs import metrics
+
+        big, small = programs
+        metrics.inc("preexisting_work", 5)
+        before = metrics.value("parses")
+        run_batch([str(big), str(small)], want_metrics=True)
+        # Snapshot/delta isolation must leave prior counts intact and
+        # let the batch's own work accumulate on top.
+        assert metrics.value("preexisting_work") == 5
+        assert metrics.value("parses") == before + 2
+
+    def test_merged_metrics_aggregates_per_file_deltas(self, programs):
+        big, small = programs
+        result = run_batch([str(big), str(small)], want_metrics=True)
+        merged = result.merged_metrics()
+        assert merged is not None
+        assert merged.value("parses") == 2
+        assert merged.value("batch_files") == 2
+        assert merged.histogram("batch_file_seconds").count == 2
+
+    def test_isolation_holds_across_pool_workers(self, programs):
+        # Process workers (the default pool): each worker's registry is
+        # its own, so per-file deltas cannot see a sibling's work.
+        big, small = programs
+        serial = run_batch([str(big), str(small)], want_metrics=True)
+        pooled = run_batch(
+            [str(big), str(small)], jobs=2, want_metrics=True,
+        )
+        for lhs, rhs in zip(serial.files, pooled.files):
+            assert lhs.metrics["counters"] == rhs.metrics["counters"]
+
+    def test_metrics_not_collected_unless_requested(self, programs):
+        big, _ = programs
+        result = run_batch([str(big)])
+        assert result.files[0].metrics is None
+        assert result.merged_metrics() is None

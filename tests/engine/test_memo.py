@@ -140,14 +140,20 @@ class TestInterpMemo:
 
     def test_oracle_campaign_reexecution_hits(self):
         """Two identical trials: the second serves every execution from
-        the memo — the CI oracle job gates on this counter being > 0."""
+        the memo — the CI oracle job gates on this counter being > 0.
+        Asserted through the metrics registry (a snapshot delta), so it
+        also proves the memo's bumps land in the registry that
+        ``--metrics`` exports."""
+        from repro.obs import metrics
         from repro.oracle.harness import run_trial
 
         memo.clear_memos()
-        profiling.reset_counters()
+        base = metrics.snapshot()
         assert not run_trial(11).discrepancies
         assert not run_trial(11).discrepancies
-        assert profiling.counter("interp_memo_hits") > 0
+        delta = metrics.delta_since(base)["counters"]
+        assert delta.get("interp_memo_hits", 0) > 0
+        assert metrics.value("interp_memo_hits") >= delta["interp_memo_hits"]
 
 
 class TestOracleTrialRedundancy:
