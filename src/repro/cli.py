@@ -9,6 +9,11 @@ Subcommands:
 - ``run FILE`` — execute a program with the reference interpreter;
 - ``clone FILE`` — goal-directed procedure cloning, before/after;
 - ``integrate FILE`` — Wegman-Zadeck procedure integration, before/after;
+- ``serve --socket PATH`` — long-lived analysis daemon on a unix
+  socket: warm cache answers, bounded queue with overload shedding,
+  per-request deadlines, graceful signal-driven drain;
+- ``client OP [FILE] --socket PATH`` — query a running daemon
+  (``analyze``/``explain``/``invalidate``/``status``/``shutdown``);
 - ``suite`` — write the 12 benchmark programs to disk as .f files;
 - ``tables`` — regenerate the study's Tables 1-3 on the bundled
   benchmark suite;
@@ -33,9 +38,53 @@ from repro.ir.verify import VerificationError
 #: Exit codes (``analyze`` subcommand): 0 = clean analysis, 1 = source
 #: diagnostics were reported, 2 = internal failure (IR verification,
 #: budget escape with fault isolation off, unexpected crash).
+#: Long-running subcommands (``batch``, ``serve``) exit with the
+#: conventional 128+signum codes after a signal-driven drain.
 EXIT_OK = 0
 EXIT_DIAGNOSTICS = 1
 EXIT_INTERNAL = 2
+EXIT_SIGINT = 130
+EXIT_SIGTERM = 143
+
+
+class _SignalInterrupt(Exception):
+    """Raised by the batch signal handlers so an in-flight pool wait
+    unwinds through ordinary exception handling (clean shutdown, flush,
+    conventional exit code) instead of dying in a traceback."""
+
+    def __init__(self, signum: int):
+        super().__init__(f"interrupted by signal {signum}")
+        self.signum = signum
+
+
+def _install_interrupt_handlers():
+    """Route SIGINT/SIGTERM into :class:`_SignalInterrupt`; returns the
+    previous handlers for restoration (no-op off the main thread)."""
+    import signal
+
+    def _handler(signum, frame):
+        raise _SignalInterrupt(signum)
+
+    previous = {}
+    for name in ("SIGINT", "SIGTERM"):
+        signum = getattr(signal, name, None)
+        if signum is None:
+            continue
+        try:
+            previous[signum] = signal.signal(signum, _handler)
+        except (ValueError, OSError):
+            pass
+    return previous
+
+
+def _restore_interrupt_handlers(previous) -> None:
+    import signal
+
+    for signum, old in previous.items():
+        try:
+            signal.signal(signum, old)
+        except (ValueError, OSError):
+            pass
 
 _KIND_ALIASES = {
     "literal": JumpFunctionKind.LITERAL,
@@ -240,6 +289,93 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print each file's full CONSTANTS report, not just the "
         "one-line summary",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived analysis daemon on a unix socket",
+    )
+    serve.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="unix socket path to listen on",
+    )
+    _add_config_arguments(serve)
+    serve.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="engine worker pool size for each analysis "
+        "(default: 1 = serial; results are byte-identical)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent cache directory (default: the standard cache "
+        "root — a daemon without its caches answers nothing warm)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="run without the persistent cache (every analyze is cold)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=16, metavar="N",
+        help="bounded request queue depth; beyond it requests are shed "
+        "with an 'overloaded' error and a retry_after hint (default: 16)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=30.0, metavar="SECONDS",
+        help="default per-request deadline; requests may override via "
+        "params.deadline_ms; 0 = unlimited (default: 30)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="grace period for queued/in-flight work after SIGTERM/"
+        "SIGINT/shutdown before the rest is cancelled (default: 5)",
+    )
+    serve.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write Prometheus text-format metrics to FILE at drain",
+    )
+    serve.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write Chrome trace-event JSON to FILE at drain",
+    )
+    serve.add_argument(
+        "--inject-fault", action="append", default=[], metavar="SPEC",
+        help="arm a deterministic fault (repeatable), e.g. "
+        "'kill-worker:stage=ret,nth=1' or 'delay-request:ms=200'; "
+        "see repro.faults for the registry",
+    )
+
+    client = sub.add_parser(
+        "client", help="query a running 'repro serve' daemon"
+    )
+    client.add_argument(
+        "op", choices=("analyze", "explain", "invalidate", "status",
+                       "shutdown"),
+        help="operation to request",
+    )
+    client.add_argument(
+        "file", nargs="?", default=None,
+        help="input file (analyze/explain/invalidate)",
+    )
+    client.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="unix socket path of the daemon",
+    )
+    client.add_argument(
+        "--explain", default=None, metavar="NAME@PROC",
+        help="also render the derivation of one VAL cell "
+        "(analyze/explain)",
+    )
+    client.add_argument(
+        "--deadline-ms", type=int, default=None, metavar="N",
+        help="per-request deadline override in milliseconds",
+    )
+    client.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS",
+        help="client-side socket timeout (default: 30)",
+    )
+    client.add_argument(
+        "--json", action="store_true",
+        help="print the raw response envelope as JSON",
     )
 
     compare = sub.add_parser("compare", help="compare all four jump functions")
@@ -615,6 +751,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         (args.cache_dir or default_cache_root()) if wants_cache else None
     )
     tracer = _start_trace(args)
+    previous_handlers = _install_interrupt_handlers()
+    interrupted: Optional[int] = None
     try:
         result = run_batch(
             paths,
@@ -626,8 +764,27 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             want_metrics=args.metrics is not None or args.report,
             want_trace=tracer is not None,
         )
+    except _SignalInterrupt as err:
+        interrupted = err.signum
+    except KeyboardInterrupt:
+        interrupted = EXIT_SIGINT - 128
     finally:
+        _restore_interrupt_handlers(previous_handlers)
         _write_trace(args, tracer)
+    if interrupted is not None:
+        # Signal-driven drain: the pool shutdown already ran on the way
+        # out of run_batch; flush whatever observability artifacts were
+        # requested (partial by construction) and exit 128+signum
+        # instead of unwinding into a traceback mid-pool.
+        _write_metrics(args)
+        print(
+            f"[batch interrupted by signal {interrupted}: pool shut "
+            f"down, partial artifacts flushed]",
+            file=sys.stderr,
+        )
+        return 128 + interrupted
+    for note in result.notes:
+        print(f"[degraded: {note}]", file=sys.stderr)
     for outcome in result.files:
         print(outcome.summary_line())
         if args.report and outcome.constants_report is not None:
@@ -660,6 +817,143 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 handle.write(text + "\n")
             print(f"[profile written to {args.profile}]")
     return EXIT_OK if result.ok else EXIT_DIAGNOSTICS
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro import faults
+    from repro.engine import default_cache_root
+    from repro.serve.server import ReproServer, ServeConfig, SocketBusyError
+
+    if args.inject_fault:
+        try:
+            plan = faults.install(args.inject_fault)
+        except faults.FaultSpecError as err:
+            print(f"serve: bad --inject-fault: {err}", file=sys.stderr)
+            return EXIT_INTERNAL
+        for line in plan.describe():
+            print(f"[fault armed: {line}]", file=sys.stderr)
+    cache_dir = (
+        None if args.no_cache else (args.cache_dir or default_cache_root())
+    )
+    config = ServeConfig(
+        socket_path=args.socket,
+        analysis=_config_from_args(args),
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        queue_limit=args.queue_limit,
+        default_deadline_s=args.deadline if args.deadline > 0 else None,
+        drain_timeout_s=args.drain_timeout,
+        metrics_path=args.metrics,
+        trace_path=args.trace,
+    )
+    try:
+        server = ReproServer(config)
+        return server.serve_forever()
+    except SocketBusyError as err:
+        print(f"serve: {err}", file=sys.stderr)
+        return EXIT_INTERNAL
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.client import ReproClient, ServeRequestError
+    from repro.serve.protocol import PATH_OPS
+
+    if args.op in PATH_OPS and args.file is None:
+        print(f"client: op {args.op!r} requires a file", file=sys.stderr)
+        return EXIT_INTERNAL
+    try:
+        client = ReproClient(args.socket, timeout=args.timeout)
+    except OSError as err:
+        print(f"client: cannot connect to {args.socket}: {err}",
+              file=sys.stderr)
+        return EXIT_INTERNAL
+    try:
+        if args.op == "analyze":
+            response = client.analyze(
+                args.file, deadline_ms=args.deadline_ms,
+                explain=args.explain,
+            )
+        elif args.op == "explain":
+            if args.explain is None:
+                print("client: op 'explain' requires --explain NAME@PROC",
+                      file=sys.stderr)
+                return EXIT_INTERNAL
+            response = client.explain(
+                args.file, args.explain, deadline_ms=args.deadline_ms
+            )
+        elif args.op == "invalidate":
+            response = client.invalidate(args.file)
+        elif args.op == "status":
+            response = client.status()
+        else:
+            response = client.shutdown()
+    except ServeRequestError as err:
+        print(f"client: {err}", file=sys.stderr)
+        return EXIT_DIAGNOSTICS
+    except (ConnectionError, OSError) as err:
+        print(f"client: {err}", file=sys.stderr)
+        return EXIT_INTERNAL
+    finally:
+        client.close()
+    if args.json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return EXIT_OK
+    return _render_client_response(args.op, response)
+
+
+def _render_client_response(op: str, response: dict) -> int:
+    """Human rendering of a successful daemon response; the exit code
+    mirrors the local subcommands (0 clean, 1 diagnostics/error)."""
+    import json
+
+    for note in response.get("degraded", []):
+        print(f"[degraded: {note}]", file=sys.stderr)
+    result = response.get("result", {})
+    if op in ("analyze", "explain"):
+        status = result.get("status")
+        if status == "error":
+            print(f"{result.get('path')}: error: {result.get('error')}")
+            return EXIT_DIAGNOSTICS
+        if status == "diagnostics":
+            print(result.get("diagnostics", ""), file=sys.stderr)
+            return EXIT_DIAGNOSTICS
+        suffix = "  [replayed]" if result.get("replayed") else ""
+        print(
+            f"{result.get('path')}: {result.get('total_pairs')} "
+            f"constant(s), {result.get('substituted')} substituted{suffix}"
+        )
+        report = result.get("constants_report")
+        if report:
+            print(report)
+        if "explain" in result:
+            sys.stdout.write(result["explain"])
+        if "explain_error" in result:
+            print(f"explain: {result['explain_error']}", file=sys.stderr)
+            return EXIT_DIAGNOSTICS
+        if result.get("diagnostics"):
+            print(result["diagnostics"], file=sys.stderr)
+        return EXIT_OK
+    if op == "invalidate":
+        verdict = "evicted" if result.get("invalidated") else "not cached"
+        print(f"{result.get('path')}: {verdict}")
+        if result.get("error"):
+            print(f"invalidate: {result['error']}", file=sys.stderr)
+            return EXIT_DIAGNOSTICS
+        return EXIT_OK
+    if op == "status":
+        for key in ("socket", "jobs", "queue_depth", "queue_limit",
+                    "pool_demoted", "stopping", "cache_dir"):
+            print(f"{key}: {result.get(key)}")
+        for line in result.get("faults", []):
+            print(f"fault: {line}")
+        counters = result.get("counters", {})
+        for name in sorted(counters):
+            print(f"  {name} {counters[name]}")
+        return EXIT_OK
+    print(json.dumps(result))  # shutdown and anything future
+    return EXIT_OK
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -822,6 +1116,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "analyze": _cmd_analyze,
         "batch": _cmd_batch,
+        "serve": _cmd_serve,
+        "client": _cmd_client,
         "compare": _cmd_compare,
         "run": _cmd_run,
         "clone": _cmd_clone,

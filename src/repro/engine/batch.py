@@ -27,6 +27,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro import faults
 from repro.config import AnalysisConfig
 
 #: Outcome statuses, in severity order.
@@ -97,6 +98,9 @@ class BatchResult:
 
     files: List[FileOutcome]
     jobs: int = 1
+    #: Batch-level degradation notes (pool rebuilt/demoted), so a
+    #: recovered run is visibly different from an undisturbed one.
+    notes: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -185,6 +189,12 @@ def analyze_one(
     from repro.ipcp.driver import analyze_file_resilient
     from repro.obs import metrics as obs_metrics
     from repro.obs import trace
+
+    # Fault points: die here to break the batch pool mid-file (only
+    # ever fires inside a pool worker), or dawdle to make drain-under-
+    # load and signal-delivery windows deterministic in tests.
+    faults.maybe_kill_worker(stage="batch", path=path)
+    faults.delay("delay-file", path=path)
 
     profile = profiling.PipelineProfile() if want_profile else None
     registry = obs_metrics.default_registry()
@@ -342,13 +352,16 @@ def run_batch(
 
     import concurrent.futures as cf
 
-    task = analyze_one
+    task_args = (config, cache_dir, want_profile, explain,
+                 want_metrics, want_trace)
+
     if executor == "thread":
         # The engine's worker state is process-global, so two engines
         # must never analyze concurrently inside one process: thread
         # mode serializes the per-file work behind a lock. (It is
         # GIL-bound regardless — this mode exercises the pool plumbing
-        # deterministically, it was never a speed path.)
+        # deterministically, it was never a speed path. Threads cannot
+        # break the executor, so no recovery loop here.)
         import threading
 
         guard = threading.Lock()
@@ -358,28 +371,101 @@ def run_batch(
                 return analyze_one(*args)
 
         pool = cf.ThreadPoolExecutor(max_workers=jobs)
-    else:
-        import multiprocessing as mp
-
-        methods = mp.get_all_start_methods()
-        context = mp.get_context("fork" if "fork" in methods else "spawn")
-        pool = cf.ProcessPoolExecutor(max_workers=jobs, mp_context=context)
-    try:
-        futures = {
-            path: pool.submit(
-                task, path, config, cache_dir, want_profile, explain,
-                want_metrics, want_trace,
+        try:
+            futures = {
+                path: pool.submit(task, path, *task_args)
+                for path in _schedule(paths)
+            }
+            return _collect(
+                [futures[path].result() for path in paths], jobs
             )
-            for path in _schedule(paths)
-        }
-        return _collect(
-            [futures[path].result() for path in paths], jobs
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # Process executor, with broken-pool recovery: a worker killed
+    # mid-file (OOM killer, operator, injected fault) breaks every
+    # in-flight future. Completed outcomes are kept, the pool is
+    # rebuilt once and the unfinished files resubmitted after a
+    # jittered backoff; a second break demotes the rest of the batch
+    # to in-process serial analysis. Per-file work is idempotent
+    # (replay/summary caches are content-addressed), so resubmission
+    # never changes a result — only where it was computed.
+    import multiprocessing as mp
+
+    from repro.obs import metrics as obs_metrics
+
+    methods = mp.get_all_start_methods()
+    context = mp.get_context("fork" if "fork" in methods else "spawn")
+    outcomes: Dict[str, FileOutcome] = {}
+    notes: List[str] = []
+    remaining = _schedule(list(dict.fromkeys(paths)))
+    rebuilt = False
+    while remaining:
+        from repro.engine.parallel import _worker_init
+
+        pool = cf.ProcessPoolExecutor(
+            max_workers=jobs, mp_context=context, initializer=_worker_init
         )
-    finally:
-        pool.shutdown(wait=False, cancel_futures=True)
+        broke = False
+        try:
+            futures = {
+                path: pool.submit(analyze_one, path, *task_args)
+                for path in remaining
+            }
+            for path in remaining:
+                try:
+                    outcomes[path] = futures[path].result()
+                except cf.BrokenExecutor:
+                    broke = True
+                    # Keep every outcome that did complete before the
+                    # break; only genuinely unfinished files re-run.
+                    for other in remaining:
+                        future = futures[other]
+                        if other in outcomes or not future.done():
+                            continue
+                        try:
+                            outcomes[other] = future.result()
+                        except Exception:  # noqa: BLE001 — broken too
+                            pass
+                    break
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        if not broke:
+            break
+        remaining = [path for path in remaining if path not in outcomes]
+        obs_metrics.inc("batch_pool_broken")
+        if not rebuilt and remaining:
+            rebuilt = True
+            obs_metrics.inc("batch_pool_rebuilds")
+            _rebuild_backoff()
+            continue
+        if remaining:
+            obs_metrics.inc("batch_pool_demotions")
+            notes.append(
+                f"worker pool broke twice; {len(remaining)} file(s) "
+                f"analyzed serially in-process"
+            )
+            for path in remaining:
+                outcomes[path] = analyze_one(path, *task_args)
+        break
+    return _collect(
+        [outcomes[path] for path in paths], jobs, notes=notes
+    )
 
 
-def _collect(outcomes: List[FileOutcome], jobs: int) -> BatchResult:
+def _rebuild_backoff() -> None:
+    """Jittered pause before the single pool rebuild, so many batch
+    processes recovering from one shared cause (a machine-wide OOM
+    sweep) do not refork in lockstep."""
+    import random
+    import time
+
+    time.sleep(0.05 + random.uniform(0, 0.05))
+
+
+def _collect(
+    outcomes: List[FileOutcome], jobs: int, notes: Optional[List[str]] = None
+) -> BatchResult:
     """Assemble the batch result, folding worker-shipped trace events
     into the live tracer (each keeps its worker pid, so Perfetto shows
     one track per worker)."""
@@ -391,7 +477,7 @@ def _collect(outcomes: List[FileOutcome], jobs: int) -> BatchResult:
             if tracer is not None:
                 tracer.adopt(outcome.trace_events)
             outcome.trace_events = None
-    return BatchResult(files=outcomes, jobs=jobs)
+    return BatchResult(files=outcomes, jobs=jobs, notes=notes or [])
 
 
 def read_stdin_list(stream) -> List[str]:

@@ -72,6 +72,14 @@ class Engine:
         self.cache = cache
         self.profile = profile
         self.executor_kind = executor
+        #: Optional cooperative-cancellation hook: called between
+        #: scheduling waves; raising aborts the run (the daemon sets
+        #: this to its per-request deadline check).
+        self.checkpoint: Optional[callable] = None
+        #: True once the worker pool broke twice and this engine fell
+        #: back to in-process serial execution for good.
+        self.pool_demoted = False
+        self._pool_rebuilt = False
         self._pool = None
         self._pool_kind: Optional[str] = None
         self._program: Optional[Program] = None
@@ -183,7 +191,9 @@ class Engine:
             # Workers fork during the submit calls below and inherit the
             # already-installed prepared state copy-on-write.
             self._pool = cf.ProcessPoolExecutor(
-                max_workers=self.jobs, mp_context=mp.get_context("fork")
+                max_workers=self.jobs,
+                mp_context=mp.get_context("fork"),
+                initializer=parallel._worker_init,
             )
             self._pool_kind = "fork"
         else:
@@ -205,14 +215,85 @@ class Engine:
             self._pool.submit(parallel._prime)
         return self._pool
 
-    def _dispatch(self, task, arg_tuples: List[tuple]) -> List[dict]:
+    def _dispatch(
+        self,
+        task,
+        arg_tuples: List[tuple],
+        resilience=None,
+        stage: Optional[str] = None,
+    ) -> List[dict]:
         """Run ``task(*args)`` for each tuple — across the pool when
         ``jobs > 1``, inline otherwise. Results keep submission order
         (which per-chunk results are merged in is irrelevant anyway:
-        chunks are disjoint and merging is key-ordered by the caller)."""
+        chunks are disjoint and merging is key-ordered by the caller).
+
+        A broken pool (a worker SIGKILLed by the OOM killer, an
+        operator, or the ``kill-worker`` fault point) is survived, not
+        propagated: the pool is rebuilt once and the wave retried after
+        a jittered backoff; if the rebuilt pool breaks too, the engine
+        demotes itself to in-process serial execution for the rest of
+        its life and records the demotion on ``resilience``. Waves are
+        idempotent (pure summary computation plus content-addressed
+        cache stores), so a retry can never double-apply work — the
+        result is byte-identical to an undisturbed run.
+        """
+        import concurrent.futures as cf
+
         pool = self._ensure_pool()
         if pool is None:
             return [task(*args) for args in arg_tuples]
+        try:
+            return self._pool_dispatch(pool, task, arg_tuples)
+        except cf.BrokenExecutor:
+            self._count("engine_pool_broken")
+            self._shutdown_pool()
+            if not self._pool_rebuilt:
+                self._pool_rebuilt = True
+                self._backoff(attempt=1)
+                self._count("engine_pool_rebuilds")
+                if trace.ENABLED:
+                    trace.instant("engine.pool_rebuild", stage=stage or "")
+                pool = self._ensure_pool()
+                try:
+                    return self._pool_dispatch(pool, task, arg_tuples)
+                except cf.BrokenExecutor:
+                    self._count("engine_pool_broken")
+                    self._shutdown_pool()
+            # Second failure: degrade to serial, permanently for this
+            # engine. The parent's installed worker state serves the
+            # inline path, so results are unchanged — only slower.
+            self.pool_demoted = True
+            self.jobs = 1
+            self._count("engine_pool_demotions")
+            if trace.ENABLED:
+                trace.instant("engine.pool_demoted", stage=stage or "")
+            if resilience is not None:
+                resilience.record(
+                    "engine_pool",
+                    stage or "engine",
+                    f"{self.executor_kind}-pool",
+                    "serial",
+                    "worker pool broke twice; degraded to in-process "
+                    "serial execution",
+                )
+            return [task(*args) for args in arg_tuples]
+
+    @staticmethod
+    def _backoff(attempt: int) -> None:
+        """Jittered backoff before a pool rebuild: base delay doubling
+        per attempt, plus up to 50% random jitter so a fleet of daemons
+        recovering from one shared cause does not rebuild in lockstep."""
+        import random
+        import time
+
+        base = 0.05 * (2 ** (attempt - 1))
+        time.sleep(base + random.uniform(0, base * 0.5))
+
+    def _check(self) -> None:
+        if self.checkpoint is not None:
+            self.checkpoint()
+
+    def _pool_dispatch(self, pool, task, arg_tuples: List[tuple]) -> List[dict]:
         if trace.ENABLED:
             trace.instant(
                 "engine.dispatch", tasks=len(arg_tuples),
@@ -269,7 +350,8 @@ class Engine:
         member_data: Dict[str, dict] = {}
         payload = self._returns_payload = []
 
-        for level in levels:
+        for level_index, level in enumerate(levels):
+            self._check()
             pending: List[List[str]] = []
             for component in level:
                 names = [p.name for p in component]
@@ -288,7 +370,12 @@ class Engine:
             computed: Dict[str, dict] = {}
             for result in self._dispatch(
                 parallel._task_returns,
-                [(chunk, snapshot) for chunk in self._chunks(pending)],
+                [
+                    (chunk, snapshot, level_index)
+                    for chunk in self._chunks(pending)
+                ],
+                resilience=resilience,
+                stage="ret",
             ):
                 computed.update(result)
             for names in pending:
@@ -335,10 +422,13 @@ class Engine:
             else:
                 pending.append(name)
         if pending:
+            self._check()
             snapshot = list(self._returns_payload)
             for result in self._dispatch(
                 parallel._task_forwards,
                 [(chunk, snapshot) for chunk in self._chunks(pending)],
+                resilience=resilience,
+                stage="fwd",
             ):
                 member_data.update(result)
             for name in pending:
@@ -380,6 +470,7 @@ class Engine:
                     self._count("summary_cache_misses")
                 pending.append(name)
         if pending:
+            self._check()
             snapshot = list(self._returns_payload)
             for result in self._dispatch(
                 parallel._task_substitution,
@@ -387,6 +478,8 @@ class Engine:
                     (chunk, snapshot, constants_payload)
                     for chunk in self._chunks(pending)
                 ],
+                resilience=resilience,
+                stage="sub",
             ):
                 member_data.update(result)
             for name in pending:

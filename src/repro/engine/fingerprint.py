@@ -36,7 +36,9 @@ from repro.ir.printer import format_procedure
 #: semantics-affecting fixes in summary construction).
 #: v2: run-level payloads grew ``stats``/``ir`` renderings, and the
 #: ``man`` namespace (incremental manifests) joined the layout.
-ENGINE_CACHE_VERSION = 2
+#: v3: entries are stored inside a ``{"sha256", "body"}`` integrity
+#: wrapper, verified (and quarantined on mismatch) at read time.
+ENGINE_CACHE_VERSION = 3
 
 
 def _sha(parts: List[str]) -> str:

@@ -31,6 +31,7 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Optional
 
+from repro import faults
 from repro.config import AnalysisConfig
 from repro.ir.module import Program
 from repro.engine import summaries
@@ -91,12 +92,34 @@ def _traced_call(task, *args):
     return {"result": result, "events": tracer.events_since(marker)}
 
 
+def _worker_init() -> None:
+    """Pool-worker initializer: restore default signal dispositions.
+
+    Fork workers inherit whatever SIGINT/SIGTERM handlers the host
+    installed — the batch CLI's raise-to-drain handler, the daemon's
+    request_stop handler — and both are wrong inside a worker: the
+    first turns the executor's own shutdown SIGTERM into a traceback,
+    the second makes the worker *ignore* termination. Workers die by
+    default disposition; only the host drains."""
+    import signal
+
+    for name in ("SIGINT", "SIGTERM"):
+        signum = getattr(signal, name, None)
+        if signum is None:
+            continue
+        try:
+            signal.signal(signum, signal.SIG_DFL)
+        except (ValueError, OSError):
+            pass
+
+
 def _init_spawn(text: str, filename: str, config: AnalysisConfig) -> None:
     """Spawn-context initializer: rebuild the program from source."""
     from repro.frontend.parser import parse_source
     from repro.frontend.source import SourceFile
     from repro.ir.lowering import lower_module
 
+    _worker_init()
     module = parse_source(text, filename)
     program = lower_module(module, SourceFile(filename, text))
     _set_state(_WorkerState(program, config))
@@ -149,11 +172,16 @@ def _demotions_guard(config: AnalysisConfig):
 
 
 def _task_returns(
-    component_names: List[List[str]], returns_payload: List[dict]
+    component_names: List[List[str]],
+    returns_payload: List[dict],
+    level: int = 0,
 ) -> Dict[str, dict]:
     """Build the return jump functions of the given SCCs (each a member
     name list in Tarjan order). All their callees' functions are in
-    ``returns_payload`` — same-level components never call each other."""
+    ``returns_payload`` — same-level components never call each other.
+    ``level`` is the condensation level index, carried so the
+    ``kill-worker`` fault point can target a specific wave."""
+    faults.maybe_kill_worker(stage="ret", level=level)
     state = _ensure_prepared()
     _apply_returns(state, returns_payload)
     from repro.ipcp.return_functions import build_return_functions_for
@@ -182,6 +210,7 @@ def _task_forwards(
 ) -> Dict[str, dict]:
     """Build the forward jump functions of each named procedure's call
     sites. Independent per procedure: the return map is read-only."""
+    faults.maybe_kill_worker(stage="fwd")
     state = _ensure_prepared()
     _apply_returns(state, returns_payload)
     from repro.ipcp.jump_functions import (
@@ -216,6 +245,7 @@ def _task_substitution(
 ) -> Dict[str, dict]:
     """Measure each named procedure's substitutions against the final
     CONSTANTS sets. Independent per procedure."""
+    faults.maybe_kill_worker(stage="sub")
     state = _ensure_prepared()
     _apply_returns(state, returns_payload)
     from repro.analysis.sccp import SCCPCallModel

@@ -1,0 +1,656 @@
+"""The analysis daemon: a long-lived, fault-tolerant ``repro`` server.
+
+One :class:`ReproServer` owns a unix listening socket, a bounded
+request queue, and a single dispatcher thread driving a persistent
+:class:`~repro.engine.core.Engine` (summary + run caches, optional
+worker pool). Connection handler threads do only cheap work — frame
+parsing, admission control — so a slow analysis can never stop the
+daemon from *answering* (with a shed or shutdown error) even while it
+is busy.
+
+The robustness core, mapped to code:
+
+- **bounded queue, explicit shedding** — admission is ``put_nowait``
+  into a queue of ``queue_limit`` tickets; a full queue answers
+  ``overloaded`` with a ``retry_after`` hint immediately. The daemon
+  never builds an unbounded backlog, so its memory and its worst-case
+  latency stay bounded under any client load.
+- **deadlines with cooperative cancellation** — every ticket carries a
+  :class:`~repro.serve.lifecycle.Deadline` (per-request override or
+  server default), checked at lifecycle checkpoints and between engine
+  scheduling waves (the engine's ``checkpoint`` hook). Expiry unwinds
+  into a ``deadline_expired`` error; the abandoned work was idempotent
+  cache-backed computation, so nothing is torn.
+- **worker-crash recovery** — a killed pool worker surfaces as
+  ``BrokenProcessPool`` inside the engine, which rebuilds the pool
+  once (jittered backoff) and then degrades to in-process serial
+  analysis; the response's ``degraded`` notes and the
+  ``engine_pool_*`` counters make the demotion visible. Results are
+  byte-identical either way.
+- **cache-integrity quarantine** — corrupt summary/run entries are
+  detected by checksum at read time, quarantined as ``.corrupt``
+  sidecars, and recomputed (``cache_quarantined`` counter).
+- **graceful drain** — SIGTERM/SIGINT (or a ``shutdown`` request) stop
+  admission, let in-flight and queued work finish within
+  ``drain_timeout_s``, cancel the rest with ``shutting_down``, flush
+  the ``--metrics``/``--trace`` artifacts, and exit with the
+  conventional code (0 requested, 130 SIGINT, 143 SIGTERM).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import socket
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro import faults
+from repro.config import AnalysisConfig
+from repro.engine import fingerprint
+from repro.engine.core import Engine
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace
+from repro.serve import protocol
+from repro.serve.lifecycle import Cancelled, Deadline, DeadlineExpired, Ticket
+
+#: Exit codes of :meth:`ReproServer.serve_forever`.
+EXIT_OK = 0
+EXIT_SIGINT = 130
+EXIT_SIGTERM = 143
+
+#: Analysis-outcome statuses inside a successful response.
+STATUS_OK = "ok"
+STATUS_DIAGNOSTICS = "diagnostics"
+STATUS_ERROR = "error"
+
+#: Counter-name prefixes surfaced by the ``status`` op.
+_STATUS_COUNTER_PREFIXES = (
+    "serve_", "engine_pool_", "batch_pool_", "cache_", "faults_",
+    "recomputed_", "run_cache_", "summary_cache_", "demotions_",
+)
+
+
+@dataclass
+class ServeConfig:
+    """Everything one daemon instance needs to run."""
+
+    socket_path: str
+    analysis: AnalysisConfig = field(default_factory=AnalysisConfig)
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    queue_limit: int = 16
+    default_deadline_s: Optional[float] = 30.0
+    drain_timeout_s: float = 5.0
+    metrics_path: Optional[str] = None
+    trace_path: Optional[str] = None
+
+
+class SocketBusyError(RuntimeError):
+    """Another live daemon already serves on the requested socket."""
+
+
+class ReproServer:
+    """See module docstring. Lifecycle: :meth:`start` → requests →
+    :meth:`request_stop` (signal, ``shutdown`` op, or test) →
+    :meth:`finish`; :meth:`serve_forever` bundles all four for the CLI.
+    """
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.engine = Engine(jobs=config.jobs, cache_dir=config.cache_dir)
+        self._queue: "queue.Queue[Ticket]" = queue.Queue(
+            maxsize=max(1, config.queue_limit)
+        )
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._dispatch_thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._done = threading.Event()
+        self._exit_code = EXIT_OK
+        self._exit_lock = threading.Lock()
+        self._stop_requested = False
+        self._drain_deadline: Optional[Deadline] = None
+        self._tracer = None
+        self._registry = obs_metrics.default_registry()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind the socket and start the accept + dispatcher threads."""
+        if self.config.trace_path is not None:
+            self._tracer = trace.enable()
+        self._listener = self._bind(self.config.socket_path)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-serve-accept", daemon=True
+        )
+        self._dispatch_thread = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch",
+            daemon=True,
+        )
+        self._accept_thread.start()
+        self._dispatch_thread.start()
+
+    @staticmethod
+    def _bind(path: str) -> socket.socket:
+        """Bind the unix socket, reclaiming a stale file but refusing
+        to steal a live daemon's socket."""
+        if os.path.exists(path):
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                probe.settimeout(0.5)
+                probe.connect(path)
+            except OSError:
+                os.unlink(path)  # stale leftover from a dead daemon
+            else:
+                probe.close()
+                raise SocketBusyError(
+                    f"another daemon is already serving on {path!r}"
+                )
+            finally:
+                probe.close()
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(path)
+        listener.listen(64)
+        listener.settimeout(0.2)
+        return listener
+
+    def request_stop(self, exit_code: int = EXIT_OK) -> None:
+        """Begin the drain; the first requested exit code wins (a
+        SIGTERM arriving during a ``shutdown``-requested drain does not
+        rewrite history)."""
+        with self._exit_lock:
+            if not self._stop_requested:
+                self._stop_requested = True
+                self._exit_code = exit_code
+                self._drain_deadline = Deadline(self.config.drain_timeout_s)
+        self._stop.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._stop.wait(timeout)
+
+    def finish(self) -> int:
+        """Complete the drain: join the worker threads, reject whatever
+        could not be served, flush observability artifacts, release the
+        engine and the socket. Returns the exit code."""
+        self._stop.set()
+        if self._dispatch_thread is not None:
+            grace = self.config.drain_timeout_s + 2.0
+            self._dispatch_thread.join(timeout=grace)
+        self._done.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        while True:  # anything still queued is now unservable
+            try:
+                ticket = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            self._reject_draining(ticket)
+        self.engine.close()
+        self._flush_artifacts()
+        try:
+            os.unlink(self.config.socket_path)
+        except OSError:
+            pass
+        return self._exit_code
+
+    def serve_forever(self, install_signals: bool = True) -> int:
+        """The CLI entry point: run until a signal or ``shutdown``
+        request, then drain and return the exit code."""
+        import signal
+
+        if install_signals:
+            signal.signal(
+                signal.SIGTERM,
+                lambda signum, frame: self.request_stop(EXIT_SIGTERM),
+            )
+            signal.signal(
+                signal.SIGINT,
+                lambda signum, frame: self.request_stop(EXIT_SIGINT),
+            )
+        self.start()
+        print(
+            f"[repro serve: listening on {self.config.socket_path} "
+            f"(jobs={self.config.jobs}, queue={self.config.queue_limit})]",
+            file=sys.stderr,
+        )
+        while not self._stop.wait(0.2):
+            pass
+        code = self.finish()
+        print(
+            f"[repro serve: drained, exit {code}]", file=sys.stderr
+        )
+        return code
+
+    def _flush_artifacts(self) -> None:
+        """Flush ``--metrics``/``--trace`` on the way out — the drain
+        contract says the artifacts of a killed daemon are still valid,
+        just truncated at the drain point."""
+        if self.config.metrics_path is not None:
+            try:
+                with open(
+                    self.config.metrics_path, "w", encoding="utf-8"
+                ) as handle:
+                    handle.write(self._registry.to_prometheus())
+            except OSError:
+                pass
+        if self._tracer is not None:
+            trace.disable()
+            try:
+                with open(
+                    self.config.trace_path, "w", encoding="utf-8"
+                ) as handle:
+                    json.dump(self._tracer.to_chrome(), handle)
+                    handle.write("\n")
+            except OSError:
+                pass
+            self._tracer = None
+
+    # -- admission (connection threads) --------------------------------------
+
+    def _accept_loop(self) -> None:
+        # Keeps accepting through the drain (until finish() closes the
+        # listener): a draining server answers every knock with an
+        # explicit ``shutting_down``, it does not leave clients hanging
+        # in the listen backlog.
+        while not self._done.is_set():
+            try:
+                connection, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            handler = threading.Thread(
+                target=self._handle_connection,
+                args=(connection,),
+                name="repro-serve-conn",
+                daemon=True,
+            )
+            handler.start()
+
+    def _handle_connection(self, connection: socket.socket) -> None:
+        write_lock = threading.Lock()
+
+        def respond(message: dict) -> None:
+            payload = protocol.encode_message(message)
+            try:
+                with write_lock:
+                    connection.sendall(payload)
+            except OSError:
+                obs_metrics.inc("serve_client_gone")
+
+        stream = connection.makefile("rb")
+        try:
+            while True:
+                line = stream.readline(protocol.MAX_FRAME + 1)
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                self._admit(line, respond)
+        except OSError:
+            pass
+        finally:
+            try:
+                stream.close()
+                connection.close()
+            except OSError:
+                pass
+
+    def _admit(self, line: bytes, respond) -> None:
+        """Parse one frame and either enqueue it or answer immediately
+        (malformed, draining, or shed)."""
+        try:
+            request = protocol.parse_request(protocol.decode_frame(line))
+        except protocol.ProtocolError as err:
+            obs_metrics.inc("serve_bad_requests")
+            respond(
+                protocol.error_response(
+                    None, protocol.E_BAD_REQUEST, str(err)
+                )
+            )
+            return
+        if self._stop.is_set():
+            respond(
+                protocol.error_response(
+                    request.id, protocol.E_SHUTTING_DOWN,
+                    "server is draining", op=request.op,
+                )
+            )
+            return
+        ticket = Ticket(
+            request=request,
+            deadline=Deadline.from_request(
+                request, self.config.default_deadline_s
+            ),
+            respond=respond,
+        )
+        try:
+            self._queue.put_nowait(ticket)
+        except queue.Full:
+            obs_metrics.inc("serve_shed")
+            respond(
+                protocol.error_response(
+                    request.id, protocol.E_OVERLOADED,
+                    f"request queue full ({self.config.queue_limit})",
+                    op=request.op,
+                    retry_after=round(
+                        0.05 * max(1, self._queue.qsize()), 3
+                    ),
+                )
+            )
+            return
+        self._registry.gauge("serve_queue_depth").set(self._queue.qsize())
+
+    # -- dispatch (the single analysis thread) -------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            try:
+                ticket = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                if self._stop.is_set():
+                    return
+                continue
+            self._registry.gauge("serve_queue_depth").set(self._queue.qsize())
+            if self._drain_expired():
+                self._reject_draining(ticket)
+                continue
+            self._execute(ticket)
+
+    def _drain_expired(self) -> bool:
+        return (
+            self._stop.is_set()
+            and self._drain_deadline is not None
+            and self._drain_deadline.expired
+        )
+
+    def _drain_check(self) -> None:
+        if self._drain_expired():
+            raise Cancelled()
+
+    def _reject_draining(self, ticket: Ticket) -> None:
+        obs_metrics.inc("serve_cancelled_drain")
+        ticket.respond(
+            protocol.error_response(
+                ticket.request.id, protocol.E_SHUTTING_DOWN,
+                "server drained before this request could run",
+                op=ticket.request.op,
+            )
+        )
+
+    def _execute(self, ticket: Ticket) -> None:
+        request = ticket.request
+        began = time.perf_counter()
+        obs_metrics.inc("serve_requests")
+        obs_metrics.inc(f"serve_requests_{request.op}")
+        self._registry.observe("serve_queue_seconds", ticket.queue_seconds())
+        with trace.span(
+            "serve.request", op=request.op, path=request.path or ""
+        ):
+            try:
+                ticket.deadline.check("queued")
+                faults.delay(
+                    "delay-request", op=request.op, path=request.path or ""
+                )
+                ticket.deadline.check("start")
+                result, degraded = self._dispatch_op(request, ticket.deadline)
+                response = protocol.ok_response(
+                    request.id, request.op, result, degraded
+                )
+                obs_metrics.inc("serve_ok")
+            except DeadlineExpired as err:
+                obs_metrics.inc("serve_deadline_expired")
+                response = protocol.error_response(
+                    request.id, protocol.E_DEADLINE, str(err), op=request.op
+                )
+            except Cancelled:
+                obs_metrics.inc("serve_cancelled_drain")
+                response = protocol.error_response(
+                    request.id, protocol.E_SHUTTING_DOWN,
+                    "server drained mid-request", op=request.op,
+                )
+            except protocol.ProtocolError as err:
+                obs_metrics.inc("serve_bad_requests")
+                response = protocol.error_response(
+                    request.id, protocol.E_BAD_REQUEST, str(err),
+                    op=request.op,
+                )
+            except Exception as err:  # noqa: BLE001 — one bad request
+                # must never take the dispatcher (and the daemon) down.
+                obs_metrics.inc("serve_internal_errors")
+                response = protocol.error_response(
+                    request.id, protocol.E_INTERNAL,
+                    f"{type(err).__name__}: {err}", op=request.op,
+                )
+        self._registry.observe(
+            "serve_request_seconds", time.perf_counter() - began
+        )
+        ticket.respond(response)
+
+    def _dispatch_op(self, request, deadline):
+        """Returns ``(result, degraded_notes)`` for a successful
+        response; raises for request-level failures."""
+        if request.op == "analyze":
+            explain = request.params.get("explain")
+            return self._op_analyze(request.path, deadline, explain)
+        if request.op == "explain":
+            cell = request.params.get("cell")
+            if not isinstance(cell, str) or not cell:
+                raise protocol.ProtocolError(
+                    "op 'explain' requires params.cell (NAME@PROC)"
+                )
+            return self._op_analyze(request.path, deadline, cell)
+        if request.op == "invalidate":
+            return self._op_invalidate(request.path), []
+        if request.op == "status":
+            return self._op_status(), []
+        if request.op == "shutdown":
+            self.request_stop(EXIT_OK)
+            return {"stopping": True}, []
+        raise protocol.ProtocolError(f"unhandled op {request.op!r}")
+
+    # -- op: analyze / explain -----------------------------------------------
+
+    def _op_analyze(
+        self,
+        path: str,
+        deadline: Deadline,
+        explain: Optional[str] = None,
+    ):
+        """The core serving path: replay-or-analyze ``path`` against
+        the shared engine, mirroring ``repro batch``'s per-file unit
+        but with deadline checkpoints and degradation notes.
+
+        Per-request counter isolation follows the batch protocol:
+        snapshot the process registry, attribute only the delta — the
+        ``recomputed_ret``/``recomputed_fwd`` counters in the response
+        are how clients (and the robustness tests) verify that a warm
+        re-analysis touched exactly the dirty set."""
+        from repro.frontend.errors import FrontendError
+        from repro.ipcp.driver import analyze_file_resilient
+
+        config = self.config.analysis
+        snapshot = self._registry.snapshot()
+        result_payload: Dict[str, object] = {
+            "path": path,
+            "status": STATUS_OK,
+            "replayed": False,
+        }
+        degraded: List[str] = []
+
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except (OSError, UnicodeDecodeError) as err:
+            result_payload["status"] = STATUS_ERROR
+            result_payload["error"] = str(err)
+            result_payload["metrics"] = {}
+            return result_payload, degraded
+
+        payload = (
+            self.engine.cached_run(text, config)
+            if self.engine.cache is not None
+            else None
+        )
+        if payload is not None and self._payload_serves(payload, explain):
+            obs_metrics.inc("serve_replayed")
+            result_payload.update(
+                config=payload["config"],
+                constants_report=payload["constants_report"],
+                total_pairs=payload["total_pairs"],
+                substituted=payload["substituted"],
+                per_procedure=dict(payload["per_procedure"]),
+                replayed=True,
+                invalidation=self.engine.replayed_report(path).to_dict(),
+            )
+            if explain is not None:
+                self._render_explain_from_payload(
+                    payload, explain, result_payload
+                )
+        else:
+            deadline.check("analysis")
+            self.engine.checkpoint = lambda: (
+                deadline.check("analysis"),
+                self._drain_check(),
+            )
+            try:
+                result, diagnostics = analyze_file_resilient(
+                    path, config, engine=self.engine
+                )
+            except FrontendError as err:
+                result_payload["status"] = STATUS_ERROR
+                result_payload["error"] = str(err)
+                result_payload["metrics"] = {}
+                return result_payload, degraded
+            finally:
+                self.engine.checkpoint = None
+            if result is None:
+                result_payload["status"] = STATUS_DIAGNOSTICS
+                result_payload["diagnostics"] = diagnostics.format()
+            else:
+                result_payload.update(
+                    config=config.describe(),
+                    constants_report=result.constants.format_report(),
+                    total_pairs=result.constants.total_pairs(),
+                    substituted=result.substituted_constants,
+                    per_procedure=dict(result.substitution.per_procedure),
+                )
+                if len(diagnostics):
+                    result_payload["diagnostics"] = diagnostics.format()
+                if explain is not None:
+                    self._render_explain_live(result, explain, result_payload)
+                self.engine.record_run(text, config, result)
+                report = self.engine.finish_incremental(path)
+                if report is not None:
+                    result_payload["invalidation"] = report.to_dict()
+                if not result.resilience.ok:
+                    degraded.extend(
+                        demotion.render() for demotion in result.resilience
+                    )
+        if self.engine.pool_demoted:
+            degraded.append(
+                "analysis engine demoted to in-process serial execution "
+                "(worker pool broke twice)"
+            )
+        delta = self._registry.delta_since(snapshot)
+        result_payload["metrics"] = delta["counters"]
+        return result_payload, degraded
+
+    @staticmethod
+    def _payload_serves(payload: dict, explain: Optional[str]) -> bool:
+        """A replayed run can serve an ``explain`` only when its
+        provenance rendering was recorded; otherwise fall through to a
+        live analysis rather than silently dropping the section."""
+        if explain is None:
+            return True
+        from repro.obs.provenance import ConstantProvenance
+
+        return (
+            ConstantProvenance.from_payload(payload.get("provenance"))
+            is not None
+        )
+
+    @staticmethod
+    def _render_explain_from_payload(
+        payload: dict, cell: str, result_payload: dict
+    ) -> None:
+        from repro.obs.provenance import ConstantProvenance
+
+        provenance = ConstantProvenance.from_payload(payload["provenance"])
+        try:
+            result_payload["explain"] = provenance.explain(cell)
+        except ValueError as err:
+            result_payload["explain_error"] = str(err)
+
+    @staticmethod
+    def _render_explain_live(result, cell: str, result_payload: dict) -> None:
+        from repro.obs.provenance import build_provenance
+
+        try:
+            result_payload["explain"] = build_provenance(result).explain(cell)
+        except ValueError as err:
+            result_payload["explain_error"] = str(err)
+
+    # -- op: invalidate ------------------------------------------------------
+
+    def _op_invalidate(self, path: str) -> dict:
+        """Evict the whole-run replay entry for ``path``'s *current*
+        content, forcing the next ``analyze`` through the engine (where
+        the summary cache + manifest diff recompute exactly the dirty
+        set — for an unchanged file, nothing)."""
+        obs_metrics.inc("serve_invalidations")
+        result: Dict[str, object] = {"path": path, "invalidated": False}
+        if self.engine.cache is None:
+            result["error"] = "server runs without a cache"
+            return result
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except (OSError, UnicodeDecodeError) as err:
+            result["error"] = str(err)
+            return result
+        key = fingerprint.run_key(text, self.config.analysis)
+        result["invalidated"] = self.engine.cache.delete("run", key)
+        return result
+
+    # -- op: status ----------------------------------------------------------
+
+    def _op_status(self) -> dict:
+        counters = {
+            name: value
+            for name, value in self._registry.counters().items()
+            if name.startswith(_STATUS_COUNTER_PREFIXES)
+        }
+        plan = faults.active()
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "socket": self.config.socket_path,
+            "jobs": self.config.jobs,
+            "queue_depth": self._queue.qsize(),
+            "queue_limit": self.config.queue_limit,
+            "default_deadline_s": self.config.default_deadline_s,
+            "pool_demoted": self.engine.pool_demoted,
+            "cache": (
+                self.engine.cache.stats.as_dict()
+                if self.engine.cache is not None
+                else None
+            ),
+            "cache_dir": self.config.cache_dir,
+            "config": self.config.analysis.describe(),
+            "faults": plan.describe() if plan is not None else [],
+            "stopping": self._stop.is_set(),
+            "counters": counters,
+        }

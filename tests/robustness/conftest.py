@@ -1,0 +1,20 @@
+"""Shared wiring for the robustness (fault-injection) suite.
+
+Every test here runs with a clean fault plan on both sides: a leaked
+``REPRO_FAULTS`` environment variable or module-level plan would arm
+faults in *later* tests (or in pool workers they spawn), turning one
+test's chaos into another's flake.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_faults():
+    faults.clear()
+    yield
+    faults.clear()

@@ -1,0 +1,129 @@
+"""Cache integrity under injected corruption: a torn, rotted, or
+unwritable entry must degrade to a recomputation — visibly (quarantine
+stats, ``.corrupt`` sidecars, metrics) but never to a wrong or failed
+analysis."""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+from repro import faults
+from repro.config import AnalysisConfig
+from repro.engine import Engine
+from repro.engine.cache import SummaryCache, payload_digest
+from repro.ipcp.driver import analyze_source
+from repro.obs import metrics
+from repro.testkit import TRI_PROGRAM
+
+
+def fingerprint(text, engine=None):
+    result = analyze_source(text, AnalysisConfig(), engine=engine)
+    return (
+        result.constants.format_report(),
+        dict(result.substitution.per_procedure),
+        result.transformed_source(),
+    )
+
+
+def corrupt_sidecars(root):
+    return glob.glob(os.path.join(root, "**", "*.corrupt"), recursive=True)
+
+
+class TestSummaryCacheUnit:
+    def test_roundtrip_verifies(self, tmp_path):
+        cache = SummaryCache(root=str(tmp_path))
+        cache.put("ret", "a" * 16, {"x": 1})
+        assert cache.get("ret", "a" * 16) == {"x": 1}
+        assert cache.stats.hits == 1
+        assert cache.stats.quarantined == 0
+
+    def test_digest_mismatch_quarantines(self, tmp_path):
+        cache = SummaryCache(root=str(tmp_path))
+        cache.put("ret", "b" * 16, {"x": 1})
+        [path] = glob.glob(
+            os.path.join(str(tmp_path), "**", "*.json"), recursive=True
+        )
+        wrapper = json.loads(open(path).read())
+        wrapper["body"] = {"x": 2}  # rot the body, keep the old digest
+        open(path, "w").write(json.dumps(wrapper))
+        base = metrics.snapshot()
+        assert cache.get("ret", "b" * 16) is None
+        assert cache.stats.quarantined == 1
+        assert os.path.exists(path + ".corrupt")
+        assert not os.path.exists(path)
+        delta = metrics.delta_since(base)["counters"]
+        assert delta.get("cache_quarantined") == 1
+
+    def test_truncated_entry_quarantines(self, tmp_path):
+        cache = SummaryCache(root=str(tmp_path))
+        faults.install("truncate-cache", export_env=False)
+        cache.put("ret", "c" * 16, {"x": 1})
+        faults.clear()
+        assert cache.get("ret", "c" * 16) is None
+        assert cache.stats.quarantined == 1
+        assert corrupt_sidecars(str(tmp_path))
+
+    def test_missing_wrapper_quarantines(self, tmp_path):
+        cache = SummaryCache(root=str(tmp_path))
+        cache.put("ret", "d" * 16, {"x": 1})
+        [path] = glob.glob(
+            os.path.join(str(tmp_path), "**", "*.json"), recursive=True
+        )
+        open(path, "w").write(json.dumps({"x": 1}))  # pre-checksum layout
+        assert cache.get("ret", "d" * 16) is None
+        assert cache.stats.quarantined == 1
+
+    def test_injected_write_failure_degrades_to_no_store(self, tmp_path):
+        cache = SummaryCache(root=str(tmp_path))
+        faults.install("fail-write", export_env=False)
+        base = metrics.snapshot()
+        cache.put("ret", "e" * 16, {"x": 1})
+        faults.clear()
+        assert cache.stats.store_failures == 1
+        assert cache.stats.stores == 0
+        assert cache.get("ret", "e" * 16) is None
+        delta = metrics.delta_since(base)["counters"]
+        assert delta.get("cache_store_failures") == 1
+
+    def test_digest_is_insertion_order_free(self):
+        assert payload_digest({"a": 1, "b": 2}) == payload_digest(
+            {"b": 2, "a": 1}
+        )
+
+
+class TestEngineUnderCacheFaults:
+    def test_torn_entries_recompute_identically(self, tmp_path):
+        """Every summary written torn → second run quarantines them all
+        and recomputes; both runs must match the cacheless truth."""
+        truth = fingerprint(TRI_PROGRAM)
+        faults.install("truncate-cache", export_env=False)
+        with Engine(jobs=1, cache_dir=str(tmp_path)) as engine:
+            assert fingerprint(TRI_PROGRAM, engine=engine) == truth
+        faults.clear()
+        base = metrics.snapshot()
+        with Engine(jobs=1, cache_dir=str(tmp_path)) as engine:
+            assert fingerprint(TRI_PROGRAM, engine=engine) == truth
+            assert engine.cache.stats.quarantined > 0
+        delta = metrics.delta_since(base)["counters"]
+        assert delta.get("cache_quarantined", 0) > 0
+        assert corrupt_sidecars(str(tmp_path))
+
+    def test_rotted_digest_recomputes_identically(self, tmp_path):
+        truth = fingerprint(TRI_PROGRAM)
+        faults.install("corrupt-cache:namespace=ret", export_env=False)
+        with Engine(jobs=1, cache_dir=str(tmp_path)) as engine:
+            assert fingerprint(TRI_PROGRAM, engine=engine) == truth
+        faults.clear()
+        with Engine(jobs=1, cache_dir=str(tmp_path)) as engine:
+            assert fingerprint(TRI_PROGRAM, engine=engine) == truth
+            assert engine.cache.stats.quarantined > 0
+
+    def test_unwritable_cache_still_analyzes(self, tmp_path):
+        truth = fingerprint(TRI_PROGRAM)
+        faults.install("fail-write", export_env=False)
+        with Engine(jobs=1, cache_dir=str(tmp_path)) as engine:
+            assert fingerprint(TRI_PROGRAM, engine=engine) == truth
+            assert engine.cache.stats.store_failures > 0
+            assert engine.cache.stats.stores == 0

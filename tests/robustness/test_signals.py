@@ -1,0 +1,166 @@
+"""Signal-driven shutdown, end to end: real processes, real signals.
+
+``repro batch`` and ``repro serve`` both promise the conventional
+contract — SIGINT exits 130, SIGTERM exits 143, and the way down is a
+*drain* (pool shut down, artifacts flushed, clients answered), not a
+traceback. The ``delay-file``/``delay-request`` faults hold the window
+open so signal delivery lands mid-work deterministically."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.serve.client import ReproClient, ServeRequestError, wait_for_server
+from repro.testkit import TRI_PROGRAM
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def spawn(argv, tmp_path, fault_plan=None):
+    env = dict(os.environ, PYTHONPATH=os.path.abspath(REPO_SRC))
+    env.pop("REPRO_FAULTS", None)
+    if fault_plan:
+        env["REPRO_FAULTS"] = fault_plan
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *argv],
+        cwd=str(tmp_path),
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def write_programs(tmp_path, count):
+    paths = []
+    for index in range(count):
+        path = tmp_path / f"prog{index}.f"
+        path.write_text(TRI_PROGRAM)
+        paths.append(path.name)
+    return paths
+
+
+class TestBatchSignals:
+    @pytest.mark.parametrize(
+        "signum,expected",
+        [(signal.SIGTERM, 143), (signal.SIGINT, 130)],
+        ids=["sigterm", "sigint"],
+    )
+    def test_signal_drains_with_conventional_exit(
+        self, tmp_path, signum, expected
+    ):
+        paths = write_programs(tmp_path, 6)
+        process = spawn(
+            ["batch", *paths, "--metrics", "metrics.prom"],
+            tmp_path,
+            fault_plan="delay-file:ms=400",
+        )
+        time.sleep(0.8)  # land mid-batch, inside a delayed file
+        process.send_signal(signum)
+        stdout, stderr = process.communicate(timeout=30)
+        assert process.returncode == expected, (stdout, stderr)
+        assert "interrupted by signal" in stderr
+        # The drain flushed the partial metrics artifact.
+        metrics_text = (tmp_path / "metrics.prom").read_text()
+        assert "repro_" in metrics_text
+
+
+class TestServeSignals:
+    def test_sigterm_mid_stream_drains_and_answers(self, tmp_path):
+        """The chaos-smoke shape, as a test: a daemon under concurrent
+        load takes SIGTERM mid-stream; every client holding a pending
+        request gets a well-formed answer (``ok`` or ``shutting_down``),
+        the exit code is 143, and the artifacts are valid."""
+        program = tmp_path / "prog.f"
+        program.write_text(TRI_PROGRAM)
+        daemon = spawn(
+            ["serve", "--socket", "repro.sock", "--cache-dir", "cache",
+             "--queue-limit", "32", "--drain-timeout", "1",
+             "--metrics", "metrics.prom", "--trace", "trace.json"],
+            tmp_path,
+            fault_plan="delay-request:ms=200",
+        )
+        socket_path = str(tmp_path / "repro.sock")
+        try:
+            assert wait_for_server(socket_path, timeout=10)
+            import threading
+
+            outcomes = []
+            lock = threading.Lock()
+
+            def one_request():
+                try:
+                    with ReproClient(socket_path, timeout=30) as client:
+                        response = client.request(
+                            "analyze", str(program)
+                        )
+                    with lock:
+                        outcomes.append(("ok", response))
+                except ServeRequestError as err:
+                    with lock:
+                        outcomes.append((err.code, None))
+                except (ConnectionError, OSError):
+                    with lock:
+                        outcomes.append(("connection_lost", None))
+
+            threads = [
+                threading.Thread(target=one_request) for _ in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.45)  # a couple served, the rest in flight
+            daemon.send_signal(signal.SIGTERM)
+            for thread in threads:
+                thread.join(timeout=30)
+            stdout, stderr = daemon.communicate(timeout=30)
+            assert daemon.returncode == 143, (stdout, stderr)
+            assert "drained, exit 143" in stderr
+            codes = sorted(kind for kind, _ in outcomes)
+            assert len(codes) == 8
+            assert all(
+                kind in ("ok", "shutting_down") for kind in codes
+            ), f"a drain must answer, never drop: {codes}"
+            served = [resp for kind, resp in outcomes if kind == "ok"]
+            assert served, f"nothing completed before the drain: {codes}"
+            for response in served:
+                assert response["result"]["status"] == "ok"
+            # Valid artifacts survived the signal.
+            assert "repro_serve_requests" in (
+                (tmp_path / "metrics.prom").read_text()
+            )
+            trace_payload = json.loads((tmp_path / "trace.json").read_text())
+            assert trace_payload["traceEvents"]
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.communicate(timeout=10)
+
+    def test_shutdown_request_exits_zero(self, tmp_path):
+        program = tmp_path / "prog.f"
+        program.write_text(TRI_PROGRAM)
+        daemon = spawn(
+            ["serve", "--socket", "repro.sock", "--cache-dir", "cache"],
+            tmp_path,
+        )
+        socket_path = str(tmp_path / "repro.sock")
+        try:
+            assert wait_for_server(socket_path, timeout=10)
+            with ReproClient(socket_path) as client:
+                assert client.analyze(str(program))["ok"]
+                client.shutdown()
+            stdout, stderr = daemon.communicate(timeout=30)
+            assert daemon.returncode == 0, (stdout, stderr)
+            assert not os.path.exists(socket_path), (
+                "a clean exit must remove the socket file"
+            )
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.communicate(timeout=10)
