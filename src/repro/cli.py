@@ -5,6 +5,9 @@ Subcommands:
 - ``analyze FILE`` — run one configuration on a MiniFortran program and
   report CONSTANTS sets, substitution counts, and (optionally) the
   transformed source or the IR;
+- ``link FILE...`` — resolve many files into one whole program
+  (EXTERNAL/COMMON linkage, ``--entry`` selection) and analyze the
+  linked call graph; link failures exit 2 with ``E005`` diagnostics;
 - ``compare FILE`` — run all four forward jump functions side by side;
 - ``run FILE`` — execute a program with the reference interpreter;
 - ``clone FILE`` — goal-directed procedure cloning, before/after;
@@ -261,6 +264,44 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_arguments(analyze)
 
+    link = sub.add_parser(
+        "link",
+        help="link many files into one whole program and analyze it",
+    )
+    link.add_argument(
+        "files", nargs="+", metavar="FILE",
+        help="MiniFortran source files forming one program",
+    )
+    link.add_argument(
+        "--entry", default=None, metavar="NAME",
+        help="PROGRAM unit to use as the entry point (required when "
+        "the files define more than one)",
+    )
+    _add_config_arguments(link)
+    link.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="generate procedure summaries on N parallel workers "
+        "(default: 1 = serial; results are byte-identical)",
+    )
+    _add_cache_arguments(link)
+    link.add_argument(
+        "--symbols", action="store_true",
+        help="print the program-level symbol table (unit -> defining "
+        "file, COMMON block -> first declaration)",
+    )
+    link.add_argument(
+        "--explain", default=None, metavar="NAME@PROC",
+        help="print the derivation tree of one VAL cell of the linked "
+        "program",
+    )
+    link.add_argument(
+        "--stats", action="store_true", help="print analysis statistics"
+    )
+    link.add_argument(
+        "--dump-ir", action="store_true",
+        help="print the SSA IR after analysis",
+    )
+
     batch = sub.add_parser(
         "batch", help="analyze many programs against one worker pool"
     )
@@ -289,6 +330,16 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print each file's full CONSTANTS report, not just the "
         "one-line summary",
+    )
+    batch.add_argument(
+        "--link",
+        action="store_true",
+        help="treat the files as one whole program (EXTERNAL/COMMON "
+        "linkage) instead of N independent closed programs",
+    )
+    batch.add_argument(
+        "--entry", default=None, metavar="NAME",
+        help="with --link: PROGRAM unit to use as the entry point",
     )
 
     serve = sub.add_parser(
@@ -353,12 +404,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="operation to request",
     )
     client.add_argument(
-        "file", nargs="?", default=None,
-        help="input file (analyze/explain/invalidate)",
+        "file", nargs="*", default=[],
+        help="input file (analyze/explain/invalidate); several files "
+        "are sent as one linked-project manifest",
     )
     client.add_argument(
         "--socket", required=True, metavar="PATH",
         help="unix socket path of the daemon",
+    )
+    client.add_argument(
+        "--entry", default=None, metavar="NAME",
+        help="entry PROGRAM unit for a linked-project request",
     )
     client.add_argument(
         "--explain", default=None, metavar="NAME@PROC",
@@ -455,6 +511,18 @@ def _build_parser() -> argparse.ArgumentParser:
     oracle.add_argument(
         "--no-minimize", action="store_true",
         help="skip counterexample shrinking on failure",
+    )
+    oracle.add_argument(
+        "--link-trials", type=int, default=None, metavar="N",
+        help="run N partition-invariance trials instead of the "
+        "standard campaign: each seeded program is split into K files "
+        "(with generated EXTERNAL declarations), linked, and the "
+        "linked analysis must be byte-identical to the unsplit one",
+    )
+    oracle.add_argument(
+        "--max-partitions", type=int, default=4, metavar="K",
+        help="with --link-trials: maximum number of files per split "
+        "(default: 4)",
     )
     oracle.add_argument(
         "--profile",
@@ -730,6 +798,106 @@ def _run_analyze(args: argparse.Namespace, config, engine) -> int:
     return explain_code
 
 
+def _cmd_link(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    engine = _engine_from_args(args)
+    tracer = _start_trace(args)
+    try:
+        from repro.obs import trace
+
+        with trace.span("link", files=len(args.files)):
+            return _run_link(args, config, engine)
+    finally:
+        if engine is not None:
+            if engine.profile is not None:
+                _emit_profile(engine, args.profile)
+            engine.close()
+        _write_trace(args, tracer)
+        _write_metrics(args)
+
+
+def _run_link(args: argparse.Namespace, config, engine) -> int:
+    from repro.diagnostics import E_LINK
+    from repro.linkage import (
+        analyze_linked_sources,
+        project_bundle_text,
+        project_label,
+    )
+
+    named = []
+    for path in args.files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                named.append((path, handle.read()))
+        except (OSError, UnicodeDecodeError) as err:
+            from repro.ipcp.driver import _located_io_error
+
+            located = _located_io_error(path, err)
+            print(f"{located.location}: error: {located.message}",
+                  file=sys.stderr)
+            return EXIT_DIAGNOSTICS
+
+    bundle = project_bundle_text(named, args.entry)
+    label = project_label(args.files, args.entry)
+    # The replay/invalidation helpers address runs by one path; a
+    # linked project's stable stand-in is its manifest label.
+    args.file = label
+    args.transform = False
+
+    if engine is not None and engine.cache is not None:
+        payload = engine.cached_run(bundle, config)
+        if payload is not None and _payload_serves(payload, args):
+            return _replay_cached_run(payload, args, engine)
+
+    result, link = analyze_linked_sources(
+        named, config, entry=args.entry, engine=engine
+    )
+    if len(link.diagnostics):
+        print(link.diagnostics.format(), file=sys.stderr)
+    if result is None:
+        link_failed = any(
+            d.code in (E_LINK,) for d in link.diagnostics.errors()
+        )
+        return EXIT_INTERNAL if link_failed else EXIT_DIAGNOSTICS
+    print(f"configuration: {config.describe()}")
+    print(f"linked {len(args.files)} file(s) -> "
+          f"{sum(1 for _ in result.program)} procedure(s)")
+    if getattr(args, "symbols", False):
+        print("\n--- symbol table ---")
+        print(link.format_symbol_table())
+    print(result.constants.format_report())
+    print(f"substituted constant references: {result.substituted_constants}")
+    _render_substitution_counts(result.substitution.per_procedure)
+    explain_code = EXIT_OK
+    if getattr(args, "explain", None):
+        from repro.obs.provenance import build_provenance
+
+        explain_code = _print_explain(build_provenance(result), args.explain)
+    if getattr(args, "dump_ir", False):
+        from repro.ir.printer import format_program
+
+        print("\n--- SSA IR ---")
+        print(format_program(result.program))
+    if getattr(args, "stats", False):
+        from repro.ipcp.stats import collect_statistics
+
+        print("\n--- statistics ---")
+        print(collect_statistics(result).format())
+    if engine is not None:
+        engine.record_run(bundle, config, result)
+    if engine is not None and engine.cache is not None:
+        report = engine.finish_incremental(label)
+        if report is not None and args.explain_invalidation:
+            print("\n--- invalidation ---")
+            print(report.format())
+    if not result.resilience.ok:
+        print("\n--- degraded components ---", file=sys.stderr)
+        print(result.resilience.summary(), file=sys.stderr)
+    if link.diagnostics.has_errors:
+        return EXIT_DIAGNOSTICS
+    return explain_code
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     import json
 
@@ -744,6 +912,28 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if not paths:
         print("batch: no input files", file=sys.stderr)
         return EXIT_DIAGNOSTICS
+    if getattr(args, "link", False):
+        # Whole-program mode: the file set is one linked program, not
+        # N independent ones. Reuse the link pipeline (same flags,
+        # same exit-code contract: 2 on link failure).
+        args.files = paths
+        for missing in ("symbols", "explain", "stats", "dump_ir"):
+            if not hasattr(args, missing):
+                setattr(args, missing, None)
+        return _cmd_link(args)
+    if len(paths) > 1:
+        from repro.linkage.linker import duplicate_units_across_files
+
+        for name, where in sorted(
+            duplicate_units_across_files(paths).items()
+        ):
+            print(
+                f"[note: unit {name!r} is defined in "
+                f"{', '.join(where)}; files are analyzed as independent "
+                f"closed programs (shared caches stay keyed per file) — "
+                f"use --link to resolve them into one program]",
+                file=sys.stderr,
+            )
     wants_cache = (
         args.cache or args.cache_dir is not None or args.explain_invalidation
     )
@@ -860,9 +1050,11 @@ def _cmd_client(args: argparse.Namespace) -> int:
     from repro.serve.client import ReproClient, ServeRequestError
     from repro.serve.protocol import PATH_OPS
 
-    if args.op in PATH_OPS and args.file is None:
+    if args.op in PATH_OPS and not args.file:
         print(f"client: op {args.op!r} requires a file", file=sys.stderr)
         return EXIT_INTERNAL
+    project = args.file if len(args.file) > 1 or args.entry else None
+    single = args.file[0] if args.file else None
     try:
         client = ReproClient(args.socket, timeout=args.timeout)
     except OSError as err:
@@ -871,20 +1063,37 @@ def _cmd_client(args: argparse.Namespace) -> int:
         return EXIT_INTERNAL
     try:
         if args.op == "analyze":
-            response = client.analyze(
-                args.file, deadline_ms=args.deadline_ms,
-                explain=args.explain,
-            )
+            if project is not None:
+                response = client.analyze_project(
+                    project, entry=args.entry,
+                    deadline_ms=args.deadline_ms, explain=args.explain,
+                )
+            else:
+                response = client.analyze(
+                    single, deadline_ms=args.deadline_ms,
+                    explain=args.explain,
+                )
         elif args.op == "explain":
             if args.explain is None:
                 print("client: op 'explain' requires --explain NAME@PROC",
                       file=sys.stderr)
                 return EXIT_INTERNAL
-            response = client.explain(
-                args.file, args.explain, deadline_ms=args.deadline_ms
-            )
+            if project is not None:
+                response = client.analyze_project(
+                    project, entry=args.entry,
+                    deadline_ms=args.deadline_ms, explain=args.explain,
+                )
+            else:
+                response = client.explain(
+                    single, args.explain, deadline_ms=args.deadline_ms
+                )
         elif args.op == "invalidate":
-            response = client.invalidate(args.file)
+            if project is not None:
+                response = client.invalidate_project(
+                    project, entry=args.entry
+                )
+            else:
+                response = client.invalidate(single)
         elif args.op == "status":
             response = client.status()
         else:
@@ -911,6 +1120,9 @@ def _render_client_response(op: str, response: dict) -> int:
     for note in response.get("degraded", []):
         print(f"[degraded: {note}]", file=sys.stderr)
     result = response.get("result", {})
+    if "project" in result and "path" not in result:
+        # Project responses carry the manifest; render one joined label.
+        result = dict(result, path="+".join(result["project"]))
     if op in ("analyze", "explain"):
         status = result.get("status")
         if status == "error":
@@ -1059,6 +1271,9 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
         run_oracle,
     )
 
+    if args.link_trials is not None:
+        return _cmd_oracle_link(args)
+
     generator_config = DEFAULT_ORACLE_CONFIG
     if args.procedures is not None:
         generator_config = dc_replace(generator_config, procedures=args.procedures)
@@ -1111,10 +1326,48 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_oracle_link(args: argparse.Namespace) -> int:
+    from dataclasses import replace as dc_replace
+
+    from repro.oracle.harness import DEFAULT_ORACLE_CONFIG
+    from repro.oracle.partition import run_link_trials
+
+    generator_config = DEFAULT_ORACLE_CONFIG
+    if args.procedures is not None:
+        generator_config = dc_replace(
+            generator_config, procedures=args.procedures
+        )
+    if args.max_statements is not None:
+        generator_config = dc_replace(
+            generator_config, max_statements_per_procedure=args.max_statements
+        )
+
+    dots = {"count": 0}
+
+    def progress(trial) -> None:
+        sys.stderr.write("." if trial.ok else "F")
+        dots["count"] += 1
+        if dots["count"] % 50 == 0:
+            sys.stderr.write(f" {dots['count']}/{args.link_trials}\n")
+        sys.stderr.flush()
+
+    report = run_link_trials(
+        trials=args.link_trials,
+        seed=args.seed,
+        generator_config=generator_config,
+        max_partitions=args.max_partitions,
+        progress=progress,
+    )
+    sys.stderr.write("\n")
+    print(report.summary())
+    return EXIT_OK if report.ok else EXIT_DIAGNOSTICS
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "analyze": _cmd_analyze,
+        "link": _cmd_link,
         "batch": _cmd_batch,
         "serve": _cmd_serve,
         "client": _cmd_client,

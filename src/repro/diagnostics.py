@@ -36,10 +36,16 @@ E_PARSE = "E002"
 E_SEMANTIC = "E003"
 #: File could not be read (missing, unreadable, not UTF-8 text).
 E_IO = "E004"
+#: Whole-program linkage failed (undefined/duplicate symbol across
+#: files, COMMON shape mismatch, bad entry selection).
+E_LINK = "E005"
 #: A whole program unit was dropped or stubbed during recovery.
 W_UNIT_DEGRADED = "W001"
 #: An analysis component was demoted after a fault or budget overrun.
 W_DEMOTION = "W002"
+#: Linkage advisory (e.g. a non-entry PROGRAM unit dropped by --entry,
+#: or duplicate unit names isolated in per-file batch mode).
+W_LINK = "W003"
 
 
 class Severity(enum.IntEnum):

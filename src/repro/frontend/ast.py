@@ -250,6 +250,18 @@ class ParameterDecl(Decl):
 
 
 @dataclass
+class ExternalDecl(Decl):
+    """``EXTERNAL f, g`` — the named procedures are defined in another
+    program unit (possibly another file). Within a single-file analysis
+    an external callee is modeled conservatively (a call clobbers every
+    by-reference argument and every visible global); the linkage layer
+    (:mod:`repro.linkage`) resolves the names against the whole
+    program's symbol table instead."""
+
+    names: List[str] = field(default_factory=list)
+
+
+@dataclass
 class DataDecl(Decl):
     """``DATA a, b /1, 2/`` — static initial values. MiniFortran allows
     DATA only inside BLOCK DATA units, initializing scalar COMMON

@@ -315,6 +315,16 @@ class Parser:
             elif token.kind is TokenKind.DATA:
                 self._advance()
                 decls.append(self._parse_data_decl(token.location))
+            elif token.kind is TokenKind.EXTERNAL:
+                self._advance()
+                names = [
+                    self._expect(TokenKind.IDENT, "external procedure name").value
+                ]
+                while self._accept(TokenKind.COMMA):
+                    names.append(
+                        self._expect(TokenKind.IDENT, "external procedure name").value
+                    )
+                decls.append(ast.ExternalDecl(token.location, names))
             else:
                 break
             self._end_statement()

@@ -50,6 +50,7 @@ class TokenKind(enum.Enum):
     COMMON = "common"
     PARAMETER = "parameter"
     DATA = "data"
+    EXTERNAL = "external"
     BLOCKDATA = "blockdata"
     CALL = "call"
     IF = "if"
@@ -84,6 +85,7 @@ KEYWORDS = {
     "common": TokenKind.COMMON,
     "parameter": TokenKind.PARAMETER,
     "data": TokenKind.DATA,
+    "external": TokenKind.EXTERNAL,
     "blockdata": TokenKind.BLOCKDATA,
     "call": TokenKind.CALL,
     "if": TokenKind.IF,

@@ -187,6 +187,11 @@ class _ProcedureLowerer:
         self.label_blocks: Dict[int, BasicBlock] = {}
         self.result_var: Optional[Variable] = None
         self.visible_globals: List[Variable] = []
+        #: Names declared EXTERNAL in this unit. A call to one that has
+        #: no definition in this translation unit lowers conservatively
+        #: (see :meth:`_lower_external_call`); the linkage layer merges
+        #: files first so linked programs never take that path.
+        self.externals: set = set()
 
     # -- driver -------------------------------------------------------------
 
@@ -238,6 +243,15 @@ class _ProcedureLowerer:
                             decl.location,
                         )
                     self.param_consts[name] = self._eval_const_expr(expr)
+            elif isinstance(decl, ast.ExternalDecl):
+                for name in decl.names:
+                    if name in self.symbols or name in self.param_consts:
+                        raise SemanticError(
+                            f"EXTERNAL name {name!r} conflicts with a "
+                            f"variable declaration",
+                            decl.location,
+                        )
+                    self.externals.add(name)
             elif isinstance(decl, ast.DataDecl):
                 raise SemanticError(
                     "DATA statements are only supported in BLOCK DATA units "
@@ -453,11 +467,55 @@ class _ProcedureLowerer:
     def _lower_call_stmt(self, stmt: ast.CallStmt) -> None:
         kind = self.unit_kinds.get(stmt.name)
         if kind is None:
+            if stmt.name in self.externals:
+                self._lower_external_call(stmt.args, None, stmt.location)
+                return
             raise SemanticError(
                 f"call to undefined procedure {stmt.name!r}", stmt.location
             )
         args = [self._lower_call_arg(arg) for arg in stmt.args]
         self._emit(Call(stmt.name, args, None, stmt.location))
+
+    def _lower_external_call(
+        self, args: List[ast.Expr], target: Optional[Def], location
+    ) -> None:
+        """Lower a call to an EXTERNAL procedure with no definition in
+        this translation unit.
+
+        Mirrors :meth:`_lower_stub_body`: with the callee's body out of
+        reach, the call must be assumed to overwrite everything it could
+        reach — every scalar actual passed by reference, every scalar
+        global visible here, and the function result — so single-file
+        analysis of one file of a multi-file program stays sound (every
+        such cell degrades to ⊥ rather than keeping a stale constant).
+        """
+        clobbered: List[Def] = []
+        seen: set = set()
+
+        def clobber(variable: Variable) -> None:
+            if not variable.is_array and variable.name not in seen:
+                seen.add(variable.name)
+                clobbered.append(Def(variable))
+
+        for arg in args:
+            if isinstance(arg, ast.VarRef) and arg.name not in self.param_consts:
+                variable = self._variable_for(arg.name)
+                if variable.is_array:
+                    # Whole-array actual: array cells are not tracked
+                    # by the constant lattice, nothing to clobber.
+                    continue
+                clobber(variable)
+                continue
+            # Expression actuals are still lowered so their own
+            # semantic errors surface; their value cells are callee
+            # copies the caller never observes.
+            self._lower_expr(arg)
+        for variable in self.visible_globals:
+            clobber(variable)
+        if target is not None:
+            clobber(target.var)
+        if clobbered:
+            self._emit(Read(clobbered, location))
 
     def _lower_call_arg(self, expr: ast.Expr) -> CallArg:
         if isinstance(expr, ast.VarRef) and expr.name not in self.param_consts:
@@ -623,7 +681,11 @@ class _ProcedureLowerer:
 
     def _lower_function_call(self, target: Def, expr: ast.FunctionCall) -> None:
         intrinsic = _INTRINSICS.get(expr.name)
-        if intrinsic is not None and expr.name not in self.unit_kinds:
+        if (
+            intrinsic is not None
+            and expr.name not in self.unit_kinds
+            and expr.name not in self.externals
+        ):
             op, arity = intrinsic
             if len(expr.args) != arity:
                 raise SemanticError(
@@ -637,6 +699,9 @@ class _ProcedureLowerer:
                 self._emit(BinOp(target, op, operands[0], operands[1], expr.location))
             return
         if expr.name not in self.unit_kinds:
+            if expr.name in self.externals:
+                self._lower_external_call(expr.args, target, expr.location)
+                return
             raise SemanticError(
                 f"call to undefined function {expr.name!r}", expr.location
             )
@@ -650,7 +715,7 @@ class _ProcedureLowerer:
         use (FORTRAN implicit declaration, all-integer in MiniFortran)."""
         variable = self.symbols.lookup(name)
         if variable is None:
-            if name in self.unit_kinds:
+            if name in self.unit_kinds or name in self.externals:
                 raise SemanticError(
                     f"procedure name {name!r} used as a variable", None
                 )

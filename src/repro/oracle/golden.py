@@ -285,3 +285,306 @@ def update_all(directory: str) -> Dict[str, str]:
         name: update_golden(directory, program)
         for name, program in sorted(golden_programs().items())
     }
+
+
+# -- multi-file golden projects ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class GoldenProject:
+    """One multi-file corpus member: files linked into one program.
+
+    ``explain`` optionally names a VAL cell whose provenance rendering
+    is part of the snapshot; ``entry`` selects the main PROGRAM when
+    the project defines several.
+    """
+
+    name: str
+    files: "tuple"
+    entry: Optional[str] = None
+    explain: Optional[str] = None
+    config: AnalysisConfig = field(default_factory=AnalysisConfig)
+    note: str = ""
+
+
+_PROJECTS: Optional[Dict[str, GoldenProject]] = None
+
+
+def golden_projects() -> Dict[str, GoldenProject]:
+    """The multi-file corpus, name -> project (built once, cached)."""
+    global _PROJECTS
+    if _PROJECTS is not None:
+        return _PROJECTS
+
+    projects: Dict[str, GoldenProject] = {}
+
+    def add(name, files, entry=None, explain=None, config=None, note=""):
+        projects[name] = GoldenProject(
+            name, tuple(files), entry, explain,
+            config or AnalysisConfig(), note,
+        )
+
+    add(
+        "proj_cross_common",
+        [
+            ("main.f",
+             "      PROGRAM MAIN\n"
+             "      EXTERNAL WORK\n"
+             "      COMMON /SHARED/ BASE, SCALE\n"
+             "      BASE = 40\n"
+             "      SCALE = 2\n"
+             "      CALL WORK(100)\n"
+             "      PRINT *, BASE\n"
+             "      END\n"),
+            ("work.f",
+             "      SUBROUTINE WORK(N)\n"
+             "      COMMON /SHARED/ BASE, SCALE\n"
+             "      M = BASE + N * SCALE\n"
+             "      PRINT *, M\n"
+             "      RETURN\n"
+             "      END\n"),
+        ],
+        explain="base@work",
+        note="a COMMON constant set in one file is visible in a "
+        "procedure defined in another; per-file analysis reports "
+        "bottom for every cell",
+    )
+
+    add(
+        "proj_killing_pair",
+        [
+            ("main.f",
+             "      PROGRAM MAIN\n"
+             "      EXTERNAL WORK\n"
+             "      CALL WORK(1)\n"
+             "      CALL HELP\n"
+             "      END\n"),
+            ("lib.f",
+             "      SUBROUTINE HELP\n"
+             "      EXTERNAL WORK\n"
+             "      CALL WORK(2)\n"
+             "      RETURN\n"
+             "      END\n"
+             "\n"
+             "      SUBROUTINE WORK(N)\n"
+             "      PRINT *, N\n"
+             "      RETURN\n"
+             "      END\n"),
+        ],
+        explain="n@work",
+        note="call sites in two different files pass different "
+        "constants; --explain shows the cross-file killing pair",
+    )
+
+    add(
+        "proj_function_chain",
+        [
+            ("main.f",
+             "      PROGRAM MAIN\n"
+             "      EXTERNAL BUMP\n"
+             "      K = BUMP(20)\n"
+             "      CALL SINK(K)\n"
+             "      END\n"),
+            ("bump.f",
+             "      INTEGER FUNCTION BUMP(V)\n"
+             "      BUMP = V + 1\n"
+             "      RETURN\n"
+             "      END\n"
+             "\n"
+             "      SUBROUTINE SINK(W)\n"
+             "      PRINT *, W\n"
+             "      RETURN\n"
+             "      END\n"),
+        ],
+        note="a FUNCTION result crosses the file boundary through a "
+        "return jump function, then feeds a forward jump function",
+    )
+
+    add(
+        "proj_entry_selection",
+        [
+            ("one.f",
+             "      PROGRAM ALPHA\n"
+             "      CALL STEP(3)\n"
+             "      END\n"),
+            ("two.f",
+             "      PROGRAM BETA\n"
+             "      CALL STEP(9)\n"
+             "      END\n"
+             "\n"
+             "      SUBROUTINE STEP(N)\n"
+             "      PRINT *, N\n"
+             "      RETURN\n"
+             "      END\n"),
+        ],
+        entry="alpha",
+        note="two PROGRAM units: --entry picks one, the other is "
+        "dropped with a linkage warning and its call site does not "
+        "pollute CONSTANTS",
+    )
+
+    add(
+        "proj_undefined_external",
+        [
+            ("main.f",
+             "      PROGRAM MAIN\n"
+             "      EXTERNAL MISSING\n"
+             "      CALL MISSING(1)\n"
+             "      END\n"),
+            ("lib.f",
+             "      SUBROUTINE OTHER\n"
+             "      RETURN\n"
+             "      END\n"),
+        ],
+        note="an EXTERNAL declaration no linked file defines is a "
+        "deterministic link error",
+    )
+
+    add(
+        "proj_duplicate_symbol",
+        [
+            ("one.f",
+             "      PROGRAM MAIN\n"
+             "      CALL STEP(1)\n"
+             "      END\n"
+             "\n"
+             "      SUBROUTINE STEP(N)\n"
+             "      PRINT *, N\n"
+             "      RETURN\n"
+             "      END\n"),
+            ("two.f",
+             "      SUBROUTINE STEP(N)\n"
+             "      PRINT *, N + 1\n"
+             "      RETURN\n"
+             "      END\n"),
+        ],
+        note="the same procedure defined in two files is a link "
+        "error, not a silent pick",
+    )
+
+    add(
+        "proj_common_mismatch",
+        [
+            ("one.f",
+             "      PROGRAM MAIN\n"
+             "      COMMON /BLK/ A, B\n"
+             "      A = 1\n"
+             "      CALL USE\n"
+             "      END\n"),
+            ("two.f",
+             "      SUBROUTINE USE\n"
+             "      COMMON /BLK/ A, C\n"
+             "      PRINT *, A\n"
+             "      RETURN\n"
+             "      END\n"),
+        ],
+        note="the same named COMMON with different member lists "
+        "across files is a link error",
+    )
+
+    _PROJECTS = projects
+    return projects
+
+
+def render_project_snapshot(project: GoldenProject) -> str:
+    """Canonical snapshot text for one multi-file project.
+
+    Successful links snapshot the symbol table, CONSTANTS,
+    substitution counts, the optional provenance rendering, and a
+    per-file comparison — each file analyzed *alone* (the closed-world
+    ``repro batch`` view), demonstrating which constants only exist
+    because of linkage. Failed links snapshot the diagnostics.
+    """
+    from repro.ipcp.driver import analyze_source_resilient
+    from repro.linkage import analyze_linked_sources
+
+    result, link = analyze_linked_sources(
+        list(project.files), project.config, entry=project.entry
+    )
+    lines = [
+        f"golden project: {project.name}",
+        f"configuration: {project.config.describe()}",
+        f"files: {', '.join(name for name, _ in project.files)}",
+    ]
+    if project.entry:
+        lines.append(f"entry: {project.entry}")
+    if project.note:
+        lines.append(f"note: {project.note}")
+    if len(link.diagnostics):
+        lines.append("--- diagnostics ---")
+        lines.append(link.diagnostics.format())
+    if result is None:
+        lines.append("--- outcome ---")
+        lines.append("link failed: no analysis")
+        return "\n".join(lines) + "\n"
+    lines.append("--- symbol table ---")
+    lines.append(link.format_symbol_table())
+    lines.append("--- CONSTANTS (linked) ---")
+    lines.append(result.constants.format_report())
+    lines.append("--- substitution (linked) ---")
+    lines.append(f"total: {result.substituted_constants}")
+    for name in sorted(result.substitution.per_procedure):
+        count = result.substitution.per_procedure[name]
+        if count:
+            lines.append(f"  {name}: {count}")
+    if project.explain is not None:
+        from repro.obs.provenance import build_provenance
+
+        lines.append(f"--- explain {project.explain} ---")
+        lines.append(build_provenance(result).explain(project.explain).rstrip("\n"))
+    lines.append("--- per-file (unlinked) comparison ---")
+    for filename, text in project.files:
+        alone, _diag = analyze_source_resilient(
+            text, project.config, filename
+        )
+        if alone is None:
+            lines.append(f"{filename}: no analysis")
+            continue
+        lines.append(
+            f"{filename}: {alone.constants.total_pairs()} constant(s), "
+            f"{alone.substituted_constants} substituted"
+        )
+        report = alone.constants.format_report()
+        if report != "(no interprocedural constants)":
+            lines.extend(f"  {line}" for line in report.splitlines())
+    return "\n".join(lines) + "\n"
+
+
+def check_project_golden(
+    directory: str, project: GoldenProject
+) -> Optional[str]:
+    """None when the stored project snapshot matches; otherwise a
+    diff-style message (also for a missing snapshot)."""
+    path = snapshot_path(directory, project.name)
+    current = render_project_snapshot(project)
+    if not os.path.exists(path):
+        return (
+            f"missing golden snapshot {path!r} — run "
+            f"`pytest tests/golden --update-goldens` and commit the file"
+        )
+    with open(path, "r", encoding="utf-8") as handle:
+        stored = handle.read()
+    if stored == current:
+        return None
+    diff = "\n".join(
+        difflib.unified_diff(
+            stored.splitlines(),
+            current.splitlines(),
+            fromfile=f"{project.name}.golden (stored)",
+            tofile=f"{project.name}.golden (current)",
+            lineterm="",
+        )
+    )
+    return (
+        f"golden snapshot mismatch for {project.name} — if the change is "
+        f"intentional, run `pytest tests/golden --update-goldens`:\n{diff}"
+    )
+
+
+def update_project_golden(directory: str, project: GoldenProject) -> str:
+    """(Re)write one stored project snapshot; returns its path."""
+    os.makedirs(directory, exist_ok=True)
+    path = snapshot_path(directory, project.name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_project_snapshot(project))
+    return path

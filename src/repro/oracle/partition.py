@@ -1,0 +1,249 @@
+"""Partition-invariance differential harness for the linkage layer.
+
+The linker's correctness claim is exact: analyzing a program split
+across K files (linked through EXTERNAL declarations and shared COMMON
+blocks) must be *byte-identical* — CONSTANTS sets, substitution
+counts, demotion logs — to analyzing the same program as one file.
+This module turns that claim into a seeded differential campaign in
+the spirit of :mod:`repro.oracle.harness`:
+
+1. generate a seeded single-file program (:mod:`repro.suite.generator`);
+2. split it into K files under a seeded random unit partition,
+   inserting ``EXTERNAL`` declarations for every reference that now
+   crosses a file boundary;
+3. link-and-analyze the split, and demand its location-free artifacts
+   match both (a) single-file analysis of the concatenation of the
+   split files (byte-identity of the merge itself) and (b) single-file
+   analysis of the *original* program (invariance under the unit
+   reordering the partition introduced).
+
+The split/partition is a pure function of ``(seed, parts)``, so a
+failing trial is reproducible from its seed alone.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import AnalysisConfig
+from repro.suite.generator import GeneratorConfig, generate_program
+
+#: Partition RNG stream salt: keeps the partition draw independent of
+#: the generator's own seed stream.
+_PARTITION_SALT = 0x5F3759DF
+
+_UNIT_NAME = re.compile(r"(?:PROGRAM|SUBROUTINE|FUNCTION)\s+(\w+)", re.IGNORECASE)
+
+
+@dataclass
+class PartitionTrial:
+    """Outcome of one seeded partition-invariance trial."""
+
+    seed: int
+    parts: int
+    discrepancies: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.discrepancies
+
+
+@dataclass
+class PartitionReport:
+    """Aggregate of one :func:`run_link_trials` campaign."""
+
+    trials: int = 0
+    failures: List[PartitionTrial] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.trials} link trial(s): "
+            f"{self.trials - len(self.failures)} passed, "
+            f"{len(self.failures)} failed"
+        ]
+        for failure in self.failures:
+            lines.append(f"  seed {failure.seed} (K={failure.parts}):")
+            lines.extend(f"    {d}" for d in failure.discrepancies[:6])
+        return "\n".join(lines)
+
+
+# -- splitting ---------------------------------------------------------------
+
+
+def _split_units(source: str) -> List[Tuple[str, str]]:
+    """Blank-line-separated units of a single-file program, with names."""
+    named = []
+    for unit in source.strip("\n").split("\n\n"):
+        header = unit.lstrip().splitlines()[0]
+        match = _UNIT_NAME.search(header)
+        if match is None:
+            raise ValueError(f"cannot find a unit name in {header!r}")
+        named.append((match.group(1).lower(), unit))
+    return named
+
+
+def _unit_procedure_references(name: str, text: str) -> set:
+    """Procedure names referenced by one unit's text (parsed alone)."""
+    from repro.frontend.parser import parse_source
+    from repro.linkage.linker import _unit_references
+
+    module = parse_source(text + "\n", f"{name}.f")
+    refs = set()
+    for unit in module.units:
+        for ref, _location, _is_call in _unit_references(unit):
+            refs.add(ref)
+    return refs
+
+
+def split_program(
+    source: str, parts: int, seed: int
+) -> List[Tuple[str, str]]:
+    """Split a single-file program into ``parts`` files under a seeded
+    random unit partition.
+
+    Every file is non-empty, units keep their original relative order
+    inside each file, and each unit gains one generated ``EXTERNAL``
+    declaration naming exactly the procedures it references that now
+    live in another file. Deterministic for a fixed ``(source, parts,
+    seed)`` triple.
+    """
+    units = _split_units(source)
+    parts = max(1, min(parts, len(units)))
+    rng = random.Random(seed ^ _PARTITION_SALT)
+    # Deal one unit to each file first (no empty files), then spread.
+    order = list(range(len(units)))
+    rng.shuffle(order)
+    assignment: Dict[int, int] = {}
+    for file_index, unit_index in enumerate(order[:parts]):
+        assignment[unit_index] = file_index
+    for unit_index in order[parts:]:
+        assignment[unit_index] = rng.randrange(parts)
+
+    defined = {name for name, _ in units}
+    placed: Dict[str, int] = {
+        name: assignment[index] for index, (name, _) in enumerate(units)
+    }
+    files: List[List[str]] = [[] for _ in range(parts)]
+    for index, (name, text) in enumerate(units):
+        file_index = assignment[index]
+        foreign = sorted(
+            ref
+            for ref in _unit_procedure_references(name, text)
+            if ref in defined and placed[ref] != file_index
+        )
+        if foreign:
+            lines = text.splitlines()
+            decl = "      EXTERNAL " + ", ".join(ref.upper() for ref in foreign)
+            lines.insert(1, decl)
+            text = "\n".join(lines)
+        files[file_index].append(text)
+    return [
+        (f"part{index}.f", "\n\n".join(chunks) + "\n")
+        for index, chunks in enumerate(files)
+    ]
+
+
+# -- the invariance check ----------------------------------------------------
+
+
+def _artifacts(result) -> str:
+    """Every location-free externally visible artifact, concatenated —
+    what partition invariance quantifies over."""
+    return "\n".join(
+        [
+            result.constants.format_report(),
+            f"substituted={result.substituted_constants}",
+            repr(sorted(result.substitution.per_procedure.items())),
+            f"resilience_ok={result.resilience.ok}",
+            result.resilience.summary(),
+        ]
+    )
+
+
+def check_partition(
+    source: str,
+    parts: int,
+    seed: int,
+    config: Optional[AnalysisConfig] = None,
+) -> List[str]:
+    """Split ``source`` into ``parts`` files and check both invariance
+    properties; returns the (empty on success) discrepancy list."""
+    from repro.ipcp.driver import analyze_source
+    from repro.linkage import analyze_linked_sources
+
+    config = config or AnalysisConfig()
+    files = split_program(source, parts, seed)
+    linked, link = analyze_linked_sources(files, config)
+    if linked is None:
+        return [
+            "linking the split program failed: "
+            + "; ".join(d.render() for d in link.diagnostics.errors())
+        ]
+    problems: List[str] = []
+    linked_artifacts = _artifacts(linked)
+
+    concatenated = analyze_source(
+        "\n".join(text for _, text in files), config, filename="<concat>"
+    )
+    if linked_artifacts != _artifacts(concatenated):
+        problems.append(
+            "linked analysis diverged from single-file analysis of the "
+            "concatenation:\n--- linked ---\n"
+            f"{linked_artifacts}\n--- concatenated ---\n"
+            f"{_artifacts(concatenated)}"
+        )
+
+    unsplit = analyze_source(source, config, filename="<unsplit>")
+    if linked_artifacts != _artifacts(unsplit):
+        problems.append(
+            "linked analysis diverged from the unsplit program:\n"
+            f"--- linked ---\n{linked_artifacts}\n--- unsplit ---\n"
+            f"{_artifacts(unsplit)}"
+        )
+    return problems
+
+
+def run_trial(
+    seed: int,
+    generator_config: Optional[GeneratorConfig] = None,
+    max_partitions: int = 4,
+    config: Optional[AnalysisConfig] = None,
+) -> PartitionTrial:
+    """Generate, split, and cross-check one seeded program."""
+    rng = random.Random(seed ^ _PARTITION_SALT)
+    parts = rng.randint(2, max(2, max_partitions))
+    source = generate_program(
+        seed, generator_config or GeneratorConfig(procedures=4)
+    )
+    trial = PartitionTrial(seed=seed, parts=parts)
+    trial.discrepancies = check_partition(source, parts, seed, config)
+    return trial
+
+
+def run_link_trials(
+    trials: int,
+    seed: int = 0,
+    generator_config: Optional[GeneratorConfig] = None,
+    max_partitions: int = 4,
+    config: Optional[AnalysisConfig] = None,
+    progress: Optional[Callable[[PartitionTrial], None]] = None,
+) -> PartitionReport:
+    """Run ``trials`` seeded partition-invariance trials (seeds
+    ``seed .. seed+trials-1``). Deterministic for a fixed argument
+    tuple."""
+    report = PartitionReport()
+    for index in range(trials):
+        trial = run_trial(seed + index, generator_config, max_partitions, config)
+        report.trials += 1
+        if not trial.ok:
+            report.failures.append(trial)
+        if progress is not None:
+            progress(trial)
+    return report

@@ -103,6 +103,28 @@ class ReproClient:
     def invalidate(self, path: str) -> dict:
         return self.call("invalidate", path)
 
+    # -- project (linked multi-file) helpers ---------------------------------
+
+    def analyze_project(self, paths, entry: Optional[str] = None,
+                        deadline_ms: Optional[int] = None,
+                        explain: Optional[str] = None,
+                        retries: int = 3) -> dict:
+        """Analyze a linked multi-file project (``params.project``)."""
+        params: dict = {"project": list(paths)}
+        if entry is not None:
+            params["entry"] = entry
+        if deadline_ms is not None:
+            params["deadline_ms"] = deadline_ms
+        if explain is not None:
+            params["explain"] = explain
+        return self.call("analyze", None, params, retries=retries)
+
+    def invalidate_project(self, paths, entry: Optional[str] = None) -> dict:
+        params: dict = {"project": list(paths)}
+        if entry is not None:
+            params["entry"] = entry
+        return self.call("invalidate", None, params)
+
     def status(self) -> dict:
         return self.call("status")
 

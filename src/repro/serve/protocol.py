@@ -15,7 +15,13 @@ Request shape::
 ``op`` is one of :data:`OPS`; ``id`` is an opaque client token echoed
 back verbatim (clients that pipeline requests use it to correlate);
 ``path`` names the input file for the per-file ops; ``params`` carries
-op-specific options.
+op-specific options. The per-file ops alternatively accept a *project
+manifest* — ``params.project`` is a list of file paths resolved into
+one whole program by the linker (:mod:`repro.linkage`), with an
+optional ``params.entry`` selecting the main PROGRAM unit::
+
+    {"op": "analyze", "id": 8,
+     "params": {"project": ["main.f", "lib.f"], "entry": "main"}}
 
 Response shape::
 
@@ -48,7 +54,8 @@ PROTOCOL_VERSION = 1
 #: Supported operations.
 OPS = ("analyze", "explain", "invalidate", "status", "shutdown")
 
-#: Ops that require a ``path``.
+#: Ops that require an input: either ``path`` (one file) or
+#: ``params.project`` (a linked multi-file program).
 PATH_OPS = ("analyze", "explain", "invalidate")
 
 #: Largest accepted frame (request line) in bytes.
@@ -87,14 +94,36 @@ def parse_request(payload: object) -> Request:
             f"unknown op {op!r} (known: {', '.join(OPS)})"
         )
     path = payload.get("path")
-    if op in PATH_OPS:
-        if not isinstance(path, str) or not path:
-            raise ProtocolError(f"op {op!r} requires a non-empty 'path'")
-    elif path is not None and not isinstance(path, str):
-        raise ProtocolError("'path' must be a string")
     params = payload.get("params", {})
     if not isinstance(params, dict):
         raise ProtocolError("'params' must be an object")
+    project = params.get("project")
+    if project is not None:
+        if (
+            not isinstance(project, list)
+            or not project
+            or not all(isinstance(p, str) and p for p in project)
+        ):
+            raise ProtocolError(
+                "'params.project' must be a non-empty list of file paths"
+            )
+        entry = params.get("entry")
+        if entry is not None and (not isinstance(entry, str) or not entry):
+            raise ProtocolError("'params.entry' must be a non-empty string")
+    if op in PATH_OPS:
+        if project is not None:
+            if path is not None:
+                raise ProtocolError(
+                    f"op {op!r} takes either 'path' or 'params.project', "
+                    "not both"
+                )
+        elif not isinstance(path, str) or not path:
+            raise ProtocolError(
+                f"op {op!r} requires a non-empty 'path' "
+                "(or a 'params.project' manifest)"
+            )
+    elif path is not None and not isinstance(path, str):
+        raise ProtocolError("'path' must be a string")
     deadline_ms = params.get("deadline_ms")
     if deadline_ms is not None and (
         not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0

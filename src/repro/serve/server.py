@@ -443,8 +443,14 @@ class ReproServer:
     def _dispatch_op(self, request, deadline):
         """Returns ``(result, degraded_notes)`` for a successful
         response; raises for request-level failures."""
+        project = request.params.get("project")
+        entry = request.params.get("entry")
         if request.op == "analyze":
             explain = request.params.get("explain")
+            if project is not None:
+                return self._op_analyze_project(
+                    list(project), entry, deadline, explain
+                )
             return self._op_analyze(request.path, deadline, explain)
         if request.op == "explain":
             cell = request.params.get("cell")
@@ -452,8 +458,14 @@ class ReproServer:
                 raise protocol.ProtocolError(
                     "op 'explain' requires params.cell (NAME@PROC)"
                 )
+            if project is not None:
+                return self._op_analyze_project(
+                    list(project), entry, deadline, cell
+                )
             return self._op_analyze(request.path, deadline, cell)
         if request.op == "invalidate":
+            if project is not None:
+                return self._op_invalidate_project(list(project), entry), []
             return self._op_invalidate(request.path), []
         if request.op == "status":
             return self._op_status(), []
@@ -569,6 +581,116 @@ class ReproServer:
         result_payload["metrics"] = delta["counters"]
         return result_payload, degraded
 
+    def _op_analyze_project(
+        self,
+        project: List[str],
+        entry: Optional[str],
+        deadline: Deadline,
+        explain: Optional[str] = None,
+    ):
+        """Project-manifest variant of :meth:`_op_analyze`: link the
+        manifest's files into one whole program (:mod:`repro.linkage`)
+        and serve it through the same replay-or-analyze engine path.
+        The run cache is keyed on the injective project bundle text and
+        the incremental manifest on the synthetic project label, so a
+        daemon alternating between a project and its member files never
+        mixes their cache entries."""
+        from repro.linkage import (
+            analyze_linked_sources,
+            project_bundle_text,
+            project_label,
+        )
+
+        entry_name = entry if isinstance(entry, str) else None
+        snapshot = self._registry.snapshot()
+        result_payload: Dict[str, object] = {
+            "project": list(project),
+            "entry": entry_name,
+            "status": STATUS_OK,
+            "replayed": False,
+        }
+        degraded: List[str] = []
+
+        named = []
+        for path in project:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    named.append((path, handle.read()))
+            except (OSError, UnicodeDecodeError) as err:
+                result_payload["status"] = STATUS_ERROR
+                result_payload["error"] = str(err)
+                result_payload["metrics"] = {}
+                return result_payload, degraded
+        bundle = project_bundle_text(named, entry_name)
+        label = project_label(project, entry_name)
+
+        payload = (
+            self.engine.cached_run(bundle, self.config.analysis)
+            if self.engine.cache is not None
+            else None
+        )
+        if payload is not None and self._payload_serves(payload, explain):
+            obs_metrics.inc("serve_replayed")
+            result_payload.update(
+                config=payload["config"],
+                constants_report=payload["constants_report"],
+                total_pairs=payload["total_pairs"],
+                substituted=payload["substituted"],
+                per_procedure=dict(payload["per_procedure"]),
+                replayed=True,
+                invalidation=self.engine.replayed_report(label).to_dict(),
+            )
+            if explain is not None:
+                self._render_explain_from_payload(
+                    payload, explain, result_payload
+                )
+        else:
+            deadline.check("analysis")
+            self.engine.checkpoint = lambda: (
+                deadline.check("analysis"),
+                self._drain_check(),
+            )
+            try:
+                result, link = analyze_linked_sources(
+                    named,
+                    self.config.analysis,
+                    entry=entry_name,
+                    engine=self.engine,
+                )
+            finally:
+                self.engine.checkpoint = None
+            if result is None:
+                result_payload["status"] = STATUS_DIAGNOSTICS
+                result_payload["diagnostics"] = link.diagnostics.format()
+            else:
+                result_payload.update(
+                    config=self.config.analysis.describe(),
+                    constants_report=result.constants.format_report(),
+                    total_pairs=result.constants.total_pairs(),
+                    substituted=result.substituted_constants,
+                    per_procedure=dict(result.substitution.per_procedure),
+                )
+                if len(link.diagnostics):
+                    result_payload["diagnostics"] = link.diagnostics.format()
+                if explain is not None:
+                    self._render_explain_live(result, explain, result_payload)
+                self.engine.record_run(bundle, self.config.analysis, result)
+                report = self.engine.finish_incremental(label)
+                if report is not None:
+                    result_payload["invalidation"] = report.to_dict()
+                if not result.resilience.ok:
+                    degraded.extend(
+                        demotion.render() for demotion in result.resilience
+                    )
+        if self.engine.pool_demoted:
+            degraded.append(
+                "analysis engine demoted to in-process serial execution "
+                "(worker pool broke twice)"
+            )
+        delta = self._registry.delta_since(snapshot)
+        result_payload["metrics"] = delta["counters"]
+        return result_payload, degraded
+
     @staticmethod
     def _payload_serves(payload: dict, explain: Optional[str]) -> bool:
         """A replayed run can serve an ``explain`` only when its
@@ -623,6 +745,37 @@ class ReproServer:
             result["error"] = str(err)
             return result
         key = fingerprint.run_key(text, self.config.analysis)
+        result["invalidated"] = self.engine.cache.delete("run", key)
+        return result
+
+    def _op_invalidate_project(
+        self, project: List[str], entry: Optional[str]
+    ) -> dict:
+        """Project variant of :meth:`_op_invalidate`: evict the replay
+        entry keyed on the manifest's *current* bundle text."""
+        from repro.linkage import project_bundle_text
+
+        obs_metrics.inc("serve_invalidations")
+        entry_name = entry if isinstance(entry, str) else None
+        result: Dict[str, object] = {
+            "project": list(project),
+            "entry": entry_name,
+            "invalidated": False,
+        }
+        if self.engine.cache is None:
+            result["error"] = "server runs without a cache"
+            return result
+        named = []
+        for path in project:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    named.append((path, handle.read()))
+            except (OSError, UnicodeDecodeError) as err:
+                result["error"] = str(err)
+                return result
+        key = fingerprint.run_key(
+            project_bundle_text(named, entry_name), self.config.analysis
+        )
         result["invalidated"] = self.engine.cache.delete("run", key)
         return result
 

@@ -8,8 +8,8 @@ import them from ``tests.conftest``.
 This file also registers the ``--update-goldens`` flag (regenerates the
 golden-snapshot corpus instead of comparing against it) and auto-marks
 tests by directory: ``tests/golden`` -> ``golden``, ``tests/oracle`` ->
-``oracle``, everything else -> ``tier1`` (the fast gate:
-``pytest -m tier1``).
+``oracle``, ``tests/linkage`` -> ``linkage`` *and* ``tier1``,
+everything else -> ``tier1`` (the fast gate: ``pytest -m tier1``).
 """
 
 from __future__ import annotations
@@ -49,6 +49,11 @@ def pytest_collection_modifyitems(config, items):
             item.add_marker(pytest.mark.golden)
         elif "/tests/oracle/" in path:
             item.add_marker(pytest.mark.oracle)
+        elif "/tests/linkage/" in path:
+            # Linkage tests are part of the fast gate AND addressable
+            # on their own (`pytest -m linkage`) for the CI job.
+            item.add_marker(pytest.mark.linkage)
+            item.add_marker(pytest.mark.tier1)
         else:
             item.add_marker(pytest.mark.tier1)
 

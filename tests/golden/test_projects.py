@@ -1,0 +1,85 @@
+"""Golden snapshots of linked multi-file projects.
+
+Each project's linked analysis surface — symbol table, CONSTANTS,
+substitution counts, optional provenance rendering, and the per-file
+(unlinked) comparison — is compared verbatim against its committed
+snapshot under ``projects/``. Regenerate intentional changes with
+``pytest tests/golden --update-goldens`` and review the diff.
+
+The corpus doubles as the acceptance demonstration for the linkage
+layer: ``proj_cross_common`` must show a constant propagated across a
+file boundary that per-file analysis reports as bottom.
+"""
+
+import os
+
+import pytest
+
+from repro.oracle.golden import (
+    check_project_golden,
+    golden_projects,
+    render_project_snapshot,
+    update_project_golden,
+)
+
+SNAPSHOT_DIR = os.path.join(os.path.dirname(__file__), "projects")
+
+PROJECT_NAMES = sorted(golden_projects())
+
+
+def test_corpus_is_large_enough():
+    assert len(PROJECT_NAMES) >= 6
+
+
+@pytest.mark.parametrize("name", PROJECT_NAMES)
+def test_project_snapshot_matches(name, update_goldens):
+    project = golden_projects()[name]
+    if update_goldens:
+        update_project_golden(SNAPSHOT_DIR, project)
+        return
+    problem = check_project_golden(SNAPSHOT_DIR, project)
+    assert problem is None, problem
+
+
+def test_every_snapshot_file_has_a_project():
+    """No orphaned snapshot files (a renamed project must take its
+    snapshot along)."""
+    stored = {
+        name[: -len(".golden")]
+        for name in os.listdir(SNAPSHOT_DIR)
+        if name.endswith(".golden")
+    }
+    assert stored == set(PROJECT_NAMES)
+
+
+def test_snapshot_is_deterministic():
+    project = golden_projects()["proj_cross_common"]
+    assert render_project_snapshot(project) == render_project_snapshot(project)
+
+
+def test_linkage_beats_per_file_analysis():
+    """The acceptance criterion, asserted (not just snapshotted): the
+    linked program propagates a constant across a file boundary that
+    per-file closed-world analysis cannot see."""
+    from repro.ipcp.driver import analyze_source_resilient
+    from repro.linkage import analyze_linked_sources
+
+    project = golden_projects()["proj_cross_common"]
+    linked, link = analyze_linked_sources(list(project.files))
+    assert linked is not None and not link.diagnostics.has_errors
+    work = linked.constants.constants_of("work")
+    assert any(var.name == "base" for var in work), work
+    for filename, text in project.files:
+        alone, _ = analyze_source_resilient(text, filename=filename)
+        assert alone is None or alone.constants.total_pairs() == 0
+
+
+def test_killing_pair_explain_crosses_files():
+    from repro.linkage import analyze_linked_sources
+    from repro.obs.provenance import build_provenance
+
+    project = golden_projects()["proj_killing_pair"]
+    linked, _ = analyze_linked_sources(list(project.files))
+    rendering = build_provenance(linked).explain("n@work")
+    assert "main.f" in rendering and "lib.f" in rendering
+    assert "killed by meet" in rendering

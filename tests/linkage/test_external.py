@@ -1,0 +1,183 @@
+"""EXTERNAL declarations in the frontend and their per-file lowering.
+
+Per-file (closed-world) analysis must treat a call to an EXTERNAL
+procedure as a conservative clobber — every scalar VarRef actual,
+every visible COMMON member, and the function-result target go to
+bottom — because the callee's body lives in a file this run cannot
+see. When the name *is* defined in the same module (the linked case),
+the declaration is inert and the call lowers as a real call.
+"""
+
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.frontend import ast
+from repro.frontend.parser import parse_source
+from repro.ir.lowering import SemanticError, lower_module
+from repro.ipcp.driver import analyze_source
+
+
+def external_decls(source):
+    module = parse_source(source, "x.f")
+    return [
+        decl
+        for unit in module.units
+        for decl in unit.decls
+        if isinstance(decl, ast.ExternalDecl)
+    ]
+
+
+class TestParsing:
+    def test_single_and_list_forms(self):
+        decls = external_decls(
+            "      PROGRAM MAIN\n"
+            "      EXTERNAL F\n"
+            "      EXTERNAL G, H\n"
+            "      CALL F\n"
+            "      END\n"
+        )
+        assert [d.names for d in decls] == [["f"], ["g", "h"]]
+
+    def test_interleaves_with_other_declarations(self):
+        decls = external_decls(
+            "      PROGRAM MAIN\n"
+            "      COMMON /B/ X\n"
+            "      EXTERNAL F\n"
+            "      DIMENSION A(3)\n"
+            "      CALL F\n"
+            "      END\n"
+        )
+        assert [d.names for d in decls] == [["f"]]
+
+
+class TestConservativeClobber:
+    def test_scalar_actuals_and_commons_go_bottom(self):
+        result = analyze_source(
+            "      PROGRAM MAIN\n"
+            "      EXTERNAL MYSTERY\n"
+            "      COMMON /G/ GV\n"
+            "      GV = 7\n"
+            "      N = 5\n"
+            "      CALL MYSTERY(N)\n"
+            "      CALL SINK(N, GV)\n"
+            "      END\n"
+            "\n"
+            "      SUBROUTINE SINK(A, B)\n"
+            "      PRINT *, A + B\n"
+            "      RETURN\n"
+            "      END\n",
+            AnalysisConfig(),
+        )
+        assert result.constants.constants_of("sink") == {}
+
+    def test_expression_actuals_do_not_clobber_their_variables(self):
+        result = analyze_source(
+            "      PROGRAM MAIN\n"
+            "      EXTERNAL MYSTERY\n"
+            "      N = 5\n"
+            "      CALL MYSTERY(N + 1)\n"
+            "      CALL SINK(N)\n"
+            "      END\n"
+            "\n"
+            "      SUBROUTINE SINK(A)\n"
+            "      PRINT *, A\n"
+            "      RETURN\n"
+            "      END\n",
+            AnalysisConfig(),
+        )
+        constants = result.constants.constants_of("sink")
+        assert {v.name: c for v, c in constants.items()} == {"a": 5}
+
+    def test_external_function_result_is_bottom(self):
+        result = analyze_source(
+            "      PROGRAM MAIN\n"
+            "      EXTERNAL OPAQUE\n"
+            "      K = OPAQUE(3)\n"
+            "      CALL SINK(K)\n"
+            "      END\n"
+            "\n"
+            "      SUBROUTINE SINK(A)\n"
+            "      PRINT *, A\n"
+            "      RETURN\n"
+            "      END\n",
+            AnalysisConfig(),
+        )
+        assert result.constants.constants_of("sink") == {}
+
+    def test_external_shadows_intrinsic(self):
+        # MOD is an intrinsic; EXTERNAL MOD makes it an opaque callee,
+        # so MOD(10, 3) is no longer folded to 1.
+        shadowed = analyze_source(
+            "      PROGRAM MAIN\n"
+            "      EXTERNAL MOD\n"
+            "      K = MOD(10, 3)\n"
+            "      CALL SINK(K)\n"
+            "      END\n"
+            "\n"
+            "      SUBROUTINE SINK(A)\n"
+            "      PRINT *, A\n"
+            "      RETURN\n"
+            "      END\n",
+            AnalysisConfig(),
+        )
+        assert shadowed.constants.constants_of("sink") == {}
+        intrinsic = analyze_source(
+            "      PROGRAM MAIN\n"
+            "      K = MOD(10, 3)\n"
+            "      CALL SINK(K)\n"
+            "      END\n"
+            "\n"
+            "      SUBROUTINE SINK(A)\n"
+            "      PRINT *, A\n"
+            "      RETURN\n"
+            "      END\n",
+            AnalysisConfig(),
+        )
+        constants = intrinsic.constants.constants_of("sink")
+        assert {v.name: c for v, c in constants.items()} == {"a": 1}
+
+
+class TestLinkedModeIsInert:
+    def test_defined_in_module_wins_over_external(self):
+        # The linked case: the EXTERNAL declaration stays in the merged
+        # module, but the callee is defined here, so the call is real
+        # and constants flow through it.
+        result = analyze_source(
+            "      PROGRAM MAIN\n"
+            "      EXTERNAL WORK\n"
+            "      CALL WORK(100)\n"
+            "      END\n"
+            "\n"
+            "      SUBROUTINE WORK(N)\n"
+            "      PRINT *, N\n"
+            "      RETURN\n"
+            "      END\n",
+            AnalysisConfig(),
+        )
+        constants = result.constants.constants_of("work")
+        assert {v.name: c for v, c in constants.items()} == {"n": 100}
+
+
+class TestSemanticErrors:
+    def test_external_name_used_as_variable(self):
+        module = parse_source(
+            "      PROGRAM MAIN\n"
+            "      EXTERNAL F\n"
+            "      F = 3\n"
+            "      END\n",
+            "x.f",
+        )
+        with pytest.raises(SemanticError, match="used as a variable"):
+            lower_module(module, None)
+
+    def test_external_conflicts_with_declared_variable(self):
+        module = parse_source(
+            "      PROGRAM MAIN\n"
+            "      COMMON /B/ F\n"
+            "      EXTERNAL F\n"
+            "      CALL F\n"
+            "      END\n",
+            "x.f",
+        )
+        with pytest.raises(SemanticError, match="conflicts"):
+            lower_module(module, None)
