@@ -10,6 +10,20 @@ Tiers (``BENCH_PIPELINE_TIER``):
 * ``tiny``  — 12 procedures, one repetition; smoke-test the harness.
 * ``small`` — 50 and 500 procedures (the default; what CI runs).
 * ``full``  — 50, 200, and 500 procedures.
+* ``large`` — one 10k-100k-procedure program from the layered
+  :func:`generate_scaled_program` tier (``BENCH_LARGE_PROCS``, default
+  10000, capped at 100000). Runs only :func:`test_large_scale`: a
+  serial pass in a fresh subprocess (clean peak-RSS and wall-time
+  accounting) and a parallel arena pass, gating cells/second
+  throughput, peak RSS, result-digest identity, and — on hosts with
+  at least four CPUs — parallel scaling efficiency. The arena pass
+  additionally asserts zero pickle-channel payload entries: summaries
+  moved through the shared-memory arena, not the pool pipe.
+
+``BENCH_PIPELINE.json`` holds every tier side by side under a
+``{"tiers": {<name>: <report>}}`` roof; a run replaces only its own
+tier's section, so regenerating ``small`` keeps the recorded ``large``
+numbers (and vice versa).
 
 The ≥1.5× parallel-speedup assertion only fires on hosts with at least
 four CPUs: the growth container has one, where a process pool can only
@@ -49,6 +63,7 @@ TIERS = {
     "tiny": [12],
     "small": [50, 500],
     "full": [50, 200, 500],
+    "large": [],  # drives test_large_scale, not the size matrix
 }
 TIER = os.environ.get("BENCH_PIPELINE_TIER", "small")
 SIZES = TIERS.get(TIER, TIERS["small"])
@@ -58,6 +73,11 @@ BATCH_FILES = {"tiny": 3, "small": 8, "full": 12}.get(TIER, 8)
 
 PARALLEL_JOBS = 4
 MANY_CPUS = (os.cpu_count() or 1) >= PARALLEL_JOBS
+
+#: Procedure count for the ``large`` tier (layered scaled generator).
+LARGE_PROCS = min(
+    max(int(os.environ.get("BENCH_LARGE_PROCS", "10000")), 1000), 100_000
+)
 
 
 def source_for(procedures):
@@ -84,6 +104,27 @@ def timed(fn):
     return time.perf_counter() - start, value
 
 
+def entry_cells(result):
+    """Total constant-propagation problem size: the sum of every
+    procedure's entry-domain width (formals + scalar globals) — the
+    cell count the iterative solver actually fills in."""
+    from repro.ipcp.solver import entry_domain
+
+    program = result.program
+    return sum(
+        len(entry_domain(procedure, program)) for procedure in program
+    )
+
+
+def peak_rss_mb():
+    """This process's peak resident set, in MiB (Linux ru_maxrss is
+    KiB). A high-water mark — meaningful per fresh subprocess, only an
+    upper bound when read mid-suite."""
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
 @pytest.fixture(scope="module")
 def report():
     data = {
@@ -95,9 +136,22 @@ def report():
         "batch": [],
         "incremental": [],
         "observability": [],
+        "throughput": [],
+        "large": [],
     }
     yield data
-    REPORT_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    # Merge into the multi-tier report: replace this tier's section,
+    # keep every other tier's recorded numbers.
+    merged = {"tiers": {}}
+    if REPORT_PATH.exists():
+        try:
+            previous = json.loads(REPORT_PATH.read_text())
+            if isinstance(previous.get("tiers"), dict):
+                merged = previous
+        except ValueError:
+            pass
+    merged["tiers"][TIER] = data
+    REPORT_PATH.write_text(json.dumps(merged, indent=2) + "\n")
 
 
 @pytest.mark.parametrize("procedures", SIZES)
@@ -105,9 +159,11 @@ def test_parallel_speedup(procedures, report, capfd):
     text = source_for(procedures)
     config = AnalysisConfig()
 
-    serial_seconds, serial = timed(
-        lambda: fingerprint(analyze_source(text, config))
-    )
+    def serial_run():
+        result = analyze_source(text, config)
+        return fingerprint(result), entry_cells(result)
+
+    serial_seconds, (serial, cells) = timed(serial_run)
 
     def parallel_run():
         with Engine(jobs=PARALLEL_JOBS, executor="process") as engine:
@@ -124,6 +180,16 @@ def test_parallel_speedup(procedures, report, capfd):
         "speedup": round(speedup, 3),
     }
     report["parallel"].append(row)
+    report["throughput"].append(
+        {
+            "procedures": procedures,
+            "cells": cells,
+            "cells_per_second": round(
+                cells / serial_seconds if serial_seconds else 0.0, 1
+            ),
+            "peak_rss_mb": round(peak_rss_mb(), 1),
+        }
+    )
     emit_once(
         capfd,
         f"pipeline-parallel-{procedures}",
@@ -216,6 +282,12 @@ def _run_cli(arguments, env):
     return completed.stdout
 
 
+not_large = pytest.mark.skipif(
+    TIER == "large", reason="the large tier runs only test_large_scale"
+)
+
+
+@not_large
 def test_batch_vs_serial_invocations(report, tmp_path_factory, capfd):
     """One ``repro batch`` invocation vs N separate ``repro analyze``
     subprocesses over the same files. The batch driver pays interpreter
@@ -336,6 +408,7 @@ def test_incremental_dirty_set(procedures, report, tmp_path_factory, capfd):
     )
 
 
+@not_large
 def test_observability_overhead(report, capfd):
     """Gate the tracing layer's zero-cost-when-disabled contract.
 
@@ -421,4 +494,171 @@ def test_observability_overhead(report, capfd):
         f"traced {enabled_seconds:.2f}s ({events} events); disabled-path "
         f"bound {row['worst_case_overhead_pct']:.3f}% of wall time "
         f"(budget 3%)",
+    )
+
+
+# One analysis pass in a fresh interpreter: wall time, solver cell
+# count, a result digest, the process's own peak RSS (clean — nothing
+# else ran in it), and the arena/pickle transport counters.
+_LARGE_RUNNER = """\
+import hashlib, json, resource, sys, time
+
+path, jobs = sys.argv[1], int(sys.argv[2])
+from repro.config import AnalysisConfig
+from repro.ipcp.driver import analyze_source
+from repro.ipcp.solver import entry_domain
+from repro.obs import metrics
+
+text = open(path).read()
+config = AnalysisConfig()
+start = time.perf_counter()
+if jobs > 1:
+    from repro.engine import Engine
+    with Engine(jobs=jobs, executor="process") as engine:
+        result = analyze_source(text, config, engine=engine)
+else:
+    result = analyze_source(text, config)
+seconds = time.perf_counter() - start
+
+program = result.program
+cells = sum(len(entry_domain(p, program)) for p in program)
+digest = hashlib.sha256()
+digest.update(result.constants.format_report().encode())
+digest.update(json.dumps(
+    dict(result.substitution.per_procedure), sort_keys=True).encode())
+print(json.dumps({
+    "seconds": round(seconds, 3),
+    "cells": cells,
+    "digest": digest.hexdigest(),
+    "peak_rss_mb": round(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1),
+    "pickle_entries": metrics.value("engine_pickle_payload_entries"),
+    "stream_records": metrics.value("arena_stream_records"),
+    "arena_fallbacks": metrics.value("arena_fallbacks"),
+}))
+"""
+
+
+@pytest.mark.skipif(
+    TIER != "large", reason="set BENCH_PIPELINE_TIER=large"
+)
+def test_large_scale(report, tmp_path_factory, capfd):
+    """The 10k-100k-procedure tier: one layered scaled-generator
+    program, analyzed serially and with the arena-backed pool, each in
+    a fresh subprocess so wall time and peak RSS are unpolluted.
+
+    Gates: result digests identical, the parallel run moved zero
+    summary payloads over the pickle channel (the arena carried them),
+    cells/second throughput, a peak-RSS ceiling that scales with the
+    procedure count, and — on >= 4-CPU hosts — >= 1.5x parallel
+    speedup at >= 37.5% per-worker efficiency.
+    """
+    from repro.suite.generator import ScaleConfig, generate_scaled_program
+
+    directory = tmp_path_factory.mktemp("large")
+    path = directory / "large.f"
+    generate_seconds, text = timed(
+        lambda: generate_scaled_program(
+            0, ScaleConfig(procedures=LARGE_PROCS)
+        )
+    )
+    path.write_text(text)
+    env = _cli_environment()
+
+    def run(jobs):
+        completed = subprocess.run(
+            [sys.executable, "-c", _LARGE_RUNNER, str(path), str(jobs)],
+            env=env,
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode == 0, completed.stderr
+        return json.loads(completed.stdout)
+
+    serial = run(1)
+    jobs = min(PARALLEL_JOBS, max(2, os.cpu_count() or 1))
+    parallel = run(jobs)
+
+    assert parallel["digest"] == serial["digest"], (
+        "arena-parallel result diverged from serial"
+    )
+    assert parallel["stream_records"] > 0, (
+        "parallel run never published to the arena stream"
+    )
+    assert parallel["arena_fallbacks"] == 0, (
+        "arena fell back to the pickle channel on a healthy host"
+    )
+    assert parallel["pickle_entries"] == 0, (
+        f"{parallel['pickle_entries']} summary payload entries crossed "
+        f"the pool's pickle channel — the arena should carry them all"
+    )
+
+    cells = serial["cells"]
+    assert cells >= LARGE_PROCS, (
+        f"{cells} solver cells for {LARGE_PROCS} procedures — the "
+        f"entry domains collapsed"
+    )
+    cells_per_second = cells / serial["seconds"] if serial["seconds"] else 0.0
+    assert cells_per_second >= 500, (
+        f"serial throughput {cells_per_second:.0f} cells/s below the "
+        f"500 cells/s floor"
+    )
+    rss_budget_mb = max(512.0, LARGE_PROCS * 0.06)
+    assert serial["peak_rss_mb"] <= rss_budget_mb, (
+        f"serial peak RSS {serial['peak_rss_mb']:.0f}MiB over the "
+        f"{rss_budget_mb:.0f}MiB budget for {LARGE_PROCS} procedures"
+    )
+
+    speedup = (
+        serial["seconds"] / parallel["seconds"]
+        if parallel["seconds"]
+        else 0.0
+    )
+    efficiency = speedup / jobs if jobs else 0.0
+    if MANY_CPUS:
+        assert speedup >= 1.5, (
+            f"expected >=1.5x at {LARGE_PROCS} procedures on a "
+            f"{os.cpu_count()}-cpu host, got {speedup:.2f}x"
+        )
+        assert efficiency >= 0.375, (
+            f"scaling efficiency {efficiency:.2f} below 0.375 "
+            f"({speedup:.2f}x over {jobs} workers)"
+        )
+
+    row = {
+        "procedures": LARGE_PROCS,
+        "generate_seconds": round(generate_seconds, 3),
+        "cells": cells,
+        "serial_seconds": serial["seconds"],
+        "parallel_seconds": parallel["seconds"],
+        "parallel_jobs": jobs,
+        "speedup": round(speedup, 3),
+        "efficiency": round(efficiency, 3),
+        "cells_per_second": round(cells_per_second, 1),
+        "serial_peak_rss_mb": serial["peak_rss_mb"],
+        "parallel_peak_rss_mb": parallel["peak_rss_mb"],
+        "arena_stream_records": parallel["stream_records"],
+        "pickle_payload_entries": parallel["pickle_entries"],
+        "digest": serial["digest"][:16],
+    }
+    report["large"].append(row)
+    report["throughput"].append(
+        {
+            "procedures": LARGE_PROCS,
+            "cells": cells,
+            "cells_per_second": round(cells_per_second, 1),
+            "peak_rss_mb": serial["peak_rss_mb"],
+        }
+    )
+    emit_once(
+        capfd,
+        "pipeline-large",
+        f"large {LARGE_PROCS} procs ({cells} cells): serial "
+        f"{serial['seconds']:.1f}s ({cells_per_second:.0f} cells/s, "
+        f"{serial['peak_rss_mb']:.0f}MiB), jobs={jobs} arena "
+        f"{parallel['seconds']:.1f}s (speedup {speedup:.2f}x, "
+        f"{parallel['stream_records']} stream records, "
+        f"{parallel['pickle_entries']} pickle entries, "
+        f"cpus={os.cpu_count()})",
     )

@@ -262,6 +262,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="generate procedure summaries on N parallel workers "
         "(default: 1 = serial; results are byte-identical)",
     )
+    analyze.add_argument(
+        "--no-arena",
+        action="store_true",
+        help="with --jobs N: exchange summaries over the worker pool's "
+        "pickle channel instead of the shared-memory arena (results "
+        "are byte-identical either way)",
+    )
     _add_cache_arguments(analyze)
 
     link = sub.add_parser(
@@ -282,6 +289,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="generate procedure summaries on N parallel workers "
         "(default: 1 = serial; results are byte-identical)",
+    )
+    link.add_argument(
+        "--no-arena", action="store_true",
+        help="with --jobs N: exchange summaries over the worker pool's "
+        "pickle channel instead of the shared-memory arena (results "
+        "are byte-identical either way)",
     )
     _add_cache_arguments(link)
     link.add_argument(
@@ -355,6 +368,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="engine worker pool size for each analysis "
         "(default: 1 = serial; results are byte-identical)",
+    )
+    serve.add_argument(
+        "--no-arena", action="store_true",
+        help="with --jobs N: exchange summaries over the worker pool's "
+        "pickle channel instead of the shared-memory arena (results "
+        "are byte-identical either way)",
     )
     serve.add_argument(
         "--cache-dir", default=None, metavar="DIR",
@@ -579,7 +598,10 @@ def _engine_from_args(args: argparse.Namespace):
     if wants_cache:
         cache_dir = args.cache_dir or default_cache_root()
     profile = PipelineProfile() if args.profile is not None else None
-    return Engine(jobs=args.jobs, cache_dir=cache_dir, profile=profile)
+    arena = False if getattr(args, "no_arena", False) else None
+    return Engine(
+        jobs=args.jobs, cache_dir=cache_dir, profile=profile, arena=arena
+    )
 
 
 def _render_substitution_counts(per_procedure) -> None:
@@ -1030,6 +1052,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         analysis=_config_from_args(args),
         jobs=args.jobs,
         cache_dir=cache_dir,
+        arena=False if args.no_arena else None,
         queue_limit=args.queue_limit,
         default_deadline_s=args.deadline if args.deadline > 0 else None,
         drain_timeout_s=args.drain_timeout,

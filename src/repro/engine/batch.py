@@ -197,10 +197,16 @@ def analyze_one(
     faults.delay("delay-file", path=path)
 
     profile = profiling.PipelineProfile() if want_profile else None
+    # Metric isolation: a thread-scoped registry captures exactly this
+    # file's instrumentation even when sibling batch threads analyze
+    # concurrently (snapshot/delta over the shared registry would
+    # attribute their counters to us); the scope is merged back into
+    # the enclosing registry on exit, so process totals still add up.
+    scoped = want_profile or want_metrics
+    if scoped:
+        obs_metrics.push_scope()
     registry = obs_metrics.default_registry()
-    counters_base = (
-        registry.snapshot() if (want_profile or want_metrics) else None
-    )
+    counters_base = registry.snapshot() if scoped else None
     # A pool worker (fresh spawn process, or fork child holding the
     # parent's tracer) records into its own tracer and ships the events
     # back; inline and thread-mode calls write straight into the live
@@ -292,6 +298,8 @@ def analyze_one(
             if worker_tracer is not None:
                 outcome.trace_events = worker_tracer.events
         engine.close()
+        if scoped:
+            obs_metrics.pop_scope()
 
 
 def _schedule(paths: Sequence[str]) -> List[str]:
@@ -356,24 +364,17 @@ def run_batch(
                  want_metrics, want_trace)
 
     if executor == "thread":
-        # The engine's worker state is process-global, so two engines
-        # must never analyze concurrently inside one process: thread
-        # mode serializes the per-file work behind a lock. (It is
-        # GIL-bound regardless — this mode exercises the pool plumbing
-        # deterministically, it was never a speed path. Threads cannot
-        # break the executor, so no recovery loop here.)
-        import threading
-
-        guard = threading.Lock()
-
-        def task(*args):
-            with guard:
-                return analyze_one(*args)
-
+        # Files genuinely overlap here: each thread's engine installs
+        # its worker state thread-locally (parallel._get_state) and its
+        # metrics land in a thread-scoped registry, so concurrent
+        # engines never clobber each other. Still GIL-bound — real
+        # speedups come from I/O overlap and the process executor — but
+        # no longer serialized behind a lock. (Threads cannot break the
+        # executor, so no recovery loop here.)
         pool = cf.ThreadPoolExecutor(max_workers=jobs)
         try:
             futures = {
-                path: pool.submit(task, path, *task_args)
+                path: pool.submit(analyze_one, path, *task_args)
                 for path in _schedule(paths)
             }
             return _collect(

@@ -26,6 +26,14 @@ measurements per procedure), ``run`` (whole-run outcomes keyed on
 source digest + config fingerprint — the ``repro analyze`` fast path),
 ``man`` (incremental manifests).
 
+This is the *cross-run* summary tier. Within one run, workers exchange
+the same Merkle-keyed summaries through the shared-memory arena
+(:mod:`repro.engine.arena`) instead — RAM-speed, zero pickling — and
+only the parent persists them here. Handles may be shared across the
+batch driver's (no longer serialized) threads, so the stats counters
+are lock-protected; the entry files themselves were always safe under
+concurrency via atomic rename.
+
 Fault-injection points (:mod:`repro.faults`): ``fail-write`` makes a
 store raise mid-write (degrades to a smaller cache), ``truncate-cache``
 tears the serialized entry in half, ``corrupt-cache`` flips the stored
@@ -38,6 +46,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -103,6 +112,12 @@ class SummaryCache:
 
     root: str
     stats: CacheStats = field(default_factory=CacheStats)
+    #: Guards ``stats`` (the ``+=`` read-modify-writes would drop
+    #: counts under real thread overlap). Not comparable/serializable
+    #: state, hence excluded from the dataclass protocol.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def _path(self, namespace: str, key: str) -> str:
         return os.path.join(
@@ -119,7 +134,8 @@ class SummaryCache:
             with open(path, "r", encoding="utf-8") as handle:
                 text = handle.read()
         except OSError:
-            self.stats.misses += 1
+            with self._lock:
+                self.stats.misses += 1
             return None
         try:
             wrapper = json.loads(text)
@@ -139,7 +155,8 @@ class SummaryCache:
         if payload_digest(body) != wrapper["sha256"]:
             self._quarantine(namespace, path, "digest mismatch")
             return None
-        self.stats.hits += 1
+        with self._lock:
+            self.stats.hits += 1
         return body
 
     def put(self, namespace: str, key: str, payload: dict) -> None:
@@ -177,7 +194,8 @@ class SummaryCache:
                 pass
             self._note_store_failure()
             return
-        self.stats.stores += 1
+        with self._lock:
+            self.stats.stores += 1
 
     def delete(self, namespace: str, key: str) -> bool:
         """Drop one entry (the daemon's ``invalidate`` op). True when
@@ -198,8 +216,9 @@ class SummaryCache:
         rename fails the entry stays in place but every future read
         re-fails verification, so correctness never depends on the
         quarantine write succeeding."""
-        self.stats.misses += 1
-        self.stats.quarantined += 1
+        with self._lock:
+            self.stats.misses += 1
+            self.stats.quarantined += 1
         try:
             os.replace(path, path + ".corrupt")
         except OSError:
@@ -214,7 +233,8 @@ class SummaryCache:
             )
 
     def _note_store_failure(self) -> None:
-        self.stats.store_failures += 1
+        with self._lock:
+            self.stats.store_failures += 1
         from repro.obs import metrics
 
         metrics.inc("cache_store_failures")

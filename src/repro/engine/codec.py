@@ -1,0 +1,192 @@
+"""Compact binary codec for summary payloads.
+
+The shared-memory arena (:mod:`repro.engine.arena`) exchanges summary
+payloads between processes as raw bytes in a memory-mapped segment, so
+the JSON-able payload dicts that :mod:`repro.engine.summaries` produces
+need a byte encoding that is
+
+- **self-contained** — no schema negotiation: every value carries a tag
+  byte, so a decoder never guesses;
+- **exact** — ``decode(encode(x)) == x`` including the ``bool`` /
+  ``int`` distinction and arbitrary-precision integers (polynomial
+  coefficients are unbounded), so arena-served summaries merge
+  byte-identically to pickle-served ones;
+- **compact** — integers are zigzag varints, strings are length-
+  prefixed UTF-8; a typical return-function record is smaller than its
+  JSON rendering;
+- **versioned** — :data:`CODEC_VERSION` is stamped into every arena
+  segment header; an attach against a different codec version is
+  refused and the engine falls back to the pickle path, so two code
+  versions sharing a host can never misread each other's records.
+
+The value domain is the JSON data model (None, bool, int, float, str,
+list, dict-with-str-keys) — exactly what the summary codecs emit.
+Anything else is a :class:`CodecError` at encode time, never silent
+truncation.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+#: Bumped whenever the wire format below changes shape. Stamped into
+#: arena headers; a mismatch refuses the attach (pickle fallback).
+CODEC_VERSION = 1
+
+_TAG_NONE = 0x00
+_TAG_FALSE = 0x01
+_TAG_TRUE = 0x02
+_TAG_INT = 0x03
+_TAG_FLOAT = 0x04
+_TAG_STR = 0x05
+_TAG_LIST = 0x06
+_TAG_DICT = 0x07
+
+_FLOAT = struct.Struct("<d")
+
+
+class CodecError(ValueError):
+    """A value outside the codec's domain, or malformed bytes."""
+
+
+def _write_uvarint(out: List[bytes], value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(bytes((byte | 0x80,)))
+        else:
+            out.append(bytes((byte,)))
+            return
+
+
+def _encode_into(value, out: List[bytes]) -> None:
+    kind = type(value)
+    if kind is str:
+        data = value.encode("utf-8")
+        out.append(bytes((_TAG_STR,)))
+        _write_uvarint(out, len(data))
+        out.append(data)
+    elif kind is int:
+        out.append(bytes((_TAG_INT,)))
+        # Zigzag so small negatives stay one byte; arbitrary precision
+        # (polynomial coefficients are unbounded).
+        _write_uvarint(
+            out, ((-value) << 1) - 1 if value < 0 else value << 1
+        )
+    elif kind is list:
+        out.append(bytes((_TAG_LIST,)))
+        _write_uvarint(out, len(value))
+        for item in value:
+            _encode_into(item, out)
+    elif kind is dict:
+        out.append(bytes((_TAG_DICT,)))
+        _write_uvarint(out, len(value))
+        for key, item in value.items():
+            if type(key) is not str:
+                raise CodecError(
+                    f"dict key {key!r} is not a string"
+                )
+            data = key.encode("utf-8")
+            _write_uvarint(out, len(data))
+            out.append(data)
+            _encode_into(item, out)
+    elif value is None:
+        out.append(bytes((_TAG_NONE,)))
+    elif kind is bool:
+        out.append(bytes((_TAG_TRUE if value else _TAG_FALSE,)))
+    elif kind is float:
+        out.append(bytes((_TAG_FLOAT,)))
+        out.append(_FLOAT.pack(value))
+    elif kind is tuple:
+        # Summary payloads are built from JSON round-trips and never
+        # contain tuples, but an encoder that silently listified them
+        # would break decode(encode(x)) == x; refuse instead.
+        raise CodecError("tuples are not encodable (use lists)")
+    else:
+        raise CodecError(f"value of type {kind.__name__} is not encodable")
+
+
+def encode_value(value) -> bytes:
+    """Encode one JSON-model value to bytes."""
+    out: List[bytes] = []
+    _encode_into(value, out)
+    return b"".join(out)
+
+
+def _read_uvarint(data: bytes, index: int):
+    result = 0
+    shift = 0
+    while True:
+        try:
+            byte = data[index]
+        except IndexError:
+            raise CodecError("truncated varint") from None
+        index += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, index
+        shift += 7
+        if shift > 128 * 7:
+            raise CodecError("varint too long")
+
+
+def _decode_at(data: bytes, index: int):
+    try:
+        tag = data[index]
+    except IndexError:
+        raise CodecError("truncated value") from None
+    index += 1
+    if tag == _TAG_STR:
+        length, index = _read_uvarint(data, index)
+        end = index + length
+        if end > len(data):
+            raise CodecError("truncated string")
+        return data[index:end].decode("utf-8"), end
+    if tag == _TAG_INT:
+        raw, index = _read_uvarint(data, index)
+        return (-(raw + 1) >> 1) if raw & 1 else raw >> 1, index
+    if tag == _TAG_LIST:
+        count, index = _read_uvarint(data, index)
+        items = []
+        append = items.append
+        for _ in range(count):
+            item, index = _decode_at(data, index)
+            append(item)
+        return items, index
+    if tag == _TAG_DICT:
+        count, index = _read_uvarint(data, index)
+        result = {}
+        for _ in range(count):
+            length, index = _read_uvarint(data, index)
+            end = index + length
+            if end > len(data):
+                raise CodecError("truncated dict key")
+            key = data[index:end].decode("utf-8")
+            value, index = _decode_at(data, end)
+            result[key] = value
+        return result, index
+    if tag == _TAG_NONE:
+        return None, index
+    if tag == _TAG_TRUE:
+        return True, index
+    if tag == _TAG_FALSE:
+        return False, index
+    if tag == _TAG_FLOAT:
+        end = index + 8
+        if end > len(data):
+            raise CodecError("truncated float")
+        return _FLOAT.unpack_from(data, index)[0], end
+    raise CodecError(f"unknown value tag 0x{tag:02x}")
+
+
+def decode_value(data: bytes):
+    """Decode bytes produced by :func:`encode_value`. Trailing garbage
+    is an error — a record is exactly one value."""
+    value, index = _decode_at(bytes(data), 0)
+    if index != len(data):
+        raise CodecError(
+            f"{len(data) - index} trailing byte(s) after value"
+        )
+    return value

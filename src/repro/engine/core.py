@@ -35,6 +35,7 @@ from typing import Dict, List, Optional
 
 from repro.config import AnalysisConfig
 from repro.engine import fingerprint, parallel, summaries
+from repro.engine import arena as arena_mod
 from repro.engine.cache import SummaryCache
 from repro.engine.fingerprint import _sha
 from repro.engine.scheduler import condensation_levels, partition
@@ -42,6 +43,12 @@ from repro.ir.module import Program
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace
 from repro.profiling import PipelineProfile
+
+#: Arena-mode chunk-size bound: task messages are near-constant-size
+#: there, so waves are cut finer than one-per-worker and stragglers
+#: stop serializing a level. (On the pickle path every extra task
+#: re-ships the whole summary payload, so no bound applies.)
+ARENA_MAX_CHUNK = 200
 
 
 class Engine:
@@ -61,6 +68,7 @@ class Engine:
         cache: Optional[SummaryCache] = None,
         profile: Optional[PipelineProfile] = None,
         executor: str = "process",
+        arena: Optional[bool] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -72,6 +80,12 @@ class Engine:
         self.cache = cache
         self.profile = profile
         self.executor_kind = executor
+        #: Shared-memory summary exchange policy: ``None`` (auto) turns
+        #: the arena on whenever a pool is in play, ``False`` pins the
+        #: classic pickle transport (``--no-arena``), ``True`` insists
+        #: (still degrades to pickling if segments cannot be created —
+        #: the arena is an optimization, never a correctness gate).
+        self.arena_mode = arena
         #: Optional cooperative-cancellation hook: called between
         #: scheduling waves; raising aborts the run (the daemon sets
         #: this to its per-request deadline check).
@@ -90,6 +104,14 @@ class Engine:
         self._loc_digests: Dict[str, str] = {}
         self._callgraph = None
         self._returns_payload: List[dict] = []
+        #: Per-run arena segments: the *stream* (parent-published
+        #: canonical return-function records) and the *exchange*
+        #: (worker-published result records + the constants payload).
+        self._arena_stream: Optional[arena_mod.SummaryArena] = None
+        self._arena_exchange: Optional[arena_mod.SummaryArena] = None
+        #: False once anything arena-shaped failed this run — the rest
+        #: of the run sticks to the pickle path.
+        self._arena_healthy = True
         #: Procedure names whose summaries were actually (re)computed
         #: this run, per stage namespace — the incremental layer's
         #: ground truth that recomputation stayed inside the dirty set.
@@ -113,6 +135,8 @@ class Engine:
         self._loc_digests = {}
         self._callgraph = None
         self._returns_payload = []
+        self._destroy_arenas()
+        self._arena_healthy = True
         self.recomputed = {"ret": [], "fwd": [], "sub": []}
         if self._pool is not None:
             # Worker state is per-run; a surviving pool holds stale
@@ -122,6 +146,7 @@ class Engine:
 
     def close(self) -> None:
         self._shutdown_pool()
+        self._destroy_arenas()
         parallel._set_state(None)
 
     def __enter__(self) -> "Engine":
@@ -135,6 +160,127 @@ class Engine:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
             self._pool_kind = None
+
+    # -- shared-memory arena -------------------------------------------------
+
+    def _arena_active(self) -> bool:
+        """Whether waves should ride the arena — creating the per-run
+        segments on first use. Only meaningful with a pool (``jobs >
+        1``); creation failure quarantines the arena for the run."""
+        if (
+            not self._arena_healthy
+            or self.jobs <= 1
+            or self.arena_mode is False
+        ):
+            return False
+        if self._arena_stream is None:
+            try:
+                self._arena_stream = arena_mod.SummaryArena.create(
+                    label="stream"
+                )
+                self._arena_exchange = arena_mod.SummaryArena.create(
+                    label="exchange"
+                )
+            except arena_mod.ArenaError:
+                self._destroy_arenas()
+                self._disable_arena("create")
+                return False
+        return True
+
+    def _disable_arena(self, stage: str) -> None:
+        """Quarantine the arena for the rest of this run (the segments
+        stay mapped so in-flight workers can still finish reading) and
+        fall back to the pickle transport."""
+        if self._arena_healthy:
+            self._arena_healthy = False
+            self._count("arena_fallbacks")
+            if trace.ENABLED:
+                trace.instant("arena.fallback", stage=stage)
+
+    def _destroy_arenas(self) -> None:
+        for segment in (self._arena_stream, self._arena_exchange):
+            if segment is not None:
+                try:
+                    segment.destroy()
+                except Exception:  # noqa: BLE001 — teardown is best-
+                    pass  # effort; reap_stale collects leftovers
+        self._arena_stream = None
+        self._arena_exchange = None
+
+    def _publish_returns(self, pairs: List[tuple]) -> None:
+        """Mirror freshly appended canonical-payload entries into the
+        stream segment, in payload order, keyed like the Merkle cache.
+        The invariant ``stream record i == payload entry i`` (up to the
+        moment of a fallback) is what lets arena and pickle transports
+        interleave mid-run."""
+        if not pairs or not self._arena_active():
+            return
+        records = []
+        for name, entries in pairs:
+            key = (self._keys or {}).get(name, name)
+            for entry in entries:
+                records.append(("ret", key, entry))
+        if not records:
+            return
+        try:
+            self._arena_stream.append_many(records)
+            self._count("arena_stream_records", len(records))
+        except arena_mod.ArenaError:
+            self._disable_arena("publish")
+
+    def _dispatch_wave(
+        self,
+        task,
+        make_args,
+        resilience=None,
+        stage: Optional[str] = None,
+    ) -> List[dict]:
+        """Dispatch one wave over the preferred transport.
+
+        ``make_args(returns_ref)`` builds the task argument tuples for
+        a given return-function transport. Arena first: tasks get an
+        ``("arena", stream, upto, exchange)`` marker and may answer
+        with exchange descriptors, resolved here. Any
+        :class:`~repro.engine.arena.ArenaError` — a worker failing to
+        attach or read, or this parent failing to resolve a descriptor
+        — quarantines the arena and re-dispatches the *whole wave* over
+        the pickle path: waves are idempotent (pure summary computation
+        plus content-addressed cache stores), so the retry is
+        byte-identical to an undisturbed run.
+        """
+        if self._arena_active():
+            ref = (
+                "arena",
+                self._arena_stream.path,
+                len(self._returns_payload),
+                self._arena_exchange.path,
+            )
+            try:
+                results = self._dispatch(
+                    task, make_args(ref), resilience=resilience, stage=stage
+                )
+                return [self._resolve_result(data) for data in results]
+            except arena_mod.ArenaError:
+                self._disable_arena(stage or "dispatch")
+        snapshot = list(self._returns_payload)
+        args = make_args(snapshot)
+        # The counter the arena-equivalence tests pivot on: entries
+        # shipped through the pool's pickle channel. Arena waves ship
+        # zero.
+        self._count(
+            "engine_pickle_payload_entries", len(snapshot) * len(args)
+        )
+        return self._dispatch(
+            task, args, resilience=resilience, stage=stage
+        )
+
+    def _resolve_result(self, data: dict) -> dict:
+        """Unwrap a worker's ``{"@": index}`` exchange descriptor (a
+        plain result dict passes through — workers degrade to inline
+        shipping when the exchange is unavailable)."""
+        if "@" not in data:
+            return data
+        return self._arena_exchange.read_payload(data["@"])
 
     # -- attachment (first stage call) ---------------------------------------
 
@@ -162,18 +308,20 @@ class Engine:
                 else:
                     self._index = None
                     self._keys = {}
-        if parallel._STATE is None or parallel._STATE.program is not program:
+        state = parallel._get_state()
+        if state is None or state.program is not program:
             # Thread/inline tasks run against the parent's own prepared
             # objects; a process pool's forked children inherit this
-            # very state copy-on-write at submit time.
-            parallel._set_state(
-                parallel._WorkerState(
-                    program, config, prepared=True,
-                    callgraph=callgraph, modref=None,
-                )
+            # very state copy-on-write at submit time. (The getter is
+            # thread-scoped so concurrent batch-thread engines each see
+            # their own program, not a sibling's.)
+            state = parallel._WorkerState(
+                program, config, prepared=True,
+                callgraph=callgraph, modref=None,
             )
+            parallel._set_state(state)
         # modref only matters to return-function generation:
-        return parallel._STATE
+        return state
 
     def _ensure_pool(self):
         if self.jobs <= 1 or self._pool is not None:
@@ -319,8 +467,11 @@ class Engine:
         futures = [pool.submit(task, *args) for args in arg_tuples]
         return [future.result() for future in futures]
 
-    def _chunks(self, items: List) -> List[List]:
-        return partition(items, self.jobs)
+    def _chunks(self, items: List, arena_wave: bool = False) -> List[List]:
+        return partition(
+            items, self.jobs,
+            max_chunk=ARENA_MAX_CHUNK if arena_wave else None,
+        )
 
     # -- profiling helpers ---------------------------------------------------
 
@@ -353,6 +504,7 @@ class Engine:
         for level_index, level in enumerate(levels):
             self._check()
             pending: List[List[str]] = []
+            fresh: List[tuple] = []
             for component in level:
                 names = [p.name for p in component]
                 cached = self._lookup_members("ret", names)
@@ -360,31 +512,41 @@ class Engine:
                     member_data.update(cached)
                     for name in names:
                         payload.extend(cached[name]["fns"])
+                        fresh.append((name, cached[name]["fns"]))
                 else:
                     pending.append(names)
+            # Cache-served entries reach sibling workers through the
+            # stream segment too — publish before the wave that cites
+            # them.
+            self._publish_returns(fresh)
             if not pending:
                 continue
             # Chunk whole SCCs across workers; every task of this wave
-            # receives an identical payload snapshot.
-            snapshot = list(payload)
+            # cites the same payload prefix (by arena marker or by an
+            # identical pickled snapshot).
             computed: Dict[str, dict] = {}
-            for result in self._dispatch(
+            for result in self._dispatch_wave(
                 parallel._task_returns,
-                [
-                    (chunk, snapshot, level_index)
-                    for chunk in self._chunks(pending)
+                lambda ref, _level=level_index, _pending=pending: [
+                    (chunk, ref, _level)
+                    for chunk in self._chunks(
+                        _pending, arena_wave=not isinstance(ref, list)
+                    )
                 ],
                 resilience=resilience,
                 stage="ret",
             ):
                 computed.update(result)
+            fresh = []
             for names in pending:
                 for name in names:
                     data = computed[name]
                     member_data[name] = data
                     payload.extend(data["fns"])
+                    fresh.append((name, data["fns"]))
                     self._store_member("ret", name, data)
                     self._note_recomputed("ret", name)
+            self._publish_returns(fresh)
 
         # Merge in the serial pipeline's order — the full Tarjan
         # bottom-up order, not level order — so the parent's map and the
@@ -423,10 +585,14 @@ class Engine:
                 pending.append(name)
         if pending:
             self._check()
-            snapshot = list(self._returns_payload)
-            for result in self._dispatch(
+            for result in self._dispatch_wave(
                 parallel._task_forwards,
-                [(chunk, snapshot) for chunk in self._chunks(pending)],
+                lambda ref: [
+                    (chunk, ref)
+                    for chunk in self._chunks(
+                        pending, arena_wave=not isinstance(ref, list)
+                    )
+                ],
                 resilience=resilience,
                 stage="fwd",
             ):
@@ -471,13 +637,33 @@ class Engine:
                 pending.append(name)
         if pending:
             self._check()
-            snapshot = list(self._returns_payload)
-            for result in self._dispatch(
+
+            def make_args(ref):
+                # The CONSTANTS payload is identical for every task of
+                # the wave; on the arena path it is published once to
+                # the exchange segment and cited by index instead of
+                # being pickled into each task message.
+                constants_ref = constants_payload
+                if not isinstance(ref, list):
+                    try:
+                        index = self._arena_exchange.append(
+                            "sub", "constants", constants_payload
+                        )
+                        constants_ref = (
+                            "const", self._arena_exchange.path, index
+                        )
+                    except arena_mod.ArenaError:
+                        constants_ref = constants_payload
+                return [
+                    (chunk, ref, constants_ref)
+                    for chunk in self._chunks(
+                        pending, arena_wave=not isinstance(ref, list)
+                    )
+                ]
+
+            for result in self._dispatch_wave(
                 parallel._task_substitution,
-                [
-                    (chunk, snapshot, constants_payload)
-                    for chunk in self._chunks(pending)
-                ],
+                make_args,
                 resilience=resilience,
                 stage="sub",
             ):

@@ -21,20 +21,40 @@ map it has reconstructed so far. Three executor bootstraps feed it:
 
 Return-function summaries flow between waves as an *append-only
 canonical payload*: the parent appends every generated/cached entry in
-a fixed order, and each task call carries the full payload. A worker
-applies only the tail it has not seen (``applied_returns``), so results
-are identical no matter which worker a task lands on.
+a fixed order. On the classic pickle path each task call carries the
+full payload; with the shared-memory arena
+(:mod:`repro.engine.arena`) the parent publishes the same entries, in
+the same order, as arena records and each task carries only an
+``("arena", stream_path, upto, exchange_path)`` marker — a worker
+reads the unseen tail ``[applied_returns, upto)`` straight out of the
+mapped segment. Indices align one-to-one with the canonical payload,
+so the two transports can interleave freely (the engine falls back to
+pickling mid-run if the arena degrades) and a worker applies each
+entry exactly once either way. Results travel back the same way:
+a worker appends its summary dict to the *exchange* segment and
+returns a tiny ``{"@": index}`` descriptor (or the dict itself when
+the exchange is unavailable — the parent accepts both).
+
+:data:`_STATE` is layered: a module global (what fork children inherit
+and an engine's own thread pool reads) under a ``threading.local``
+override (what lets the *batch* thread executor run several engines
+concurrently in one process — each batch thread sees only its own
+program). :func:`_get_state` prefers the thread-local.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro import faults
 from repro.config import AnalysisConfig
 from repro.ir.module import Program
 from repro.engine import summaries
+
+#: A wave's return-function transport: the canonical payload itself,
+#: or an ("arena", stream_path, upto, exchange_path) marker.
+ReturnsRef = Union[List[dict], tuple]
 
 
 class _WorkerState:
@@ -63,10 +83,32 @@ class _WorkerState:
 #: The current worker's state; installed by one of the bootstraps below.
 _STATE: Optional[_WorkerState] = None
 
+#: Per-thread override of :data:`_STATE`. Batch threads install their
+#: engine's state here so concurrent files never clobber each other;
+#: fork children inherit the forking thread's value (CPython preserves
+#: ``threading.local`` across fork for the surviving thread), and an
+#: engine's own thread-pool workers — fresh threads with an empty
+#: local — fall through to the global.
+_TLS = threading.local()
+
 
 def _set_state(state: Optional[_WorkerState]) -> None:
     global _STATE
     _STATE = state
+    _TLS.state = state
+
+
+def _set_thread_state(state: Optional[_WorkerState]) -> None:
+    """Install (or clear) only this thread's state, leaving the global
+    for other threads — the batch thread executor's isolation."""
+    _TLS.state = state
+
+
+def _get_state() -> Optional[_WorkerState]:
+    state = getattr(_TLS, "state", None)
+    if state is not None:
+        return state
+    return _STATE
 
 
 def _traced_call(task, *args):
@@ -126,7 +168,7 @@ def _init_spawn(text: str, filename: str, config: AnalysisConfig) -> None:
 
 
 def _ensure_prepared() -> _WorkerState:
-    state = _STATE
+    state = _get_state()
     if state is None:
         raise RuntimeError("engine worker state was never installed")
     if not state.prepared:
@@ -163,6 +205,61 @@ def _apply_returns(state: _WorkerState, payload: List[dict]) -> None:
         state.applied_returns = len(payload)
 
 
+def _resolve_returns(state: _WorkerState, returns_ref: ReturnsRef) -> None:
+    """Bring this worker's return map up to date from either transport.
+
+    A list is the canonical payload itself (pickle path). A marker
+    tuple names the stream arena and how many records are relevant to
+    this wave; the worker reads only its unseen tail. Arena failures
+    (unlinked segment, checksum mismatch) raise
+    :class:`~repro.engine.arena.ArenaError` out of the task — the
+    engine catches it, quarantines the arena, and re-dispatches the
+    wave over the pickle path.
+    """
+    if isinstance(returns_ref, list):
+        _apply_returns(state, returns_ref)
+        return
+    _, stream_path, upto, _ = returns_ref
+    if state.applied_returns >= upto:
+        return
+    from repro.engine.arena import SummaryArena
+
+    segment = SummaryArena.attach_cached(stream_path)
+    with state.lock:
+        start = state.applied_returns
+        if start >= upto:
+            return
+        for index in range(start, upto):
+            _, _, data = segment.read(index)
+            state.return_map.add(
+                summaries.decode_return_function(data, state.program)
+            )
+        state.applied_returns = upto
+
+
+def _publish_result(
+    returns_ref: ReturnsRef, stage: str, results: Dict[str, dict]
+) -> Dict[str, dict]:
+    """Ship a task's results: through the exchange arena as a
+    ``{"@": index}`` descriptor when one is attached, inline otherwise.
+    ``"@"`` can never collide with a procedure name (identifiers only).
+    An exchange append that fails for any reason degrades to the inline
+    dict — never a failed task."""
+    if isinstance(returns_ref, list):
+        return results
+    _, _, _, exchange_path = returns_ref
+    if exchange_path is None:
+        return results
+    from repro.engine import arena as arena_mod
+
+    try:
+        segment = arena_mod.SummaryArena.attach_cached(exchange_path)
+        index = segment.append(stage, "x", results)
+    except Exception:  # noqa: BLE001 — any exchange trouble (full,
+        return results  # unlinked, codec) degrades to inline shipping
+    return {"@": index}
+
+
 def _demotions_guard(config: AnalysisConfig):
     """Per-task resilience sink, so each procedure's demotions can be
     shipped back (and cached) with exact attribution."""
@@ -173,7 +270,7 @@ def _demotions_guard(config: AnalysisConfig):
 
 def _task_returns(
     component_names: List[List[str]],
-    returns_payload: List[dict],
+    returns_payload: ReturnsRef,
     level: int = 0,
 ) -> Dict[str, dict]:
     """Build the return jump functions of the given SCCs (each a member
@@ -183,7 +280,7 @@ def _task_returns(
     ``kill-worker`` fault point can target a specific wave."""
     faults.maybe_kill_worker(stage="ret", level=level)
     state = _ensure_prepared()
-    _apply_returns(state, returns_payload)
+    _resolve_returns(state, returns_payload)
     from repro.ipcp.return_functions import build_return_functions_for
 
     results: Dict[str, dict] = {}
@@ -202,17 +299,17 @@ def _task_returns(
                 ),
                 "dem": summaries.encode_demotions(report),
             }
-    return results
+    return _publish_result(returns_payload, "ret", results)
 
 
 def _task_forwards(
-    procedure_names: List[str], returns_payload: List[dict]
+    procedure_names: List[str], returns_payload: ReturnsRef
 ) -> Dict[str, dict]:
     """Build the forward jump functions of each named procedure's call
     sites. Independent per procedure: the return map is read-only."""
     faults.maybe_kill_worker(stage="fwd")
     state = _ensure_prepared()
-    _apply_returns(state, returns_payload)
+    _resolve_returns(state, returns_payload)
     from repro.ipcp.jump_functions import (
         JumpFunctionTable,
         build_forward_jump_functions_for,
@@ -235,19 +332,28 @@ def _task_forwards(
             ),
             "dem": summaries.encode_demotions(report),
         }
-    return results
+    return _publish_result(returns_payload, "fwd", results)
 
 
 def _task_substitution(
     procedure_names: List[str],
-    returns_payload: List[dict],
-    constants_payload: dict,
+    returns_payload: ReturnsRef,
+    constants_payload: Union[dict, tuple],
 ) -> Dict[str, dict]:
     """Measure each named procedure's substitutions against the final
-    CONSTANTS sets. Independent per procedure."""
+    CONSTANTS sets. Independent per procedure. ``constants_payload`` is
+    the encoded-cells dict itself, or a ``("const", path, index)``
+    citation of one exchange-arena record holding it."""
     faults.maybe_kill_worker(stage="sub")
     state = _ensure_prepared()
-    _apply_returns(state, returns_payload)
+    _resolve_returns(state, returns_payload)
+    if not isinstance(constants_payload, dict):
+        from repro.engine.arena import SummaryArena
+
+        _, exchange_path, index = constants_payload
+        constants_payload = SummaryArena.attach_cached(
+            exchange_path
+        ).read_payload(index)
     from repro.analysis.sccp import SCCPCallModel
     from repro.ipcp.return_functions import ReturnFunctionCallModel
     from repro.ipcp.substitution import (
@@ -277,4 +383,4 @@ def _task_substitution(
             "sub": summaries.encode_substitution_of(report, name),
             "dem": summaries.encode_demotions(demotions),
         }
-    return results
+    return _publish_result(returns_payload, "sub", results)

@@ -15,7 +15,7 @@ split across workers.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.callgraph.callgraph import CallGraph
 from repro.ir.module import Procedure
@@ -53,11 +53,23 @@ def condensation_levels(callgraph: CallGraph) -> List[List[List[Procedure]]]:
     return levels
 
 
-def partition(items: List, chunks: int) -> List[List]:
+def partition(
+    items: List, chunks: int, max_chunk: Optional[int] = None
+) -> List[List]:
     """Split ``items`` into at most ``chunks`` contiguous, order-
-    preserving, near-equal slices (no empty slices)."""
+    preserving, near-equal slices (no empty slices).
+
+    ``max_chunk`` caps the slice size by raising the slice count — the
+    arena-mode scheduler uses it to cut waves finer than one-per-worker
+    (task messages are near-constant-size there, so extra tasks cost
+    almost nothing and stragglers stop serializing a wave). Without the
+    arena each extra task re-ships the full summary payload, so the
+    engine leaves it unset on the pickle path.
+    """
     if not items:
         return []
+    if max_chunk is not None and max_chunk >= 1:
+        chunks = max(chunks, -(-len(items) // max_chunk))
     chunks = max(1, min(chunks, len(items)))
     size, remainder = divmod(len(items), chunks)
     result = []

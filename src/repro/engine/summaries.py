@@ -305,3 +305,34 @@ def apply_demotions(data: List[list], resilience: Optional[ResilienceReport]) ->
         return
     for component, site, from_kind, to_kind, reason in data:
         resilience.record(component, site, from_kind, to_kind, reason)
+
+
+# -- wire format (shared-memory arena) ---------------------------------------
+#
+# Every payload this module emits lives in the JSON data model (None,
+# bool, int, float, str, list, dict-with-str-keys) — that is the *wire
+# contract* the shared-memory arena depends on: arena records skip the
+# JSON round-trip the disk cache performs, so a payload that json.dumps
+# would accept but the binary codec would not (tuples, sets, objects)
+# must never appear here. to_wire/from_wire are the contract's
+# canonical entry points; decode helpers above deliberately accept
+# lists wherever they would accept tuples so a codec round-trip is
+# transparent.
+
+
+def to_wire(payload) -> bytes:
+    """Encode one summary payload with the arena's binary codec
+    (:mod:`repro.engine.codec`). Raises
+    :class:`~repro.engine.codec.CodecError` on anything outside the
+    wire contract — loudly, at the producer, not in a worker."""
+    from repro.engine import codec
+
+    return codec.encode_value(payload)
+
+
+def from_wire(data: bytes):
+    """Decode bytes produced by :func:`to_wire`; exact inverse
+    (``from_wire(to_wire(x)) == x`` including bool/int distinctions)."""
+    from repro.engine import codec
+
+    return codec.decode_value(data)

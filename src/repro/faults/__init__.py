@@ -21,7 +21,13 @@ what breaks; the parameters say where and when:
 - ``delay-request`` — sleep ``ms=M`` inside the daemon's request
   lifecycle (``op=analyze`` etc.) — how deadline expiry is tested;
 - ``delay-file`` — sleep ``ms=M`` per batch/serve file analysis — how
-  drain-under-load and signal handling are tested.
+  drain-under-load and signal handling are tested;
+- ``corrupt-arena`` — bit-rot a shared-memory arena record as it is
+  appended (``namespace=ret|fwd|sub``); the reader's crc check must
+  quarantine the arena and fall back to the pickle path;
+- ``unlink-arena`` — remove the arena segment at attach time, the
+  "operator deleted /dev/shm files" drill; attaches fail cleanly and
+  the run falls back to the pickle path, never to a failed analysis.
 
 Triggering is deterministic:
 
@@ -64,6 +70,8 @@ POINTS = (
     "fail-write",
     "delay-request",
     "delay-file",
+    "corrupt-arena",
+    "unlink-arena",
 )
 
 

@@ -25,6 +25,7 @@ locking.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 #: Default histogram buckets (seconds-flavored, but histograms are
@@ -287,30 +288,70 @@ def _format_float(value: float) -> str:
 #: exports.
 _DEFAULT = MetricsRegistry()
 
+#: Thread-scoped override (a stack, so scopes nest). When a thread has
+#: pushed a scope, *its* instrumentation lands in the scoped registry
+#: instead of the process-wide one — this is what lets the batch thread
+#: executor run files concurrently and still report exact per-file
+#: deltas: snapshot/delta over the shared registry would attribute a
+#: sibling thread's counters to the wrong file.
+_SCOPED = threading.local()
+
 
 def default_registry() -> MetricsRegistry:
+    stack = getattr(_SCOPED, "stack", None)
+    if stack:
+        return stack[-1]
     return _DEFAULT
 
 
+def global_registry() -> MetricsRegistry:
+    """The process-wide registry, bypassing any thread scope."""
+    return _DEFAULT
+
+
+def push_scope() -> MetricsRegistry:
+    """Route this thread's instrumentation into a fresh registry until
+    the matching :func:`pop_scope`."""
+    stack = getattr(_SCOPED, "stack", None)
+    if stack is None:
+        stack = _SCOPED.stack = []
+    registry = MetricsRegistry()
+    stack.append(registry)
+    return registry
+
+
+def pop_scope(merge: bool = True) -> MetricsRegistry:
+    """End this thread's innermost scope. With ``merge`` (the default)
+    the scoped totals are folded into the enclosing registry, so
+    process-lifetime accounting still sees everything."""
+    stack = getattr(_SCOPED, "stack", None)
+    if not stack:
+        raise RuntimeError("pop_scope without a matching push_scope")
+    registry = stack.pop()
+    if merge:
+        default_registry().merge(registry.snapshot())
+    return registry
+
+
 def inc(name: str, amount: int = 1) -> None:
-    _DEFAULT.inc(name, amount)
+    default_registry().inc(name, amount)
 
 
 def observe(name: str, value: float) -> None:
-    _DEFAULT.observe(name, value)
+    default_registry().observe(name, value)
 
 
 def value(name: str) -> int:
-    return _DEFAULT.value(name)
+    return default_registry().value(name)
 
 
 def snapshot() -> dict:
-    return _DEFAULT.snapshot()
+    return default_registry().snapshot()
 
 
 def delta_since(snap: Mapping) -> dict:
-    return _DEFAULT.delta_since(snap)
+    return default_registry().delta_since(snap)
 
 
 def reset() -> None:
-    _DEFAULT.reset()
+    default_registry().reset()

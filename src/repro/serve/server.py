@@ -72,6 +72,7 @@ STATUS_ERROR = "error"
 _STATUS_COUNTER_PREFIXES = (
     "serve_", "engine_pool_", "batch_pool_", "cache_", "faults_",
     "recomputed_", "run_cache_", "summary_cache_", "demotions_",
+    "arena_", "engine_pickle_",
 )
 
 
@@ -88,6 +89,9 @@ class ServeConfig:
     drain_timeout_s: float = 5.0
     metrics_path: Optional[str] = None
     trace_path: Optional[str] = None
+    #: Shared-memory arena policy for the persistent engine: None
+    #: (auto: on whenever ``jobs > 1``) or False (``--no-arena``).
+    arena: Optional[bool] = None
 
 
 class SocketBusyError(RuntimeError):
@@ -102,7 +106,10 @@ class ReproServer:
 
     def __init__(self, config: ServeConfig):
         self.config = config
-        self.engine = Engine(jobs=config.jobs, cache_dir=config.cache_dir)
+        self.engine = Engine(
+            jobs=config.jobs, cache_dir=config.cache_dir,
+            arena=config.arena,
+        )
         self._queue: "queue.Queue[Ticket]" = queue.Queue(
             maxsize=max(1, config.queue_limit)
         )
@@ -122,6 +129,18 @@ class ReproServer:
 
     def start(self) -> None:
         """Bind the socket and start the accept + dispatcher threads."""
+        # A previous daemon that died hard (SIGKILL, OOM) can leak
+        # arena segments in /dev/shm; reap anything whose owner pid is
+        # gone before this instance starts creating its own.
+        from repro.engine import arena as arena_mod
+
+        reaped = arena_mod.reap_stale()
+        if reaped:
+            print(
+                f"[repro serve: reaped {len(reaped)} stale arena "
+                f"segment(s)]",
+                file=sys.stderr,
+            )
         if self.config.trace_path is not None:
             self._tracer = trace.enable()
         self._listener = self._bind(self.config.socket_path)

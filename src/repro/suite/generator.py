@@ -295,3 +295,165 @@ def generate_case(seed: int, config: Optional[GeneratorConfig] = None) -> Genera
         source=generate_program(seed, config),
         inputs=generate_inputs(seed, config),
     )
+
+
+# -- scale tier ----------------------------------------------------------
+
+#: Stream separator for the scaled generator: like the input vector,
+#: the 10k-100k tier draws from its own seeded stream so the classic
+#: per-seed program text stays byte-identical forever.
+_SCALE_STREAM_SALT = 0x5DEECE66D
+
+
+@dataclass
+class ScaleConfig:
+    """Knobs for :func:`generate_scaled_program` — the 10k-100k
+    procedure tier driven by the ``large`` pipeline bench.
+
+    The classic :class:`_Generator` picks call targets by slicing
+    ``shapes[caller+1:]`` — O(N) per call site, O(N^2) per program,
+    unusable past a few thousand procedures. Here the call graph is
+    *layered*: procedure ``i`` lives in layer ``i // layer_width`` and
+    calls only the next layer's contiguous index range, so choosing a
+    callee is one ``randrange``. The graph stays acyclic (calls go
+    strictly to higher indices) and generation is O(N) in both time
+    and RNG draws.
+    """
+
+    procedures: int = 10_000
+    #: Procedures per call-graph layer (the fan-out window).
+    layer_width: int = 64
+    globals_count: int = 4
+    max_formals: int = 2
+    max_calls_per_procedure: int = 2
+    #: How many layer-0 procedures ``MAIN`` invokes.
+    main_calls: int = 24
+    #: Chance a local is READ (unknown at analysis time) instead of
+    #: assigned — keeps the lattice honestly mixed, not all-constant.
+    read_probability: float = 0.1
+
+
+def generate_scaled_program(
+    seed: int, config: Optional[ScaleConfig] = None
+) -> str:
+    """Deterministic layered MiniFortran program at benchmark scale.
+
+    Byte-identical across runs for a fixed ``(seed, config)``; drawn
+    from a stream independent of :func:`generate_program`. Call
+    arguments are literals or caller locals (never globals, never
+    aliased), every call targets a strictly higher-numbered procedure,
+    and there are no loops — so the program parses, lowers, and
+    analyzes cleanly and would terminate if executed.
+    """
+    config = config or ScaleConfig()
+    rng = random.Random(seed ^ _SCALE_STREAM_SALT)
+    total = config.procedures
+    width = max(1, config.layer_width)
+    globals_ = [f"GV{i}" for i in range(config.globals_count)]
+    common = (
+        f"      COMMON /GEN/ {', '.join(globals_)}" if globals_ else None
+    )
+
+    # Pass 1: every procedure's shape, so call sites can be emitted
+    # with the right arity before the callee's unit text exists.
+    formal_counts = [
+        rng.randint(0, config.max_formals) for _ in range(total)
+    ]
+    function_flags = [
+        count > 0 and rng.random() < 0.2 for count in formal_counts
+    ]
+
+    def emit_call(lines: List[str], caller_locals: List[str],
+                  low: int, high: int) -> None:
+        target = rng.randrange(low, high)
+        args = []
+        for _ in range(formal_counts[target]):
+            if caller_locals and rng.random() < 0.3:
+                args.append(rng.choice(caller_locals))
+            else:
+                args.append(str(rng.randint(-20, 20)))
+        arg_text = f"({', '.join(args)})" if args else ""
+        if function_flags[target]:
+            local = f"L{len(caller_locals)}Z"
+            caller_locals.append(local)
+            lines.append(f"      {local} = P{target}{arg_text}")
+        else:
+            lines.append(f"      CALL P{target}{arg_text}")
+
+    def emit_body(lines: List[str], formals: List[str],
+                  next_range) -> List[str]:
+        locals_: List[str] = []
+        readable = formals + globals_
+        for _ in range(rng.randint(1, 2)):
+            local = f"L{len(locals_)}Z"
+            locals_.append(local)
+            roll = rng.random()
+            if roll < config.read_probability:
+                lines.append(f"      READ *, {local}")
+            elif readable and roll < 0.55:
+                lines.append(
+                    f"      {local} = ({rng.choice(readable)} + "
+                    f"{rng.randint(-20, 20)})"
+                )
+            else:
+                lines.append(f"      {local} = {rng.randint(-20, 20)}")
+        if next_range is not None:
+            low, high = next_range
+            for _ in range(
+                rng.randint(1, config.max_calls_per_procedure)
+            ):
+                emit_call(lines, locals_, low, high)
+        if globals_ and rng.random() < 0.25:
+            lines.append(
+                f"      {rng.choice(globals_)} = {rng.randint(-20, 20)}"
+            )
+        return locals_
+
+    # MAIN: pin the globals to literals, then fan into layer 0.
+    main_lines: List[str] = []
+    for name in globals_:
+        main_lines.append(f"      {name} = {rng.randint(-20, 20)}")
+    main_locals: List[str] = []
+    first_high = min(width, total)
+    for _ in range(config.main_calls):
+        emit_call(main_lines, main_locals, 0, first_high)
+    header = ["      PROGRAM MAIN"]
+    if common:
+        header.append(common)
+    pieces = ["\n".join([*header, *main_lines, "      END"])]
+
+    for index in range(total):
+        formals = [f"F{index}A{j}" for j in range(formal_counts[index])]
+        next_low = (index // width + 1) * width
+        next_range = (
+            (next_low, min(next_low + width, total))
+            if next_low < total
+            else None
+        )
+        lines: List[str] = []
+        locals_ = emit_body(lines, formals, next_range)
+        if function_flags[index]:
+            unit_header = (
+                f"      INTEGER FUNCTION P{index}({', '.join(formals)})"
+            )
+            sources = formals + locals_
+            result = (
+                rng.choice(sources)
+                if sources and rng.random() < 0.5
+                else str(rng.randint(-20, 20))
+            )
+            lines.append(f"      P{index} = {result}")
+        elif formals:
+            unit_header = (
+                f"      SUBROUTINE P{index}({', '.join(formals)})"
+            )
+        else:
+            unit_header = f"      SUBROUTINE P{index}"
+        unit = [unit_header]
+        if common:
+            unit.append(common)
+        unit.extend(lines)
+        unit.append("      RETURN")
+        unit.append("      END")
+        pieces.append("\n".join(unit))
+    return "\n\n".join(pieces) + "\n"

@@ -1,0 +1,127 @@
+"""The arena wire codec: decode(encode(x)) == x over the JSON data
+model, exactly — type distinctions included — and everything outside
+that domain is refused loudly at encode time."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.engine import codec
+from repro.engine.codec import CodecError, decode_value, encode_value
+
+ROUNDTRIP_VALUES = [
+    None,
+    True,
+    False,
+    0,
+    1,
+    -1,
+    63,
+    64,
+    -64,
+    -65,
+    2**31 - 1,
+    -(2**31),
+    2**200,          # polynomial coefficients are unbounded
+    -(2**200),
+    0.0,
+    -0.0,
+    1.5,
+    -2.25e300,
+    "",
+    "x",
+    "naïve Σ ümlaut",
+    [],
+    [1, 2, 3],
+    [None, True, 0, "mixed", [1.5]],
+    {},
+    {"a": 1},
+    {"ret": {"kind": "poly", "coeffs": [1, -2, 3]}, "": None},
+]
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("value", ROUNDTRIP_VALUES)
+    def test_exact(self, value):
+        again = decode_value(encode_value(value))
+        assert again == value
+        assert type(again) is type(value)
+
+    def test_bool_int_distinction_survives(self):
+        # JSON would conflate these after a load/dump cycle; the codec
+        # must not — summary merges compare types.
+        payload = [True, 1, False, 0]
+        again = decode_value(encode_value(payload))
+        assert [type(v) for v in again] == [bool, int, bool, int]
+
+    def test_nested_summary_shaped_payload(self):
+        payload = {
+            "name": "p12",
+            "cells": [["c", 7], ["t"], ["b"]],
+            "sites": [[0, "callee", [1, 2]], [3, "other", []]],
+            "weight": -1.25,
+        }
+        assert decode_value(encode_value(payload)) == payload
+
+    def test_key_order_is_preserved(self):
+        payload = {"z": 1, "a": 2, "m": 3}
+        assert list(decode_value(encode_value(payload))) == ["z", "a", "m"]
+
+    def test_nan_roundtrips(self):
+        value = decode_value(encode_value(float("nan")))
+        assert math.isnan(value)
+
+    def test_compact_vs_json(self):
+        payload = {"kind": "poly", "coeffs": [0, -1, 250, 3]}
+        wire = encode_value(payload)
+        assert len(wire) < len(json.dumps(payload).encode())
+
+
+class TestEncodeDomain:
+    @pytest.mark.parametrize(
+        "value",
+        [(1, 2), {"k": (1,)}, {1: "non-str key"}, b"bytes", {"k": set()}],
+    )
+    def test_out_of_domain_values_refused(self, value):
+        with pytest.raises(CodecError):
+            encode_value(value)
+
+    def test_codec_error_is_a_value_error(self):
+        # Callers that guard with ``except ValueError`` still catch it.
+        assert issubclass(CodecError, ValueError)
+
+
+class TestDecodeRobustness:
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(CodecError, match="trailing"):
+            decode_value(encode_value(1) + b"\x00")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(CodecError):
+            decode_value(b"")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(CodecError, match="tag"):
+            decode_value(b"\x7f")
+
+    @pytest.mark.parametrize(
+        "value", ["hello world", [1, 2, 3], {"key": 1}, 1.5, 2**70]
+    )
+    def test_every_truncation_detected(self, value):
+        wire = encode_value(value)
+        for cut in range(len(wire)):
+            with pytest.raises(CodecError):
+                decode_value(wire[:cut])
+
+    def test_memoryview_input_accepted(self):
+        # Arena reads hand over mmap slices.
+        wire = memoryview(encode_value({"a": [1, 2]}))
+        assert decode_value(wire) == {"a": [1, 2]}
+
+
+def test_version_constant_present():
+    # Stamped into arena headers; a bump must be deliberate, so pin it.
+    assert codec.CODEC_VERSION == 1
