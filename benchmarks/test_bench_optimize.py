@@ -1,0 +1,187 @@
+"""Measured dynamic speedups of the IPCP-driven optimization backend.
+
+For every golden-corpus program this benchmark interprets the fresh
+(never-analyzed) lowering and the optimized program with identical
+inputs, recording
+
+- byte-identity of PRINT output (differential equivalence — asserted,
+  never just recorded),
+- dynamic op counters (steps / branches / calls) before and after,
+- best-of-N interpreted wall time per execution and the speedup,
+- per-pass attribution: dynamic steps under each cumulative pass
+  prefix (fold; fold+branches; fold+branches+unswitch; full pipeline),
+  so each pass's marginal step savings are visible.
+
+``BENCH_OPT.json`` holds one row per program plus the aggregate. The
+acceptance gate applies to the *constant-heavy subset* — programs where
+the analysis statically substituted at least
+:data:`CONSTANT_HEAVY_MIN_SUBST` constant references (the paper-suite
+members, where interprocedural constants actually reach hot code):
+every such program must execute strictly fewer dynamic steps after
+optimization, and the geometric-mean interpreted-runtime speedup must
+be >= 1.3x.
+
+``BENCH_OPT_TIER`` picks the measurement budget: ``small`` (default,
+CI-friendly) or ``full`` (longer timing windows, tighter variance).
+"""
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import emit_once
+from repro.engine.memo import fresh_program
+from repro.ir.interp import run_program
+from repro.opt import PASS_NAMES, optimize_source
+from repro.oracle.golden import golden_programs
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+REPORT_PATH = REPO_ROOT / "BENCH_OPT.json"
+
+TIER = os.environ.get("BENCH_OPT_TIER", "small")
+#: Per-measurement wall-clock budget (seconds) and timing rounds.
+BUDGET_S = {"small": 0.015, "full": 0.08}.get(TIER, 0.015)
+ROUNDS = {"small": 3, "full": 5}.get(TIER, 3)
+
+#: Static substitution floor for the "constant-heavy" gate subset.
+CONSTANT_HEAVY_MIN_SUBST = 25
+
+#: Geomean interpreted-runtime speedup floor on that subset.
+SPEEDUP_GATE = 1.3
+
+#: Input feed for programs that READ (unconsumed suffix is harmless).
+INPUTS = (3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8)
+
+ORIGINAL_FUEL = 2_000_000
+OPTIMIZED_FUEL = 8_000_000
+
+#: Cumulative pass prefixes, in pipeline order, for attribution.
+CUMULATIVE = tuple(
+    tuple(PASS_NAMES[: index + 1]) for index in range(len(PASS_NAMES))
+)
+
+
+def _timed_per_run(program, fuel: float) -> float:
+    """Best-of-ROUNDS mean seconds per interpretation."""
+    probe_start = time.perf_counter()
+    run_program(program, INPUTS, fuel)
+    probe = time.perf_counter() - probe_start
+    repeats = max(3, min(200, int(BUDGET_S / max(probe, 1e-6))))
+    best = None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            run_program(program, INPUTS, fuel)
+        mean = (time.perf_counter() - start) / repeats
+        if best is None or mean < best:
+            best = mean
+    return best
+
+
+@pytest.fixture(scope="module")
+def report():
+    data = {
+        "tier": TIER,
+        "cpu_count": os.cpu_count(),
+        "passes": list(PASS_NAMES),
+        "constant_heavy_min_substitutions": CONSTANT_HEAVY_MIN_SUBST,
+        "speedup_gate": SPEEDUP_GATE,
+        "programs": [],
+        "aggregate": {},
+    }
+    yield data
+    REPORT_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def test_optimization_speedups(report, capfd):
+    rows = []
+    for name, golden in sorted(golden_programs().items()):
+        original_program = fresh_program(golden.source, f"{name}.f")
+        original_trace = run_program(original_program, INPUTS, ORIGINAL_FUEL)
+
+        # Per-pass attribution: dynamic steps under each cumulative
+        # pass prefix. The last prefix IS the full pipeline — reuse it.
+        attribution = {}
+        previous_steps = original_trace.steps
+        result = opt_report = optimized_trace = None
+        for prefix in CUMULATIVE:
+            result, opt_report = optimize_source(
+                golden.source, golden.config, passes=prefix
+            )
+            optimized_trace = run_program(
+                result.program, INPUTS, OPTIMIZED_FUEL
+            )
+            attribution[prefix[-1]] = {
+                "steps": optimized_trace.steps,
+                "steps_saved": previous_steps - optimized_trace.steps,
+            }
+            previous_steps = optimized_trace.steps
+
+        equivalent = original_trace.output == optimized_trace.output
+        assert equivalent, (
+            f"{name}: optimized output diverged from the original"
+        )
+
+        original_seconds = _timed_per_run(original_program, ORIGINAL_FUEL)
+        optimized_seconds = _timed_per_run(result.program, OPTIMIZED_FUEL)
+        speedup = (
+            original_seconds / optimized_seconds if optimized_seconds else 0.0
+        )
+        substituted = result.substituted_constants
+        row = {
+            "program": name,
+            "substituted_constants": substituted,
+            "static_changes": opt_report.total_changes,
+            "constant_heavy": substituted >= CONSTANT_HEAVY_MIN_SUBST,
+            "equivalent": equivalent,
+            "original": dict(original_trace.dynamic_counters()),
+            "optimized": dict(optimized_trace.dynamic_counters()),
+            "step_reduction": original_trace.steps - optimized_trace.steps,
+            "original_us_per_run": round(original_seconds * 1e6, 2),
+            "optimized_us_per_run": round(optimized_seconds * 1e6, 2),
+            "speedup": round(speedup, 3),
+            "per_pass_steps": attribution,
+        }
+        rows.append(row)
+        report["programs"].append(row)
+
+    heavy = [row for row in rows if row["constant_heavy"]]
+    assert heavy, "golden corpus lost its constant-heavy members"
+    for row in heavy:
+        assert row["step_reduction"] > 0, (
+            f"{row['program']}: optimization did not strictly reduce "
+            f"dynamic steps ({row['original']['steps']} -> "
+            f"{row['optimized']['steps']})"
+        )
+    geomean = math.exp(
+        sum(math.log(row["speedup"]) for row in heavy) / len(heavy)
+    )
+    total_saved = sum(row["step_reduction"] for row in rows)
+    report["aggregate"] = {
+        "programs": len(rows),
+        "constant_heavy_programs": len(heavy),
+        "geomean_speedup_constant_heavy": round(geomean, 3),
+        "geomean_speedup_all": round(
+            math.exp(
+                sum(math.log(r["speedup"]) for r in rows if r["speedup"])
+                / len(rows)
+            ),
+            3,
+        ),
+        "total_steps_saved": total_saved,
+    }
+    emit_once(
+        capfd,
+        "bench-optimize",
+        f"optimize: {len(rows)} programs, {len(heavy)} constant-heavy, "
+        f"geomean speedup {geomean:.2f}x (gate {SPEEDUP_GATE}x), "
+        f"{total_saved} dynamic steps saved",
+    )
+    assert geomean >= SPEEDUP_GATE, (
+        f"geomean interpreted-runtime speedup {geomean:.3f}x on the "
+        f"constant-heavy subset is below the {SPEEDUP_GATE}x gate"
+    )

@@ -25,9 +25,13 @@ Tiers (``BENCH_PIPELINE_TIER``):
 tier's section, so regenerating ``small`` keeps the recorded ``large``
 numbers (and vice versa).
 
-The ≥1.5× parallel-speedup assertion only fires on hosts with at least
-four CPUs: the growth container has one, where a process pool can only
-lose. Byte-identity of parallel vs serial output is asserted everywhere.
+The ≥1.5× parallel-speedup gate needs at least four CPUs: the growth
+container has one, where a process pool can only lose. Below that the
+gate is an explicit ``pytest.skip`` (never a silent pass), and every
+speedup/throughput row measured with more workers than CPUs carries
+``cpu_constrained: true`` so BENCH_PIPELINE.json readers don't mistake
+contention numbers for scaling regressions. Byte-identity of parallel
+vs serial output is asserted everywhere.
 
 The *batch* section measures what ``repro batch`` exists for: one
 interpreter start-up and import pass amortized over N files, instead of
@@ -73,6 +77,13 @@ BATCH_FILES = {"tiny": 3, "small": 8, "full": 12}.get(TIER, 8)
 
 PARALLEL_JOBS = 4
 MANY_CPUS = (os.cpu_count() or 1) >= PARALLEL_JOBS
+
+
+def _cpu_constrained(jobs: int) -> bool:
+    """More workers than CPUs: any recorded 'speedup' measures
+    contention, not scaling. Rows carry ``cpu_constrained: true`` so
+    readers of BENCH_PIPELINE.json don't mistake them for regressions."""
+    return (os.cpu_count() or 1) < jobs
 
 #: Procedure count for the ``large`` tier (layered scaled generator).
 LARGE_PROCS = min(
@@ -179,17 +190,19 @@ def test_parallel_speedup(procedures, report, capfd):
         "parallel_seconds": round(parallel_seconds, 4),
         "speedup": round(speedup, 3),
     }
+    throughput_row = {
+        "procedures": procedures,
+        "cells": cells,
+        "cells_per_second": round(
+            cells / serial_seconds if serial_seconds else 0.0, 1
+        ),
+        "peak_rss_mb": round(peak_rss_mb(), 1),
+    }
+    if _cpu_constrained(PARALLEL_JOBS):
+        row["cpu_constrained"] = True
+        throughput_row["cpu_constrained"] = True
     report["parallel"].append(row)
-    report["throughput"].append(
-        {
-            "procedures": procedures,
-            "cells": cells,
-            "cells_per_second": round(
-                cells / serial_seconds if serial_seconds else 0.0, 1
-            ),
-            "peak_rss_mb": round(peak_rss_mb(), 1),
-        }
-    )
+    report["throughput"].append(throughput_row)
     emit_once(
         capfd,
         f"pipeline-parallel-{procedures}",
@@ -197,7 +210,13 @@ def test_parallel_speedup(procedures, report, capfd):
         f"jobs={PARALLEL_JOBS} {parallel_seconds:.2f}s "
         f"(speedup {speedup:.2f}x, cpus={os.cpu_count()})",
     )
-    if MANY_CPUS and procedures >= 500:
+    if procedures >= 500:
+        if not MANY_CPUS:
+            pytest.skip(
+                f"parallel-scaling gate needs >= {PARALLEL_JOBS} CPUs "
+                f"(host has {os.cpu_count()}); row recorded as "
+                f"cpu_constrained"
+            )
         assert speedup >= 1.5, (
             f"expected >=1.5x at {procedures} procedures on a "
             f"{os.cpu_count()}-cpu host, got {speedup:.2f}x"
@@ -616,15 +635,6 @@ def test_large_scale(report, tmp_path_factory, capfd):
         else 0.0
     )
     efficiency = speedup / jobs if jobs else 0.0
-    if MANY_CPUS:
-        assert speedup >= 1.5, (
-            f"expected >=1.5x at {LARGE_PROCS} procedures on a "
-            f"{os.cpu_count()}-cpu host, got {speedup:.2f}x"
-        )
-        assert efficiency >= 0.375, (
-            f"scaling efficiency {efficiency:.2f} below 0.375 "
-            f"({speedup:.2f}x over {jobs} workers)"
-        )
 
     row = {
         "procedures": LARGE_PROCS,
@@ -642,15 +652,17 @@ def test_large_scale(report, tmp_path_factory, capfd):
         "pickle_payload_entries": parallel["pickle_entries"],
         "digest": serial["digest"][:16],
     }
+    throughput_row = {
+        "procedures": LARGE_PROCS,
+        "cells": cells,
+        "cells_per_second": round(cells_per_second, 1),
+        "peak_rss_mb": serial["peak_rss_mb"],
+    }
+    if _cpu_constrained(jobs):
+        row["cpu_constrained"] = True
+        throughput_row["cpu_constrained"] = True
     report["large"].append(row)
-    report["throughput"].append(
-        {
-            "procedures": LARGE_PROCS,
-            "cells": cells,
-            "cells_per_second": round(cells_per_second, 1),
-            "peak_rss_mb": serial["peak_rss_mb"],
-        }
-    )
+    report["throughput"].append(throughput_row)
     emit_once(
         capfd,
         "pipeline-large",
@@ -661,4 +673,21 @@ def test_large_scale(report, tmp_path_factory, capfd):
         f"{parallel['stream_records']} stream records, "
         f"{parallel['pickle_entries']} pickle entries, "
         f"cpus={os.cpu_count()})",
+    )
+    # The scaling gate runs after the rows are recorded: on a CPU-
+    # constrained host the numbers are still published (annotated),
+    # but the gate is an explicit skip, not a silent pass.
+    if not MANY_CPUS:
+        pytest.skip(
+            f"parallel-scaling gate needs >= {PARALLEL_JOBS} CPUs "
+            f"(host has {os.cpu_count()}); rows recorded as "
+            f"cpu_constrained"
+        )
+    assert speedup >= 1.5, (
+        f"expected >=1.5x at {LARGE_PROCS} procedures on a "
+        f"{os.cpu_count()}-cpu host, got {speedup:.2f}x"
+    )
+    assert efficiency >= 0.375, (
+        f"scaling efficiency {efficiency:.2f} below 0.375 "
+        f"({speedup:.2f}x over {jobs} workers)"
     )

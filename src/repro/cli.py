@@ -8,6 +8,10 @@ Subcommands:
 - ``link FILE...`` — resolve many files into one whole program
   (EXTERNAL/COMMON linkage, ``--entry`` selection) and analyze the
   linked call graph; link failures exit 2 with ``E005`` diagnostics;
+- ``optimize FILE`` — run the IPCP-driven optimization pipeline
+  (constant folding, branch folding + DCE, loop unswitching, call
+  argument materialization) and report per-pass changes; ``analyze``/
+  ``link``/``batch`` expose the same pipeline as ``--optimize``;
 - ``compare FILE`` — run all four forward jump functions side by side;
 - ``run FILE`` — execute a program with the reference interpreter;
 - ``clone FILE`` — goal-directed procedure cloning, before/after;
@@ -208,6 +212,24 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_optimize_arguments(parser: argparse.ArgumentParser) -> None:
+    """The optimization-backend flags ``analyze``/``link``/``batch``
+    share (``repro optimize`` spells them natively)."""
+    parser.add_argument(
+        "--optimize",
+        action="store_true",
+        help="run the IPCP-driven optimization pipeline on the analyzed "
+        "program and report per-pass changes",
+    )
+    parser.add_argument(
+        "--passes",
+        default=None,
+        metavar="LIST",
+        help="with --optimize: comma-separated pass subset "
+        "(fold,branches,unswitch,callargs; default: all)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-ipcp",
@@ -254,6 +276,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the structural IR/SSA verifier between pipeline stages",
     )
+    _add_optimize_arguments(analyze)
     analyze.add_argument(
         "--jobs",
         type=int,
@@ -314,6 +337,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--dump-ir", action="store_true",
         help="print the SSA IR after analysis",
     )
+    _add_optimize_arguments(link)
 
     batch = sub.add_parser(
         "batch", help="analyze many programs against one worker pool"
@@ -354,6 +378,54 @@ def _build_parser() -> argparse.ArgumentParser:
         "--entry", default=None, metavar="NAME",
         help="with --link: PROGRAM unit to use as the entry point",
     )
+    _add_optimize_arguments(batch)
+
+    optimize = sub.add_parser(
+        "optimize",
+        help="run the IPCP-driven optimization pipeline on one program",
+    )
+    optimize.add_argument("file", help="MiniFortran source file")
+    _add_config_arguments(optimize)
+    optimize.add_argument(
+        "--passes",
+        default=None,
+        metavar="LIST",
+        help="comma-separated pass subset "
+        "(fold,branches,unswitch,callargs; default: all)",
+    )
+    optimize.add_argument(
+        "--dump-ir",
+        action="store_true",
+        help="print the optimized (post-SSA) IR",
+    )
+    optimize.add_argument(
+        "-o", "--output",
+        default=None,
+        metavar="FILE",
+        help="write the optimized IR text to FILE",
+    )
+    optimize.add_argument(
+        "--verify-ir",
+        action="store_true",
+        help="run the structural IR verifier after every optimization "
+        "pass (disables the warm-cache replay path)",
+    )
+    optimize.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="generate procedure summaries on N parallel workers "
+        "(default: 1 = serial; results are byte-identical)",
+    )
+    optimize.add_argument(
+        "--no-arena",
+        action="store_true",
+        help="with --jobs N: exchange summaries over the worker pool's "
+        "pickle channel instead of the shared-memory arena (results "
+        "are byte-identical either way)",
+    )
+    _add_cache_arguments(optimize)
 
     serve = sub.add_parser(
         "serve",
@@ -537,6 +609,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "standard campaign: each seeded program is split into K files "
         "(with generated EXTERNAL declarations), linked, and the "
         "linked analysis must be byte-identical to the unsplit one",
+    )
+    oracle.add_argument(
+        "--opt-trials", type=int, default=None, metavar="N",
+        help="run N differential-equivalence trials instead of the "
+        "standard campaign: each seeded program is optimized under "
+        "every pass subset and must interpret byte-identically to the "
+        "unoptimized original; failures are minimized like the "
+        "soundness campaign's",
     )
     oracle.add_argument(
         "--max-partitions", type=int, default=4, metavar="K",
@@ -750,7 +830,18 @@ def _run_analyze(args: argparse.Namespace, config, engine) -> int:
     # parsing — including the --stats and --dump-ir renderings, which
     # the payload carries. Modes that need the live program object
     # (dot files), strict mode, and the IR verifier bypass it.
-    replayable = not (args.dot or args.strict or args.verify_ir)
+    opt_passes = None
+    if getattr(args, "optimize", False):
+        from repro.opt import parse_passes
+
+        try:
+            opt_passes = parse_passes(args.passes)
+        except ValueError as err:
+            print(f"optimize: {err}", file=sys.stderr)
+            return EXIT_DIAGNOSTICS
+    replayable = not (
+        args.dot or args.strict or args.verify_ir or opt_passes is not None
+    )
     text = None
     if engine is not None and engine.cache is not None:
         try:
@@ -778,18 +869,32 @@ def _run_analyze(args: argparse.Namespace, config, engine) -> int:
     print(result.constants.format_report())
     print(f"substituted constant references: {result.substituted_constants}")
     _render_substitution_counts(result.substitution.per_procedure)
-    explain_code = EXIT_OK
+    provenance = None
     if getattr(args, "explain", None):
         from repro.obs.provenance import build_provenance
 
-        explain_code = _print_explain(build_provenance(result), args.explain)
+        provenance = build_provenance(result)
+    opt_report = None
+    if opt_passes is not None:
+        from repro.opt import optimize_result
+
+        opt_report = optimize_result(
+            result, opt_passes, verify=args.verify_ir
+        )
+        print(opt_report.render())
+        if provenance is not None:
+            provenance.annotate_used_by(opt_report.used_by)
+    explain_code = EXIT_OK
+    if provenance is not None:
+        explain_code = _print_explain(provenance, args.explain)
     if args.transform:
         print("\n--- transformed source ---")
         print(result.transformed_source())
     if args.dump_ir:
         from repro.ir.printer import format_program
 
-        print("\n--- SSA IR ---")
+        header = "optimized IR" if opt_report is not None else "SSA IR"
+        print(f"\n--- {header} ---")
         print(format_program(result.program))
     if args.stats:
         from repro.ipcp.stats import collect_statistics
@@ -866,7 +971,18 @@ def _run_link(args: argparse.Namespace, config, engine) -> int:
     args.file = label
     args.transform = False
 
-    if engine is not None and engine.cache is not None:
+    opt_passes = None
+    if getattr(args, "optimize", False):
+        from repro.opt import parse_passes
+
+        try:
+            opt_passes = parse_passes(getattr(args, "passes", None))
+        except ValueError as err:
+            print(f"optimize: {err}", file=sys.stderr)
+            return EXIT_DIAGNOSTICS
+
+    if (engine is not None and engine.cache is not None
+            and opt_passes is None):
         payload = engine.cached_run(bundle, config)
         if payload is not None and _payload_serves(payload, args):
             return _replay_cached_run(payload, args, engine)
@@ -890,22 +1006,36 @@ def _run_link(args: argparse.Namespace, config, engine) -> int:
     print(result.constants.format_report())
     print(f"substituted constant references: {result.substituted_constants}")
     _render_substitution_counts(result.substitution.per_procedure)
-    explain_code = EXIT_OK
+    provenance = None
     if getattr(args, "explain", None):
         from repro.obs.provenance import build_provenance
 
-        explain_code = _print_explain(build_provenance(result), args.explain)
+        provenance = build_provenance(result)
+    opt_report = None
+    if opt_passes is not None:
+        from repro.opt import optimize_result
+
+        opt_report = optimize_result(
+            result, opt_passes, verify=getattr(args, "verify_ir", False)
+        )
+        print(opt_report.render())
+        if provenance is not None:
+            provenance.annotate_used_by(opt_report.used_by)
+    explain_code = EXIT_OK
+    if provenance is not None:
+        explain_code = _print_explain(provenance, args.explain)
     if getattr(args, "dump_ir", False):
         from repro.ir.printer import format_program
 
-        print("\n--- SSA IR ---")
+        header = "optimized IR" if opt_report is not None else "SSA IR"
+        print(f"\n--- {header} ---")
         print(format_program(result.program))
     if getattr(args, "stats", False):
         from repro.ipcp.stats import collect_statistics
 
         print("\n--- statistics ---")
         print(collect_statistics(result).format())
-    if engine is not None:
+    if engine is not None and opt_passes is None:
         engine.record_run(bundle, config, result)
     if engine is not None and engine.cache is not None:
         report = engine.finish_incremental(label)
@@ -928,6 +1058,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.engine.incremental import format_invalidation
 
     config = _config_from_args(args)
+    opt_passes = None
+    if getattr(args, "optimize", False) and not getattr(args, "link", False):
+        from repro.opt import parse_passes
+
+        try:
+            opt_passes = parse_passes(args.passes)
+        except ValueError as err:
+            print(f"optimize: {err}", file=sys.stderr)
+            return EXIT_DIAGNOSTICS
     paths = list(args.files)
     if args.stdin_list:
         paths.extend(read_stdin_list(sys.stdin))
@@ -975,6 +1114,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             explain=args.explain_invalidation,
             want_metrics=args.metrics is not None or args.report,
             want_trace=tracer is not None,
+            optimize=opt_passes,
         )
     except _SignalInterrupt as err:
         interrupted = err.signum
@@ -1001,6 +1141,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(outcome.summary_line())
         if args.report and outcome.constants_report is not None:
             print(outcome.constants_report)
+        if args.report and outcome.opt_report is not None:
+            print(outcome.opt_report)
         if outcome.diagnostics:
             print(outcome.diagnostics, file=sys.stderr)
         if args.explain_invalidation and outcome.invalidation is not None:
@@ -1029,6 +1171,94 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 handle.write(text + "\n")
             print(f"[profile written to {args.profile}]")
     return EXIT_OK if result.ok else EXIT_DIAGNOSTICS
+
+
+def _replay_cached_opt(payload: dict, args: argparse.Namespace) -> int:
+    """Render a cached optimization outcome byte-identically to the
+    live path (report, optional IR dump, optional IR file write)."""
+    print(f"configuration: {payload['config']}")
+    print(payload["report"])
+    if args.dump_ir:
+        print("\n--- optimized IR ---")
+        print(payload["ir"])
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(payload["ir"] + "\n")
+        print(f"[optimized IR written to {args.output}]")
+    return EXIT_OK
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    engine = _engine_from_args(args)
+    tracer = _start_trace(args)
+    try:
+        from repro.obs import trace
+
+        with trace.span("optimize", file=args.file):
+            return _run_optimize(args, config, engine)
+    finally:
+        if engine is not None:
+            if engine.profile is not None:
+                _emit_profile(engine, args.profile)
+            engine.close()
+        _write_trace(args, tracer)
+        _write_metrics(args)
+
+
+def _run_optimize(args: argparse.Namespace, config, engine) -> int:
+    from repro.opt import optimize_result, parse_passes
+
+    try:
+        passes = parse_passes(args.passes)
+    except ValueError as err:
+        print(f"optimize: {err}", file=sys.stderr)
+        return EXIT_DIAGNOSTICS
+    # Whole-run fast path: an unchanged (source, config, passes) triple
+    # whose previous optimization was clean replays the recorded report
+    # and optimized IR without re-analyzing. --verify-ir bypasses it
+    # (the point of the flag is to re-run the verifier).
+    replayable = not args.verify_ir
+    text = None
+    if engine is not None and engine.cache is not None:
+        try:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except (OSError, UnicodeDecodeError):
+            text = None  # let the normal path produce the located error
+        if text is not None and replayable:
+            payload = engine.cached_opt(text, config, passes)
+            if payload is not None and payload.get("ir") is not None:
+                return _replay_cached_opt(payload, args)
+
+    result, diagnostics = analyze_file_resilient(
+        args.file, config, engine=engine
+    )
+    if len(diagnostics):
+        print(diagnostics.format(), file=sys.stderr)
+    if result is None:
+        return EXIT_DIAGNOSTICS
+    report = optimize_result(result, passes, verify=args.verify_ir)
+    from repro.ir.printer import format_program
+
+    ir_text = format_program(result.program)
+    print(f"configuration: {config.describe()}")
+    print(report.render())
+    if args.dump_ir:
+        print("\n--- optimized IR ---")
+        print(ir_text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(ir_text + "\n")
+        print(f"[optimized IR written to {args.output}]")
+    if engine is not None and text is not None and replayable:
+        engine.record_opt(text, config, passes, result, report)
+    if not result.resilience.ok:
+        print("\n--- degraded components ---", file=sys.stderr)
+        print(result.resilience.summary(), file=sys.stderr)
+    if diagnostics.has_errors:
+        return EXIT_DIAGNOSTICS
+    return EXIT_OK
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -1296,6 +1526,8 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
 
     if args.link_trials is not None:
         return _cmd_oracle_link(args)
+    if args.opt_trials is not None:
+        return _cmd_oracle_opt(args)
 
     generator_config = DEFAULT_ORACLE_CONFIG
     if args.procedures is not None:
@@ -1386,12 +1618,55 @@ def _cmd_oracle_link(args: argparse.Namespace) -> int:
     return EXIT_OK if report.ok else EXIT_DIAGNOSTICS
 
 
+def _cmd_oracle_opt(args: argparse.Namespace) -> int:
+    from dataclasses import replace as dc_replace
+
+    from repro.oracle.equivalence import run_opt_oracle
+    from repro.oracle.harness import DEFAULT_ORACLE_CONFIG
+
+    generator_config = DEFAULT_ORACLE_CONFIG
+    if args.procedures is not None:
+        generator_config = dc_replace(
+            generator_config, procedures=args.procedures
+        )
+    if args.max_statements is not None:
+        generator_config = dc_replace(
+            generator_config, max_statements_per_procedure=args.max_statements
+        )
+
+    dots = {"count": 0}
+
+    def progress(trial) -> None:
+        sys.stderr.write("s" if trial.skipped else "." if trial.ok else "F")
+        dots["count"] += 1
+        if dots["count"] % 50 == 0:
+            sys.stderr.write(f" {dots['count']}/{args.opt_trials}\n")
+        sys.stderr.flush()
+
+    report = run_opt_oracle(
+        trials=args.opt_trials,
+        seed=args.seed,
+        generator_config=generator_config,
+        corpus_dir=args.corpus,
+        minimize=not args.no_minimize,
+        progress=progress,
+    )
+    sys.stderr.write("\n")
+    print(report.summary())
+    if not report.ok:
+        if args.corpus:
+            print(f"minimized counterexamples written to {args.corpus}/")
+        return EXIT_DIAGNOSTICS
+    return EXIT_OK
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "analyze": _cmd_analyze,
         "link": _cmd_link,
         "batch": _cmd_batch,
+        "optimize": _cmd_optimize,
         "serve": _cmd_serve,
         "client": _cmd_client,
         "compare": _cmd_compare,

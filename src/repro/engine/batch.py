@@ -62,6 +62,10 @@ class FileOutcome:
     #: Chrome trace events recorded by a pool worker, shipped back for
     #: the parent tracer to adopt (cleared once adopted).
     trace_events: Optional[list] = None
+    #: Rendered :class:`~repro.opt.report.OptReport` (``--optimize``
+    #: runs only), plus its total change count for the summary line.
+    opt_report: Optional[str] = None
+    opt_changes: int = 0
 
     @property
     def ok(self) -> bool:
@@ -78,6 +82,7 @@ class FileOutcome:
             "invalidation": self.invalidation,
             "profile": self.profile,
             "metrics": self.metrics,
+            "opt_changes": self.opt_changes if self.opt_report else None,
         }
 
     def summary_line(self) -> str:
@@ -85,10 +90,14 @@ class FileOutcome:
             return f"{self.path}: error: {self.error}"
         if self.status == DIAGNOSTICS:
             return f"{self.path}: diagnostics reported (no result)"
+        opt = (
+            f", optimized ({self.opt_changes} change(s))"
+            if self.opt_report is not None else ""
+        )
         suffix = "  [replayed]" if self.replayed else ""
         return (
             f"{self.path}: {self.total_pairs} constant(s), "
-            f"{self.substituted} substituted{suffix}"
+            f"{self.substituted} substituted{opt}{suffix}"
         )
 
 
@@ -166,6 +175,7 @@ def analyze_one(
     explain: bool = False,
     want_metrics: bool = False,
     want_trace: bool = False,
+    optimize: Optional[Sequence[str]] = None,
 ) -> FileOutcome:
     """The per-file unit of batch work: replay-or-analyze ``path``.
 
@@ -234,13 +244,27 @@ def analyze_one(
 
         if engine.cache is not None:
             payload = engine.cached_run(text, config)
-            if payload is not None:
+            opt_payload = (
+                engine.cached_opt(text, config, optimize)
+                if optimize is not None else None
+            )
+            # With --optimize, a replay needs BOTH cached outcomes —
+            # the optimization mutates the program, so it cannot be
+            # recomputed from a replayed analysis.
+            if payload is not None and (
+                optimize is None or opt_payload is not None
+            ):
                 outcome.config = payload["config"]
                 outcome.constants_report = payload["constants_report"]
                 outcome.total_pairs = payload["total_pairs"]
                 outcome.substituted = payload["substituted"]
                 outcome.per_procedure = dict(payload["per_procedure"])
                 outcome.replayed = True
+                if opt_payload is not None:
+                    outcome.opt_report = opt_payload["report"]
+                    outcome.opt_changes = (
+                        opt_payload["opt"]["total_changes"]
+                    )
                 if explain:
                     outcome.invalidation = (
                         engine.replayed_report(path).to_dict()
@@ -267,6 +291,13 @@ def analyze_one(
         if len(diagnostics):
             outcome.diagnostics = diagnostics.format()
         engine.record_run(text, config, result)
+        if optimize is not None:
+            from repro.opt import optimize_result
+
+            opt_report = optimize_result(result, tuple(optimize))
+            outcome.opt_report = opt_report.render()
+            outcome.opt_changes = opt_report.total_changes
+            engine.record_opt(text, config, optimize, result, opt_report)
         report = engine.finish_incremental(path)
         if report is not None:
             outcome.invalidation = report.to_dict()
@@ -330,6 +361,7 @@ def run_batch(
     executor: str = "process",
     want_metrics: bool = False,
     want_trace: bool = False,
+    optimize: Optional[Sequence[str]] = None,
 ) -> BatchResult:
     """Analyze every file in ``paths`` against one persistent pool.
 
@@ -350,7 +382,7 @@ def run_batch(
         outcomes = {
             path: analyze_one(
                 path, config, cache_dir, want_profile, explain,
-                want_metrics, want_trace,
+                want_metrics, want_trace, optimize,
             )
             for path in _schedule(paths)
         }
@@ -361,7 +393,7 @@ def run_batch(
     import concurrent.futures as cf
 
     task_args = (config, cache_dir, want_profile, explain,
-                 want_metrics, want_trace)
+                 want_metrics, want_trace, optimize)
 
     if executor == "thread":
         # Files genuinely overlap here: each thread's engine installs

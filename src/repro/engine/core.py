@@ -843,6 +843,50 @@ class Engine:
         self.cache.put("run", fingerprint.run_key(text, config), payload)
         self._count("run_cache_stores")
 
+    def cached_opt(self, text: str, config: AnalysisConfig,
+                   passes) -> Optional[dict]:
+        """Look up a whole (source, config, passes) optimization outcome
+        — the ``repro optimize`` fast path replaying the optimized IR
+        and report byte-identically on an unchanged input."""
+        if self.cache is None:
+            return None
+        payload = self.cache.get(
+            "opt", fingerprint.opt_key(text, config, passes)
+        )
+        if payload is not None:
+            self._count("opt_cache_hits")
+        else:
+            self._count("opt_cache_misses")
+        if trace.ENABLED:
+            trace.instant(
+                "opt_cache.hit" if payload is not None else "opt_cache.miss"
+            )
+        return payload
+
+    def record_opt(self, text: str, config: AnalysisConfig, passes,
+                   result, report) -> None:
+        """Record a clean optimization run: the rendered report, the
+        optimized (destructed) IR, and the pass statistics. The same
+        cleanliness rule as :meth:`record_run` applies — degraded runs
+        depend on more than (source, config, passes) content."""
+        if self.cache is None:
+            return
+        if result.resilience.demotions:
+            return
+        if result.diagnostics is not None and result.diagnostics.diagnostics:
+            return
+        payload = {
+            "config": config.describe(),
+            "passes": list(passes),
+            "report": report.render(),
+            "opt": report.to_payload(),
+            "ir": self._render_ir(result),
+        }
+        self.cache.put(
+            "opt", fingerprint.opt_key(text, config, passes), payload
+        )
+        self._count("opt_cache_stores")
+
     @staticmethod
     def _render_stats(result) -> Optional[str]:
         from repro.ipcp.stats import collect_statistics

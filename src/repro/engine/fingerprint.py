@@ -185,3 +185,9 @@ def run_key(text: str, config: AnalysisConfig) -> str:
         [f"v{ENGINE_CACHE_VERSION}", source_digest(text),
          config_fingerprint(config)]
     )
+
+
+def opt_key(text: str, config: AnalysisConfig, passes) -> str:
+    """Key of one whole (source, config, passes) optimization outcome —
+    the ``opt`` cache namespace's analogue of :func:`run_key`."""
+    return _sha([run_key(text, config), "opt", ",".join(passes)])

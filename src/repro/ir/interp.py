@@ -73,6 +73,20 @@ class Trace:
     output: List[str] = field(default_factory=list)
     #: Total instructions executed (fuel consumed).
     steps: int = 0
+    #: Conditional branches evaluated (Jump does not count — folding a
+    #: CondBranch to a Jump therefore shows up as a reduction here).
+    branches: int = 0
+    #: Procedure invocations made through Call instructions.
+    calls: int = 0
+
+    def dynamic_counters(self) -> Dict[str, int]:
+        """The deterministic dynamic-cost counters of this execution, in
+        the shape BENCH_OPT.json records per program."""
+        return {
+            "steps": self.steps,
+            "branches": self.branches,
+            "calls": self.calls,
+        }
 
     def invocations(self, procedure_name: str) -> int:
         return len(self.entries.get(procedure_name, ()))
@@ -259,6 +273,7 @@ class Interpreter:
                 )
                 storage[key] = self._value(procedure, frame, instruction.value)
             elif isinstance(instruction, Call):
+                self.trace.calls += 1
                 self._run_call(procedure, frame, instruction)
             elif isinstance(instruction, Read):
                 for target in instruction.targets:
@@ -274,6 +289,7 @@ class Interpreter:
             elif isinstance(instruction, Jump):
                 return instruction.target, None
             elif isinstance(instruction, CondBranch):
+                self.trace.branches += 1
                 cond = self._value(procedure, frame, instruction.cond)
                 return (
                     instruction.if_true if cond != 0 else instruction.if_false

@@ -27,8 +27,10 @@ from typing import Dict, List, Optional, Tuple
 from repro.lattice import BOTTOM, LatticeValue, TOP, const
 
 #: Bumped when the payload shape changes; stored payloads carry it so a
-#: stale cache entry is rebuilt instead of mis-rendered.
-SCHEMA_VERSION = 1
+#: stale cache entry is rebuilt instead of mis-rendered. v2 added the
+#: optional ``used_by`` cell list (optimization sites that consumed the
+#: cell's constant).
+SCHEMA_VERSION = 2
 
 TOP_GLYPH = "T"
 BOTTOM_GLYPH = "_|_"
@@ -240,6 +242,26 @@ class ConstantProvenance:
             return None
         return cls(cells)
 
+    # -- optimization cross-references ---------------------------------------
+
+    def annotate_used_by(self, used_by: Dict[str, List[str]]) -> int:
+        """Record which optimization sites consumed each cell's constant
+        (``{"n@f": ["fold@f:entry", ...]}``, from
+        :attr:`repro.opt.report.OptReport.used_by`) so ``--explain`` and
+        ``--optimize`` compose. Facts for unknown cells (temporaries,
+        untracked names) are ignored. Returns cells annotated."""
+        annotated = 0
+        for key, facts in sorted(used_by.items()):
+            cell = self.cells.get(key)
+            if cell is None:
+                continue
+            existing = cell.setdefault("used_by", [])
+            for fact in facts:
+                if fact not in existing:
+                    existing.append(fact)
+            annotated += 1
+        return annotated
+
     # -- queries -------------------------------------------------------------
 
     def available(self) -> List[str]:
@@ -327,6 +349,8 @@ class ConstantProvenance:
         items: List[Tuple[str, list]] = []
         for note in cell.get("notes", ()):
             items.append((f"! {note}", []))
+        for fact in cell.get("used_by", ()):
+            items.append((f"used_by: {fact}", []))
         if cell.get("is_main"):
             initial = cell.get("initial", {})
             items.append(

@@ -1,0 +1,17 @@
+"""repro.opt — the IPCP-driven optimization backend.
+
+Closes the loop from the paper's *static* substitution counts to
+*measured dynamic* savings: the passes here consume CONSTANTS(p) (via an
+SCCP solve seeded with the interprocedural entry lattice) to transform
+the IR, and the differential-equivalence harness
+(:mod:`repro.oracle.equivalence`) plus ``benchmarks/test_bench_optimize``
+prove the transforms sound and quantify the speedup.
+"""
+
+from repro.opt.pipeline import (  # noqa: F401
+    PASS_NAMES,
+    optimize_result,
+    optimize_source,
+    parse_passes,
+)
+from repro.opt.report import OptReport, PassStats  # noqa: F401

@@ -1,0 +1,522 @@
+"""The individual optimization passes of :mod:`repro.opt`.
+
+Three passes run on the analyzed SSA program — ``fold`` (rewrite uses
+whose SCCP value is constant into literals and collapse fully-constant
+expressions), ``callargs`` (materialize proven-constant call actuals),
+``branches`` (fold constant branches, drop unreachable blocks and dead
+pure definitions via :func:`repro.analysis.dce.eliminate_dead_code`) —
+and one, ``unswitch``, runs on the destructed (executable) IR where
+loop-body cloning needs no phi surgery.
+
+Every pass mutates the procedure in place and reports what it changed
+through the shared :class:`~repro.opt.report.OptReport`; the pipeline
+driver (:mod:`repro.opt.pipeline`) owns ordering, SSA destruction, and
+verification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.dce import eliminate_dead_code
+from repro.analysis.loops import NaturalLoop, find_natural_loops
+from repro.analysis.sccp import SCCPResult, modified_actual_uses
+from repro.ir.cfg import BasicBlock, ControlFlowGraph
+from repro.ir.instructions import (
+    ArrayLoad,
+    ArrayStore,
+    Assign,
+    BinOp,
+    Call,
+    CallArg,
+    CondBranch,
+    Const,
+    Def,
+    Halt,
+    Instruction,
+    Jump,
+    Operand,
+    Phi,
+    Print,
+    Read,
+    Return,
+    UnOp,
+    Use,
+)
+from repro.ir.module import Procedure
+from repro.opt.report import OptReport
+
+#: Loops bigger than this are not unswitched (code-size guard).
+MAX_UNSWITCH_BLOCKS = 32
+#: At most this many unswitches per procedure (exponential-growth guard).
+MAX_UNSWITCHES = 4
+
+
+def _cell_key(var, procedure: Procedure) -> str:
+    return f"{var.name.lower()}@{procedure.name.lower()}"
+
+
+def _substitution_candidates(instruction: Instruction) -> List[Use]:
+    """Uses of ``instruction`` that constant folding may rewrite.
+
+    Calls are left to the ``callargs`` pass; Return exit uses and Call
+    entry uses are analysis bookkeeping, never substitution targets;
+    phis are skipped (matching :func:`repro.ipcp.substitution.apply_substitution`).
+    """
+    if isinstance(instruction, (Call, Phi)):
+        return []
+    if isinstance(instruction, Return):
+        if isinstance(instruction.value, Use):
+            return [instruction.value]
+        return []
+    return list(instruction.uses())
+
+
+def fold_constants(
+    procedure: Procedure, sccp: SCCPResult, report: OptReport
+) -> int:
+    """Rewrite constant-valued uses to literals and collapse BinOp/UnOp
+    instructions whose result SCCP proved constant into plain assigns.
+    Only executable code is touched; returns the number of changes."""
+    stats = report.stats("fold")
+    changes = 0
+    for block in procedure.cfg.blocks:
+        if block not in sccp.executable_blocks:
+            continue
+        for index, instruction in enumerate(block.instructions):
+            for use in _substitution_candidates(instruction):
+                value = sccp.operand_value(use)
+                if not value.is_constant:
+                    continue
+                if use.version in (None, 0):
+                    report.note_used_by(
+                        _cell_key(use.var, procedure),
+                        f"fold@{procedure.name.lower()}:{block.name}",
+                    )
+                instruction.replace_operand(use, Const(value.value))
+                stats.substituted_uses += 1
+                changes += 1
+            if isinstance(instruction, (BinOp, UnOp)):
+                result = sccp.value_of(
+                    instruction.target.var, instruction.target.version
+                )
+                if result.is_constant:
+                    block.instructions[index] = Assign(
+                        instruction.target,
+                        Const(result.value),
+                        instruction.location,
+                    )
+                    stats.folded_expressions += 1
+                    changes += 1
+    report.note_procedure("fold", procedure.name, changes)
+    return changes
+
+
+def materialize_call_args(
+    procedure: Procedure, sccp: SCCPResult, report: OptReport
+) -> int:
+    """Rewrite call actuals whose value is a proven constant into
+    literals. By-reference actuals the callee may write (their variable
+    appears in ``may_define``) keep their aliasing and are skipped."""
+    stats = report.stats("callargs")
+    changes = 0
+    for block in procedure.cfg.blocks:
+        if block not in sccp.executable_blocks:
+            continue
+        for instruction in block.instructions:
+            if not isinstance(instruction, Call):
+                continue
+            skip = modified_actual_uses(instruction)
+            for arg in instruction.args:
+                use = arg.value
+                if not isinstance(use, Use) or use in skip:
+                    continue
+                value = sccp.operand_value(use)
+                if not value.is_constant:
+                    continue
+                if use.version in (None, 0):
+                    report.note_used_by(
+                        _cell_key(use.var, procedure),
+                        f"callargs@{procedure.name.lower()}:{block.name}",
+                    )
+                instruction.replace_operand(use, Const(value.value))
+                stats.materialized_args += 1
+                changes += 1
+    report.note_procedure("callargs", procedure.name, changes)
+    return changes
+
+
+def fold_branches(
+    procedure: Procedure, sccp: SCCPResult, report: OptReport
+) -> int:
+    """Constant-branch folding, unreachable-block removal, and dead
+    pure-definition elimination (the PR 1 DCE machinery, SSA-preserving)."""
+    stats = report.stats("branches")
+    dce = eliminate_dead_code(procedure, sccp, remove_dead_definitions=True)
+    stats.folded_branches += dce.folded_branches
+    stats.removed_blocks += dce.removed_blocks
+    stats.removed_instructions += dce.removed_instructions
+    changes = dce.folded_branches + dce.removed_blocks + dce.removed_instructions
+    report.note_procedure("branches", procedure.name, changes)
+    return changes
+
+
+# -- post-destruct control-flow cleanup ------------------------------------
+
+
+def simplify_control_flow(procedure: Procedure) -> Tuple[int, int]:
+    """Shed the per-iteration residue branch folding and phi lowering
+    leave behind on the destructed IR: no-op self copies (a collapsed
+    single-input phi becomes ``x = x`` once versions are stripped) and
+    empty forwarding blocks (a folded branch leaves ``jump``-only
+    blocks on the hot path). Returns (removed_blocks,
+    removed_instructions); only meaningful on phi-free programs."""
+    cfg = procedure.cfg
+    removed_instructions = 0
+    for block in cfg.blocks:
+        kept: List[Instruction] = []
+        for instruction in block.instructions:
+            if (
+                isinstance(instruction, Assign)
+                and isinstance(instruction.source, Use)
+                and instruction.source.var is instruction.target.var
+            ):
+                removed_instructions += 1
+                continue
+            kept.append(instruction)
+        block.instructions = kept
+
+    removed_blocks = 0
+    while True:
+        forward: Dict[BasicBlock, BasicBlock] = {}
+        for block in cfg.blocks:
+            if block is cfg.entry or len(block.instructions) != 1:
+                continue
+            only = block.instructions[0]
+            if isinstance(only, Jump) and only.target is not block:
+                forward[block] = only.target
+
+        def resolve(block: BasicBlock) -> BasicBlock:
+            seen = set()
+            while block in forward and block not in seen:
+                seen.add(block)
+                block = forward[block]
+            return block
+
+        retargeted = False
+        for block in cfg.blocks:
+            terminator = block.terminator
+            if isinstance(terminator, Jump):
+                target = resolve(terminator.target)
+                if target is not terminator.target:
+                    terminator.target = target
+                    retargeted = True
+            elif isinstance(terminator, CondBranch):
+                if_true = resolve(terminator.if_true)
+                if if_true is not terminator.if_true:
+                    terminator.if_true = if_true
+                    retargeted = True
+                if_false = resolve(terminator.if_false)
+                if if_false is not terminator.if_false:
+                    terminator.if_false = if_false
+                    retargeted = True
+        if not retargeted:
+            break
+        removed_blocks += len(cfg.remove_unreachable())
+    return removed_blocks, removed_instructions
+
+
+def cleanup_pass(procedure: Procedure, pass_name: str,
+                 report: OptReport) -> int:
+    """Run :func:`simplify_control_flow`, attributing the savings to the
+    pass whose residue it collects (``branches`` after destruction,
+    ``unswitch`` after loop cloning)."""
+    removed_blocks, removed_instructions = simplify_control_flow(procedure)
+    stats = report.stats(pass_name)
+    stats.removed_blocks += removed_blocks
+    stats.removed_instructions += removed_instructions
+    changes = removed_blocks + removed_instructions
+    report.note_procedure(pass_name, procedure.name, changes)
+    return changes
+
+
+# -- loop unswitching (post-destruct, non-SSA IR) --------------------------
+
+
+def _clone_operand(operand: Operand) -> Operand:
+    if isinstance(operand, Const):
+        return Const(operand.value)
+    clone = Use(operand.var, operand.location, operand.from_source)
+    clone.version = operand.version
+    return clone
+
+
+def _clone_def(definition: Def) -> Def:
+    clone = Def(definition.var)
+    clone.version = definition.version
+    return clone
+
+
+def _clone_instruction(instruction: Instruction) -> Instruction:
+    location = instruction.location
+    if isinstance(instruction, Assign):
+        return Assign(
+            _clone_def(instruction.target),
+            _clone_operand(instruction.source), location,
+        )
+    if isinstance(instruction, BinOp):
+        return BinOp(
+            _clone_def(instruction.target), instruction.op,
+            _clone_operand(instruction.left),
+            _clone_operand(instruction.right), location,
+        )
+    if isinstance(instruction, UnOp):
+        return UnOp(
+            _clone_def(instruction.target), instruction.op,
+            _clone_operand(instruction.operand), location,
+        )
+    if isinstance(instruction, ArrayLoad):
+        return ArrayLoad(
+            _clone_def(instruction.target), instruction.array,
+            [_clone_operand(index) for index in instruction.indices], location,
+        )
+    if isinstance(instruction, ArrayStore):
+        return ArrayStore(
+            instruction.array,
+            [_clone_operand(index) for index in instruction.indices],
+            _clone_operand(instruction.value), location,
+        )
+    if isinstance(instruction, Call):
+        args = []
+        for arg in instruction.args:
+            if arg.is_array:
+                args.append(CallArg(array=arg.array, location=arg.location))
+            else:
+                args.append(
+                    CallArg(value=_clone_operand(arg.value),
+                            location=arg.location)
+                )
+        clone = Call(
+            instruction.callee, args,
+            _clone_def(instruction.result) if instruction.result else None,
+            location,
+        )
+        clone.may_define = [_clone_def(d) for d in instruction.may_define]
+        clone.entry_uses = [_clone_operand(u) for u in instruction.entry_uses]
+        return clone
+    if isinstance(instruction, Read):
+        return Read([_clone_def(t) for t in instruction.targets], location)
+    if isinstance(instruction, Print):
+        items = [
+            item if isinstance(item, str) else _clone_operand(item)
+            for item in instruction.items
+        ]
+        return Print(items, location)
+    if isinstance(instruction, Jump):
+        return Jump(instruction.target, location)
+    if isinstance(instruction, CondBranch):
+        return CondBranch(
+            _clone_operand(instruction.cond),
+            instruction.if_true, instruction.if_false, location,
+        )
+    if isinstance(instruction, Return):
+        clone = Return(
+            _clone_operand(instruction.value)
+            if instruction.value is not None else None,
+            location,
+        )
+        clone.exit_uses = [_clone_operand(u) for u in instruction.exit_uses]
+        return clone
+    if isinstance(instruction, Halt):
+        return Halt(location)
+    raise TypeError(
+        f"cannot clone {type(instruction).__name__} (unswitching runs on "
+        "destructed, phi-free IR)"
+    )
+
+
+def _loop_defined_variables(loop: NaturalLoop) -> Set:
+    defined = set()
+    for block in loop.blocks:
+        for instruction in block.instructions:
+            for definition in instruction.defs():
+                defined.add(definition.var)
+    return defined
+
+
+def _invariant_guard_chain(
+    cfg: ControlFlowGraph,
+    loop: NaturalLoop,
+    defined: Set,
+    cond: Use,
+) -> Optional[List[Tuple[BasicBlock, Instruction]]]:
+    """The instructions to hoist for a loop-invariant guard, or None
+    when the guard is not invariant.
+
+    Empty chain: the guard variable is never written inside the loop.
+    One-element chain: the guard is a single-def single-use value (the
+    comparison temp lowering emits for ``IF (v .op. c)``) computed in
+    the loop purely from loop-invariant operands — the defining
+    instruction itself is hoisted to the dispatch point."""
+    variable = cond.var
+    if variable.is_array:
+        return None
+    if variable not in defined:
+        return []
+    definitions = []
+    uses = 0
+    for block in cfg.blocks:
+        for instruction in block.instructions:
+            for definition in instruction.defs():
+                if definition.var is variable:
+                    definitions.append((block, instruction))
+            for use in instruction.uses():
+                if use.var is variable:
+                    uses += 1
+    if len(definitions) != 1 or uses != 1:
+        return None
+    def_block, def_instruction = definitions[0]
+    if def_block not in loop.blocks:
+        return None  # defs() disagreeing with `defined` cannot happen
+    if not isinstance(def_instruction, (Assign, BinOp, UnOp)):
+        return None
+    for use in def_instruction.uses():
+        if use.var.is_array or use.var in defined:
+            return None
+    return [(def_block, def_instruction)]
+
+
+def _find_unswitch_candidate(
+    cfg: ControlFlowGraph,
+) -> Optional[
+    Tuple[NaturalLoop, BasicBlock, List[Tuple[BasicBlock, Instruction]]]
+]:
+    """The first loop-invariant non-constant conditional branch inside a
+    loop, in deterministic (loop size, block order) order, together with
+    the invariant guard computation to hoist."""
+    for loop in find_natural_loops(cfg):
+        if len(loop.blocks) > MAX_UNSWITCH_BLOCKS:
+            continue
+        defined = _loop_defined_variables(loop)
+        for block in cfg.blocks:
+            if block not in loop.blocks:
+                continue
+            terminator = block.terminator
+            if not isinstance(terminator, CondBranch):
+                continue
+            if terminator.if_true is terminator.if_false:
+                continue
+            cond = terminator.cond
+            if not isinstance(cond, Use):
+                continue  # constant guards are the branches pass's job
+            chain = _invariant_guard_chain(cfg, loop, defined, cond)
+            if chain is None:
+                continue
+            return loop, block, chain
+    return None
+
+
+def _unswitch(cfg: ControlFlowGraph, loop: NaturalLoop,
+              branch_block: BasicBlock,
+              chain: List[Tuple[BasicBlock, Instruction]],
+              suffix: str) -> None:
+    """Specialize ``loop`` on the invariant guard ending ``branch_block``:
+    the original loop becomes the guard-true version, a clone becomes the
+    guard-false version, and the guard (with its hoisted invariant
+    computation ``chain``) is evaluated once at loop entry."""
+    terminator = branch_block.terminator
+    assert isinstance(terminator, CondBranch)
+    for def_block, def_instruction in chain:
+        def_block.instructions.remove(def_instruction)
+    hoisted = [instruction for _, instruction in chain]
+    mapping: Dict[BasicBlock, BasicBlock] = {}
+    for old in [b for b in cfg.blocks if b in loop.blocks]:
+        mapping[old] = cfg.new_block(f"{old.name}{suffix}")
+    for old, new in mapping.items():
+        new.instructions = [
+            _clone_instruction(instruction) for instruction in old.instructions
+        ]
+    for new in mapping.values():
+        for instruction in new.instructions:
+            if isinstance(instruction, Jump):
+                instruction.target = mapping.get(
+                    instruction.target, instruction.target
+                )
+            elif isinstance(instruction, CondBranch):
+                instruction.if_true = mapping.get(
+                    instruction.if_true, instruction.if_true
+                )
+                instruction.if_false = mapping.get(
+                    instruction.if_false, instruction.if_false
+                )
+
+    # Specialize: the branch collapses to a jump in each copy.
+    clone_block = mapping[branch_block]
+    clone_terminator = clone_block.terminator
+    assert isinstance(clone_terminator, CondBranch)
+    clone_block.instructions[-1] = Jump(
+        clone_terminator.if_false, clone_terminator.location
+    )
+    branch_block.instructions[-1] = Jump(
+        terminator.if_true, terminator.location
+    )
+
+    # Dispatch once on loop entry.
+    header = loop.header
+    clone_header = mapping[header]
+    guard = _clone_operand(terminator.cond)
+    outside = [
+        pred for pred in cfg.predecessors().get(header, [])
+        if pred not in loop.blocks
+    ]
+    single_jump_entry = (
+        header is not cfg.entry
+        and len(outside) == 1
+        and isinstance(outside[0].terminator, Jump)
+    )
+    if single_jump_entry:
+        preheader = outside[0]
+        preheader.instructions[-1:] = hoisted + [
+            CondBranch(guard, header, clone_header,
+                       preheader.terminator.location)
+        ]
+        return
+    dispatch = cfg.new_block(f"{header.name}{suffix}.dispatch")
+    dispatch.instructions.extend(hoisted)
+    dispatch.append(
+        CondBranch(guard, header, clone_header, terminator.location)
+    )
+    for pred in outside:
+        pred_terminator = pred.terminator
+        if isinstance(pred_terminator, Jump):
+            if pred_terminator.target is header:
+                pred_terminator.target = dispatch
+        elif isinstance(pred_terminator, CondBranch):
+            if pred_terminator.if_true is header:
+                pred_terminator.if_true = dispatch
+            if pred_terminator.if_false is header:
+                pred_terminator.if_false = dispatch
+    if header is cfg.entry:
+        cfg.entry = dispatch
+        cfg.blocks.remove(dispatch)
+        cfg.blocks.insert(0, dispatch)
+
+
+def unswitch_loops(procedure: Procedure, report: OptReport) -> int:
+    """Hoist loop-invariant conditional guards out of loops by cloning
+    the loop per guard value. Runs on destructed (phi-free) IR; each
+    specialized copy then sheds its untaken side via unreachable-block
+    removal. Returns the number of loops unswitched."""
+    stats = report.stats("unswitch")
+    changes = 0
+    while changes < MAX_UNSWITCHES:
+        candidate = _find_unswitch_candidate(procedure.cfg)
+        if candidate is None:
+            break
+        loop, branch_block, chain = candidate
+        _unswitch(procedure.cfg, loop, branch_block, chain, f".us{changes}")
+        procedure.cfg.remove_unreachable()
+        stats.unswitched_loops += 1
+        changes += 1
+    report.note_procedure("unswitch", procedure.name, changes)
+    return changes

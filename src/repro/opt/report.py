@@ -1,0 +1,146 @@
+"""Results of one optimization-pipeline run.
+
+An :class:`OptReport` is the machine-readable record the CLI renders,
+the engine's ``opt`` cache namespace persists, and the optimization
+benchmark attributes per-pass savings from. Everything in it is
+deterministic for a given (source, config, passes) triple so warm cache
+replays are byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+#: PassStats counter fields, in render order.
+_COUNTER_FIELDS = (
+    ("substituted_uses", "uses substituted"),
+    ("folded_expressions", "expressions folded"),
+    ("folded_branches", "branches folded"),
+    ("removed_blocks", "blocks removed"),
+    ("removed_instructions", "instructions removed"),
+    ("unswitched_loops", "loops unswitched"),
+    ("materialized_args", "call arguments materialized"),
+)
+
+
+@dataclass
+class PassStats:
+    """What one optimization pass changed, summed over all procedures."""
+
+    name: str
+    substituted_uses: int = 0
+    folded_expressions: int = 0
+    folded_branches: int = 0
+    removed_blocks: int = 0
+    removed_instructions: int = 0
+    unswitched_loops: int = 0
+    materialized_args: int = 0
+
+    @property
+    def total(self) -> int:
+        return sum(getattr(self, field_name) for field_name, _ in _COUNTER_FIELDS)
+
+    @property
+    def changed(self) -> bool:
+        return self.total > 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            field_name: getattr(self, field_name)
+            for field_name, _ in _COUNTER_FIELDS
+            if getattr(self, field_name)
+        }
+
+    def describe(self) -> str:
+        parts = [
+            f"{getattr(self, field_name)} {label}"
+            for field_name, label in _COUNTER_FIELDS
+            if getattr(self, field_name)
+        ]
+        return ", ".join(parts) if parts else "no changes"
+
+
+@dataclass
+class OptReport:
+    """One pipeline run: per-pass statistics plus provenance facts."""
+
+    #: Passes that ran, in canonical pipeline order.
+    passes: List[str] = field(default_factory=list)
+    per_pass: Dict[str, PassStats] = field(default_factory=dict)
+    #: procedure name -> pass name -> number of changes in that procedure.
+    per_procedure: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: provenance cell key ("var@proc") -> ["fold@proc:block", ...]:
+    #: which optimization sites consumed each CONSTANTS(p) entry value.
+    used_by: Dict[str, List[str]] = field(default_factory=dict)
+    #: Phi-edge copies materialized during SSA destruction.
+    edge_copies: int = 0
+    #: True when the IR verifier ran after every pass.
+    verified: bool = False
+
+    def stats(self, pass_name: str) -> PassStats:
+        existing = self.per_pass.get(pass_name)
+        if existing is None:
+            existing = PassStats(pass_name)
+            self.per_pass[pass_name] = existing
+        return existing
+
+    def note_procedure(self, pass_name: str, procedure_name: str,
+                       changes: int) -> None:
+        if changes <= 0:
+            return
+        per_pass = self.per_procedure.setdefault(procedure_name, {})
+        per_pass[pass_name] = per_pass.get(pass_name, 0) + changes
+
+    def note_used_by(self, cell_key: str, fact: str) -> None:
+        facts = self.used_by.setdefault(cell_key, [])
+        if fact not in facts:
+            facts.append(fact)
+
+    @property
+    def total_changes(self) -> int:
+        return sum(stats.total for stats in self.per_pass.values())
+
+    @property
+    def changed(self) -> bool:
+        return self.total_changes > 0
+
+    def to_payload(self) -> dict:
+        return {
+            "passes": list(self.passes),
+            "per_pass": {
+                name: stats.as_dict() for name, stats in self.per_pass.items()
+            },
+            "per_procedure": {
+                name: dict(counts)
+                for name, counts in sorted(self.per_procedure.items())
+            },
+            "used_by": {
+                key: list(facts) for key, facts in sorted(self.used_by.items())
+            },
+            "edge_copies": self.edge_copies,
+            "verified": self.verified,
+            "total_changes": self.total_changes,
+        }
+
+    def render(self) -> str:
+        lines = [f"Optimization: passes {', '.join(self.passes)}"]
+        for name in self.passes:
+            stats = self.per_pass.get(name)
+            lines.append(f"  {name}: {stats.describe() if stats else 'no changes'}")
+        if self.per_procedure:
+            per_proc = ", ".join(
+                f"{name} ({sum(counts.values())})"
+                for name, counts in sorted(self.per_procedure.items())
+            )
+            lines.append(f"  per procedure: {per_proc}")
+        if self.edge_copies:
+            lines.append(
+                f"  {self.edge_copies} phi edge copies materialized during "
+                "SSA destruction"
+            )
+        if self.verified:
+            lines.append("  IR verified after every pass")
+        lines.append(f"  total: {self.total_changes} changes")
+        return "\n".join(lines)

@@ -1,0 +1,234 @@
+"""Differential-equivalence mode of the oracle: optimized == original.
+
+The optimization backend (:mod:`repro.opt`) must never change observable
+behaviour. This module enforces that by execution: interpret the fresh
+lowering of a program, interpret the analyzed-then-optimized program
+with the same inputs, and require byte-identical PRINT output. A
+seeded campaign (``repro oracle --opt-trials N``) runs the generator
+through every pass combination worth checking and minimizes failures
+with the PR 2 shrinker, exactly like the soundness/preservation
+campaigns.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.config import AnalysisConfig, BudgetExceeded
+from repro.engine.memo import fresh_program
+from repro.frontend.errors import FrontendError
+from repro.ir.interp import InterpreterError, Trace, run_program
+from repro.ir.verify import VerificationError
+from repro.opt.pipeline import PASS_NAMES, optimize_source
+from repro.oracle.harness import (
+    TRIAL_FUEL,
+    Discrepancy,
+    OracleReport,
+    TrialResult,
+    _trace_diff,
+)
+from repro.suite.generator import GeneratorConfig, generate_case
+
+#: Property tag for corpus entries written by the equivalence campaign.
+EQUIVALENCE = "equivalence"
+
+#: Pass subsets every golden program / trial is checked under: each pass
+#: alone (catches a pass that is only sound after another ran) plus the
+#: full pipeline.
+PASS_SUBSETS: Tuple[Tuple[str, ...], ...] = tuple(
+    [(name,) for name in PASS_NAMES] + [PASS_NAMES]
+)
+
+
+def interpret_original(
+    source: str,
+    inputs: Sequence[int] = (),
+    fuel: int = TRIAL_FUEL,
+    filename: str = "equiv.f",
+) -> Trace:
+    """Reference behaviour: interpret a fresh (never-analyzed) lowering."""
+    return run_program(fresh_program(source, filename), inputs, fuel)
+
+
+def check_optimized_equivalence(
+    source: str,
+    inputs: Sequence[int] = (),
+    config: Optional[AnalysisConfig] = None,
+    passes: Sequence[str] = PASS_NAMES,
+    fuel: int = TRIAL_FUEL,
+    verify: bool = True,
+) -> Optional[str]:
+    """Optimize ``source`` under ``passes`` and execute both versions.
+
+    Returns None when outputs are byte-identical, else a detail string.
+    Raises InterpreterError when the *original* program cannot serve as
+    an oracle run (fuel exhaustion, division by zero) — callers treat
+    that as a skip, mirroring the soundness harness."""
+    original = interpret_original(source, inputs, fuel)
+    try:
+        result, _report = optimize_source(
+            source, config, passes=tuple(passes), verify=verify
+        )
+    except VerificationError as error:
+        return f"optimizer produced invalid IR: {error}"
+    try:
+        # Generous margin: the optimized program should execute no more
+        # steps, but a margin keeps a legitimate rewrite (destruct edge
+        # copies) from tripping the limit before the comparison does.
+        optimized = run_program(result.program, inputs, fuel * 4)
+    except InterpreterError as error:
+        return f"optimized program failed to execute: {error}"
+    if original.output != optimized.output:
+        return _trace_diff(original.output, optimized.output)
+    return None
+
+
+def interpret_original_project(
+    named: Sequence[Tuple[str, str]],
+    entry: Optional[str] = None,
+    inputs: Sequence[int] = (),
+    fuel: int = TRIAL_FUEL,
+) -> Trace:
+    """Reference behaviour of a multi-file project: link the
+    ``(filename, text)`` pairs and interpret the fresh (never-analyzed)
+    linked lowering. Raises ValueError when linking fails."""
+    from repro.ir.lowering import lower_module
+    from repro.linkage.linker import link_sources
+
+    link = link_sources(list(named), entry=entry)
+    if link.module is None:
+        raise ValueError(link.diagnostics.format())
+    return run_program(lower_module(link.module, None), inputs, fuel)
+
+
+def check_optimized_project_equivalence(
+    named: Sequence[Tuple[str, str]],
+    entry: Optional[str] = None,
+    inputs: Sequence[int] = (),
+    config: Optional[AnalysisConfig] = None,
+    passes: Sequence[str] = PASS_NAMES,
+    fuel: int = TRIAL_FUEL,
+    verify: bool = True,
+) -> Optional[str]:
+    """Multi-file analogue of :func:`check_optimized_equivalence`:
+    link + analyze + optimize the project, and compare its output to
+    the fresh linked lowering. ValueError on link failure (callers
+    treat it as a skip — an unlinkable project has no behaviour to
+    preserve)."""
+    from repro.linkage.linker import analyze_linked_sources
+    from repro.opt.pipeline import optimize_result
+
+    original = interpret_original_project(named, entry, inputs, fuel)
+    result, link = analyze_linked_sources(list(named), config, entry=entry)
+    if result is None:
+        raise ValueError(link.diagnostics.format())
+    try:
+        optimize_result(result, passes=tuple(passes), verify=verify)
+    except VerificationError as error:
+        return f"optimizer produced invalid IR: {error}"
+    try:
+        optimized = run_program(result.program, inputs, fuel * 4)
+    except InterpreterError as error:
+        return f"optimized program failed to execute: {error}"
+    if original.output != optimized.output:
+        return _trace_diff(original.output, optimized.output)
+    return None
+
+
+def reproduces_equivalence(
+    source: str,
+    inputs: Sequence[int],
+    passes: Sequence[str] = PASS_NAMES,
+    fuel: int = TRIAL_FUEL,
+) -> bool:
+    """Minimizer predicate: does the equivalence violation still show?"""
+    try:
+        return check_optimized_equivalence(
+            source, inputs, passes=passes, fuel=fuel
+        ) is not None
+    except Exception:
+        return False
+
+
+def run_opt_trial(
+    seed: int,
+    generator_config: Optional[GeneratorConfig] = None,
+    passes: Sequence[Tuple[str, ...]] = PASS_SUBSETS,
+    fuel: int = TRIAL_FUEL,
+) -> TrialResult:
+    """One seeded equivalence trial across every pass subset."""
+    from repro.oracle.harness import DEFAULT_ORACLE_CONFIG
+
+    case = generate_case(seed, generator_config or DEFAULT_ORACLE_CONFIG)
+    trial = TrialResult(seed=seed, source=case.source,
+                        inputs=tuple(case.inputs))
+    for subset in passes:
+        try:
+            detail = check_optimized_equivalence(
+                case.source, case.inputs, passes=subset, fuel=fuel
+            )
+        except InterpreterError as error:
+            trial.skipped = True
+            trial.skip_reason = str(error)
+            return trial
+        except (FrontendError, BudgetExceeded) as error:
+            trial.skipped = True
+            trial.skip_reason = f"analysis unavailable: {error}"
+            return trial
+        if detail is not None:
+            trial.discrepancies.append(
+                Discrepancy(
+                    EQUIVALENCE, f"passes={','.join(subset)}", detail
+                )
+            )
+    return trial
+
+
+def run_opt_oracle(
+    trials: int,
+    seed: int = 0,
+    generator_config: Optional[GeneratorConfig] = None,
+    passes: Sequence[Tuple[str, ...]] = PASS_SUBSETS,
+    corpus_dir: Optional[str] = None,
+    minimize: bool = True,
+    fuel: int = TRIAL_FUEL,
+    progress: Optional[Callable[[TrialResult], None]] = None,
+) -> OracleReport:
+    """Run ``trials`` seeded equivalence trials (seeds
+    ``seed .. seed+trials-1``). Failing programs are minimized against
+    the full pipeline (unless ``minimize`` is False) and persisted to
+    ``corpus_dir`` when given. Deterministic for fixed arguments."""
+    from repro.oracle.corpus import CorpusEntry, write_failure
+    from repro.oracle.minimize import minimize_source
+
+    report = OracleReport()
+    for index in range(trials):
+        trial = run_opt_trial(seed + index, generator_config, passes, fuel)
+        report.trials += 1
+        if trial.skipped:
+            report.skipped += 1
+        elif not trial.ok:
+            first = trial.discrepancies[0]
+            first_passes = tuple(first.config[len("passes="):].split(","))
+            if minimize:
+                report.minimized[trial.seed] = minimize_source(
+                    trial.source,
+                    lambda text: reproduces_equivalence(
+                        text, trial.inputs, first_passes, fuel
+                    ),
+                )
+            if corpus_dir is not None:
+                write_failure(
+                    corpus_dir,
+                    CorpusEntry(
+                        seed=trial.seed,
+                        property=EQUIVALENCE,
+                        source=report.minimized.get(trial.seed, trial.source),
+                        inputs=tuple(trial.inputs),
+                        detail=first.detail,
+                    ),
+                )
+            report.failures.append(trial)
+        if progress is not None:
+            progress(trial)
+    return report

@@ -9,7 +9,8 @@ This file also registers the ``--update-goldens`` flag (regenerates the
 golden-snapshot corpus instead of comparing against it) and auto-marks
 tests by directory: ``tests/golden`` -> ``golden``, ``tests/oracle`` ->
 ``oracle``, ``tests/linkage`` -> ``linkage`` *and* ``tier1``,
-everything else -> ``tier1`` (the fast gate: ``pytest -m tier1``).
+``tests/opt`` -> ``opt`` *and* ``tier1``, everything else -> ``tier1``
+(the fast gate: ``pytest -m tier1``).
 """
 
 from __future__ import annotations
@@ -53,6 +54,11 @@ def pytest_collection_modifyitems(config, items):
             # Linkage tests are part of the fast gate AND addressable
             # on their own (`pytest -m linkage`) for the CI job.
             item.add_marker(pytest.mark.linkage)
+            item.add_marker(pytest.mark.tier1)
+        elif "/tests/opt/" in path:
+            # Same dual addressing for the optimization backend
+            # (`pytest -m opt` drives the CI opt-smoke job).
+            item.add_marker(pytest.mark.opt)
             item.add_marker(pytest.mark.tier1)
         else:
             item.add_marker(pytest.mark.tier1)

@@ -1,0 +1,222 @@
+"""CLI coverage for the optimization backend: the ``optimize``
+subcommand, ``--optimize`` on analyze/link/batch, the warm-cache
+replay, the ``--verify-ir`` safety net, and ``oracle --opt-trials``."""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = (
+    "      PROGRAM MAIN\n"
+    "      INTEGER I, S, K\n"
+    "      K = 3\n"
+    "      S = 0\n"
+    "      DO 10 I = 1, 20\n"
+    "      IF (K .GT. 0) THEN\n"
+    "      S = S + I\n"
+    "      ELSE\n"
+    "      S = S - I\n"
+    "      ENDIF\n"
+    " 10   CONTINUE\n"
+    "      PRINT *, S\n"
+    "      CALL SHOW(K, S)\n"
+    "      END\n"
+    "      SUBROUTINE SHOW(A, B)\n"
+    "      INTEGER A, B\n"
+    "      PRINT *, A + B\n"
+    "      END\n"
+)
+
+MAIN_F = (
+    "      PROGRAM MAIN\n"
+    "      INTEGER K, R\n"
+    "      EXTERNAL TWICE\n"
+    "      K = 21\n"
+    "      CALL TWICE(K, R)\n"
+    "      PRINT *, R\n"
+    "      END\n"
+)
+LIB_F = (
+    "      SUBROUTINE TWICE(A, B)\n"
+    "      INTEGER A, B\n"
+    "      B = A * 2\n"
+    "      END\n"
+)
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.f"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestOptimizeCommand:
+    def test_default_run(self, program_file, capsys):
+        assert main(["optimize", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "Optimization: passes fold, branches, unswitch, callargs" in out
+        assert "total:" in out
+
+    def test_pass_subset(self, program_file, capsys):
+        assert main(["optimize", program_file, "--passes", "fold"]) == 0
+        out = capsys.readouterr().out
+        assert "Optimization: passes fold\n" in out
+        assert "branches:" not in out
+
+    def test_unknown_pass_rejected(self, program_file, capsys):
+        assert main(["optimize", program_file, "--passes", "sccp"]) == 1
+        assert "sccp" in capsys.readouterr().err
+
+    def test_dump_ir(self, program_file, capsys):
+        assert main(["optimize", program_file, "--dump-ir"]) == 0
+        out = capsys.readouterr().out
+        assert "--- optimized IR ---" in out
+        assert "program main" in out
+
+    def test_output_file(self, program_file, tmp_path, capsys):
+        target = tmp_path / "opt.ir"
+        assert main(["optimize", program_file, "-o", str(target)]) == 0
+        assert "[optimized IR written to" in capsys.readouterr().out
+        assert "program main" in target.read_text()
+
+    def test_verify_ir_accepts_healthy_pipeline(self, program_file, capsys):
+        assert main(["optimize", program_file, "--verify-ir"]) == 0
+        assert "IR verified after every pass" in capsys.readouterr().out
+
+    def test_verify_ir_catches_broken_pass(
+        self, program_file, monkeypatch, capsys
+    ):
+        import repro.opt.passes as opt_passes
+
+        def corrupt(procedure, sccp, report):
+            for block in procedure.cfg.blocks:
+                block.instructions = block.instructions[:-1]
+            return 1
+
+        monkeypatch.setattr(opt_passes, "fold_constants", corrupt)
+        assert main(["optimize", program_file, "--verify-ir"]) == 2
+        assert "internal error" in capsys.readouterr().err
+
+
+class TestOptimizeWarmCache:
+    def test_replay_is_byte_identical(self, program_file, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = ["optimize", program_file, "--dump-ir", "--cache-dir", cache]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_replay_writes_same_ir_file(self, program_file, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        first, second = tmp_path / "a.ir", tmp_path / "b.ir"
+        assert main(["optimize", program_file, "--cache-dir", cache,
+                     "-o", str(first)]) == 0
+        assert main(["optimize", program_file, "--cache-dir", cache,
+                     "-o", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_text() == second.read_text()
+
+    def test_verify_ir_bypasses_replay(self, program_file, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["optimize", program_file, "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        # --verify-ir must re-run the pipeline (and the verifier), not
+        # replay: its output carries the verification line.
+        assert main(["optimize", program_file, "--cache-dir", cache,
+                     "--verify-ir"]) == 0
+        assert "IR verified after every pass" in capsys.readouterr().out
+
+
+class TestAnalyzeOptimize:
+    def test_reports_passes(self, program_file, capsys):
+        assert main(["analyze", program_file, "--optimize"]) == 0
+        out = capsys.readouterr().out
+        assert "CONSTANTS(show)" in out
+        assert "Optimization: passes" in out
+
+    def test_dump_ir_is_optimized(self, program_file, capsys):
+        assert main(
+            ["analyze", program_file, "--optimize", "--dump-ir"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "--- optimized IR ---" in out
+        assert "--- SSA IR ---" not in out
+
+    def test_explain_notes_consuming_pass(self, program_file, capsys):
+        assert main(
+            ["analyze", program_file, "--optimize", "--explain", "a@show"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "a@show = 3" in out
+        assert "used_by: fold@show:" in out
+
+    def test_explain_without_optimize_has_no_used_by(
+        self, program_file, capsys
+    ):
+        assert main(
+            ["analyze", program_file, "--explain", "a@show"]
+        ) == 0
+        assert "used_by:" not in capsys.readouterr().out
+
+    def test_unknown_pass_rejected(self, program_file, capsys):
+        assert main(
+            ["analyze", program_file, "--optimize", "--passes", "nope"]
+        ) == 1
+        assert "nope" in capsys.readouterr().err
+
+    def test_optimize_does_not_poison_run_cache(
+        self, program_file, tmp_path, capsys
+    ):
+        cache = str(tmp_path / "cache")
+        assert main(["analyze", program_file, "--optimize",
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        # A later plain --dump-ir must see SSA IR, not the destructed
+        # optimized program.
+        assert main(["analyze", program_file, "--dump-ir",
+                     "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "--- SSA IR ---" in out
+        assert "phi" in out or "_1" in out
+
+
+class TestLinkOptimize:
+    def test_link_optimize(self, tmp_path, capsys):
+        one = tmp_path / "main.f"
+        two = tmp_path / "lib.f"
+        one.write_text(MAIN_F)
+        two.write_text(LIB_F)
+        assert main(["link", str(one), str(two), "--optimize",
+                     "--dump-ir"]) == 0
+        out = capsys.readouterr().out
+        assert "Optimization: passes" in out
+        assert "print 42" in out
+
+
+class TestBatchOptimize:
+    def test_summary_line_and_report(self, program_file, capsys):
+        assert main(["batch", program_file, "--optimize", "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "optimized (" in out
+        assert "Optimization: passes" in out
+
+    def test_warm_replay_keeps_opt_summary(
+        self, program_file, tmp_path, capsys
+    ):
+        cache = str(tmp_path / "cache")
+        argv = ["batch", program_file, "--optimize", "--cache-dir", cache]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "[replayed]" in out
+        assert "optimized (" in out
+
+
+class TestOracleOptTrials:
+    def test_small_campaign_passes(self, capsys):
+        assert main(["oracle", "--opt-trials", "3"]) == 0
+        assert "3 trial(s)" in capsys.readouterr().out
