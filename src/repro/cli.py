@@ -210,6 +210,20 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
         help="write Prometheus text-format metrics to FILE "
         "('-' = stdout)",
     )
+    parser.add_argument(
+        "--log",
+        default=None,
+        metavar="FILE",
+        dest="log",
+        help="write a structured JSON-lines log to FILE ('-' = stderr); "
+        "every record carries the invocation's request_id/trace_id",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="info",
+        choices=("debug", "info", "warn", "error"),
+        help="minimum severity for --log records (default: info)",
+    )
 
 
 def _add_optimize_arguments(parser: argparse.ArgumentParser) -> None:
@@ -480,6 +494,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write Chrome trace-event JSON to FILE at drain",
     )
     serve.add_argument(
+        "--log", default=None, metavar="FILE",
+        help="write a structured JSON-lines request log to FILE "
+        "('-' = stderr); every record carries a request_id",
+    )
+    serve.add_argument(
+        "--log-level", default="info",
+        choices=("debug", "info", "warn", "error"),
+        help="minimum severity for --log records (default: info)",
+    )
+    serve.add_argument(
+        "--slow-request", type=float, default=None, metavar="SECONDS",
+        help="log a 'request.slow' record (stage timings + cache "
+        "profile) for any request slower than SECONDS end to end",
+    )
+    serve.add_argument(
+        "--obs-window", type=int, default=256, metavar="N",
+        help="per-request ring buffer capacity behind 'repro top' and "
+        "the 'obs' protocol op (default: 256)",
+    )
+    serve.add_argument(
         "--inject-fault", action="append", default=[], metavar="SPEC",
         help="arm a deterministic fault (repeatable), e.g. "
         "'kill-worker:stage=ret,nth=1' or 'delay-request:ms=200'; "
@@ -491,7 +525,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     client.add_argument(
         "op", choices=("analyze", "explain", "invalidate", "status",
-                       "shutdown"),
+                       "obs", "shutdown"),
         help="operation to request",
     )
     client.add_argument(
@@ -523,6 +557,52 @@ def _build_parser() -> argparse.ArgumentParser:
     client.add_argument(
         "--json", action="store_true",
         help="print the raw response envelope as JSON",
+    )
+    client.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="op 'obs': newest ring-buffer requests to include",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live per-request view of a running daemon (polls the "
+        "'obs' op)",
+    )
+    top.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="unix socket path of the daemon",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh interval (default: 2)",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="stop after N refreshes (default: 0 = until interrupted)",
+    )
+    top.add_argument(
+        "--limit", type=int, default=10, metavar="N",
+        help="newest ring-buffer requests to show (default: 10)",
+    )
+    top.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS",
+        help="client-side socket timeout (default: 30)",
+    )
+
+    obs = sub.add_parser(
+        "obs", help="offline telemetry analysis (logs, traces, metrics)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="join telemetry artifacts by request_id into a "
+        "per-request stage breakdown table",
+    )
+    obs_report.add_argument(
+        "artifact", nargs="+", metavar="TRACE_OR_LOG",
+        help="artifact files: JSONL logs (--log), Chrome traces "
+        "(--trace), Prometheus metrics (--metrics); kinds are "
+        "auto-detected from content",
     )
 
     compare = sub.add_parser("compare", help="compare all four jump functions")
@@ -748,6 +828,69 @@ def _write_metrics(args: argparse.Namespace, registry=None) -> None:
         print(f"[metrics written to {args.metrics}]", file=sys.stderr)
 
 
+def _start_obs(args: argparse.Namespace, command: str):
+    """Begin request-scoped telemetry for one CLI invocation: enable
+    ``--log`` if given, and install a ``cli-<command>`` correlation
+    context whenever any telemetry sink (log or trace) is active, so
+    every record and every worker flow carries the same ids.
+
+    Returns ``(logger, context)`` for :func:`_finish_obs`.
+    """
+    logger = None
+    context = None
+    if getattr(args, "log", None) is not None:
+        from repro.obs import log as obs_log
+
+        logger = obs_log.enable(
+            args.log, level=getattr(args, "log_level", "info")
+        )
+    if logger is not None or getattr(args, "trace", None) is not None:
+        from repro.obs import context as obs_context
+
+        context = obs_context.RequestContext(f"cli-{command}")
+        obs_context.set_context(context)
+    if logger is not None:
+        from repro.obs import log as obs_log
+
+        obs_log.info("cli.start", command=command)
+    return logger, context
+
+
+def _flow_root(context, **attrs) -> None:
+    """Emit the invocation's flow-root event (inside the root span):
+    pool workers stitch to it with "t" steps sharing the same id."""
+    if context is None:
+        return
+    from repro.obs import context as obs_context
+    from repro.obs import trace
+
+    if trace.ENABLED:
+        trace.flow(
+            "request", "s", obs_context.flow_id(context.request_id),
+            request_id=context.request_id, **attrs,
+        )
+
+
+def _finish_obs(args: argparse.Namespace, logger, context,
+                exit_code=None) -> None:
+    if logger is not None:
+        from repro.obs import log as obs_log
+
+        obs_log.info("cli.end", exit_code=exit_code)
+        obs_log.disable()
+        if args.log != "-":
+            print(
+                f"[log written to {args.log} "
+                f"({logger.records_written} records)]",
+                file=sys.stderr,
+            )
+    if context is not None:
+        from repro.obs import context as obs_context
+
+        if obs_context.current() is context:
+            obs_context.clear()
+
+
 def _print_explain(provenance, query: str) -> int:
     """Render one ``--explain`` section; EXIT_OK or EXIT_DIAGNOSTICS
     (unknown/malformed cell query)."""
@@ -810,11 +953,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     engine = _engine_from_args(args)
     tracer = _start_trace(args)
+    logger, context = _start_obs(args, "analyze")
+    code: Optional[int] = None
     try:
         from repro.obs import trace
 
-        with trace.span("analyze", file=args.file):
-            return _run_analyze(args, config, engine)
+        with trace.span("analyze", file=args.file,
+                        request_id=context.request_id if context else None):
+            _flow_root(context, op="analyze", path=args.file)
+            code = _run_analyze(args, config, engine)
+            return code
     finally:
         if engine is not None:
             if engine.profile is not None:
@@ -822,6 +970,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             engine.close()
         _write_trace(args, tracer)
         _write_metrics(args)
+        _finish_obs(args, logger, context, exit_code=code)
 
 
 def _run_analyze(args: argparse.Namespace, config, engine) -> int:
@@ -929,11 +1078,16 @@ def _cmd_link(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     engine = _engine_from_args(args)
     tracer = _start_trace(args)
+    logger, context = _start_obs(args, "link")
+    code: Optional[int] = None
     try:
         from repro.obs import trace
 
-        with trace.span("link", files=len(args.files)):
-            return _run_link(args, config, engine)
+        with trace.span("link", files=len(args.files),
+                        request_id=context.request_id if context else None):
+            _flow_root(context, op="link", files=len(args.files))
+            code = _run_link(args, config, engine)
+            return code
     finally:
         if engine is not None:
             if engine.profile is not None:
@@ -941,6 +1095,7 @@ def _cmd_link(args: argparse.Namespace) -> int:
             engine.close()
         _write_trace(args, tracer)
         _write_metrics(args)
+        _finish_obs(args, logger, context, exit_code=code)
 
 
 def _run_link(args: argparse.Namespace, config, engine) -> int:
@@ -1102,6 +1257,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         (args.cache_dir or default_cache_root()) if wants_cache else None
     )
     tracer = _start_trace(args)
+    logger, context = _start_obs(args, "batch")
     previous_handlers = _install_interrupt_handlers()
     interrupted: Optional[int] = None
     try:
@@ -1134,6 +1290,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"down, partial artifacts flushed]",
             file=sys.stderr,
         )
+        _finish_obs(args, logger, context, exit_code=128 + interrupted)
         return 128 + interrupted
     for note in result.notes:
         print(f"[degraded: {note}]", file=sys.stderr)
@@ -1160,6 +1317,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print("\n--- metrics (aggregated) ---")
         for name, value in merged.counters().items():
             print(f"  {name} {value}")
+        histogram = merged.get_histogram("batch_file_seconds")
+        if histogram is not None and histogram.count > 0:
+            marks = histogram.percentiles()
+            rendered = "  ".join(
+                f"{label}={marks[label] * 1000:.3f}ms"
+                for label in ("p50", "p95", "p99")
+            )
+            print(f"  batch_file_seconds {rendered}")
     _write_metrics(args, registry=merged)
     if args.profile is not None:
         text = json.dumps(result.profile_report(), indent=2)
@@ -1170,7 +1335,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             with open(args.profile, "w", encoding="utf-8") as handle:
                 handle.write(text + "\n")
             print(f"[profile written to {args.profile}]")
-    return EXIT_OK if result.ok else EXIT_DIAGNOSTICS
+    code = EXIT_OK if result.ok else EXIT_DIAGNOSTICS
+    _finish_obs(args, logger, context, exit_code=code)
+    return code
 
 
 def _replay_cached_opt(payload: dict, args: argparse.Namespace) -> int:
@@ -1192,11 +1359,16 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     engine = _engine_from_args(args)
     tracer = _start_trace(args)
+    logger, context = _start_obs(args, "optimize")
+    code: Optional[int] = None
     try:
         from repro.obs import trace
 
-        with trace.span("optimize", file=args.file):
-            return _run_optimize(args, config, engine)
+        with trace.span("optimize", file=args.file,
+                        request_id=context.request_id if context else None):
+            _flow_root(context, op="optimize", path=args.file)
+            code = _run_optimize(args, config, engine)
+            return code
     finally:
         if engine is not None:
             if engine.profile is not None:
@@ -1204,6 +1376,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
             engine.close()
         _write_trace(args, tracer)
         _write_metrics(args)
+        _finish_obs(args, logger, context, exit_code=code)
 
 
 def _run_optimize(args: argparse.Namespace, config, engine) -> int:
@@ -1288,6 +1461,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         drain_timeout_s=args.drain_timeout,
         metrics_path=args.metrics,
         trace_path=args.trace,
+        log_path=args.log,
+        log_level=args.log_level,
+        slow_request_s=args.slow_request,
+        obs_window=args.obs_window,
     )
     try:
         server = ReproServer(config)
@@ -1349,6 +1526,8 @@ def _cmd_client(args: argparse.Namespace) -> int:
                 response = client.invalidate(single)
         elif args.op == "status":
             response = client.status()
+        elif args.op == "obs":
+            response = client.obs(limit=getattr(args, "limit", None))
         else:
             response = client.shutdown()
     except ServeRequestError as err:
@@ -1363,6 +1542,58 @@ def _cmd_client(args: argparse.Namespace) -> int:
         print(json.dumps(response, indent=2, sort_keys=True))
         return EXIT_OK
     return _render_client_response(args.op, response)
+
+
+def _format_latency_ms(value) -> str:
+    return f"{value * 1000:.3f}" if value is not None else "-"
+
+
+def _render_obs_snapshot(result: dict) -> None:
+    """Human rendering of one ``obs`` op payload — shared by
+    ``repro client obs`` and each ``repro top`` refresh."""
+    threshold = result.get("slow_threshold_s")
+    print(
+        f"requests seen: {result.get('requests_seen', 0)}  "
+        f"(ring window {result.get('window')}, "
+        f"slow {result.get('slow_requests', 0)}, "
+        f"slow threshold "
+        f"{f'{threshold}s' if threshold is not None else 'off'})"
+    )
+    latency = result.get("latency") or {}
+    populated = {
+        name: stats for name, stats in latency.items()
+        if stats.get("count")
+    }
+    if populated:
+        print(f"{'histogram':<34} {'count':>7} {'p50 ms':>10} "
+              f"{'p95 ms':>10} {'p99 ms':>10}")
+        for name in sorted(populated):
+            stats = populated[name]
+            print(
+                f"{name:<34} {stats.get('count', 0):>7} "
+                f"{_format_latency_ms(stats.get('p50')):>10} "
+                f"{_format_latency_ms(stats.get('p95')):>10} "
+                f"{_format_latency_ms(stats.get('p99')):>10}"
+            )
+    recent = result.get("recent") or []
+    if recent:
+        print()
+        print(
+            f"{'request':<10} {'op':<10} {'status':<16} "
+            f"{'queue':>8} {'parse':>8} {'solve':>8} {'opt':>8} "
+            f"{'render':>8} {'total':>9}"
+        )
+        for entry in recent:
+            cells = " ".join(
+                f"{entry.get(f'{bucket}_ms', 0):>8.1f}"
+                for bucket in ("queue", "parse", "solve", "opt", "render")
+            )
+            print(
+                f"{str(entry.get('request_id', '?')):<10} "
+                f"{str(entry.get('op', '')):<10} "
+                f"{str(entry.get('status', '?')):<16} "
+                f"{cells} {entry.get('total_ms', 0):>9.1f}"
+            )
 
 
 def _render_client_response(op: str, response: dict) -> int:
@@ -1417,7 +1648,72 @@ def _render_client_response(op: str, response: dict) -> int:
         for name in sorted(counters):
             print(f"  {name} {counters[name]}")
         return EXIT_OK
+    if op == "obs":
+        _render_obs_snapshot(result)
+        return EXIT_OK
     print(json.dumps(result))  # shutdown and anything future
+    return EXIT_OK
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Poll the daemon's ``obs`` op and render a live per-request view.
+
+    Each refresh opens a fresh connection so the view survives daemon
+    restarts; ``--iterations 0`` polls until interrupted."""
+    import time as time_module
+
+    from repro.serve.client import ReproClient, ServeRequestError
+
+    iteration = 0
+    try:
+        while True:
+            iteration += 1
+            try:
+                with ReproClient(
+                    args.socket, timeout=args.timeout
+                ) as client:
+                    response = client.obs(limit=args.limit)
+            except ServeRequestError as err:
+                print(f"top: {err}", file=sys.stderr)
+                return EXIT_DIAGNOSTICS
+            except (ConnectionError, OSError) as err:
+                print(f"top: {err}", file=sys.stderr)
+                return EXIT_INTERNAL
+            if iteration > 1:
+                print()
+            print(f"--- repro top: {args.socket} (refresh {iteration}) ---")
+            _render_obs_snapshot(response.get("result", {}))
+            if args.iterations and iteration >= args.iterations:
+                return EXIT_OK
+            time_module.sleep(args.interval)
+    except KeyboardInterrupt:
+        return EXIT_OK
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import timeline as obs_timeline
+
+    artifacts = []
+    for path in args.artifact:
+        try:
+            kind, parsed = obs_timeline.load_artifact(path)
+        except (OSError, UnicodeDecodeError, ValueError) as err:
+            print(f"obs report: cannot read {path}: {err}",
+                  file=sys.stderr)
+            return EXIT_INTERNAL
+        if kind == "unknown":
+            print(
+                f"obs report: {path}: not a recognized log, trace, or "
+                f"metrics artifact (skipped)",
+                file=sys.stderr,
+            )
+            continue
+        artifacts.append((kind, parsed))
+    if not artifacts:
+        print("obs report: no usable artifacts", file=sys.stderr)
+        return EXIT_DIAGNOSTICS
+    report = obs_timeline.build_report(artifacts)
+    sys.stdout.write(obs_timeline.render_report(report))
     return EXIT_OK
 
 
@@ -1669,6 +1965,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "optimize": _cmd_optimize,
         "serve": _cmd_serve,
         "client": _cmd_client,
+        "top": _cmd_top,
+        "obs": _cmd_obs,
         "compare": _cmd_compare,
         "run": _cmd_run,
         "clone": _cmd_clone,

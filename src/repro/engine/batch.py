@@ -197,6 +197,7 @@ def analyze_one(
     from repro.engine.core import Engine
     from repro.frontend.errors import FrontendError
     from repro.ipcp.driver import analyze_file_resilient
+    from repro.obs import context as obs_context
     from repro.obs import metrics as obs_metrics
     from repro.obs import trace
 
@@ -230,8 +231,23 @@ def analyze_one(
     began = time.perf_counter()
     engine = Engine(jobs=1, cache_dir=cache_dir, profile=profile)
     outcome = FileOutcome(path=path)
-    file_span = trace.span("batch.file", path=path)
+    # Each file is its own correlation unit: telemetry recorded while
+    # analyzing it (log records, worker spans) carries a per-file
+    # request id, under the enclosing session's trace id. Thread-scoped
+    # so concurrent batch threads never adopt a sibling's ids.
+    enclosing_ctx = obs_context.current()
+    file_ctx = obs_context.RequestContext(
+        f"file:{path}",
+        enclosing_ctx.trace_id if enclosing_ctx is not None else None,
+    )
+    obs_context.set_thread_context(file_ctx)
+    file_span = trace.span("batch.file", path=path, request_id=file_ctx.request_id)
     file_span.__enter__()
+    if trace.ENABLED:
+        trace.flow(
+            "request", "s", obs_context.flow_id(file_ctx.request_id),
+            request_id=file_ctx.request_id, path=path,
+        )
     try:
         text: Optional[str] = None
         try:
@@ -308,6 +324,7 @@ def analyze_one(
         return outcome
     finally:
         file_span.__exit__(None, None, None)
+        obs_context.set_thread_context(enclosing_ctx)
         if profile is not None:
             engine.finish_profile()
         if counters_base is not None:

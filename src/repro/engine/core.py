@@ -40,6 +40,7 @@ from repro.engine.cache import SummaryCache
 from repro.engine.fingerprint import _sha
 from repro.engine.scheduler import condensation_levels, partition
 from repro.ir.module import Program
+from repro.obs import context as obs_context
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace
 from repro.profiling import PipelineProfile
@@ -447,23 +448,31 @@ class Engine:
                 "engine.dispatch", tasks=len(arg_tuples),
                 pool=self._pool_kind or "inline", jobs=self.jobs,
             )
-            if self._pool_kind in ("fork", "spawn"):
-                # Process workers record into their own tracer and ship
-                # the new events back with each result; the parent
-                # adopts them (worker pids become separate trace
-                # tracks). Thread workers share the live tracer.
-                tracer = trace.active()
-                futures = [
-                    pool.submit(parallel._traced_call, task, *args)
-                    for args in arg_tuples
-                ]
-                results = []
-                for future in futures:
-                    wrapped = future.result()
-                    if tracer is not None and wrapped["events"]:
-                        tracer.adopt(wrapped["events"])
-                    results.append(wrapped["result"])
-                return results
+        ctx = obs_context.current_ids()
+        if self._pool_kind in ("fork", "spawn") and (
+            trace.ENABLED or ctx is not None
+        ):
+            # Process workers record into their own tracer and ship
+            # the new events back with each result; the parent adopts
+            # them (worker pids become separate trace tracks). Thread
+            # workers share the live tracer and the thread's context.
+            # The wrapper also carries the request's correlation ids —
+            # the explicit channel that covers spawn workers and the
+            # pickle path, where nothing is inherited.
+            tracer = trace.active()
+            futures = [
+                pool.submit(
+                    parallel._ctx_call, ctx, trace.ENABLED, task, *args
+                )
+                for args in arg_tuples
+            ]
+            results = []
+            for future in futures:
+                wrapped = future.result()
+                if tracer is not None and wrapped["events"]:
+                    tracer.adopt(wrapped["events"])
+                results.append(wrapped["result"])
+            return results
         futures = [pool.submit(task, *args) for args in arg_tuples]
         return [future.result() for future in futures]
 

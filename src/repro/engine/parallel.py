@@ -126,12 +126,47 @@ def _traced_call(task, *args):
 
     from repro.obs import trace
 
+    from repro.obs import context as obs_context
+
     tracer = trace.active()
     if tracer is None or tracer.owner_pid != os.getpid():
         tracer = trace.enable()
     marker = tracer.event_count()
-    result = task(*args)
+    context = obs_context.current()
+    if context is not None:
+        # Flow step: stitches this worker's events back to the request
+        # root span that emitted the matching "s" event. Emitted after
+        # the marker so it ships with this task's batch.
+        tracer.flow(
+            "request", "t", obs_context.flow_id(context.request_id)
+        )
+    with trace.span(
+        "worker.task", task=getattr(task, "__name__", str(task))
+    ):
+        result = task(*args)
     return {"result": result, "events": tracer.events_since(marker)}
+
+
+def _ctx_call(ctx, traced, task, *args):
+    """Run ``task`` with the request's correlation context installed.
+
+    ``ctx`` is the ``(request_id, trace_id)`` wire pair from
+    :func:`repro.obs.context.current_ids` (or None) — the explicit
+    channel that survives both the pickle path and spawn workers,
+    where nothing is inherited. ``traced`` says whether to also wrap
+    in :func:`_traced_call`; the untraced shape matches it so the
+    dispatcher unwraps both the same way.
+    """
+    from repro.obs import context as obs_context
+
+    previous = obs_context.current()
+    obs_context.set_thread_context(obs_context.from_ids(ctx))
+    try:
+        if traced:
+            return _traced_call(task, *args)
+        return {"result": task(*args), "events": []}
+    finally:
+        obs_context.set_thread_context(previous)
 
 
 def _worker_init() -> None:

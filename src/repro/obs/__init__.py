@@ -19,16 +19,30 @@ pipeline (frontend -> solver -> engine -> batch -> CLI):
   would-be constant, and which demotions coarsened it
   (``repro analyze --explain NAME@PROC``).
 
+Request-scoped telemetry rides on top of those pillars:
+
+- :mod:`repro.obs.context` — ``request_id``/``trace_id`` correlation
+  context, propagated across threads and pool-worker processes;
+- :mod:`repro.obs.log` — leveled, schema-versioned JSON-lines logging
+  (``--log FILE|-``) where every record carries the correlation ids;
+- :mod:`repro.obs.timeline` — per-request stage accounting (queue /
+  parse / solve / opt / render), the live ring buffer behind
+  ``repro top`` and the daemon's ``obs`` op, and the offline
+  ``repro obs report`` artifact joiner.
+
 See ``docs/OBSERVABILITY.md`` for the event taxonomy and output
 formats.
 """
 
-from repro.obs import metrics, trace
+from repro.obs import context, log, metrics, timeline, trace
 from repro.obs.provenance import ConstantProvenance, build_provenance
 
 __all__ = [
     "ConstantProvenance",
     "build_provenance",
+    "context",
+    "log",
     "metrics",
+    "timeline",
     "trace",
 ]

@@ -1,0 +1,286 @@
+"""Structured logging: leveled, schema-versioned JSON lines.
+
+One record per line, machine-readable end to end::
+
+    {"v": 1, "ts": 1723111845.201, "level": "info",
+     "event": "request.start", "pid": 4242,
+     "request_id": "r000007", "trace_id": "s-4242",
+     "op": "analyze", "path": "prog.f", "queue_ms": 0.4}
+
+Every record carries the correlation ids of the current
+:mod:`repro.obs.context` — that is the join key across the daemon's
+log, its Chrome trace (span/flow ``request_id`` args), and per-request
+metrics deltas, and what ``repro obs report`` joins on. Records
+emitted with no context installed fall back to ``request_id="-"``;
+long-lived processes install a session context ("server", "cli-...")
+at startup so that never happens in practice.
+
+Zero-cost-when-disabled, same contract as :mod:`repro.obs.trace`
+(bench-gated in ``benchmarks/test_observability_overhead.py``): hot
+call sites guard on the module flag ``log.ENABLED`` before building
+any field dict, the module helpers are no-ops without a logger, and no
+logger object exists until :func:`enable` runs.
+
+Rate limiting is per event name: after ``max_per_event`` records of
+one event, further ones are dropped and counted; :func:`disable`
+emits one ``log.suppressed`` summary record per throttled event, so a
+flooded log is visibly truncated rather than silently partial (and
+the cap keeps the artifact bounded and deterministic, unlike a
+time-windowed limiter).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs import context as _context
+
+#: Hot-path guard; only ever True while a logger is installed.
+ENABLED: bool = False
+
+_LOGGER: Optional["Logger"] = None
+
+#: Version tag of the record shape. 1 = v/ts/level/event/pid/
+#: request_id/trace_id plus free-form event fields.
+LOG_SCHEMA_VERSION = 1
+
+#: Severity order (records below the logger's level are dropped).
+LEVELS: Dict[str, int] = {"debug": 10, "info": 20, "warn": 30, "error": 40}
+
+#: Default per-event-name record cap (see module docstring).
+DEFAULT_MAX_PER_EVENT = 10_000
+
+#: Keys the logger owns; event fields may override the correlation
+#: pair (a handler thread attributing a record to a request it has not
+#: installed) but never the envelope itself.
+_ENVELOPE_KEYS = ("v", "ts", "level", "event", "pid")
+
+
+class Logger:
+    """Writes JSONL records for one enable()..disable() window."""
+
+    def __init__(
+        self,
+        destination,
+        level: str = "info",
+        max_per_event: int = DEFAULT_MAX_PER_EVENT,
+        clock=time.time,
+    ):
+        if level not in LEVELS:
+            raise ValueError(
+                f"unknown log level {level!r} (known: "
+                f"{', '.join(sorted(LEVELS))})"
+            )
+        self.level = level
+        self.level_no = LEVELS[level]
+        self.max_per_event = max_per_event
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._emitted: Dict[str, int] = {}
+        self._suppressed: Dict[str, int] = {}
+        self.records_written = 0
+        if isinstance(destination, str):
+            if destination == "-":
+                # stdout carries the subcommands' reports; the log
+                # stream goes to stderr so the two never interleave.
+                self._stream = sys.stderr
+                self._owns_stream = False
+            else:
+                self._stream = open(destination, "w", encoding="utf-8")
+                self._owns_stream = True
+        else:
+            self._stream = destination
+            self._owns_stream = False
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(self, level: str, event: str, fields: Dict[str, Any]) -> None:
+        if LEVELS.get(level, 0) < self.level_no:
+            return
+        count = self._emitted.get(event, 0)
+        if count >= self.max_per_event:
+            self._suppressed[event] = self._suppressed.get(event, 0) + 1
+            return
+        self._emitted[event] = count + 1
+        self._write(level, event, fields)
+
+    def _write(self, level: str, event: str, fields: Dict[str, Any]) -> None:
+        context = _context.current()
+        record: Dict[str, Any] = {
+            "v": LOG_SCHEMA_VERSION,
+            "ts": round(self._clock(), 6),
+            "level": level,
+            "event": event,
+            "pid": os.getpid(),
+            "request_id": (
+                context.request_id if context is not None else "-"
+            ),
+            "trace_id": context.trace_id if context is not None else "-",
+        }
+        for key, value in fields.items():
+            if key not in _ENVELOPE_KEYS:
+                record[key] = value
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        with self._lock:
+            try:
+                self._stream.write(line + "\n")
+                self._stream.flush()
+            except (OSError, ValueError):
+                return  # a torn log stream must never take the host down
+            self.records_written += 1
+
+    def finish(self) -> None:
+        """Emit the suppression summary and release the stream."""
+        for event in sorted(self._suppressed):
+            self._write(
+                "warn",
+                "log.suppressed",
+                {
+                    "suppressed_event": event,
+                    "dropped": self._suppressed[event],
+                    "max_per_event": self.max_per_event,
+                },
+            )
+        self._suppressed.clear()
+        if self._owns_stream:
+            try:
+                self._stream.close()
+            except OSError:
+                pass
+
+
+# -- module-level API ---------------------------------------------------------
+
+
+def enable(
+    destination,
+    level: str = "info",
+    max_per_event: int = DEFAULT_MAX_PER_EVENT,
+    clock=time.time,
+) -> Logger:
+    """Install a fresh logger (path, ``"-"`` for stderr, or a stream)
+    and flip :data:`ENABLED`. Returns it."""
+    global _LOGGER, ENABLED
+    if _LOGGER is not None:
+        disable()
+    _LOGGER = Logger(
+        destination, level=level, max_per_event=max_per_event, clock=clock
+    )
+    ENABLED = True
+    return _LOGGER
+
+
+def disable() -> Optional[Logger]:
+    """Flush the suppression summary, remove the logger, return it."""
+    global _LOGGER, ENABLED
+    logger = _LOGGER
+    _LOGGER = None
+    ENABLED = False
+    if logger is not None:
+        logger.finish()
+    return logger
+
+
+def active() -> Optional[Logger]:
+    return _LOGGER
+
+
+def emit(level: str, event: str, **fields: Any) -> None:
+    """One record. Hot call sites guard with ``if log.ENABLED:`` so
+    field dicts are never built when disabled."""
+    logger = _LOGGER
+    if logger is not None:
+        logger.emit(level, event, fields)
+
+
+def debug(event: str, **fields: Any) -> None:
+    logger = _LOGGER
+    if logger is not None:
+        logger.emit("debug", event, fields)
+
+
+def info(event: str, **fields: Any) -> None:
+    logger = _LOGGER
+    if logger is not None:
+        logger.emit("info", event, fields)
+
+
+def warn(event: str, **fields: Any) -> None:
+    logger = _LOGGER
+    if logger is not None:
+        logger.emit("warn", event, fields)
+
+
+def error(event: str, **fields: Any) -> None:
+    logger = _LOGGER
+    if logger is not None:
+        logger.emit("error", event, fields)
+
+
+# -- schema validation and reading (tests, CI, repro obs report) --------------
+
+
+def validate_log_records(lines) -> List[str]:
+    """Validate JSONL log lines; returns a list of problems (empty
+    means every record is schema-conformant and correlated)."""
+    problems: List[str] = []
+    for index, line in enumerate(lines):
+        if isinstance(line, bytes):
+            line = line.decode("utf-8", errors="replace")
+        stripped = line.strip()
+        if not stripped:
+            continue
+        where = f"line {index + 1}"
+        try:
+            record = json.loads(stripped)
+        except ValueError as err:
+            problems.append(f"{where}: not JSON ({err})")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"{where}: record is not an object")
+            continue
+        if record.get("v") != LOG_SCHEMA_VERSION:
+            problems.append(
+                f"{where}: schema version {record.get('v')!r} != "
+                f"{LOG_SCHEMA_VERSION}"
+            )
+        for field in ("ts", "level", "event", "pid",
+                      "request_id", "trace_id"):
+            if field not in record:
+                problems.append(f"{where}: missing {field!r}")
+        level = record.get("level")
+        if level is not None and level not in LEVELS:
+            problems.append(f"{where}: unknown level {level!r}")
+        for field in ("request_id", "trace_id"):
+            value = record.get(field)
+            if field in record and (
+                not isinstance(value, str) or not value
+            ):
+                problems.append(
+                    f"{where}: {field!r} must be a non-empty string"
+                )
+        if not isinstance(record.get("event", ""), str):
+            problems.append(f"{where}: 'event' must be a string")
+    return problems
+
+
+def read_records(source) -> List[dict]:
+    """Parse a JSONL log (path or stream) into record dicts,
+    skipping blank lines. Raises ValueError on a non-JSON line."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return read_records(handle)
+    if isinstance(source, (bytes, str)):  # pragma: no cover - guarded above
+        source = io.StringIO(source)
+    records: List[dict] = []
+    for line in source:
+        stripped = line.strip()
+        if stripped:
+            records.append(json.loads(stripped))
+    return records

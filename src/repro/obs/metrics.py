@@ -95,6 +95,45 @@ class Histogram:
                 return
         self.counts[-1] += 1
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Prometheus-style bucket quantile: the upper bound of the
+        first bucket whose cumulative count reaches ``q * count``.
+        Returns None on an empty histogram; observations past the last
+        finite bound clamp to it (the +Inf bucket has no upper edge)."""
+        return quantile_from_counts(self.buckets, self.counts, self.count, q)
+
+    def percentiles(
+        self, quantiles: Sequence[float] = (0.5, 0.95, 0.99)
+    ) -> Dict[str, Optional[float]]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` convenience for
+        report/SLO surfaces."""
+        return {
+            f"p{round(q * 100, 6):g}": self.quantile(q) for q in quantiles
+        }
+
+
+def quantile_from_counts(
+    buckets: Sequence[float],
+    counts: Sequence[int],
+    count: int,
+    q: float,
+) -> Optional[float]:
+    """Bucket-quantile shared by live :class:`Histogram` objects and
+    snapshot payloads (``{"buckets", "counts", "count"}``) read back
+    from artifacts. See :meth:`Histogram.quantile`."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], not {q!r}")
+    if count <= 0:
+        return None
+    target = q * count
+    cumulative = 0
+    for bound, bucket_count in zip(buckets, counts):
+        cumulative += bucket_count
+        if cumulative and cumulative >= target:
+            return float(bound)
+    # Only +Inf observations remain; clamp to the largest finite bound.
+    return float(buckets[-1])
+
 
 class MetricsRegistry:
     """All instruments of one scope (process, or one test's sandbox)."""
@@ -125,6 +164,12 @@ class MetricsRegistry:
         if instrument is None:
             instrument = self._histograms[name] = Histogram(name, buckets)
         return instrument
+
+    def get_histogram(self, name: str) -> Optional[Histogram]:
+        """Existing histogram ``name`` or None — a read-only probe that
+        never materialises an empty instrument (unlike
+        :meth:`histogram`)."""
+        return self._histograms.get(name)
 
     # -- conveniences --------------------------------------------------------
 

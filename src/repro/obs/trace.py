@@ -92,6 +92,30 @@ class Tracer:
             event["args"] = attrs
         self.events.append(event)
 
+    def flow(self, event_name: str, phase: str, flow_id: int, **attrs: Any) -> None:
+        """Chrome flow event: ``phase`` is ``"s"`` (start, at the
+        request's root span), ``"t"`` (step, inside each worker span it
+        passes through), or ``"f"`` (finish). All events sharing one
+        ``flow_id`` render as connecting arrows across pid/tid tracks —
+        the cross-process stitching primitive."""
+        if phase not in ("s", "t", "f"):
+            raise ValueError(f"flow phase must be 's', 't' or 'f', not {phase!r}")
+        event: Dict[str, Any] = {
+            "name": event_name,
+            "ph": phase,
+            "id": flow_id,
+            "ts": _now_us(),
+            "pid": os.getpid(),
+            "tid": _tid(),
+        }
+        if phase == "f":
+            # bind the finish to the enclosing slice's end, the
+            # rendering Perfetto expects for request-shaped flows
+            event["bp"] = "e"
+        if attrs:
+            event["args"] = attrs
+        self.events.append(event)
+
     # -- worker shipping -----------------------------------------------------
 
     def event_count(self) -> int:
@@ -215,6 +239,14 @@ def instant(event_name: str, **attrs: Any) -> None:
         tracer.instant(event_name, **attrs)
 
 
+def flow(event_name: str, phase: str, flow_id: int, **attrs: Any) -> None:
+    """Flow event (see :meth:`Tracer.flow`). Guard hot call sites with
+    ``if trace.ENABLED:`` as with :func:`instant`."""
+    tracer = _TRACER
+    if tracer is not None:
+        tracer.flow(event_name, phase, flow_id, **attrs)
+
+
 @contextmanager
 def session() -> Iterator[Tracer]:
     """enable()/disable() bracket for tests and CLI entry points."""
@@ -240,6 +272,8 @@ def validate_chrome_trace(payload: Any) -> List[str]:
     if not isinstance(events, list):
         return ["'traceEvents' must be a list"]
     spans_by_track: Dict[tuple, List[tuple]] = {}
+    flow_starts: Dict[Any, int] = {}
+    flow_steps: List[tuple] = []
     for index, event in enumerate(events):
         if not isinstance(event, dict):
             problems.append(f"event #{index} is not an object")
@@ -258,8 +292,27 @@ def validate_chrome_trace(payload: Any) -> List[str]:
                 spans_by_track.setdefault(track, []).append(
                     (event.get("ts", 0), duration, event.get("name"))
                 )
+        elif phase in ("s", "t", "f"):
+            if "id" not in event:
+                problems.append(f"{where}: flow event needs an 'id'")
+            elif phase == "s":
+                flow_starts[event["id"]] = flow_starts.get(event["id"], 0) + 1
+            else:
+                flow_steps.append((where, event["id"]))
         elif phase not in ("i", "I", "M", "C", "B", "E"):
             problems.append(f"{where}: unknown phase {phase!r}")
+    for flow_id, count in sorted(flow_starts.items(), key=str):
+        if count > 1:
+            problems.append(
+                f"flow id {flow_id!r} has {count} 's' (start) events; "
+                f"expected exactly one per flow"
+            )
+    for where, flow_id in flow_steps:
+        if flow_id not in flow_starts:
+            problems.append(
+                f"{where}: flow step/finish with id {flow_id!r} has no "
+                f"matching 's' (start) event"
+            )
     for track, spans in spans_by_track.items():
         # Sorting by (start, -duration) puts each enclosing span before
         # the spans it contains; proper nesting then means every span
@@ -277,4 +330,47 @@ def validate_chrome_trace(payload: Any) -> List[str]:
                 )
                 continue
             stack.append((end, name))
+    return problems
+
+
+def validate_stitched_trace(payload: Any) -> List[str]:
+    """Stitching check on top of :func:`validate_chrome_trace`: every
+    worker process that contributed spans must be flow-linked back to a
+    request root — i.e. each worker pid with "X" events must carry at
+    least one flow step/finish whose id has a matching "s" start
+    (emitted by the request's owning process)."""
+    problems = validate_chrome_trace(payload)
+    if not isinstance(payload, dict):
+        return problems
+    events = payload.get("traceEvents", [])
+    if not isinstance(events, list):
+        return problems
+    worker_pids = set()
+    span_pids = set()
+    flow_start_ids = set()
+    flow_link_pids: Dict[Any, set] = {}
+    for event in events:
+        if not isinstance(event, dict):
+            continue
+        phase = event.get("ph")
+        pid = event.get("pid")
+        if phase == "M" and event.get("name") == "process_name":
+            label = (event.get("args") or {}).get("name", "")
+            if isinstance(label, str) and label.startswith("repro worker"):
+                worker_pids.add(pid)
+        elif phase == "X":
+            span_pids.add(pid)
+        elif phase in ("s", "t", "f") and "id" in event:
+            if phase == "s":
+                flow_start_ids.add(event["id"])
+            # An "s" emitted by the worker itself counts as linkage
+            # too: batch file roots live inside pool workers.
+            flow_link_pids.setdefault(pid, set()).add(event["id"])
+    for pid in sorted(worker_pids & span_pids, key=str):
+        linked = flow_link_pids.get(pid, set())
+        if not (linked & flow_start_ids):
+            problems.append(
+                f"worker pid {pid} has spans but no flow step linking "
+                f"them to a request root"
+            )
     return problems

@@ -29,6 +29,7 @@ from repro.ipcp.driver import AnalysisResult, analyze_source
 from repro.ipcp.return_functions import ReturnFunctionCallModel
 from repro.ir.verify import verify_program
 from repro.obs import metrics as obs_metrics
+from repro.obs import timeline
 from repro.obs import trace
 from repro.opt import passes as opt_passes
 from repro.opt.report import OptReport
@@ -82,6 +83,25 @@ def optimize_result(
     """Run the pipeline over ``result.program`` (mutating it in place)
     and return the report. On return the program is destructed —
     executable by the reference interpreter, no longer in SSA form."""
+    observer = timeline.current_observer()
+    if observer is not None:
+        import time
+
+        begin = time.perf_counter()
+        try:
+            return _optimize_result(result, passes, verify)
+        finally:
+            # Feed the request timeline's "opt" bucket (the daemon's
+            # stage breakdown); pass-level detail stays in trace spans.
+            observer.record_stage("opt", time.perf_counter() - begin)
+    return _optimize_result(result, passes, verify)
+
+
+def _optimize_result(
+    result: AnalysisResult,
+    passes: Iterable[str] = PASS_NAMES,
+    verify: bool = False,
+) -> OptReport:
     program = result.program
     config = result.config
     selected = tuple(passes)

@@ -27,6 +27,7 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, List, Mapping, Optional
 
 from repro.obs import metrics as _metrics
+from repro.obs import timeline as _timeline
 from repro.obs import trace as _trace
 
 #: Version tag of the ``--profile`` JSON shape. 2 = added this field;
@@ -174,14 +175,26 @@ def reset_counters() -> None:
 def maybe_stage(profile: Optional[PipelineProfile], name: str) -> Iterator[None]:
     """``profile.stage(name)`` when a profile is attached, no-op
     otherwise; either way the stage becomes a trace span when tracing
-    is enabled, so ``--trace`` works without ``--profile``."""
-    if _trace.ENABLED:
-        with _trace.span(f"stage.{name}"):
-            with _stage_inner(profile, name):
-                yield
-    else:
+    is enabled (so ``--trace`` works without ``--profile``) and feeds
+    the thread's request timeline when one is observing (the daemon's
+    per-request stage breakdown)."""
+    observer = _timeline.current_observer()
+    if observer is None and not _trace.ENABLED:
         with _stage_inner(profile, name):
             yield
+        return
+    begin = time.perf_counter() if observer is not None else 0.0
+    try:
+        if _trace.ENABLED:
+            with _trace.span(f"stage.{name}"):
+                with _stage_inner(profile, name):
+                    yield
+        else:
+            with _stage_inner(profile, name):
+                yield
+    finally:
+        if observer is not None:
+            observer.record_stage(name, time.perf_counter() - begin)
 
 
 @contextmanager

@@ -128,6 +128,14 @@ class ReproClient:
     def status(self) -> dict:
         return self.call("status")
 
+    def obs(self, limit: Optional[int] = None) -> dict:
+        """Live telemetry: latency percentiles per stage bucket plus
+        the newest ring-buffer request entries (``limit`` caps them)."""
+        params: dict = {}
+        if limit is not None:
+            params["limit"] = int(limit)
+        return self.call("obs", None, params)
+
     def shutdown(self) -> dict:
         return self.request("shutdown")
 

@@ -82,6 +82,10 @@ class Ticket:
     request: Request
     deadline: Deadline
     respond: Callable[[dict], None]
+    #: Correlation id stamped at admission (``r000001``, ...) — the
+    #: request_id every log record, trace flow, and ring entry of this
+    #: request carries.
+    request_id: str = ""
     enqueued_at: float = field(default_factory=time.monotonic)
 
     def queue_seconds(self) -> float:

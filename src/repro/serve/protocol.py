@@ -52,7 +52,7 @@ from typing import Dict, Optional, Sequence
 PROTOCOL_VERSION = 1
 
 #: Supported operations.
-OPS = ("analyze", "explain", "invalidate", "status", "shutdown")
+OPS = ("analyze", "explain", "invalidate", "status", "obs", "shutdown")
 
 #: Ops that require an input: either ``path`` (one file) or
 #: ``params.project`` (a linked multi-file program).

@@ -53,7 +53,10 @@ from repro import faults
 from repro.config import AnalysisConfig
 from repro.engine import fingerprint
 from repro.engine.core import Engine
+from repro.obs import context as obs_context
+from repro.obs import log as obs_log
 from repro.obs import metrics as obs_metrics
+from repro.obs import timeline as obs_timeline
 from repro.obs import trace
 from repro.serve import protocol
 from repro.serve.lifecycle import Cancelled, Deadline, DeadlineExpired, Ticket
@@ -89,6 +92,16 @@ class ServeConfig:
     drain_timeout_s: float = 5.0
     metrics_path: Optional[str] = None
     trace_path: Optional[str] = None
+    #: Structured JSONL log destination (path or ``"-"`` for stderr).
+    log_path: Optional[str] = None
+    log_level: str = "info"
+    #: Requests slower than this (queue + service, seconds) emit a
+    #: ``request.slow`` log record with their stage timings and
+    #: cache-hit profile. None disables the slow-request log.
+    slow_request_s: Optional[float] = None
+    #: Capacity of the per-request ring buffer behind ``repro top``
+    #: and the ``obs`` protocol op.
+    obs_window: int = 256
     #: Shared-memory arena policy for the persistent engine: None
     #: (auto: on whenever ``jobs > 1``) or False (``--no-arena``).
     arena: Optional[bool] = None
@@ -123,7 +136,23 @@ class ReproServer:
         self._stop_requested = False
         self._drain_deadline: Optional[Deadline] = None
         self._tracer = None
+        self._logger = None
         self._registry = obs_metrics.default_registry()
+        # The registry is process-global; baseline it so the ``obs``
+        # op reports this server's lifetime only, not whatever an
+        # earlier daemon in the same process already observed.
+        self._metrics_baseline = self._registry.snapshot()
+        # Request-scoped telemetry: monotonically numbered request ids
+        # under one session trace id, a per-request ring buffer behind
+        # the ``obs`` op, and the idle context every server thread
+        # carries when no request is in flight.
+        self._request_seq = 0
+        self._seq_lock = threading.Lock()
+        self._session_trace_id = f"s-{os.getpid()}"
+        self._server_ctx = obs_context.RequestContext(
+            "server", self._session_trace_id
+        )
+        self._ring = obs_timeline.TimelineRing(max(1, config.obs_window))
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -143,6 +172,18 @@ class ReproServer:
             )
         if self.config.trace_path is not None:
             self._tracer = trace.enable()
+        if self.config.log_path is not None:
+            self._logger = obs_log.enable(
+                self.config.log_path, level=self.config.log_level
+            )
+        obs_context.set_context(self._server_ctx)
+        if obs_log.ENABLED:
+            obs_log.info(
+                "server.start",
+                socket=self.config.socket_path,
+                jobs=self.config.jobs,
+                queue_limit=self.config.queue_limit,
+            )
         self._listener = self._bind(self.config.socket_path)
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="repro-serve-accept", daemon=True
@@ -276,6 +317,18 @@ class ReproServer:
             except OSError:
                 pass
             self._tracer = None
+        if self._logger is not None:
+            obs_log.info(
+                "server.stop",
+                exit_code=self._exit_code,
+                requests_seen=self._ring.total_added,
+            )
+            obs_log.disable()
+            self._logger = None
+        # Drop the server context so a host process (tests, a CLI that
+        # embeds the daemon) is not left with this session's ids.
+        if obs_context.current() is self._server_ctx:
+            obs_context.clear()
 
     # -- admission (connection threads) --------------------------------------
 
@@ -300,6 +353,12 @@ class ReproServer:
             handler.start()
 
     def _handle_connection(self, connection: socket.socket) -> None:
+        # Pin this handler thread to the idle server context: while a
+        # request is being executed the dispatcher installs that
+        # request's context as the process global (so fork workers
+        # inherit it), and an unpinned handler thread would fall
+        # through to it and mis-attribute its own records.
+        obs_context.set_thread_context(self._server_ctx)
         write_lock = threading.Lock()
 
         def respond(message: dict) -> None:
@@ -335,6 +394,9 @@ class ReproServer:
             request = protocol.parse_request(protocol.decode_frame(line))
         except protocol.ProtocolError as err:
             obs_metrics.inc("serve_bad_requests")
+            if obs_log.ENABLED:
+                obs_log.warn("request.rejected", reason="bad_request",
+                             error=str(err))
             respond(
                 protocol.error_response(
                     None, protocol.E_BAD_REQUEST, str(err)
@@ -349,17 +411,28 @@ class ReproServer:
                 )
             )
             return
+        with self._seq_lock:
+            self._request_seq += 1
+            request_id = f"r{self._request_seq:06d}"
         ticket = Ticket(
             request=request,
             deadline=Deadline.from_request(
                 request, self.config.default_deadline_s
             ),
             respond=respond,
+            request_id=request_id,
         )
         try:
             self._queue.put_nowait(ticket)
         except queue.Full:
             obs_metrics.inc("serve_shed")
+            if obs_log.ENABLED:
+                # explicit request_id: the shed request never reaches
+                # the dispatcher, so no context is ever installed for it
+                obs_log.warn(
+                    "request.shed", request_id=request_id, op=request.op,
+                    queue_limit=self.config.queue_limit,
+                )
             respond(
                 protocol.error_response(
                     request.id, protocol.E_OVERLOADED,
@@ -412,52 +485,159 @@ class ReproServer:
 
     def _execute(self, ticket: Ticket) -> None:
         request = ticket.request
+        queue_s = ticket.queue_seconds()
         began = time.perf_counter()
         obs_metrics.inc("serve_requests")
         obs_metrics.inc(f"serve_requests_{request.op}")
-        self._registry.observe("serve_queue_seconds", ticket.queue_seconds())
-        with trace.span(
-            "serve.request", op=request.op, path=request.path or ""
-        ):
-            try:
-                ticket.deadline.check("queued")
-                faults.delay(
-                    "delay-request", op=request.op, path=request.path or ""
-                )
-                ticket.deadline.check("start")
-                result, degraded = self._dispatch_op(request, ticket.deadline)
-                response = protocol.ok_response(
-                    request.id, request.op, result, degraded
-                )
-                obs_metrics.inc("serve_ok")
-            except DeadlineExpired as err:
-                obs_metrics.inc("serve_deadline_expired")
-                response = protocol.error_response(
-                    request.id, protocol.E_DEADLINE, str(err), op=request.op
-                )
-            except Cancelled:
-                obs_metrics.inc("serve_cancelled_drain")
-                response = protocol.error_response(
-                    request.id, protocol.E_SHUTTING_DOWN,
-                    "server drained mid-request", op=request.op,
-                )
-            except protocol.ProtocolError as err:
-                obs_metrics.inc("serve_bad_requests")
-                response = protocol.error_response(
-                    request.id, protocol.E_BAD_REQUEST, str(err),
-                    op=request.op,
-                )
-            except Exception as err:  # noqa: BLE001 — one bad request
-                # must never take the dispatcher (and the daemon) down.
-                obs_metrics.inc("serve_internal_errors")
-                response = protocol.error_response(
-                    request.id, protocol.E_INTERNAL,
-                    f"{type(err).__name__}: {err}", op=request.op,
-                )
+        self._registry.observe("serve_queue_seconds", queue_s)
+        # Request-scoped telemetry bracket: install the request's
+        # correlation context on both layers (the global is what fork
+        # pool workers inherit), observe its pipeline stages through a
+        # timeline, and scope the metrics registry so concurrent
+        # handler-thread counters (sheds, bad frames) can never leak
+        # into this request's per-request delta.
+        request_id = ticket.request_id or "r?"
+        request_ctx = obs_context.RequestContext(
+            request_id, self._session_trace_id
+        )
+        obs_context.set_context(request_ctx)
+        timeline = obs_timeline.RequestTimeline(
+            request_id, op=request.op, path=request.path or "",
+            queue_s=queue_s,
+        )
+        obs_timeline.push_observer(timeline)
+        scoped = obs_metrics.push_scope()
+        if obs_log.ENABLED:
+            obs_log.info(
+                "request.start", op=request.op, path=request.path or "",
+                queue_ms=round(queue_s * 1000.0, 3),
+            )
+        status = "ok"
+        replayed = False
+        try:
+            with trace.span(
+                "serve.request", op=request.op, path=request.path or "",
+                request_id=request_id,
+            ):
+                if trace.ENABLED:
+                    # Root of this request's flow: workers emit "t"
+                    # steps with the same id (stitching across pids).
+                    flow = obs_context.flow_id(request_id)
+                    trace.flow(
+                        "request", "s", flow,
+                        request_id=request_id, op=request.op,
+                    )
+                try:
+                    ticket.deadline.check("queued")
+                    faults.delay(
+                        "delay-request", op=request.op,
+                        path=request.path or "",
+                    )
+                    ticket.deadline.check("start")
+                    result, degraded = self._dispatch_op(
+                        request, ticket.deadline
+                    )
+                    response = protocol.ok_response(
+                        request.id, request.op, result, degraded
+                    )
+                    obs_metrics.inc("serve_ok")
+                    if isinstance(result, dict):
+                        status = str(result.get("status", "ok"))
+                        replayed = bool(result.get("replayed", False))
+                except DeadlineExpired as err:
+                    status = "deadline_expired"
+                    obs_metrics.inc("serve_deadline_expired")
+                    response = protocol.error_response(
+                        request.id, protocol.E_DEADLINE, str(err),
+                        op=request.op,
+                    )
+                except Cancelled:
+                    status = "cancelled_drain"
+                    obs_metrics.inc("serve_cancelled_drain")
+                    response = protocol.error_response(
+                        request.id, protocol.E_SHUTTING_DOWN,
+                        "server drained mid-request", op=request.op,
+                    )
+                except protocol.ProtocolError as err:
+                    status = "bad_request"
+                    obs_metrics.inc("serve_bad_requests")
+                    response = protocol.error_response(
+                        request.id, protocol.E_BAD_REQUEST, str(err),
+                        op=request.op,
+                    )
+                except Exception as err:  # noqa: BLE001 — one bad request
+                    # must never take the dispatcher (and the daemon)
+                    # down.
+                    status = "internal_error"
+                    obs_metrics.inc("serve_internal_errors")
+                    response = protocol.error_response(
+                        request.id, protocol.E_INTERNAL,
+                        f"{type(err).__name__}: {err}", op=request.op,
+                    )
+                if trace.ENABLED:
+                    trace.flow(
+                        "request", "f", obs_context.flow_id(request_id)
+                    )
+        finally:
+            obs_metrics.pop_scope(merge=True)
+            obs_timeline.pop_observer()
+            obs_context.set_context(self._server_ctx)
+        timeline.finish(status, replayed=replayed)
         self._registry.observe(
             "serve_request_seconds", time.perf_counter() - began
         )
+        self._finish_request_telemetry(timeline, scoped)
         ticket.respond(response)
+
+    def _finish_request_telemetry(self, timeline, scoped) -> None:
+        """Post-request accounting: stage-bucket histograms, the ring
+        entry behind ``repro top``/``obs``, and the slow-request log."""
+        buckets = timeline.buckets()
+        for bucket, seconds in buckets.items():
+            self._registry.observe(
+                f"serve_stage_{bucket}_seconds", seconds
+            )
+        entry = timeline.entry()
+        self._ring.add(entry)
+        if obs_log.ENABLED:
+            obs_log.info(
+                "request.end",
+                **{
+                    key: value
+                    for key, value in entry.items()
+                    if key not in ("ts",)
+                },
+            )
+        threshold = self.config.slow_request_s
+        total_s = timeline.queue_s + timeline.total_s
+        if threshold is not None and total_s >= threshold:
+            obs_metrics.inc("serve_slow_requests")
+            if obs_log.ENABLED:
+                cache_profile = {
+                    name: value
+                    for name, value in scoped.counters().items()
+                    if name.startswith(
+                        ("cache_", "run_cache_", "summary_cache_",
+                         "opt_cache_", "recomputed_", "serve_replayed")
+                    )
+                }
+                obs_log.warn(
+                    "request.slow",
+                    request_id=timeline.request_id,
+                    threshold_ms=round(threshold * 1000.0, 3),
+                    stages={
+                        name: round(seconds * 1000.0, 3)
+                        for name, seconds in sorted(
+                            timeline.stages.items()
+                        )
+                    },
+                    cache=cache_profile,
+                    **{
+                        key: value
+                        for key, value in entry.items()
+                        if key not in ("ts", "request_id")
+                    },
+                )
 
     def _dispatch_op(self, request, deadline):
         """Returns ``(result, degraded_notes)`` for a successful
@@ -488,6 +668,8 @@ class ReproServer:
             return self._op_invalidate(request.path), []
         if request.op == "status":
             return self._op_status(), []
+        if request.op == "obs":
+            return self._op_obs(request), []
         if request.op == "shutdown":
             self.request_stop(EXIT_OK)
             return {"stopping": True}, []
@@ -514,7 +696,12 @@ class ReproServer:
         from repro.ipcp.driver import analyze_file_resilient
 
         config = self.config.analysis
-        snapshot = self._registry.snapshot()
+        # The dispatcher pushes a metrics scope per request, so the
+        # *dynamic* registry holds exactly this request's counters —
+        # concurrent handler-thread activity (sheds, bad frames) lands
+        # in the global registry and can never pollute this delta.
+        registry = obs_metrics.default_registry()
+        snapshot = registry.snapshot()
         result_payload: Dict[str, object] = {
             "path": path,
             "status": STATUS_OK,
@@ -596,7 +783,7 @@ class ReproServer:
                 "analysis engine demoted to in-process serial execution "
                 "(worker pool broke twice)"
             )
-        delta = self._registry.delta_since(snapshot)
+        delta = registry.delta_since(snapshot)
         result_payload["metrics"] = delta["counters"]
         return result_payload, degraded
 
@@ -621,7 +808,8 @@ class ReproServer:
         )
 
         entry_name = entry if isinstance(entry, str) else None
-        snapshot = self._registry.snapshot()
+        registry = obs_metrics.default_registry()  # scoped per request
+        snapshot = registry.snapshot()
         result_payload: Dict[str, object] = {
             "project": list(project),
             "entry": entry_name,
@@ -706,7 +894,7 @@ class ReproServer:
                 "analysis engine demoted to in-process serial execution "
                 "(worker pool broke twice)"
             )
-        delta = self._registry.delta_since(snapshot)
+        delta = registry.delta_since(snapshot)
         result_payload["metrics"] = delta["counters"]
         return result_payload, degraded
 
@@ -797,6 +985,55 @@ class ReproServer:
         )
         result["invalidated"] = self.engine.cache.delete("run", key)
         return result
+
+    # -- op: obs (live SLO telemetry) ----------------------------------------
+
+    def _op_obs(self, request) -> dict:
+        """Live latency percentiles (histogram buckets since this
+        server started — the registry outlives servers, the report
+        must not) plus the newest ring-buffer entries — what
+        ``repro top`` renders and clients poll for SLOs."""
+        limit = request.params.get("limit")
+        if not isinstance(limit, int) or limit < 0:
+            limit = None
+        delta = self._registry.delta_since(self._metrics_baseline)
+        histograms = delta.get("histograms", {})
+        latency: Dict[str, object] = {}
+        names = ["serve_queue_seconds", "serve_request_seconds"]
+        names.extend(
+            f"serve_stage_{bucket}_seconds"
+            for bucket in obs_timeline.BUCKETS
+        )
+        for name in names:
+            payload = histograms.get(name)
+            if not payload or not payload["count"]:
+                continue
+            buckets = payload["buckets"]
+            counts = payload["counts"]
+            count = payload["count"]
+            latency[name] = {
+                "count": count,
+                "sum": round(payload["sum"], 6),
+                "p50": obs_metrics.quantile_from_counts(
+                    buckets, counts, count, 0.5
+                ),
+                "p95": obs_metrics.quantile_from_counts(
+                    buckets, counts, count, 0.95
+                ),
+                "p99": obs_metrics.quantile_from_counts(
+                    buckets, counts, count, 0.99
+                ),
+            }
+        return {
+            "window": self._ring.capacity,
+            "requests_seen": self._ring.total_added,
+            "slow_requests": delta.get("counters", {}).get(
+                "serve_slow_requests", 0
+            ),
+            "slow_threshold_s": self.config.slow_request_s,
+            "latency": latency,
+            "recent": self._ring.entries(limit),
+        }
 
     # -- op: status ----------------------------------------------------------
 

@@ -1,0 +1,225 @@
+"""Structured logging: envelope schema, levels, rate limiting,
+correlation-id injection, zero-cost-when-disabled contract."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import context, log
+from repro.obs.log import (
+    LOG_SCHEMA_VERSION,
+    Logger,
+    read_records,
+    validate_log_records,
+)
+
+
+@pytest.fixture(autouse=True)
+def _logging_disabled():
+    """Every test starts and ends with logging off and no context."""
+    log.disable()
+    context.clear()
+    yield
+    log.disable()
+    context.clear()
+
+
+def records_of(stream: io.StringIO):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestDisabledPath:
+    def test_disabled_by_default(self):
+        assert log.ENABLED is False
+        assert log.active() is None
+
+    def test_helpers_are_noops(self):
+        log.info("ping", detail=1)
+        log.debug("ping")
+        log.warn("ping")
+        log.error("ping")
+        log.emit("info", "ping")  # must not raise, must not create state
+        assert log.active() is None
+
+
+class TestEnableDisable:
+    def test_enable_installs_logger_and_flag(self):
+        stream = io.StringIO()
+        logger = log.enable(stream)
+        assert log.ENABLED is True
+        assert log.active() is logger
+
+    def test_disable_returns_logger_and_clears_flag(self):
+        stream = io.StringIO()
+        logger = log.enable(stream)
+        log.info("one")
+        assert log.disable() is logger
+        assert log.ENABLED is False
+        assert logger.records_written == 1
+
+    def test_reenable_replaces_previous_logger(self):
+        first_stream = io.StringIO()
+        first = log.enable(first_stream)
+        second = log.enable(io.StringIO())
+        assert first is not second
+        assert log.active() is second
+
+    def test_file_destination_writes_jsonl(self, tmp_path):
+        path = tmp_path / "run.log"
+        log.enable(str(path))
+        log.info("request.start", op="analyze")
+        log.disable()
+        records = read_records(str(path))
+        assert [record["event"] for record in records] == ["request.start"]
+        assert validate_log_records(path.read_text().splitlines()) == []
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            Logger(io.StringIO(), level="loud")
+
+
+class TestEnvelope:
+    def test_record_shape(self):
+        stream = io.StringIO()
+        log.enable(stream, clock=lambda: 123.456789)
+        log.info("cache.hit", path="p.f", count=3)
+        (record,) = records_of(stream)
+        assert record["v"] == LOG_SCHEMA_VERSION
+        assert record["ts"] == 123.456789
+        assert record["level"] == "info"
+        assert record["event"] == "cache.hit"
+        assert isinstance(record["pid"], int)
+        assert record["path"] == "p.f"
+        assert record["count"] == 3
+
+    def test_no_context_falls_back_to_dash(self):
+        stream = io.StringIO()
+        log.enable(stream)
+        log.info("orphan")
+        (record,) = records_of(stream)
+        assert record["request_id"] == "-"
+        assert record["trace_id"] == "-"
+
+    def test_context_ids_injected(self):
+        stream = io.StringIO()
+        log.enable(stream)
+        with context.request("r000042", trace_id="s-1"):
+            log.info("request.start")
+        (record,) = records_of(stream)
+        assert record["request_id"] == "r000042"
+        assert record["trace_id"] == "s-1"
+
+    def test_fields_may_override_correlation_but_not_envelope(self):
+        # A handler thread attributes a shed record to the request it
+        # rejected; it must not be able to forge the schema version.
+        stream = io.StringIO()
+        logger = log.enable(stream)
+        logger.emit(
+            "warn",
+            "request.shed",
+            {"request_id": "r000007", "v": 999, "event": "forged"},
+        )
+        (record,) = records_of(stream)
+        assert record["request_id"] == "r000007"
+        assert record["v"] == LOG_SCHEMA_VERSION
+        assert record["event"] == "request.shed"
+
+    def test_unserializable_field_degrades_to_str(self):
+        stream = io.StringIO()
+        log.enable(stream)
+        log.info("odd", thing=object())
+        (record,) = records_of(stream)
+        assert "object object at" in record["thing"]
+
+
+class TestLevels:
+    def test_records_below_threshold_dropped(self):
+        stream = io.StringIO()
+        log.enable(stream, level="warn")
+        log.debug("a")
+        log.info("b")
+        log.warn("c")
+        log.error("d")
+        assert [r["event"] for r in records_of(stream)] == ["c", "d"]
+
+    def test_debug_level_keeps_everything(self):
+        stream = io.StringIO()
+        log.enable(stream, level="debug")
+        log.debug("a")
+        log.info("b")
+        assert len(records_of(stream)) == 2
+
+
+class TestRateLimit:
+    def test_cap_then_suppression_summary(self):
+        stream = io.StringIO()
+        log.enable(stream, max_per_event=3)
+        for _ in range(10):
+            log.info("noisy", x=1)
+        log.info("quiet")
+        log.disable()
+        records = records_of(stream)
+        noisy = [r for r in records if r["event"] == "noisy"]
+        assert len(noisy) == 3
+        summary = [r for r in records if r["event"] == "log.suppressed"]
+        assert len(summary) == 1
+        assert summary[0]["suppressed_event"] == "noisy"
+        assert summary[0]["dropped"] == 7
+        assert summary[0]["level"] == "warn"
+        # unthrottled events are unaffected
+        assert any(r["event"] == "quiet" for r in records)
+
+    def test_no_summary_when_nothing_suppressed(self):
+        stream = io.StringIO()
+        log.enable(stream, max_per_event=5)
+        log.info("calm")
+        log.disable()
+        events = [r["event"] for r in records_of(stream)]
+        assert "log.suppressed" not in events
+
+
+class TestResilience:
+    def test_write_failure_never_raises(self):
+        class TornStream:
+            def write(self, text):
+                raise OSError("disk gone")
+
+            def flush(self):
+                raise OSError("disk gone")
+
+        logger = log.enable(TornStream())
+        log.info("doomed")  # must not raise
+        assert logger.records_written == 0
+        log.disable()  # finish() must also survive
+
+
+class TestValidation:
+    def test_flags_missing_fields_and_bad_json(self):
+        lines = [
+            "not json",
+            json.dumps({"v": LOG_SCHEMA_VERSION, "level": "info"}),
+            json.dumps({"v": 99, "ts": 1, "level": "info", "event": "e",
+                        "pid": 1, "request_id": "r", "trace_id": "t"}),
+            json.dumps({"v": LOG_SCHEMA_VERSION, "ts": 1, "level": "shout",
+                        "event": "e", "pid": 1, "request_id": "",
+                        "trace_id": "t"}),
+        ]
+        problems = validate_log_records(lines)
+        assert any("not JSON" in p for p in problems)
+        assert any("missing" in p for p in problems)
+        assert any("schema version" in p for p in problems)
+        assert any("unknown level" in p for p in problems)
+        assert any("request_id" in p for p in problems)
+
+    def test_blank_lines_ignored(self):
+        assert validate_log_records(["", "   ", "\n"]) == []
+
+    def test_real_output_validates_clean(self):
+        stream = io.StringIO()
+        log.enable(stream)
+        with context.request("r1"):
+            log.info("request.start", op="analyze")
+            log.warn("request.slow", total_ms=12.5)
+        log.disable()
+        assert validate_log_records(stream.getvalue().splitlines()) == []

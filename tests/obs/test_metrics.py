@@ -178,3 +178,83 @@ class TestDefaultRegistryShims:
         metrics.inc("x")
         assert metrics.delta_since(base)["counters"] == {"x": 1}
         metrics.reset()
+
+
+class TestQuantiles:
+    """Exact boundary semantics of the bucket quantile (satellite:
+    Histogram.quantile + batch --report percentiles build on these)."""
+
+    @staticmethod
+    def histogram(observations, buckets=(0.01, 0.1, 1.0)):
+        hist = Histogram("t", buckets=buckets)
+        for value in observations:
+            hist.observe(value)
+        return hist
+
+    def test_empty_histogram_returns_none(self):
+        assert Histogram("t", buckets=(1.0,)).quantile(0.5) is None
+
+    def test_rejects_out_of_range(self):
+        hist = self.histogram([0.5])
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+        with pytest.raises(ValueError):
+            hist.quantile(1.1)
+
+    def test_single_observation_all_quantiles_same_bucket(self):
+        hist = self.histogram([0.05])
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 0.1
+
+    def test_exact_bucket_boundary_counts_in_lower_bucket(self):
+        # observe(0.01) lands in the <=0.01 bucket (le semantics)
+        hist = self.histogram([0.01])
+        assert hist.quantile(0.5) == 0.01
+
+    def test_quantile_at_exact_cumulative_boundary(self):
+        # 10 observations: 5 in <=0.01, 5 in <=0.1. target(p50) = 5.0
+        # == cumulative of the first bucket -> its bound, not the next.
+        hist = self.histogram([0.005] * 5 + [0.05] * 5)
+        assert hist.quantile(0.5) == 0.01
+        assert hist.quantile(0.51) == 0.1
+        assert hist.quantile(1.0) == 0.1
+
+    def test_q_zero_returns_first_populated_bucket(self):
+        hist = self.histogram([0.05, 0.5])
+        assert hist.quantile(0.0) == 0.1
+
+    def test_overflow_clamps_to_last_finite_bound(self):
+        # everything in +Inf: the histogram cannot say more than "past
+        # the last bound" -- clamp instead of inventing a value
+        hist = self.histogram([5.0, 10.0])
+        assert hist.quantile(0.5) == 1.0
+        assert hist.quantile(0.99) == 1.0
+
+    def test_p99_distinguishes_tail(self):
+        hist = self.histogram([0.005] * 99 + [0.5])
+        assert hist.quantile(0.5) == 0.01
+        assert hist.quantile(0.99) == 0.01  # target 99.0 == cumulative
+        assert hist.quantile(0.995) == 1.0
+
+    def test_percentiles_labels(self):
+        hist = self.histogram([0.05])
+        marks = hist.percentiles()
+        assert set(marks) == {"p50", "p95", "p99"}
+        assert marks["p50"] == 0.1
+        assert self.histogram([0.05]).percentiles((0.25,)) == {"p25": 0.1}
+
+    def test_quantile_from_counts_matches_live(self):
+        from repro.obs.metrics import quantile_from_counts
+
+        hist = self.histogram([0.005, 0.05, 0.5, 2.0])
+        for q in (0.25, 0.5, 0.75, 0.99):
+            assert quantile_from_counts(
+                hist.buckets, hist.counts, hist.count, q
+            ) == hist.quantile(q)
+
+    def test_registry_get_histogram_is_readonly(self):
+        registry = MetricsRegistry()
+        assert registry.get_histogram("absent") is None
+        created = registry.histogram("present")
+        assert registry.get_histogram("present") is created
+        assert registry.get_histogram("absent") is None  # still absent

@@ -213,3 +213,111 @@ class TestPipelineEmitsEvents:
         trace.disable()
         analyze_source(TRI_PROGRAM)
         assert tracer.events == []
+
+
+class TestFlowEvents:
+    def test_flow_phases_and_finish_binding(self):
+        tracer = trace.enable()
+        trace.flow("request", "s", 42, request_id="r1")
+        trace.flow("request", "t", 42)
+        trace.flow("request", "f", 42)
+        start, step, finish = tracer.events
+        assert [e["ph"] for e in (start, step, finish)] == ["s", "t", "f"]
+        assert all(e["id"] == 42 for e in tracer.events)
+        assert start["args"] == {"request_id": "r1"}
+        assert "bp" not in start and "bp" not in step
+        assert finish["bp"] == "e"  # finish binds to the enclosing slice
+
+    def test_flow_rejects_unknown_phase(self):
+        tracer = trace.enable()
+        with pytest.raises(ValueError):
+            tracer.flow("request", "x", 1)
+
+    def test_module_flow_is_noop_when_disabled(self):
+        trace.flow("request", "s", 1)  # must not raise
+
+    def test_flow_events_validate(self):
+        tracer = trace.enable()
+        trace.flow("request", "s", 7)
+        trace.flow("request", "t", 7)
+        trace.flow("request", "f", 7)
+        assert validate_chrome_trace(tracer.to_chrome()) == []
+
+    def test_validator_flags_flow_without_id(self):
+        payload = {"traceEvents": [
+            {"name": "request", "ph": "s", "ts": 0, "pid": 1, "tid": 1},
+        ]}
+        assert any("needs an 'id'" in p
+                   for p in validate_chrome_trace(payload))
+
+    def test_validator_flags_orphan_step(self):
+        payload = {"traceEvents": [
+            {"name": "request", "ph": "t", "ts": 0, "pid": 1, "tid": 1,
+             "id": 9},
+        ]}
+        assert any("no matching 's'" in p
+                   for p in validate_chrome_trace(payload))
+
+    def test_validator_flags_duplicate_starts(self):
+        payload = {"traceEvents": [
+            {"name": "request", "ph": "s", "ts": 0, "pid": 1, "tid": 1,
+             "id": 9},
+            {"name": "request", "ph": "s", "ts": 1, "pid": 1, "tid": 1,
+             "id": 9},
+        ]}
+        assert any("expected exactly one" in p
+                   for p in validate_chrome_trace(payload))
+
+
+class TestStitchedValidation:
+    @staticmethod
+    def _payload(worker_flow_events):
+        from repro.obs.trace import validate_stitched_trace  # noqa: F401
+
+        return {"traceEvents": [
+            {"name": "process_name", "ph": "M", "ts": 0, "pid": 1,
+             "tid": 0, "args": {"name": "repro"}},
+            {"name": "process_name", "ph": "M", "ts": 0, "pid": 2,
+             "tid": 0, "args": {"name": "repro worker 2"}},
+            {"name": "serve.request", "ph": "X", "ts": 0, "dur": 100,
+             "pid": 1, "tid": 1, "args": {"request_id": "r1"}},
+            {"name": "request", "ph": "s", "ts": 0, "pid": 1, "tid": 1,
+             "id": 5},
+            {"name": "worker.task", "ph": "X", "ts": 10, "dur": 20,
+             "pid": 2, "tid": 1},
+        ] + worker_flow_events}
+
+    def test_linked_worker_passes(self):
+        from repro.obs.trace import validate_stitched_trace
+
+        payload = self._payload([
+            {"name": "request", "ph": "t", "ts": 11, "pid": 2, "tid": 1,
+             "id": 5},
+        ])
+        assert validate_stitched_trace(payload) == []
+
+    def test_unlinked_worker_flagged(self):
+        from repro.obs.trace import validate_stitched_trace
+
+        payload = self._payload([])
+        assert any("no flow step" in p
+                   for p in validate_stitched_trace(payload))
+
+    def test_worker_own_start_counts_as_linkage(self):
+        # batch file roots emit their "s" inside the pool worker
+        from repro.obs.trace import validate_stitched_trace
+
+        payload = self._payload([
+            {"name": "request", "ph": "s", "ts": 11, "pid": 2, "tid": 1,
+             "id": 6, "args": {"request_id": "file:b.f"}},
+        ])
+        assert validate_stitched_trace(payload) == []
+
+    def test_workerless_trace_passes(self):
+        from repro.obs.trace import validate_stitched_trace
+
+        payload = {"traceEvents": [
+            {"name": "analyze", "ph": "X", "ts": 0, "dur": 10, "pid": 1,
+             "tid": 1},
+        ]}
+        assert validate_stitched_trace(payload) == []
